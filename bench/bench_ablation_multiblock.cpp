@@ -1,0 +1,134 @@
+// Ablation: three ways to update w of the m blocks of one stripe —
+//   (1) w independent single-block writes (Algorithm 3 as published),
+//   (2) one multi-block write (footnote 2, combined per-parity deltas),
+//   (3) read-modify-write of the whole stripe (the RAID-controller way:
+//       read-stripe, substitute, write-stripe).
+// Also shows the §5.2 delta optimization's payload effect on path (1).
+//
+// Expected shape: multi-block writes cost one operation's latency and
+// messages regardless of w and the least payload for small w; full-stripe
+// RMW wins only as w approaches m (the classic small-write crossover).
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace {
+
+using namespace fabec;
+
+constexpr std::uint32_t kN = 8;
+constexpr std::uint32_t kM = 5;
+constexpr std::size_t kB = 4096;
+
+struct Cost {
+  double latency = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_blocks = 0;
+  std::uint64_t disk_ios = 0;
+};
+
+struct Harness {
+  explicit Harness(bool delta_writes) : rng(3) {
+    core::ClusterConfig config;
+    config.n = kN;
+    config.m = kM;
+    config.block_size = kB;
+    config.coordinator.auto_gc = false;
+    config.coordinator.delta_block_writes = delta_writes;
+    cluster = std::make_unique<core::Cluster>(config, 1);
+    std::vector<Block> stripe;
+    for (std::uint32_t i = 0; i < kM; ++i)
+      stripe.push_back(random_block(rng, kB));
+    cluster->write_stripe(0, 0, stripe);
+  }
+
+  template <typename Fn>
+  Cost measure(Fn&& op) {
+    cluster->network().reset_stats();
+    cluster->reset_io_stats();
+    const sim::Time start = cluster->simulator().now();
+    op();
+    Cost cost;
+    cost.latency =
+        static_cast<double>(cluster->simulator().now() - start) /
+        static_cast<double>(sim::kDefaultDelta);
+    cost.messages = cluster->network().stats().messages_sent;
+    cost.payload_blocks = cluster->network().stats().bytes_sent / kB;
+    cost.disk_ios =
+        cluster->total_io().disk_reads + cluster->total_io().disk_writes;
+    return cost;
+  }
+
+  Rng rng;
+  std::unique_ptr<core::Cluster> cluster;
+};
+
+void print(const char* strategy, std::uint32_t w, const Cost& c) {
+  std::printf("  %-26s w=%u   %6.0fδ %9llu %11llu %9llu\n", strategy, w,
+              c.latency, static_cast<unsigned long long>(c.messages),
+              static_cast<unsigned long long>(c.payload_blocks),
+              static_cast<unsigned long long>(c.disk_ios));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: updating w of m=%u blocks in one stripe "
+              "(n=%u, B=%zu)\n\n", kM, kN, kB);
+  std::printf("  %-26s %3s   %7s %9s %11s %9s\n", "strategy", "",
+              "latency", "messages", "payload/B", "disk I/Os");
+
+  for (std::uint32_t w = 1; w <= kM; ++w) {
+    {  // (1) w single-block writes, baseline Modify
+      Harness h(false);
+      const Cost c = h.measure([&] {
+        for (std::uint32_t i = 0; i < w; ++i)
+          h.cluster->write_block(0, 0, i, random_block(h.rng, kB));
+      });
+      print("w single writes", w, c);
+    }
+    {  // (1') w single-block writes with §5.2 delta payloads
+      Harness h(true);
+      const Cost c = h.measure([&] {
+        for (std::uint32_t i = 0; i < w; ++i)
+          h.cluster->write_block(0, 0, i, random_block(h.rng, kB));
+      });
+      print("w single writes (delta)", w, c);
+    }
+    {  // (2) one multi-block write
+      Harness h(false);
+      const Cost c = h.measure([&] {
+        std::vector<BlockIndex> js;
+        std::vector<Block> blocks;
+        for (std::uint32_t i = 0; i < w; ++i) {
+          js.push_back(i);
+          blocks.push_back(random_block(h.rng, kB));
+        }
+        h.cluster->write_blocks(0, 0, js, blocks);
+      });
+      print("one multi-block write", w, c);
+    }
+    {  // (3) whole-stripe read-modify-write
+      Harness h(false);
+      const Cost c = h.measure([&] {
+        auto stripe = h.cluster->read_stripe(0, 0);
+        for (std::uint32_t i = 0; i < w; ++i)
+          (*stripe)[i] = random_block(h.rng, kB);
+        h.cluster->write_stripe(0, 0, *stripe);
+      });
+      print("stripe read-modify-write", w, c);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape: single writes scale every column by w (and §5.2's delta form\n"
+      "cuts their payload from w(2n+1)B to w(k+2)B); the one multi-block\n"
+      "write holds 4δ / 4n messages flat and moves only (2w+k)B; stripe\n"
+      "read-modify-write is flat at 6δ with (m+n)B and wins solely on disk\n"
+      "I/Os as w approaches m (it skips the per-block old-value reads) —\n"
+      "the small-write crossover the paper's §1.2 describes.\n");
+  return 0;
+}

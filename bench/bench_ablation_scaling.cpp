@@ -1,0 +1,133 @@
+// Ablation: the decentralization claims.
+//
+// Part 1 — pool scaling: a fixed aggregate workload over growing brick
+// pools (stripe groups stay 5-of-8, rotated). With no central controller,
+// per-brick load (messages, disk I/Os) must fall ~linearly with pool size
+// and stay even across bricks — the §1.1 argument for why FAB avoids both
+// the central point of failure and the bottleneck.
+//
+// Part 2 — disk-bound regime: operation latency as the disk service time
+// grows past the network delay, with and without the target-grace quorum
+// option. Without grace, disk-loaded targets miss the quorum window and
+// block operations pay a full recovery; with a small grace the fast path
+// holds and latency tracks the disk time. (The paper's Table 1 assumes the
+// co-timed regime; this shows what its quorum() needs in practice.)
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fab/virtual_disk.h"
+#include "fab/workload.h"
+
+namespace {
+
+using namespace fabec;
+
+void pool_scaling() {
+  std::printf("Part 1: fixed workload (600 block ops) over growing pools\n");
+  std::printf("  %6s %14s %16s %14s\n", "bricks", "msgs/brick",
+              "disk I/Os/brick", "max/mean load");
+  for (std::uint32_t pool : {8u, 16u, 32u, 64u}) {
+    core::ClusterConfig config;
+    config.n = 8;
+    config.m = 5;
+    config.total_bricks = pool;
+    config.block_size = 1024;
+    core::Cluster cluster(config, pool);
+    fab::VirtualDisk disk(&cluster, fab::VirtualDiskConfig{5 * pool * 4ULL});
+    Rng rng(pool);
+
+    fab::WorkloadConfig wl;
+    wl.num_ops = 600;
+    wl.write_fraction = 0.5;
+    wl.mean_interarrival = 4 * sim::kDefaultDelta;
+    auto& sim = cluster.simulator();
+    for (const auto& op :
+         fab::generate_workload(wl, disk.capacity_blocks(), rng)) {
+      sim.schedule_at(op.at, [&, op] {
+        if (op.is_write)
+          disk.write(op.lba, random_block(rng, config.block_size),
+                     [](bool) {});
+        else
+          disk.read(op.lba, [](std::optional<Block>) {});
+      });
+    }
+    sim.run_until_idle();
+
+    std::uint64_t total_ios = 0, max_ios = 0;
+    for (ProcessId p = 0; p < pool; ++p) {
+      const auto& io = cluster.store(p).io();
+      const std::uint64_t ios = io.disk_reads + io.disk_writes;
+      total_ios += ios;
+      max_ios = std::max(max_ios, ios);
+    }
+    const double mean_ios = static_cast<double>(total_ios) / pool;
+    std::printf("  %6u %14.0f %16.1f %14.2f\n", pool,
+                static_cast<double>(cluster.network().stats().messages_sent) /
+                    pool,
+                mean_ios, static_cast<double>(max_ios) / mean_ios);
+  }
+  std::printf("\n");
+}
+
+void disk_regime() {
+  std::printf("Part 2: block writes vs disk service time (grace adapts to\n"
+              "disk+1δ; 'I/Os' = disk reads+writes per block write)\n");
+  std::printf("  %9s  %14s %8s  %14s %8s\n", "disk (δ)", "no grace", "I/Os",
+              "with grace", "I/Os");
+  for (int disk_deltas : {0, 1, 2, 5, 10}) {
+    double latency[2] = {0, 0};
+    double ios[2] = {0, 0};
+    for (int with_grace = 0; with_grace < 2; ++with_grace) {
+      core::ClusterConfig config;
+      config.n = 8;
+      config.m = 5;
+      config.block_size = 1024;
+      config.coordinator.auto_gc = false;
+      config.disk_service_time = disk_deltas * sim::kDefaultDelta;
+      if (with_grace)
+        config.coordinator.target_grace =
+            (disk_deltas + 1) * sim::kDefaultDelta;
+      core::Cluster cluster(config, 3);
+      Rng rng(3);
+      std::vector<Block> stripe;
+      for (int i = 0; i < 5; ++i)
+        stripe.push_back(random_block(rng, config.block_size));
+      cluster.write_stripe(0, 0, stripe);
+      cluster.reset_io_stats();
+      // Measure 10 sequential block writes.
+      const sim::Time start = cluster.simulator().now();
+      for (int i = 0; i < 10; ++i)
+        cluster.write_block(0, 0, i % 5, random_block(rng, config.block_size));
+      latency[with_grace] =
+          static_cast<double>(cluster.simulator().now() - start) / 10.0 /
+          static_cast<double>(sim::kDefaultDelta);
+      const auto io = cluster.total_io();
+      ios[with_grace] =
+          static_cast<double>(io.disk_reads + io.disk_writes) / 10.0;
+    }
+    std::printf("  %9d  %13.1fδ %8.1f  %13.1fδ %8.1f\n", disk_deltas,
+                latency[0], ios[0], latency[1], ios[1]);
+  }
+  std::printf(
+      "\nShape: per-brick load halves as the pool doubles and stays even\n"
+      "(no coordinator hot spot). In the disk-bound regime the graceless\n"
+      "quorum drops every block write to the recovery path: lower latency\n"
+      "at large disk times (recovery pipelines reads across all bricks)\n"
+      "but ~3x the disk I/O per write (n reads + n writes instead of\n"
+      "2(k+1)) — the grace knob trades latency for disk bandwidth, which\n"
+      "is the scarce resource the paper's small-write analysis (§1.2)\n"
+      "cares about.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: decentralization scaling and the disk-bound "
+              "regime\n\n");
+  pool_scaling();
+  disk_regime();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Microbenchmarks of the erasure-coding primitives (Figure 4's encode /
+// decode / modify) across schemes and block sizes: the CPU-side cost the
+// bricks pay per I/O, complementing Table 1's message/disk accounting.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "erasure/codec.h"
+
+namespace {
+
+using namespace fabec;
+
+std::vector<Block> make_stripe(std::uint32_t m, std::size_t block_size) {
+  Rng rng(42);
+  std::vector<Block> stripe;
+  for (std::uint32_t i = 0; i < m; ++i)
+    stripe.push_back(random_block(rng, block_size));
+  return stripe;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto block_size = static_cast<std::size_t>(state.range(2));
+  erasure::Codec codec(m, n);
+  const auto stripe = make_stripe(m, block_size);
+  for (auto _ : state) {
+    auto encoded = codec.encode(stripe);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * m *
+                          static_cast<std::int64_t>(block_size));
+}
+
+void BM_DecodeDataOnly(benchmark::State& state) {
+  // The failure-free read path: all m data shards present.
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto block_size = static_cast<std::size_t>(state.range(2));
+  erasure::Codec codec(m, n);
+  const auto encoded = codec.encode(make_stripe(m, block_size));
+  std::vector<erasure::Shard> shards;
+  for (std::uint32_t i = 0; i < m; ++i)
+    shards.push_back(erasure::Shard{i, encoded[i]});
+  for (auto _ : state) {
+    auto decoded = codec.decode(shards);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * m *
+                          static_cast<std::int64_t>(block_size));
+}
+
+void BM_DecodeWithErasures(benchmark::State& state) {
+  // Worst case: the maximum tolerable number of data shards lost, so the
+  // decoder must invert a matrix and multiply parity shards through it.
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto block_size = static_cast<std::size_t>(state.range(2));
+  erasure::Codec codec(m, n);
+  const auto encoded = codec.encode(make_stripe(m, block_size));
+  const std::uint32_t k = n - m;
+  std::vector<erasure::Shard> shards;  // skip the first k data shards
+  for (std::uint32_t i = k; i < n; ++i)
+    shards.push_back(erasure::Shard{i, encoded[i]});
+  for (auto _ : state) {
+    auto decoded = codec.decode(shards);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * m *
+                          static_cast<std::int64_t>(block_size));
+}
+
+void BM_Modify(benchmark::State& state) {
+  // Incremental parity update for one parity block after a 1-block write —
+  // the inner loop of the paper's Modify message handler.
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto block_size = static_cast<std::size_t>(state.range(2));
+  erasure::Codec codec(m, n);
+  const auto stripe = make_stripe(m, block_size);
+  const auto encoded = codec.encode(stripe);
+  Rng rng(7);
+  const Block new_data = random_block(rng, block_size);
+  for (auto _ : state) {
+    auto parity = codec.modify(0, m, stripe[0], new_data, encoded[m]);
+    benchmark::DoNotOptimize(parity);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+}
+
+void BM_ModifyDelta(benchmark::State& state) {
+  // §5.2's optimization: parity updated from a precomputed delta.
+  const auto block_size = static_cast<std::size_t>(state.range(0));
+  erasure::Codec codec(5, 8);
+  const auto stripe = make_stripe(5, block_size);
+  auto encoded = codec.encode(stripe);
+  Rng rng(7);
+  Block delta = random_block(rng, block_size);
+  for (auto _ : state) {
+    codec.apply_modify_delta(0, 5, delta, encoded[5]);
+    benchmark::DoNotOptimize(encoded[5]);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+}
+
+void SchemeArgs(benchmark::internal::Benchmark* bench) {
+  for (auto [m, n] : {std::pair{3, 5}, {5, 8}, {10, 14}})
+    for (std::int64_t block : {4 * 1024, 64 * 1024})
+      bench->Args({m, n, block});
+}
+
+BENCHMARK(BM_Encode)->Apply(SchemeArgs);
+BENCHMARK(BM_DecodeDataOnly)->Apply(SchemeArgs);
+BENCHMARK(BM_DecodeWithErasures)->Apply(SchemeArgs);
+BENCHMARK(BM_Modify)->Apply(SchemeArgs);
+BENCHMARK(BM_ModifyDelta)->Arg(4 * 1024)->Arg(64 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

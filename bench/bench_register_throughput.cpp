@@ -1,0 +1,122 @@
+// End-to-end virtual-disk workload bench on the simulated FAB: operation
+// latency (in δ) and fast-path hit rates under read-heavy and write-heavy
+// synthetic workloads, for the paper's 5-of-8 code, a replication
+// configuration of equal fault tolerance, and a RAID-5-like single-parity
+// code. Shows the paper's §1.2 trade-off in protocol terms: erasure coding
+// buys capacity efficiency at the price of costlier small writes
+// (2(n-m+1) I/Os per small write vs 2 per replica write).
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "fab/virtual_disk.h"
+#include "fab/workload.h"
+
+namespace {
+
+using namespace fabec;
+
+struct Result {
+  double mean_read_deltas = 0, mean_write_deltas = 0;
+  double p99_read_deltas = 0, p99_write_deltas = 0;
+  double fast_read_rate = 0, fast_write_rate = 0;
+  double disk_ios_per_write = 0;
+  std::uint64_t aborts = 0;
+};
+
+Result run_workload(std::uint32_t n, std::uint32_t m, double write_fraction,
+                    std::uint64_t seed) {
+  core::ClusterConfig config;
+  config.n = n;
+  config.m = m;
+  config.block_size = 4096;
+  config.net.jitter = sim::microseconds(20);
+  Rng rng(seed);
+
+  core::Cluster cluster(config, seed);
+  fab::VirtualDisk disk(&cluster, fab::VirtualDiskConfig{m * 64ULL});
+
+  fab::WorkloadConfig wl;
+  wl.num_ops = 400;
+  wl.write_fraction = write_fraction;
+  wl.pattern = fab::AccessPattern::kUniform;
+  wl.mean_interarrival = 20 * sim::kDefaultDelta;  // light load, few conflicts
+  const auto ops = fab::generate_workload(wl, disk.capacity_blocks(), rng);
+
+  fab::LatencyRecorder reads, writes;
+  std::uint64_t disk_writes_before = 0;
+  std::uint64_t write_ops = 0;
+  auto& sim = cluster.simulator();
+  for (const auto& op : ops) {
+    sim.schedule_at(op.at, [&, op] {
+      const sim::Time start = sim.now();
+      if (op.is_write) {
+        ++write_ops;
+        disk.write(op.lba, random_block(rng, config.block_size),
+                   [&, start](bool) { writes.record(sim.now() - start); });
+      } else {
+        disk.read(op.lba, [&, start](std::optional<Block>) {
+          reads.record(sim.now() - start);
+        });
+      }
+    });
+  }
+  (void)disk_writes_before;
+  sim.run_until_idle();
+
+  const auto stats = cluster.total_coordinator_stats();
+  Result result;
+  const double d = static_cast<double>(sim::kDefaultDelta);
+  result.mean_read_deltas = static_cast<double>(reads.mean()) / d;
+  result.mean_write_deltas = static_cast<double>(writes.mean()) / d;
+  result.p99_read_deltas = static_cast<double>(reads.percentile(99)) / d;
+  result.p99_write_deltas = static_cast<double>(writes.percentile(99)) / d;
+  result.fast_read_rate =
+      stats.block_reads
+          ? static_cast<double>(stats.fast_read_hits) / stats.block_reads
+          : 0;
+  result.fast_write_rate =
+      stats.block_writes
+          ? static_cast<double>(stats.fast_block_write_hits) / stats.block_writes
+          : 0;
+  const auto io = cluster.total_io();
+  result.disk_ios_per_write =
+      write_ops ? static_cast<double>(io.disk_writes + io.disk_reads -
+                                      stats.block_reads) /  // reads' 1 I/O
+                      static_cast<double>(write_ops)
+                : 0;
+  result.aborts = stats.aborts;
+  return result;
+}
+
+void print_result(const char* label, const Result& r) {
+  std::printf(
+      "%-28s  read: mean %.1fδ p99 %.1fδ fast %.0f%%   write: mean %.1fδ "
+      "p99 %.1fδ fast %.0f%%   aborts %llu\n",
+      label, r.mean_read_deltas, r.p99_read_deltas, 100 * r.fast_read_rate,
+      r.mean_write_deltas, r.p99_write_deltas, 100 * r.fast_write_rate,
+      static_cast<unsigned long long>(r.aborts));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Virtual-disk workload bench (400 ops, uniform, light load)\n");
+  std::printf("δ = one-way network delay; block ops via Algorithm 3\n\n");
+
+  for (double wf : {0.1, 0.5, 0.9}) {
+    std::printf("write fraction %.0f%%:\n", wf * 100);
+    print_result("  E.C.(5,8)", run_workload(8, 5, wf, 1));
+    print_result("  E.C.(7,8) single parity", run_workload(8, 7, wf, 2));
+    print_result("  4-way replication", run_workload(4, 1, wf, 3));
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape: every scheme reads in ~2δ and writes in ~4δ on the\n"
+      "fast path (latency is scheme-independent — the paper's point that\n"
+      "decentralized erasure coding costs no extra round trips); the\n"
+      "difference is capacity overhead (1.6x vs 4x) and per-write disk I/O\n"
+      "(2(n-m+1) for small writes vs 2 per replica).\n");
+  return 0;
+}

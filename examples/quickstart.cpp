@@ -1,0 +1,63 @@
+// Quickstart: a 5-of-8 erasure-coded virtual disk in ~40 lines.
+//
+// Builds a simulated FAB stripe group of 8 bricks, layers a virtual disk on
+// top, and does block I/O through different coordinator bricks — the
+// decentralized part: there is no primary, any brick coordinates any
+// request.
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "core/cluster.h"
+#include "fab/virtual_disk.h"
+
+int main() {
+  using namespace fabec;
+
+  // 8 bricks, 5 data blocks per stripe (3 parity): tolerates f = 1 brick
+  // failure with 1.6x storage overhead. Network delay defaults to δ = 100µs.
+  core::ClusterConfig config;
+  config.n = 8;
+  config.m = 5;
+  config.block_size = 4096;
+  core::Cluster cluster(config, /*seed=*/42);
+
+  // A 1000-block logical volume; consecutive blocks land on different
+  // stripes (the paper's recommended layout).
+  fab::VirtualDisk disk(&cluster, fab::VirtualDiskConfig{1000});
+
+  std::printf("virtual disk: %llu blocks of %zu bytes, E.C.(%u,%u), f=%u\n",
+              static_cast<unsigned long long>(disk.capacity_blocks()),
+              disk.block_size(), config.m, config.n,
+              cluster.quorum_config().f());
+
+  // Write a block through brick 0, read it back through brick 5.
+  Block hello = zero_block(config.block_size);
+  const char* msg = "hello, federated array of bricks";
+  for (std::size_t i = 0; msg[i]; ++i) hello[i] = static_cast<uint8_t>(msg[i]);
+
+  if (!disk.write_sync(/*lba=*/123, hello, /*coord=*/0)) {
+    std::printf("write aborted (should not happen failure-free)\n");
+    return 1;
+  }
+  const auto read_back = disk.read_sync(123, /*coord=*/5);
+  std::printf("read via another brick: \"%.32s\"\n",
+              read_back ? reinterpret_cast<const char*>(read_back->data())
+                        : "(aborted)");
+
+  // Unwritten blocks read zeros, like a fresh disk.
+  const auto empty = disk.read_sync(999);
+  std::printf("unwritten block is zeros: %s\n",
+              (empty && *empty == zero_block(config.block_size)) ? "yes"
+                                                                 : "no");
+
+  // Kill a brick — one failure is within the m-quorum system's budget, so
+  // I/O continues without reconfiguration or failure detection.
+  cluster.crash(7);
+  const auto after_crash = disk.read_sync(123, /*coord=*/3);
+  std::printf("read with brick 7 down: %s\n",
+              (after_crash && *after_crash == hello) ? "ok" : "FAILED");
+
+  std::printf("simulated time elapsed: %lld microseconds\n",
+              static_cast<long long>(cluster.simulator().now() / 1000));
+  return 0;
+}

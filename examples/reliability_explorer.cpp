@@ -1,0 +1,61 @@
+// Interactive-style explorer for the reliability models behind Figures 2
+// and 3: "I need X TB with an MTTDL of at least Y years — what does each
+// redundancy scheme cost me?" Prints a designer's comparison sheet for a
+// few representative targets.
+#include <cstdio>
+#include <vector>
+
+#include "reliability/models.h"
+
+int main() {
+  using namespace fabec::reliability;
+  const ComponentParams params;
+
+  struct Candidate {
+    const char* name;
+    SchemeConfig scheme;
+  };
+  std::vector<Candidate> candidates;
+  {
+    SchemeConfig s;
+    s.kind = SchemeConfig::Kind::kStriping;
+    s.brick = BrickKind::kReliableRaid5;
+    candidates.push_back({"striping over high-end R5", s});
+  }
+  for (std::uint32_t k : {2u, 3u, 4u}) {
+    SchemeConfig s;
+    s.kind = SchemeConfig::Kind::kReplication;
+    s.replicas = k;
+    s.brick = BrickKind::kRaid0;
+    candidates.push_back({nullptr, s});  // label from scheme
+  }
+  for (std::uint32_t n : {6u, 7u, 8u, 10u}) {
+    SchemeConfig s;
+    s.kind = SchemeConfig::Kind::kErasureCode;
+    s.m = 5;
+    s.n = n;
+    s.brick = BrickKind::kRaid0;
+    candidates.push_back({nullptr, s});
+  }
+
+  for (double tb : {16.0, 256.0}) {
+    std::printf("=== design point: %.0f TB logical capacity ===\n", tb);
+    std::printf("%-28s %9s %9s %12s %16s\n", "scheme", "bricks", "raw TB",
+                "overhead", "MTTDL (years)");
+    for (const auto& c : candidates) {
+      const SystemPoint p = evaluate(c.scheme, tb, params);
+      std::printf("%-28s %9.0f %9.0f %12.2f %16.3e\n",
+                  c.name ? c.name : c.scheme.label().c_str(), p.num_bricks,
+                  p.raw_tb, p.storage_overhead, p.mttdl_years);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading the sheet: to clear a 1e6-year MTTDL bar at 256 TB you can\n"
+      "buy 4-way replication (overhead ~4) or E.C.(5,8) (overhead 1.6) —\n"
+      "the paper's Figure 3 punchline. Striping is orders of magnitude\n"
+      "short regardless of brick quality. Components are modeled per\n"
+      "reliability/models.h; edit ComponentParams to match your hardware.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// §3's argument, end to end: generate a realistic block-I/O trace, measure
+// how rare conflicting concurrent accesses are (the paper found none in
+// real traces), predict the abort rate from the stripe-conflict count under
+// each layout, then replay the trace against a live cluster and compare.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fab/trace.h"
+#include "fab/virtual_disk.h"
+#include "fab/workload.h"
+
+int main() {
+  using namespace fabec;
+
+  // An OLTP-ish trace: 3000 ops, 30% writes, mild hot spot, mean gap 8δ.
+  Rng rng(99);
+  fab::WorkloadConfig wl;
+  wl.num_ops = 3000;
+  wl.write_fraction = 0.3;
+  wl.pattern = fab::AccessPattern::kHotspot;
+  wl.hotspot_fraction = 0.5;
+  wl.hotspot_blocks = 64;
+  wl.mean_interarrival = 8 * sim::kDefaultDelta;
+  const std::uint64_t capacity = 2000;
+  const auto trace = fab::to_trace(fab::generate_workload(wl, capacity, rng));
+
+  std::printf("trace: %zu ops over %llu blocks (30%% writes, hot spot)\n\n",
+              trace.size(), static_cast<unsigned long long>(capacity));
+
+  // 1) the paper's measurement: block-level conflicting concurrency.
+  // Service interval ~ a write's 4δ.
+  const sim::Duration service = 4 * sim::kDefaultDelta;
+  const auto block_report = fab::analyze_block_conflicts(trace, service);
+  std::printf("block-level conflicting concurrent accesses: %llu pairs, "
+              "%.2f%% of ops\n",
+              static_cast<unsigned long long>(block_report.conflicting_pairs),
+              100 * block_report.conflict_fraction());
+
+  // 2) what the register actually contends on: stripes, per layout.
+  const fab::VolumeLayout linear(capacity, 5, fab::Layout::kLinear);
+  const fab::VolumeLayout rotating(capacity, 5, fab::Layout::kRotating);
+  const auto linear_report =
+      fab::analyze_stripe_conflicts(trace, service, linear);
+  const auto rotating_report =
+      fab::analyze_stripe_conflicts(trace, service, rotating);
+  std::printf("stripe-level conflicts, linear layout:   %llu pairs (%.2f%% "
+              "of ops)\n",
+              static_cast<unsigned long long>(linear_report.conflicting_pairs),
+              100 * linear_report.conflict_fraction());
+  std::printf("stripe-level conflicts, rotating layout: %llu pairs (%.2f%% "
+              "of ops)\n\n",
+              static_cast<unsigned long long>(
+                  rotating_report.conflicting_pairs),
+              100 * rotating_report.conflict_fraction());
+
+  // 3) replay against a live cluster under both layouts and compare the
+  // measured abort counts with the conflict analysis.
+  for (auto [name, layout] :
+       {std::pair{"linear", fab::Layout::kLinear},
+        std::pair{"rotating", fab::Layout::kRotating}}) {
+    core::ClusterConfig config;
+    config.n = 8;
+    config.m = 5;
+    config.block_size = 512;
+    core::Cluster cluster(config, 5);
+    fab::VirtualDisk disk(&cluster,
+                          fab::VirtualDiskConfig{capacity, layout});
+    const auto stats = fab::replay_trace(disk, trace);
+    std::printf("replay (%s layout): %llu aborted of %llu ops; mean read "
+                "%.1fδ, mean write %.1fδ\n",
+                name, static_cast<unsigned long long>(stats.aborted),
+                static_cast<unsigned long long>(stats.reads + stats.writes),
+                static_cast<double>(stats.read_latency.mean()) /
+                    static_cast<double>(sim::kDefaultDelta),
+                static_cast<double>(stats.write_latency.mean()) /
+                    static_cast<double>(sim::kDefaultDelta));
+  }
+
+  std::printf(
+      "\nReading the numbers: aborts track the stripe-conflict analysis,\n"
+      "not raw block conflicts — and the rotating layout keeps them near\n"
+      "zero, which is §3's argument for why aborting on conflict is an\n"
+      "acceptable price for strict linearizability.\n");
+  return 0;
+}

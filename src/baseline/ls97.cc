@@ -1,0 +1,252 @@
+#include "baseline/ls97.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fabec::baseline {
+namespace {
+
+std::uint64_t op_of(const Ls97Message& msg) {
+  return std::visit([](const auto& m) { return m.op; }, msg);
+}
+
+bool is_request(const Ls97Message& msg) {
+  return std::holds_alternative<QueryReq>(msg) ||
+         std::holds_alternative<PutReq>(msg);
+}
+
+}  // namespace
+
+std::size_t Ls97Envelope::wire_size() const {
+  // Block payload only, matching Table 1's b/w accounting in units of B.
+  if (const auto* rep = std::get_if<QueryRep>(&msg))
+    return rep->value.has_value() ? rep->value->size() : 0;
+  if (const auto* put = std::get_if<PutReq>(&msg)) return put->value.size();
+  return 0;
+}
+
+Ls97Cluster::Ls97Cluster(Ls97Config config, std::uint64_t seed)
+    : config_(config),
+      sim_(seed),
+      net_(sim_, config.n, config.net),
+      procs_(config.n) {
+  bricks_.reserve(config_.n);
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    auto brick = std::make_unique<Brick>();
+    brick->ts_source = std::make_unique<TimestampSource>(
+        p, [this]() { return sim_.now(); });
+    bricks_.push_back(std::move(brick));
+  }
+  net_.set_delivery_gate([this](ProcessId to) { return procs_.alive(to); });
+  net_.set_handler([this](ProcessId from, ProcessId to, Ls97Envelope env) {
+    deliver(from, to, std::move(env));
+  });
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    procs_.set_on_crash(p, [this, p] {
+      for (auto& [op, rpc] : bricks_[p]->pending)
+        sim_.cancel(rpc.retransmit_timer);
+      bricks_[p]->pending.clear();
+      bricks_[p]->reply_cache.clear();
+    });
+  }
+}
+
+Ls97Cluster::Stored& Ls97Cluster::stored(ProcessId self, RegisterId reg) {
+  auto& registers = bricks_[self]->registers;
+  auto it = registers.find(reg);
+  if (it == registers.end()) {
+    it = registers.emplace(reg, Stored{kLowTS, zero_block(config_.block_size)})
+             .first;
+  }
+  return it->second;
+}
+
+Ls97Message Ls97Cluster::handle_request(ProcessId self,
+                                        const Ls97Message& request) {
+  Brick& brick = *bricks_[self];
+  if (const auto* query = std::get_if<QueryReq>(&request)) {
+    const Stored& s = stored(self, query->reg);
+    QueryRep rep;
+    rep.op = query->op;
+    rep.ts = s.ts;
+    if (query->want_value) {
+      rep.value = s.value;
+      ++brick.io.disk_reads;
+    }
+    return rep;
+  }
+  const auto* put = std::get_if<PutReq>(&request);
+  FABEC_CHECK(put != nullptr);
+  Stored& s = stored(self, put->reg);
+  // Store only newer values; acknowledge regardless (idempotent).
+  if (put->ts > s.ts) {
+    s.ts = put->ts;
+    s.value = put->value;
+  }
+  // LS97 has no partial-write versioning: every Put hits the disk copy.
+  ++brick.io.disk_writes;
+  return PutRep{put->op};
+}
+
+void Ls97Cluster::deliver(ProcessId from, ProcessId to, Ls97Envelope env) {
+  Brick& brick = *bricks_[to];
+  if (!is_request(env.msg)) {
+    auto it = brick.pending.find(op_of(env.msg));
+    if (it == brick.pending.end()) return;  // late or stale
+    Rpc& rpc = it->second;
+    if (rpc.replies[from].has_value()) return;
+    rpc.replies[from] = env.msg;
+    ++rpc.distinct;
+    if (!rpc.finalizing && rpc.distinct >= majority()) {
+      rpc.finalizing = true;
+      const std::uint64_t op = it->first;
+      sim_.schedule_after(0, [this, to, op] { finalize_rpc(to, op); });
+    }
+    return;
+  }
+  const std::uint64_t op = op_of(env.msg);
+  if (auto cached = brick.reply_cache.find(op);
+      cached != brick.reply_cache.end()) {
+    net_.send(to, from, Ls97Envelope{cached->second});
+    return;
+  }
+  Ls97Message reply = handle_request(to, env.msg);
+  brick.reply_cache.emplace(op, reply);
+  net_.send(to, from, Ls97Envelope{std::move(reply)});
+}
+
+std::uint64_t Ls97Cluster::start_rpc(
+    ProcessId coord,
+    std::function<Ls97Message(ProcessId, std::uint64_t)> make_request,
+    std::function<void(std::vector<std::optional<Ls97Message>>&)> done) {
+  const std::uint64_t op = next_op_++;
+  Rpc rpc;
+  rpc.make_request = std::move(make_request);
+  rpc.replies.resize(config_.n);
+  rpc.on_complete = std::move(done);
+  bricks_[coord]->pending.emplace(op, std::move(rpc));
+  transmit_round(coord, op);
+  arm_retransmit(coord, op);
+  return op;
+}
+
+void Ls97Cluster::transmit_round(ProcessId coord, std::uint64_t op) {
+  auto it = bricks_[coord]->pending.find(op);
+  if (it == bricks_[coord]->pending.end()) return;
+  for (ProcessId p = 0; p < config_.n; ++p)
+    if (!it->second.replies[p].has_value())
+      net_.send(coord, p, Ls97Envelope{it->second.make_request(p, op)});
+}
+
+void Ls97Cluster::arm_retransmit(ProcessId coord, std::uint64_t op) {
+  auto it = bricks_[coord]->pending.find(op);
+  if (it == bricks_[coord]->pending.end()) return;
+  it->second.retransmit_timer =
+      sim_.schedule_after(config_.retransmit_period, [this, coord, op] {
+        auto it2 = bricks_[coord]->pending.find(op);
+        if (it2 == bricks_[coord]->pending.end() || it2->second.finalizing)
+          return;
+        transmit_round(coord, op);
+        arm_retransmit(coord, op);
+      });
+}
+
+void Ls97Cluster::finalize_rpc(ProcessId coord, std::uint64_t op) {
+  auto it = bricks_[coord]->pending.find(op);
+  if (it == bricks_[coord]->pending.end()) return;
+  sim_.cancel(it->second.retransmit_timer);
+  Rpc rpc = std::move(it->second);
+  bricks_[coord]->pending.erase(it);
+  rpc.on_complete(rpc.replies);
+}
+
+void Ls97Cluster::read(ProcessId coord, RegisterId reg,
+                       std::function<void(std::optional<Block>)> done) {
+  // Phase 1: collect (value, ts) from a majority.
+  start_rpc(
+      coord,
+      [reg](ProcessId, std::uint64_t op) -> Ls97Message {
+        return QueryReq{reg, op, /*want_value=*/true};
+      },
+      [this, coord, reg, done = std::move(done)](auto& replies) {
+        Timestamp best_ts = kLowTS;
+        const Block* best = nullptr;
+        for (const auto& r : replies) {
+          if (!r.has_value()) continue;
+          const auto* rep = std::get_if<QueryRep>(&*r);
+          FABEC_CHECK(rep != nullptr);
+          if (rep->value.has_value() && rep->ts >= best_ts) {
+            best_ts = rep->ts;
+            best = &*rep->value;
+          }
+        }
+        FABEC_CHECK_MSG(best != nullptr, "majority answered without values");
+        auto value = std::make_shared<Block>(*best);
+        // Phase 2: propagate the chosen value so no later read sees an
+        // older one (the write-back that makes reads atomic).
+        start_rpc(
+            coord,
+            [reg, best_ts, value](ProcessId, std::uint64_t op) -> Ls97Message {
+              return PutReq{reg, op, best_ts, *value};
+            },
+            [value, done](auto&) { done(*value); });
+      });
+}
+
+void Ls97Cluster::write(ProcessId coord, RegisterId reg, Block block,
+                        std::function<void(bool)> done) {
+  auto value = std::make_shared<Block>(std::move(block));
+  // Phase 1: learn the highest timestamp in a majority.
+  start_rpc(
+      coord,
+      [reg](ProcessId, std::uint64_t op) -> Ls97Message {
+        return QueryReq{reg, op, /*want_value=*/false};
+      },
+      [this, coord, reg, value, done = std::move(done)](auto& replies) {
+        Timestamp max_ts = kLowTS;
+        for (const auto& r : replies) {
+          if (!r.has_value()) continue;
+          const auto* rep = std::get_if<QueryRep>(&*r);
+          FABEC_CHECK(rep != nullptr);
+          max_ts = std::max(max_ts, rep->ts);
+        }
+        TimestampSource& source = *bricks_[coord]->ts_source;
+        source.observe(max_ts);
+        const Timestamp ts = source.next();
+        FABEC_CHECK(ts > max_ts);
+        // Phase 2: store everywhere (majority suffices to return).
+        start_rpc(
+            coord,
+            [reg, ts, value](ProcessId, std::uint64_t op) -> Ls97Message {
+              return PutReq{reg, op, ts, *value};
+            },
+            [done](auto&) { done(true); });
+      });
+}
+
+std::optional<Block> Ls97Cluster::read_sync(ProcessId coord, RegisterId reg) {
+  std::optional<std::optional<Block>> result;
+  read(coord, reg, [&result](std::optional<Block> v) { result = std::move(v); });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.has_value() ? std::move(*result) : std::nullopt;
+}
+
+bool Ls97Cluster::write_sync(ProcessId coord, RegisterId reg, Block value) {
+  std::optional<bool> result;
+  write(coord, reg, std::move(value), [&result](bool ok) { result = ok; });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.value_or(false);
+}
+
+storage::DiskStats Ls97Cluster::total_io() const {
+  storage::DiskStats total;
+  for (const auto& brick : bricks_) total += brick->io;
+  return total;
+}
+
+void Ls97Cluster::reset_io_stats() {
+  for (auto& brick : bricks_) brick->io = storage::DiskStats{};
+}
+
+}  // namespace fabec::baseline

@@ -1,0 +1,149 @@
+// Baseline: replication-based atomic register in the style of Lynch &
+// Shvartsman's quorum-acknowledged broadcasts (the paper's [9], "LS97"),
+// which Table 1 compares against.
+//
+// Every replica stores a full copy of the register value with a timestamp.
+//   read  — phase 1: query (value, ts) from all, wait for a majority, pick
+//           the highest-timestamped value; phase 2: write that value back so
+//           later reads cannot observe an older one. 4δ, 4n messages,
+//           n disk reads + n disk writes, 2nB of payload.
+//   write — phase 1: query timestamps; phase 2: store the value under a
+//           timestamp above every one seen. 4δ, 4n messages, n disk writes,
+//           nB of payload.
+// These are exactly the LS97 columns of Table 1; the bench measures them on
+// the same simulated network as the erasure-coded register.
+//
+// The baseline assumes crash-stop replicas and majority quorums (a majority
+// is a 1-quorum system: two majorities intersect in >= 1 process).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+#include "storage/disk_stats.h"
+
+namespace fabec::baseline {
+
+/// Identifies one replicated register (the analogue of a stripe id).
+using RegisterId = std::uint64_t;
+
+struct QueryReq {
+  RegisterId reg = 0;
+  std::uint64_t op = 0;
+  bool want_value = false;  ///< reads fetch the value; writes only need ts
+};
+
+struct QueryRep {
+  std::uint64_t op = 0;
+  Timestamp ts;
+  std::optional<Block> value;
+};
+
+struct PutReq {
+  RegisterId reg = 0;
+  std::uint64_t op = 0;
+  Timestamp ts;
+  Block value;
+};
+
+struct PutRep {
+  std::uint64_t op = 0;
+};
+
+using Ls97Message = std::variant<QueryReq, QueryRep, PutReq, PutRep>;
+
+struct Ls97Envelope {
+  Ls97Message msg;
+  std::size_t wire_size() const;
+};
+
+struct Ls97Config {
+  std::uint32_t n = 4;
+  std::size_t block_size = 1024;
+  sim::NetworkConfig net;
+  sim::Duration retransmit_period = sim::milliseconds(10);
+};
+
+class Ls97Cluster {
+ public:
+  explicit Ls97Cluster(Ls97Config config, std::uint64_t seed = 1);
+
+  Ls97Cluster(const Ls97Cluster&) = delete;
+  Ls97Cluster& operator=(const Ls97Cluster&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network<Ls97Envelope>& network() { return net_; }
+  sim::ProcessSet& processes() { return procs_; }
+  const Ls97Config& config() const { return config_; }
+  std::uint32_t majority() const { return config_.n / 2 + 1; }
+
+  void crash(ProcessId p) { procs_.crash(p); }
+  void recover_brick(ProcessId p) { procs_.recover(p); }
+
+  // --- asynchronous operations ------------------------------------------
+  void read(ProcessId coord, RegisterId reg,
+            std::function<void(std::optional<Block>)> done);
+  void write(ProcessId coord, RegisterId reg, Block value,
+             std::function<void(bool)> done);
+
+  // --- synchronous conveniences -------------------------------------------
+  std::optional<Block> read_sync(ProcessId coord, RegisterId reg);
+  bool write_sync(ProcessId coord, RegisterId reg, Block value);
+
+  storage::DiskStats total_io() const;
+  void reset_io_stats();
+
+ private:
+  struct Stored {
+    Timestamp ts = kLowTS;
+    Block value;
+  };
+
+  struct Rpc {
+    std::function<Ls97Message(ProcessId, std::uint64_t)> make_request;
+    std::vector<std::optional<Ls97Message>> replies;
+    std::uint32_t distinct = 0;
+    bool finalizing = false;
+    sim::EventId retransmit_timer{};
+    std::function<void(std::vector<std::optional<Ls97Message>>&)> on_complete;
+  };
+
+  struct Brick {
+    std::map<RegisterId, Stored> registers;  // persistent
+    storage::DiskStats io;
+    std::map<std::uint64_t, Ls97Message> reply_cache;        // volatile
+    std::map<std::uint64_t, Rpc> pending;                    // volatile
+    std::unique_ptr<TimestampSource> ts_source;
+  };
+
+  std::uint64_t start_rpc(
+      ProcessId coord,
+      std::function<Ls97Message(ProcessId, std::uint64_t)> make_request,
+      std::function<void(std::vector<std::optional<Ls97Message>>&)> done);
+  void transmit_round(ProcessId coord, std::uint64_t op);
+  void arm_retransmit(ProcessId coord, std::uint64_t op);
+  void finalize_rpc(ProcessId coord, std::uint64_t op);
+  void deliver(ProcessId from, ProcessId to, Ls97Envelope envelope);
+  Ls97Message handle_request(ProcessId self, const Ls97Message& request);
+  Stored& stored(ProcessId self, RegisterId reg);
+
+  Ls97Config config_;
+  sim::Simulator sim_;
+  sim::Network<Ls97Envelope> net_;
+  sim::ProcessSet procs_;
+  std::vector<std::unique_ptr<Brick>> bricks_;
+  std::uint64_t next_op_ = 1;  // global: op ids unique across coordinators
+};
+
+}  // namespace fabec::baseline

@@ -1,0 +1,27 @@
+#include "common/bytes.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace fabec {
+
+void xor_into(Block& dst, const Block& src) {
+  FABEC_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+std::string hex_prefix(const Block& b, std::size_t max_bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  out.reserve(2 * n + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[b[i] >> 4]);
+    out.push_back(kDigits[b[i] & 0xf]);
+  }
+  if (b.size() > max_bytes) out += "..";
+  return out;
+}
+
+}  // namespace fabec

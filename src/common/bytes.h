@@ -1,0 +1,35 @@
+// Byte-buffer helpers. A stripe unit ("block" in the paper, §2.1) is a
+// fixed-size byte vector; all blocks of one register share a single size B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fabec {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// One stripe unit (data or parity). Size is the register's block size B.
+using Block = Bytes;
+
+/// All-zero block of the given size — the value of `nil`: a virtual disk
+/// reads zeros from never-written addresses.
+inline Block zero_block(std::size_t size) { return Block(size, 0); }
+
+/// Block with uniformly random contents (for tests and workloads).
+inline Block random_block(Rng& rng, std::size_t size) {
+  Block b(size);
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+/// XOR-accumulates `src` into `dst`; both must be the same size.
+void xor_into(Block& dst, const Block& src);
+
+/// Short hex digest of a block (first bytes), for logging and debugging.
+std::string hex_prefix(const Block& b, std::size_t max_bytes = 8);
+
+}  // namespace fabec

@@ -1,0 +1,31 @@
+// Lightweight runtime checking used across the library.
+//
+// FABEC_CHECK fires in all build types: algorithm invariants (quorum
+// intersection sizes, codec preconditions) are cheap relative to simulated
+// I/O and violating them silently would corrupt the reproduction.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fabec::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "FABEC_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace fabec::detail
+
+#define FABEC_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::fabec::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FABEC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::fabec::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// §2's network model permits message loss but not *undetectable*
+// corruption; the wire codec appends this checksum so a real transport
+// turns corruption into detection-and-drop, which the fair-loss machinery
+// (retransmission) already handles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fabec {
+
+/// CRC-32 of `data[0, size)`.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+}  // namespace fabec

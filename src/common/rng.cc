@@ -1,0 +1,13 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fabec {
+
+double Rng::next_exponential(double mean) {
+  FABEC_CHECK(mean > 0.0);
+  // Inverse-CDF sampling; 1 - next_double() is in (0, 1] so log() is finite.
+  return -mean * std::log(1.0 - next_double());
+}
+
+}  // namespace fabec

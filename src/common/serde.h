@@ -1,0 +1,131 @@
+// Bounds-checked little-endian byte-stream primitives for wire encoding.
+//
+// Writers never fail; readers return false (and leave the output untouched)
+// on truncation, so message decoders degrade to "reject" on any corrupt or
+// short input instead of reading out of bounds. The network model (§2) says
+// channels do not *undetectably* corrupt messages — in a real deployment a
+// checksum provides detection and this layer provides the rejection.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace fabec {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void put_bytes(const Bytes& b) {
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  void put_optional_bytes(const std::optional<Bytes>& b) {
+    put_bool(b.has_value());
+    if (b.has_value()) put_bytes(*b);
+  }
+
+ private:
+  Bytes& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& in) : in_(in) {}
+
+  bool get_u8(std::uint8_t* v) {
+    if (pos_ + 1 > in_.size()) return false;
+    *v = in_[pos_++];
+    return true;
+  }
+
+  bool get_u32(std::uint32_t* v) {
+    if (pos_ + 4 > in_.size()) return false;
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i)
+      out |= static_cast<std::uint32_t>(in_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool get_u64(std::uint64_t* v) {
+    if (pos_ + 8 > in_.size()) return false;
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i)
+      out |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool get_i64(std::int64_t* v) {
+    std::uint64_t u = 0;
+    if (!get_u64(&u)) return false;
+    *v = static_cast<std::int64_t>(u);
+    return true;
+  }
+
+  bool get_bool(bool* v) {
+    std::uint8_t b = 0;
+    if (!get_u8(&b)) return false;
+    if (b > 1) return false;  // canonical encoding only
+    *v = b != 0;
+    return true;
+  }
+
+  bool get_bytes(Bytes* b) {
+    std::uint32_t len = 0;
+    if (!get_u32(&len)) return false;
+    if (pos_ + len > in_.size()) return false;
+    b->assign(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              in_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  bool get_optional_bytes(std::optional<Bytes>* b) {
+    bool present = false;
+    if (!get_bool(&present)) return false;
+    if (!present) {
+      b->reset();
+      return true;
+    }
+    Bytes inner;
+    if (!get_bytes(&inner)) return false;
+    *b = std::move(inner);
+    return true;
+  }
+
+  /// All input consumed — rejects trailing garbage.
+  bool exhausted() const { return pos_ == in_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  const Bytes& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fabec

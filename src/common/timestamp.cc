@@ -1,0 +1,16 @@
+#include "common/timestamp.h"
+
+#include <cstdio>
+
+namespace fabec {
+
+std::string Timestamp::to_string() const {
+  if (is_low()) return "LowTS";
+  if (is_high()) return "HighTS";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%u", static_cast<long long>(time),
+                proc);
+  return buf;
+}
+
+}  // namespace fabec

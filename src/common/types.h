@@ -1,0 +1,26 @@
+// Basic vocabulary types shared by every fabec module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fabec {
+
+/// Index of a process (storage brick) within a stripe group, 0-based.
+/// The paper's p_1..p_n map to ids 0..n-1; ids 0..m-1 hold data blocks and
+/// ids m..n-1 hold parity blocks (§4.1).
+using ProcessId = std::uint32_t;
+
+/// Identifies one stripe (one storage-register instance) within a volume.
+using StripeId = std::uint64_t;
+
+/// Index of a block within a stripe: 0..m-1 are data blocks.
+using BlockIndex = std::uint32_t;
+
+/// Logical block address within a virtual disk (units of one block).
+using Lba = std::uint64_t;
+
+/// Sentinel meaning "no process".
+inline constexpr ProcessId kNoProcess = ~ProcessId{0};
+
+}  // namespace fabec

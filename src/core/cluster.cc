@@ -1,0 +1,206 @@
+#include "core/cluster.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace fabec::core {
+
+Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
+    : config_(config),
+      layout_(config.total_bricks == 0 ? config.n : config.total_bricks,
+              config.n),
+      codec_(config.m, config.n),
+      sim_(seed),
+      net_(sim_, layout_.total_bricks(), config.net),
+      procs_(layout_.total_bricks()) {
+  const std::uint32_t bricks = layout_.total_bricks();
+  FABEC_CHECK(config_.clock_offsets.empty() ||
+              config_.clock_offsets.size() == bricks);
+  const quorum::Config qc = quorum_config();
+  bricks_.reserve(bricks);
+  for (ProcessId p = 0; p < bricks; ++p) {
+    auto brick = std::make_unique<Brick>(config_.block_size);
+    brick->replica = std::make_unique<RegisterReplica>(p, qc, &layout_,
+                                                       &codec_, &brick->store);
+    const sim::Duration offset =
+        config_.clock_offsets.empty() ? 0 : config_.clock_offsets[p];
+    brick->ts_source = std::make_unique<TimestampSource>(
+        p, [this, offset]() { return sim_.now() + offset; });
+    brick->coordinator = std::make_unique<Coordinator>(
+        p, qc, &layout_, &codec_, &executor_, brick->ts_source.get(),
+        [this, p](ProcessId dest, Message msg) {
+          net_.send(p, dest, Envelope{std::move(msg)});
+        },
+        config_.coordinator);
+    bricks_.push_back(std::move(brick));
+  }
+
+  net_.set_delivery_gate([this](ProcessId to) { return procs_.alive(to); });
+  net_.set_handler([this](ProcessId from, ProcessId to, Envelope envelope) {
+    deliver(from, to, std::move(envelope));
+  });
+  for (ProcessId p = 0; p < bricks; ++p) {
+    procs_.set_on_crash(p, [this, p] {
+      bricks_[p]->coordinator->drop_all_pending();
+      bricks_[p]->reply_cache.clear();
+    });
+  }
+}
+
+void Cluster::deliver(ProcessId from, ProcessId to, Envelope envelope) {
+  Brick& brick = *bricks_[to];
+  if (!is_request(envelope.msg)) {
+    brick.coordinator->on_reply(from, envelope.msg);
+    return;
+  }
+  if (std::holds_alternative<GcReq>(envelope.msg)) {
+    brick.replica->handle(envelope.msg);  // fire-and-forget, idempotent
+    return;
+  }
+  const auto key = std::make_pair(
+      from, std::visit(
+                [](const auto& m) -> OpId {
+                  if constexpr (requires { m.op; })
+                    return m.op;
+                  else
+                    return 0;
+                },
+                envelope.msg));
+  if (auto cached = brick.reply_cache.find(key);
+      cached != brick.reply_cache.end()) {
+    net_.send(to, from, Envelope{cached->second});
+    return;
+  }
+  const storage::DiskStats io_before = brick.store.io();
+  std::optional<Message> reply = brick.replica->handle(envelope.msg);
+  FABEC_CHECK(reply.has_value());
+  brick.reply_cache.emplace(key, *reply);
+  if (config_.disk_service_time > 0) {
+    const storage::DiskStats& io_after = brick.store.io();
+    const std::uint64_t ios = (io_after.disk_reads - io_before.disk_reads) +
+                              (io_after.disk_writes - io_before.disk_writes);
+    if (ios > 0) {
+      // The reply waits for the disk; if the brick crashes meanwhile, the
+      // reply is lost with its volatile state (epoch check).
+      const std::uint64_t epoch = procs_.epoch(to);
+      sim_.schedule_after(
+          static_cast<sim::Duration>(ios) * config_.disk_service_time,
+          [this, to, from, epoch, r = std::move(*reply)]() mutable {
+            if (procs_.epoch(to) != epoch || !procs_.alive(to)) return;
+            net_.send(to, from, Envelope{std::move(r)});
+          });
+      return;
+    }
+  }
+  net_.send(to, from, Envelope{std::move(*reply)});
+}
+
+std::optional<std::vector<Block>> Cluster::read_stripe(ProcessId coord,
+                                                       StripeId stripe) {
+  FABEC_CHECK_MSG(procs_.alive(coord), "coordinator brick is down");
+  std::optional<Coordinator::StripeResult> result;
+  coordinator(coord).read_stripe(
+      stripe, [&result](Coordinator::StripeResult r) { result = std::move(r); });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.has_value() ? std::move(*result) : std::nullopt;
+}
+
+bool Cluster::write_stripe(ProcessId coord, StripeId stripe,
+                           std::vector<Block> data) {
+  FABEC_CHECK_MSG(procs_.alive(coord), "coordinator brick is down");
+  std::optional<bool> result;
+  coordinator(coord).write_stripe(stripe, std::move(data),
+                                  [&result](bool ok) { result = ok; });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.value_or(false);
+}
+
+std::optional<Block> Cluster::read_block(ProcessId coord, StripeId stripe,
+                                         BlockIndex j) {
+  FABEC_CHECK_MSG(procs_.alive(coord), "coordinator brick is down");
+  std::optional<Coordinator::BlockResult> result;
+  coordinator(coord).read_block(
+      stripe, j,
+      [&result](Coordinator::BlockResult r) { result = std::move(r); });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.has_value() ? std::move(*result) : std::nullopt;
+}
+
+bool Cluster::write_block(ProcessId coord, StripeId stripe, BlockIndex j,
+                          Block block) {
+  FABEC_CHECK_MSG(procs_.alive(coord), "coordinator brick is down");
+  std::optional<bool> result;
+  coordinator(coord).write_block(stripe, j, std::move(block),
+                                 [&result](bool ok) { result = ok; });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.value_or(false);
+}
+
+std::optional<std::vector<Block>> Cluster::read_blocks(
+    ProcessId coord, StripeId stripe, std::vector<BlockIndex> js) {
+  FABEC_CHECK_MSG(procs_.alive(coord), "coordinator brick is down");
+  std::optional<Coordinator::StripeResult> result;
+  coordinator(coord).read_blocks(
+      stripe, std::move(js),
+      [&result](Coordinator::StripeResult r) { result = std::move(r); });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.has_value() ? std::move(*result) : std::nullopt;
+}
+
+bool Cluster::write_blocks(ProcessId coord, StripeId stripe,
+                           std::vector<BlockIndex> js,
+                           std::vector<Block> blocks) {
+  FABEC_CHECK_MSG(procs_.alive(coord), "coordinator brick is down");
+  std::optional<bool> result;
+  coordinator(coord).write_blocks(stripe, std::move(js), std::move(blocks),
+                                  [&result](bool ok) { result = ok; });
+  sim_.run_until_pred([&result] { return result.has_value(); });
+  return result.value_or(false);
+}
+
+storage::DiskStats Cluster::total_io() const {
+  storage::DiskStats total;
+  for (const auto& brick : bricks_) total += brick->store.io();
+  return total;
+}
+
+void Cluster::reset_io_stats() {
+  for (auto& brick : bricks_) brick->store.reset_io();
+}
+
+CoordinatorStats Cluster::total_coordinator_stats() const {
+  CoordinatorStats total;
+  for (const auto& brick : bricks_) {
+    const CoordinatorStats& s = brick->coordinator->stats();
+    total.stripe_reads += s.stripe_reads;
+    total.stripe_writes += s.stripe_writes;
+    total.block_reads += s.block_reads;
+    total.block_writes += s.block_writes;
+    total.multi_block_reads += s.multi_block_reads;
+    total.multi_block_writes += s.multi_block_writes;
+    total.fast_read_hits += s.fast_read_hits;
+    total.recoveries_started += s.recoveries_started;
+    total.recovery_iterations += s.recovery_iterations;
+    total.fast_block_write_hits += s.fast_block_write_hits;
+    total.slow_block_writes += s.slow_block_writes;
+    total.aborts += s.aborts;
+    total.gc_messages += s.gc_messages;
+    total.retransmit_rounds += s.retransmit_rounds;
+  }
+  return total;
+}
+
+std::size_t Cluster::total_log_entries() const {
+  std::size_t total = 0;
+  for (const auto& brick : bricks_) total += brick->store.total_log_entries();
+  return total;
+}
+
+std::size_t Cluster::total_log_blocks() const {
+  std::size_t total = 0;
+  for (const auto& brick : bricks_) total += brick->store.total_log_blocks();
+  return total;
+}
+
+}  // namespace fabec::core

@@ -1,0 +1,740 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fabec::core {
+namespace {
+
+/// Op id carried by any protocol message (0 for Gc, which has no reply).
+OpId op_of(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> OpId {
+        if constexpr (requires { m.op; })
+          return m.op;
+        else
+          return 0;
+      },
+      msg);
+}
+
+template <typename Rep>
+const Rep* as(const std::optional<Message>& msg) {
+  return msg.has_value() ? std::get_if<Rep>(&*msg) : nullptr;
+}
+
+/// "status in all replies is true" over the replies actually received.
+template <typename Rep>
+bool all_status_true(const std::vector<std::optional<Message>>& replies) {
+  for (const auto& r : replies) {
+    if (!r.has_value()) continue;
+    const Rep* rep = std::get_if<Rep>(&*r);
+    FABEC_CHECK_MSG(rep != nullptr, "reply of unexpected kind");
+    if (!rep->status) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(ProcessId self, quorum::Config config,
+                         const GroupLayout* layout,
+                         const erasure::Codec* codec, sim::Executor* executor,
+                         TimestampSource* ts_source, SendFn send,
+                         Options options)
+    : self_(self),
+      config_(config),
+      layout_(layout),
+      codec_(codec),
+      sim_(executor),
+      ts_source_(ts_source),
+      send_(std::move(send)),
+      options_(options),
+      rng_(executor->random().fork()) {
+  FABEC_CHECK(layout != nullptr && codec != nullptr && executor != nullptr &&
+              ts_source != nullptr);
+  FABEC_CHECK(codec->m() == config.m && codec->n() == config.n);
+  FABEC_CHECK(layout->group_size() == config.n);
+}
+
+// ---------------------------------------------------------------------
+// quorum() machinery
+// ---------------------------------------------------------------------
+
+OpId Coordinator::start_rpc(
+    std::vector<ProcessId> dests,
+    std::function<Message(std::uint32_t, OpId)> make_request,
+    std::function<void(Replies&)> on_complete,
+    std::vector<std::uint32_t> wait_for) {
+  FABEC_CHECK(dests.size() == config_.n);
+  const OpId op = next_op_++;
+  Rpc rpc;
+  rpc.dests = std::move(dests);
+  rpc.make_request = std::move(make_request);
+  rpc.replies.resize(config_.n);
+  rpc.wait_for = std::move(wait_for);
+  rpc.on_complete = std::move(on_complete);
+  pending_.emplace(op, std::move(rpc));
+  transmit_round(op);
+  arm_retransmit(op);
+  return op;
+}
+
+void Coordinator::transmit_round(OpId op) {
+  auto it = pending_.find(op);
+  if (it == pending_.end()) return;
+  for (std::uint32_t pos = 0; pos < config_.n; ++pos)
+    if (!it->second.replies[pos].has_value())
+      send_(it->second.dests[pos], it->second.make_request(pos, it->first));
+}
+
+void Coordinator::arm_retransmit(OpId op) {
+  auto it = pending_.find(op);
+  if (it == pending_.end()) return;
+  it->second.retransmit_timer =
+      sim_->schedule_event(options_.retransmit_period, [this, op] {
+        auto it2 = pending_.find(op);
+        if (it2 == pending_.end() || it2->second.finalizing) return;
+        ++stats_.retransmit_rounds;
+        transmit_round(op);
+        arm_retransmit(op);
+      });
+}
+
+void Coordinator::on_reply(ProcessId from, const Message& reply) {
+  auto it = pending_.find(op_of(reply));
+  if (it == pending_.end()) return;  // late or pre-crash reply: ignore
+  Rpc& rpc = it->second;
+  // Map the sender's global id back to its group position.
+  std::uint32_t pos = config_.n;
+  for (std::uint32_t candidate = 0; candidate < config_.n; ++candidate)
+    if (rpc.dests[candidate] == from) {
+      pos = candidate;
+      break;
+    }
+  if (pos == config_.n) return;  // not a member of this phase's group
+  if (rpc.replies[pos].has_value()) return;  // duplicate (retransmission)
+  rpc.replies[pos] = reply;
+  ++rpc.distinct;
+  if (rpc.finalizing || rpc.distinct < config_.quorum()) return;
+  const OpId op = it->first;
+  // Quorum met. If the phase named specific positions it wants answers
+  // from, optionally hold the door open for them a little longer.
+  const bool targets_satisfied = std::all_of(
+      rpc.wait_for.begin(), rpc.wait_for.end(),
+      [&rpc](std::uint32_t p) { return rpc.replies[p].has_value(); });
+  if (targets_satisfied || options_.target_grace == 0) {
+    begin_finalize(op);
+    return;
+  }
+  if (!rpc.grace_armed) {
+    rpc.grace_armed = true;
+    rpc.grace_timer = sim_->schedule_event(
+        options_.target_grace, [this, op] { begin_finalize(op); });
+  }
+}
+
+void Coordinator::begin_finalize(OpId op) {
+  auto it = pending_.find(op);
+  if (it == pending_.end() || it->second.finalizing) return;
+  // Defer completion by a zero-duration event: deliveries already
+  // scheduled for this same virtual instant (co-timed stragglers) run
+  // first and are included in the reply set, so a failure-free fast read
+  // sees every reply of its round.
+  it->second.finalizing = true;
+  if (it->second.grace_armed) sim_->cancel_event(it->second.grace_timer);
+  sim_->schedule_event(0, [this, op] { finalize_rpc(op); });
+}
+
+void Coordinator::finalize_rpc(OpId op) {
+  auto it = pending_.find(op);
+  if (it == pending_.end()) return;  // dropped by a crash in the meantime
+  sim_->cancel_event(it->second.retransmit_timer);
+  Rpc rpc = std::move(it->second);
+  pending_.erase(it);
+  rpc.on_complete(rpc.replies);
+}
+
+void Coordinator::drop_all_pending() {
+  for (auto& [op, rpc] : pending_) {
+    sim_->cancel_event(rpc.retransmit_timer);
+    if (rpc.grace_armed) sim_->cancel_event(rpc.grace_timer);
+  }
+  pending_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 1 — whole-stripe operations
+// ---------------------------------------------------------------------
+
+void Coordinator::read_stripe(StripeId stripe, StripeCb done) {
+  ++stats_.stripe_reads;
+  fast_read_stripe(stripe,
+                   [this, stripe, done = std::move(done)](StripeResult fast) {
+                     if (fast.has_value()) {
+                       ++stats_.fast_read_hits;
+                       done(std::move(fast));
+                       return;
+                     }
+                     recover(stripe, [this, done](StripeResult slow) {
+                       if (!slow.has_value()) ++stats_.aborts;
+                       done(std::move(slow));
+                     });
+                   });
+}
+
+void Coordinator::fast_read_stripe(StripeId stripe, StripeCb done) {
+  // Line 6: pick m random processes as block targets.
+  std::vector<ProcessId> ids(config_.n);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng_.shuffle(ids);
+  auto targets = std::make_shared<std::vector<ProcessId>>(
+      ids.begin(), ids.begin() + config_.m);
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, targets](std::uint32_t, OpId op) -> Message {
+        return ReadReq{stripe, op, *targets};
+      },
+      [this, targets, done = std::move(done)](Replies& replies) {
+        // Line 8: all statuses true, one common val-ts, all targets present.
+        std::optional<Timestamp> val_ts;
+        for (const auto& r : replies) {
+          const ReadRep* rep = as<ReadRep>(r);
+          if (rep == nullptr) continue;
+          if (!rep->status || (val_ts.has_value() && *val_ts != rep->val_ts)) {
+            done(std::nullopt);
+            return;
+          }
+          val_ts = rep->val_ts;
+        }
+        std::vector<erasure::Shard> shards;
+        for (ProcessId t : *targets) {
+          const ReadRep* rep = as<ReadRep>(replies[t]);
+          if (rep == nullptr || !rep->block.has_value()) {
+            done(std::nullopt);
+            return;
+          }
+          shards.push_back(erasure::Shard{t, *rep->block});
+        }
+        done(codec_->decode(shards));
+      },
+      std::vector<std::uint32_t>(targets->begin(), targets->end()));
+}
+
+struct Coordinator::RecoverState {
+  StripeId stripe = 0;
+  Timestamp ts;
+  Timestamp bound;  ///< the paper's `max`, strictly decreasing per round
+  std::function<void(std::optional<std::vector<Block>>)> done;
+};
+
+void Coordinator::recover(StripeId stripe, StripeCb done) {
+  ++stats_.recoveries_started;
+  const Timestamp ts = ts_source_->next();
+  auto state = std::make_shared<RecoverState>();
+  state->stripe = stripe;
+  state->ts = ts;
+  state->bound = kHighTS;
+  state->done = [this, stripe, ts, done = std::move(done)](
+                    std::optional<std::vector<Block>> prev) {
+    if (!prev.has_value()) {
+      done(std::nullopt);
+      return;
+    }
+    // Lines 20-21: write the recovered value back under the new timestamp;
+    // this is what rolls the partial write forward or back once and for all.
+    auto value = std::make_shared<std::vector<Block>>(std::move(*prev));
+    store_stripe(stripe, *value, ts, [value, done](bool ok) {
+      done(ok ? StripeResult(*value) : std::nullopt);
+    });
+  };
+  read_prev_stripe(std::move(state));
+}
+
+void Coordinator::read_prev_stripe(std::shared_ptr<RecoverState> state) {
+  ++stats_.recovery_iterations;
+  start_rpc(
+      layout_->group(state->stripe),
+      [state](std::uint32_t, OpId op) -> Message {
+        return OrderReadReq{state->stripe, op, kAllBlocks, state->bound,
+                            state->ts};
+      },
+      [this, state](Replies& replies) {
+        if (!all_status_true<OrderReadRep>(replies)) {
+          state->done(std::nullopt);  // line 29: conflicting operation
+          return;
+        }
+        // Lines 30-31: newest version timestamp among the replies, and the
+        // blocks stored at exactly that version.
+        Timestamp max = kLowTS;
+        for (const auto& r : replies)
+          if (const OrderReadRep* rep = as<OrderReadRep>(r))
+            max = std::max(max, rep->lts);
+        std::vector<erasure::Shard> shards;
+        for (ProcessId p = 0; p < config_.n; ++p) {
+          const OrderReadRep* rep = as<OrderReadRep>(replies[p]);
+          if (rep != nullptr && rep->lts == max && rep->block.has_value())
+            shards.push_back(erasure::Shard{p, *rep->block});
+        }
+        if (shards.size() >= config_.m) {
+          state->done(codec_->decode(shards));
+          return;
+        }
+        if (max <= kLowTS) {
+          // Fewer than m blocks even at LowTS: only possible if garbage
+          // collection outpaced us, in which case a complete newer version
+          // exists and a retry will find it. Abort rather than loop.
+          state->done(std::nullopt);
+          return;
+        }
+        state->bound = max;  // descend strictly: max-below is exclusive
+        read_prev_stripe(state);
+      });
+}
+
+void Coordinator::write_stripe(StripeId stripe, std::vector<Block> data,
+                               WriteCb done) {
+  ++stats_.stripe_writes;
+  FABEC_CHECK_MSG(data.size() == config_.m,
+                  "write_stripe takes exactly m data blocks");
+  const Timestamp ts = ts_source_->next();
+  auto shared_data = std::make_shared<std::vector<Block>>(std::move(data));
+  // Phase 1 (lines 13-15): place the operation in the total order.
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, ts](std::uint32_t, OpId op) -> Message {
+        return OrderReq{stripe, op, ts};
+      },
+      [this, stripe, shared_data, ts, done = std::move(done)](
+          Replies& replies) {
+        if (!all_status_true<OrderRep>(replies)) {
+          ++stats_.aborts;
+          done(false);
+          return;
+        }
+        store_stripe(stripe, *shared_data, ts, [this, done](bool ok) {
+          if (!ok) ++stats_.aborts;
+          done(ok);
+        });
+      });
+}
+
+void Coordinator::store_stripe(StripeId stripe, const std::vector<Block>& data,
+                               Timestamp ts, WriteCb done) {
+  // Lines 34-37. Each destination gets only its own block of the code word,
+  // so the phase moves nB of payload (Table 1).
+  auto encoded = std::make_shared<std::vector<Block>>(codec_->encode(data));
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, ts, encoded](std::uint32_t pos, OpId op) -> Message {
+        return WriteReq{stripe, op, ts, (*encoded)[pos]};
+      },
+      [this, stripe, ts, done = std::move(done)](Replies& replies) {
+        if (!all_status_true<WriteRep>(replies)) {
+          done(false);
+          return;
+        }
+        // The write is complete on a full quorum: old versions may go (§5.1).
+        maybe_send_gc(stripe, ts);
+        done(true);
+      });
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 3 — single-block operations
+// ---------------------------------------------------------------------
+
+void Coordinator::read_block(StripeId stripe, BlockIndex j, BlockCb done) {
+  ++stats_.block_reads;
+  FABEC_CHECK_MSG(j < config_.m, "read_block takes a data-block index");
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, j](std::uint32_t, OpId op) -> Message {
+        return ReadReq{stripe, op, {j}};
+      },
+      [this, stripe, j, done = std::move(done)](Replies& replies) {
+        // Lines 63-64: single-round success if no partial write is visible
+        // anywhere and p_j returned its block.
+        std::optional<Timestamp> val_ts;
+        bool consistent = true;
+        for (const auto& r : replies) {
+          const ReadRep* rep = as<ReadRep>(r);
+          if (rep == nullptr) continue;
+          if (!rep->status || (val_ts.has_value() && *val_ts != rep->val_ts)) {
+            consistent = false;
+            break;
+          }
+          val_ts = rep->val_ts;
+        }
+        const ReadRep* from_j = as<ReadRep>(replies[j]);
+        if (consistent && from_j != nullptr && from_j->block.has_value()) {
+          ++stats_.fast_read_hits;
+          done(*from_j->block);
+          return;
+        }
+        // Lines 65-69: reconstruct via recovery and project block j.
+        recover(stripe, [this, j, done](StripeResult stripe_value) {
+          if (!stripe_value.has_value()) {
+            ++stats_.aborts;
+            done(std::nullopt);
+            return;
+          }
+          done(std::move((*stripe_value)[j]));
+        });
+      },
+      {j});
+}
+
+void Coordinator::write_block(StripeId stripe, BlockIndex j, Block block,
+                              WriteCb done) {
+  ++stats_.block_writes;
+  FABEC_CHECK_MSG(j < config_.m, "write_block takes a data-block index");
+  const Timestamp ts = ts_source_->next();
+  auto shared_block = std::make_shared<Block>(std::move(block));
+  fast_write_block(stripe, j, *shared_block, ts,
+                   [this, stripe, j, shared_block, ts,
+                    done = std::move(done)](bool fast_ok) {
+                     if (fast_ok) {
+                       ++stats_.fast_block_write_hits;
+                       done(true);
+                       return;
+                     }
+                     slow_write_block(stripe, j, *shared_block, ts, done);
+                   });
+}
+
+void Coordinator::fast_write_block(StripeId stripe, BlockIndex j, Block block,
+                                   Timestamp ts, WriteCb done) {
+  auto shared_block = std::make_shared<Block>(std::move(block));
+  // Lines 75-79: order the write and fetch p_j's current block + timestamp.
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, j, ts](std::uint32_t, OpId op) -> Message {
+        return OrderReadReq{stripe, op, j, kHighTS, ts};
+      },
+      [this, stripe, j, shared_block, ts,
+       done = std::move(done)](Replies& replies) {
+        const OrderReadRep* from_j = as<OrderReadRep>(replies[j]);
+        if (!all_status_true<OrderReadRep>(replies) || from_j == nullptr ||
+            !from_j->block.has_value()) {
+          done(false);
+          return;
+        }
+        auto old_block = std::make_shared<Block>(*from_j->block);
+        const Timestamp ts_j = from_j->lts;
+        auto on_modify_complete = [this, stripe, ts,
+                                   done](Replies& modify_replies) {
+          if (!all_status_true<ModifyRep>(modify_replies)) {
+            done(false);
+            return;
+          }
+          maybe_send_gc(stripe, ts);
+          done(true);
+        };
+        if (options_.delta_block_writes) {
+          // §5.2 optimization: ship one delta block instead of (old, new)
+          // pairs, and only to the processes that need a payload at all.
+          auto delta = std::make_shared<Block>(*old_block);
+          xor_into(*delta, *shared_block);
+          start_rpc(
+              layout_->group(stripe),
+              [this, stripe, j, delta, shared_block, ts_j,
+               ts](std::uint32_t pos, OpId op) -> Message {
+                ModifyDeltaReq req{stripe, op, j, std::nullopt, ts_j, ts};
+                if (pos == j)
+                  req.block = *shared_block;
+                else if (pos >= config_.m)
+                  req.block = *delta;
+                return req;
+              },
+              std::move(on_modify_complete));
+          return;
+        }
+        // Lines 80-82: apply the data write at p_j and the incremental
+        // parity update everywhere else.
+        start_rpc(
+            layout_->group(stripe),
+            [stripe, j, old_block, shared_block, ts_j,
+             ts](std::uint32_t, OpId op) -> Message {
+              return ModifyReq{stripe,        op,   j, *old_block,
+                               *shared_block, ts_j, ts};
+            },
+            std::move(on_modify_complete));
+      },
+      {j});
+}
+
+void Coordinator::slow_write_block(StripeId stripe, BlockIndex j, Block block,
+                                   Timestamp ts, WriteCb done) {
+  ++stats_.slow_block_writes;
+  ++stats_.recoveries_started;
+  auto state = std::make_shared<RecoverState>();
+  state->stripe = stripe;
+  state->ts = ts;
+  state->bound = kHighTS;
+  auto shared_block = std::make_shared<Block>(std::move(block));
+  // Lines 84-87: reconstruct the previous stripe, substitute block j, and
+  // write the whole stripe back under this operation's timestamp.
+  state->done = [this, stripe, j, shared_block, ts, done = std::move(done)](
+                    std::optional<std::vector<Block>> prev) {
+    if (!prev.has_value()) {
+      ++stats_.aborts;
+      done(false);
+      return;
+    }
+    (*prev)[j] = *shared_block;
+    store_stripe(stripe, *prev, ts, [this, done](bool ok) {
+      if (!ok) ++stats_.aborts;
+      done(ok);
+    });
+  };
+  read_prev_stripe(std::move(state));
+}
+
+// ---------------------------------------------------------------------
+// Footnote 2 — multi-block operations
+// ---------------------------------------------------------------------
+
+void Coordinator::read_blocks(StripeId stripe, std::vector<BlockIndex> js,
+                              StripeCb done) {
+  ++stats_.multi_block_reads;
+  FABEC_CHECK(!js.empty());
+  for (BlockIndex j : js) FABEC_CHECK_MSG(j < config_.m, "data indices only");
+  auto shared_js = std::make_shared<std::vector<BlockIndex>>(std::move(js));
+  std::vector<ProcessId> targets(shared_js->begin(), shared_js->end());
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, targets](std::uint32_t, OpId op) -> Message {
+        return ReadReq{stripe, op, targets};
+      },
+      [this, stripe, shared_js, done = std::move(done)](Replies& replies) {
+        std::optional<Timestamp> val_ts;
+        bool consistent = true;
+        for (const auto& r : replies) {
+          const ReadRep* rep = as<ReadRep>(r);
+          if (rep == nullptr) continue;
+          if (!rep->status || (val_ts.has_value() && *val_ts != rep->val_ts)) {
+            consistent = false;
+            break;
+          }
+          val_ts = rep->val_ts;
+        }
+        if (consistent) {
+          std::vector<Block> out;
+          out.reserve(shared_js->size());
+          for (BlockIndex j : *shared_js) {
+            const ReadRep* rep = as<ReadRep>(replies[j]);
+            if (rep == nullptr || !rep->block.has_value()) {
+              consistent = false;
+              break;
+            }
+            out.push_back(*rep->block);
+          }
+          if (consistent) {
+            ++stats_.fast_read_hits;
+            done(std::move(out));
+            return;
+          }
+        }
+        recover(stripe, [this, shared_js, done](StripeResult stripe_value) {
+          if (!stripe_value.has_value()) {
+            ++stats_.aborts;
+            done(std::nullopt);
+            return;
+          }
+          std::vector<Block> out;
+          out.reserve(shared_js->size());
+          for (BlockIndex j : *shared_js) out.push_back((*stripe_value)[j]);
+          done(std::move(out));
+        });
+      },
+      std::vector<std::uint32_t>(shared_js->begin(), shared_js->end()));
+}
+
+void Coordinator::write_blocks(StripeId stripe, std::vector<BlockIndex> js,
+                               std::vector<Block> blocks, WriteCb done) {
+  ++stats_.multi_block_writes;
+  FABEC_CHECK(!js.empty() && js.size() == blocks.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    FABEC_CHECK_MSG(js[i] < config_.m, "data indices only");
+    for (std::size_t l = i + 1; l < js.size(); ++l)
+      FABEC_CHECK_MSG(js[i] != js[l], "indices must be distinct");
+  }
+  const Timestamp ts = ts_source_->next();
+  auto shared_js = std::make_shared<std::vector<BlockIndex>>(std::move(js));
+  auto shared_blocks =
+      std::make_shared<std::vector<Block>>(std::move(blocks));
+  fast_write_blocks(
+      stripe, shared_js, shared_blocks, ts,
+      [this, stripe, shared_js, shared_blocks, ts,
+       done = std::move(done)](bool fast_ok) {
+        if (fast_ok) {
+          ++stats_.fast_block_write_hits;
+          done(true);
+          return;
+        }
+        slow_write_blocks(stripe, shared_js, shared_blocks, ts, done);
+      });
+}
+
+void Coordinator::fast_write_blocks(
+    StripeId stripe, std::shared_ptr<std::vector<BlockIndex>> js,
+    std::shared_ptr<std::vector<Block>> blocks, Timestamp ts, WriteCb done) {
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, js, ts](std::uint32_t, OpId op) -> Message {
+        return MultiOrderReadReq{stripe, op, *js, ts};
+      },
+      [this, stripe, js, blocks, ts,
+       done = std::move(done)](Replies& replies) {
+        // Fast path needs: all statuses true, every updated process
+        // answered with its block, and one common version across ALL
+        // replicas (so the Modify precondition ts_j = max-ts holds
+        // everywhere).
+        std::optional<Timestamp> common;
+        for (const auto& r : replies) {
+          const OrderReadRep* rep = as<OrderReadRep>(r);
+          if (rep == nullptr) continue;
+          if (!rep->status || (common.has_value() && *common != rep->lts)) {
+            done(false);
+            return;
+          }
+          common = rep->lts;
+        }
+        std::vector<const Block*> old_blocks;
+        for (BlockIndex j : *js) {
+          const OrderReadRep* rep = as<OrderReadRep>(replies[j]);
+          if (rep == nullptr || !rep->block.has_value()) {
+            done(false);
+            return;
+          }
+          old_blocks.push_back(&*rep->block);
+        }
+        const Timestamp ts_j = *common;
+        // Combined per-parity deltas: Δ_p = Σ_j G[p][j]·(old_j ^ new_j).
+        const std::size_t block_size = old_blocks[0]->size();
+        auto deltas = std::make_shared<std::vector<Block>>();
+        for (std::uint32_t p = config_.m; p < config_.n; ++p) {
+          Block delta(block_size, 0);
+          for (std::size_t i = 0; i < js->size(); ++i) {
+            Block d = *old_blocks[i];
+            xor_into(d, (*blocks)[i]);
+            codec_->apply_modify_delta((*js)[i], p, d, delta);
+          }
+          deltas->push_back(std::move(delta));
+        }
+        start_rpc(
+            layout_->group(stripe),
+            [this, stripe, js, blocks, deltas, ts_j,
+             ts](std::uint32_t pos, OpId op) -> Message {
+              MultiModifyReq req{stripe, op, *js, std::nullopt, ts_j, ts};
+              for (std::size_t i = 0; i < js->size(); ++i)
+                if (pos == (*js)[i]) req.block = (*blocks)[i];
+              if (pos >= config_.m)
+                req.block = (*deltas)[pos - config_.m];
+              return req;
+            },
+            [this, stripe, ts, done](Replies& modify_replies) {
+              if (!all_status_true<ModifyRep>(modify_replies)) {
+                done(false);
+                return;
+              }
+              maybe_send_gc(stripe, ts);
+              done(true);
+            });
+      },
+      std::vector<std::uint32_t>(js->begin(), js->end()));
+}
+
+void Coordinator::slow_write_blocks(
+    StripeId stripe, std::shared_ptr<std::vector<BlockIndex>> js,
+    std::shared_ptr<std::vector<Block>> blocks, Timestamp ts, WriteCb done) {
+  ++stats_.slow_block_writes;
+  ++stats_.recoveries_started;
+  auto state = std::make_shared<RecoverState>();
+  state->stripe = stripe;
+  state->ts = ts;
+  state->bound = kHighTS;
+  state->done = [this, stripe, js, blocks, ts, done = std::move(done)](
+                    std::optional<std::vector<Block>> prev) {
+    if (!prev.has_value()) {
+      ++stats_.aborts;
+      done(false);
+      return;
+    }
+    for (std::size_t i = 0; i < js->size(); ++i)
+      (*prev)[(*js)[i]] = (*blocks)[i];
+    store_stripe(stripe, *prev, ts, [this, done](bool ok) {
+      if (!ok) ++stats_.aborts;
+      done(ok);
+    });
+  };
+  read_prev_stripe(std::move(state));
+}
+
+void Coordinator::repair_stripe(StripeId stripe, WriteCb done) {
+  recover(stripe, [this, done = std::move(done)](StripeResult result) {
+    if (!result.has_value()) ++stats_.aborts;
+    done(result.has_value());
+  });
+}
+
+void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
+  // All n positions as read targets: every replica returns its newest block.
+  std::vector<ProcessId> all(config_.n);
+  std::iota(all.begin(), all.end(), 0);
+  start_rpc(
+      layout_->group(stripe),
+      [stripe, all](std::uint32_t, OpId op) -> Message {
+        return ReadReq{stripe, op, all};
+      },
+      [this, done = std::move(done)](Replies& replies) {
+        // One common version across every reply, or the scrub is racing a
+        // write and proves nothing.
+        std::optional<Timestamp> val_ts;
+        std::vector<const Block*> blocks(config_.n, nullptr);
+        std::uint32_t present = 0;
+        for (std::uint32_t pos = 0; pos < config_.n; ++pos) {
+          const ReadRep* rep = as<ReadRep>(replies[pos]);
+          if (rep == nullptr) continue;
+          if (!rep->status ||
+              (val_ts.has_value() && *val_ts != rep->val_ts) ||
+              !rep->block.has_value()) {
+            done(ScrubResult::kInconclusive);
+            return;
+          }
+          val_ts = rep->val_ts;
+          blocks[pos] = &*rep->block;
+          ++present;
+        }
+        if (present < config_.n) {
+          // A silent member leaves part of the code word unverified.
+          done(ScrubResult::kInconclusive);
+          return;
+        }
+        std::vector<Block> data;
+        data.reserve(config_.m);
+        for (std::uint32_t j = 0; j < config_.m; ++j)
+          data.push_back(*blocks[j]);
+        const auto reencoded = codec_->encode(data);
+        for (std::uint32_t pos = config_.m; pos < config_.n; ++pos) {
+          if (reencoded[pos] != *blocks[pos]) {
+            done(ScrubResult::kCorrupt);
+            return;
+          }
+        }
+        done(ScrubResult::kClean);
+      },
+      std::vector<std::uint32_t>(all.begin(), all.end()));
+}
+
+void Coordinator::maybe_send_gc(StripeId stripe, Timestamp complete_ts) {
+  if (!options_.auto_gc) return;
+  ++stats_.gc_messages;
+  for (ProcessId brick : layout_->group(stripe))
+    send_(brick, GcReq{stripe, complete_ts});
+}
+
+}  // namespace fabec::core

@@ -1,0 +1,227 @@
+// Coordinator-side operations of the storage register (Algorithms 1 and 3).
+//
+// Any brick can coordinate any operation (§4.1); a Coordinator instance is
+// the per-brick embodiment of that role. Operations are asynchronous state
+// machines: each messaging phase is one quorum RPC (broadcast + periodic
+// retransmission until n - f distinct replies arrive, the §2.2 quorum()
+// primitive over fair-lossy channels), and phase transitions run in reply
+// callbacks. All continuations are volatile — a coordinator crash abandons
+// every in-flight operation, which is precisely how partial writes arise.
+//
+// Operation results use std::optional / bool: nullopt (or false) is the
+// paper's ⊥, meaning the operation aborted and its outcome is
+// non-deterministic until the next read resolves it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "core/group_layout.h"
+#include "core/messages.h"
+#include "erasure/codec.h"
+#include "quorum/quorum.h"
+#include "sim/executor.h"
+
+namespace fabec::core {
+
+/// Counters a coordinator keeps about its own operations; benches and the
+/// abort-rate ablation read these.
+struct CoordinatorStats {
+  std::uint64_t stripe_reads = 0;
+  std::uint64_t stripe_writes = 0;
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+  std::uint64_t multi_block_reads = 0;
+  std::uint64_t multi_block_writes = 0;
+  std::uint64_t fast_read_hits = 0;        ///< reads satisfied in one round
+  std::uint64_t recoveries_started = 0;    ///< recover() invocations
+  std::uint64_t recovery_iterations = 0;   ///< read-prev-stripe loop rounds
+  std::uint64_t fast_block_write_hits = 0; ///< block writes via Modify
+  std::uint64_t slow_block_writes = 0;     ///< block writes via recovery
+  std::uint64_t aborts = 0;                ///< operations that returned ⊥
+  std::uint64_t gc_messages = 0;
+  std::uint64_t retransmit_rounds = 0;
+};
+
+class Coordinator {
+ public:
+  using SendFn = std::function<void(ProcessId dest, Message msg)>;
+  using StripeResult = std::optional<std::vector<Block>>;
+  using BlockResult = std::optional<Block>;
+  using StripeCb = std::function<void(StripeResult)>;
+  using BlockCb = std::function<void(BlockResult)>;
+  using WriteCb = std::function<void(bool)>;
+
+  struct Options {
+    /// Retransmission period for the quorum() primitive. Must exceed the
+    /// round-trip time or failure-free runs retransmit spuriously.
+    sim::Duration retransmit_period = sim::milliseconds(10);
+    /// Send Gc messages after writes known complete on a full quorum (§5.1).
+    bool auto_gc = true;
+    /// Use §5.2's bandwidth-optimized block-write path: the Modify round
+    /// carries per-destination payloads (new block to p_j, one coded delta
+    /// block to each parity process, nothing to other data processes) —
+    /// (k+2)B on the wire per block write instead of (2n+1)B. Protocol
+    /// semantics are unchanged.
+    bool delta_block_writes = false;
+    /// How long quorum() keeps waiting, after n - f replies have arrived,
+    /// for the specific replicas a fast path needs (the read targets / the
+    /// written block's p_j). 0 = don't wait: correct and what Table 1
+    /// assumes (replies are co-timed when disks are instantaneous), but
+    /// under a disk service-time model the I/O-free replicas always answer
+    /// first and every targeted fast path would fall back to recovery. A
+    /// grace of a few δ restores the fast path; if the target is down, the
+    /// operation pays the grace once and proceeds without it.
+    sim::Duration target_grace = 0;
+  };
+
+  Coordinator(ProcessId self, quorum::Config config,
+              const GroupLayout* layout, const erasure::Codec* codec,
+              sim::Executor* executor, TimestampSource* ts_source,
+              SendFn send, Options options);
+
+  // --- Algorithm 1: whole-stripe access -------------------------------
+  /// read-stripe: yields the m data blocks, or ⊥ on abort.
+  void read_stripe(StripeId stripe, StripeCb done);
+  /// write-stripe: `data` must be exactly m blocks of the codec's size.
+  void write_stripe(StripeId stripe, std::vector<Block> data, WriteCb done);
+
+  // --- Algorithm 3: single-block access -------------------------------
+  void read_block(StripeId stripe, BlockIndex j, BlockCb done);
+  void write_block(StripeId stripe, BlockIndex j, Block block, WriteCb done);
+
+  // --- Footnote 2: multi-block access ----------------------------------
+  // One operation over several data blocks of one stripe: same round count
+  // as the single-block methods (2δ fast reads, 4δ fast writes) with
+  // per-destination payloads, so a w-block write moves (2w + k)B instead of
+  // w separate operations' w(2n + 1)B.
+  /// Reads the listed data blocks; yields them in `js` order, or ⊥.
+  void read_blocks(StripeId stripe, std::vector<BlockIndex> js, StripeCb done);
+  /// Atomically writes blocks[i] to data index js[i]. Indices must be
+  /// distinct; all blocks take effect under one timestamp (one version).
+  void write_blocks(StripeId stripe, std::vector<BlockIndex> js,
+                    std::vector<Block> blocks, WriteCb done);
+
+  // --- maintenance ------------------------------------------------------
+  /// Repairs one stripe: runs the recovery path unconditionally, which
+  /// reconstructs the newest recoverable version and writes it back to a
+  /// full quorum — re-creating the blocks of any freshly replaced brick in
+  /// the stripe's group. Used by the rebuild service after brick
+  /// replacement; semantically it is a read whose fast path is skipped.
+  void repair_stripe(StripeId stripe, WriteCb done);
+
+  /// Scrub verdict: does the stripe's stored parity match its data?
+  enum class ScrubResult {
+    kClean,         ///< all n blocks agree with a re-encode of the data
+    kCorrupt,       ///< at least one stored block contradicts the code word
+    kInconclusive,  ///< replicas answered at different versions; retry
+  };
+  using ScrubCb = std::function<void(ScrubResult)>;
+
+  /// Read-only parity scrub (latent-error detection, the maintenance task
+  /// every disk system runs in the background): collects all n blocks at
+  /// one version, re-encodes the data part, and compares against the
+  /// stored parity. Touches no persistent state — concurrent writes make
+  /// it inconclusive rather than aborting them. A kCorrupt stripe is
+  /// healed by repair_stripe if >= m blocks are still mutually consistent.
+  void scrub_stripe(StripeId stripe, ScrubCb done);
+
+  // --- plumbing (called by the enclosing cluster) ----------------------
+  /// Routes a reply message to the pending phase it answers.
+  void on_reply(ProcessId from, const Message& reply);
+  /// Crash: forget all in-flight operations. Their callbacks never run.
+  void drop_all_pending();
+
+  const CoordinatorStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CoordinatorStats{}; }
+  ProcessId self() const { return self_; }
+
+ private:
+  struct Rpc {
+    /// Global brick ids of the stripe's group, ordered by position; the
+    /// request built for position p goes to dests[p].
+    std::vector<ProcessId> dests;
+    std::function<Message(std::uint32_t, OpId)> make_request;
+    /// Reply from each group member, indexed by position; nullopt = not
+    /// yet replied.
+    std::vector<std::optional<Message>> replies;
+    std::uint32_t distinct = 0;
+    bool finalizing = false;
+    sim::EventId retransmit_timer{};
+    /// Positions whose replies the phase specifically needs (fast-path
+    /// targets); waited for up to Options::target_grace beyond the quorum.
+    std::vector<std::uint32_t> wait_for;
+    bool grace_armed = false;
+    sim::EventId grace_timer{};
+    std::function<void(std::vector<std::optional<Message>>&)> on_complete;
+  };
+
+  using Replies = std::vector<std::optional<Message>>;
+
+  /// Starts one quorum(msg) round over the stripe's group: sends
+  /// make_request(position) to every member, retransmits periodically, and
+  /// calls on_complete once n - f distinct replies arrived (plus any
+  /// further replies delivered at the same virtual instant — co-timed
+  /// stragglers are free to include and keep the failure-free fast path
+  /// deterministic). Reply slots are indexed by group position.
+  OpId start_rpc(std::vector<ProcessId> dests,
+                 std::function<Message(std::uint32_t, OpId)> make_request,
+                 std::function<void(Replies&)> on_complete,
+                 std::vector<std::uint32_t> wait_for = {});
+  void transmit_round(OpId op);
+  void arm_retransmit(OpId op);
+  void begin_finalize(OpId op);
+  void finalize_rpc(OpId op);
+
+  // Algorithm 1 internals.
+  void fast_read_stripe(StripeId stripe, StripeCb done);
+  void recover(StripeId stripe, StripeCb done);
+  struct RecoverState;
+  void read_prev_stripe(std::shared_ptr<RecoverState> state);
+  void store_stripe(StripeId stripe, const std::vector<Block>& data,
+                    Timestamp ts, WriteCb done);
+
+  // Algorithm 3 internals.
+  void fast_write_block(StripeId stripe, BlockIndex j, Block block,
+                        Timestamp ts, WriteCb done);
+  void slow_write_block(StripeId stripe, BlockIndex j, Block block,
+                        Timestamp ts, WriteCb done);
+  void fast_write_blocks(StripeId stripe,
+                         std::shared_ptr<std::vector<BlockIndex>> js,
+                         std::shared_ptr<std::vector<Block>> blocks,
+                         Timestamp ts, WriteCb done);
+  void slow_write_blocks(StripeId stripe,
+                         std::shared_ptr<std::vector<BlockIndex>> js,
+                         std::shared_ptr<std::vector<Block>> blocks,
+                         Timestamp ts, WriteCb done);
+
+  void maybe_send_gc(StripeId stripe, Timestamp complete_ts);
+
+  ProcessId self_;
+  quorum::Config config_;
+  const GroupLayout* layout_;
+  const erasure::Codec* codec_;
+  sim::Executor* sim_;
+  TimestampSource* ts_source_;
+  SendFn send_;
+  Options options_;
+  Rng rng_;
+
+  /// Monotonic phase-id counter. Deliberately *not* reset on crash so stale
+  /// replies can never be matched against a post-recovery operation (a real
+  /// brick would achieve the same by seeding op ids from its recovery
+  /// time).
+  OpId next_op_ = 1;
+  std::map<OpId, Rpc> pending_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace fabec::core

@@ -1,0 +1,78 @@
+// Segment-group placement: which n bricks (out of a pool of N >= n) hold a
+// given stripe, and in what order.
+//
+// FAB decouples the stripe-group size n from the installation size N: each
+// stripe's register runs on an n-brick "segment group", and rotated
+// placement spreads the groups across the pool so load and rebuild traffic
+// decluster (§1.1's "data is distributed using 5-of-8 erasure codes over
+// inexpensive bricks", and the random-striping assumption behind Figure 2).
+//
+// The protocol itself is wholly position-based: within a group, position
+// 0..m-1 hold the stripe's data blocks and m..n-1 the parity blocks (§4.1's
+// "process j stores block j", applied group-relatively — the paper notes
+// adapting to "more sophisticated data-layout schemes" is straightforward).
+// This class is the bridge between global brick ids and group positions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fabec::core {
+
+class GroupLayout {
+ public:
+  /// Pool of `total_bricks` bricks serving stripes over groups of `n`.
+  /// When total_bricks == n there is a single group and brick id ==
+  /// position (the paper's layout). Otherwise groups rotate: stripe s is
+  /// placed on bricks (s mod N), (s mod N)+1, ..., +n-1 (mod N).
+  GroupLayout(std::uint32_t total_bricks, std::uint32_t n)
+      : total_(total_bricks), n_(n) {
+    FABEC_CHECK_MSG(n >= 1 && total_bricks >= n,
+                    "pool must hold at least one full group");
+  }
+
+  std::uint32_t total_bricks() const { return total_; }
+  std::uint32_t group_size() const { return n_; }
+
+  /// Global brick id at position `pos` (0..n-1) of `stripe`'s group.
+  ProcessId member(StripeId stripe, std::uint32_t pos) const {
+    FABEC_CHECK(pos < n_);
+    if (total_ == n_) return pos;
+    return static_cast<ProcessId>((stripe % total_ + pos) % total_);
+  }
+
+  /// The full group, ordered by position.
+  std::vector<ProcessId> group(StripeId stripe) const {
+    std::vector<ProcessId> members(n_);
+    for (std::uint32_t pos = 0; pos < n_; ++pos)
+      members[pos] = member(stripe, pos);
+    return members;
+  }
+
+  /// Position of `brick` within `stripe`'s group, or nullopt if the brick
+  /// does not serve this stripe.
+  std::optional<std::uint32_t> position(StripeId stripe,
+                                        ProcessId brick) const {
+    FABEC_CHECK(brick < total_);
+    if (total_ == n_) return brick;
+    const auto start = static_cast<std::uint32_t>(stripe % total_);
+    const std::uint32_t pos = (brick + total_ - start) % total_;
+    if (pos < n_) return pos;
+    return std::nullopt;
+  }
+
+  /// True if `brick` holds a block of `stripe`.
+  bool serves(StripeId stripe, ProcessId brick) const {
+    return position(stripe, brick).has_value();
+  }
+
+ private:
+  std::uint32_t total_;
+  std::uint32_t n_;
+};
+
+}  // namespace fabec::core

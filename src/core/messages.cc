@@ -1,0 +1,64 @@
+#include "core/messages.h"
+
+namespace fabec::core {
+namespace {
+
+std::size_t opt_block_bytes(const std::optional<Block>& b) {
+  return b.has_value() ? b->size() : 0;
+}
+
+struct PayloadVisitor {
+  std::size_t operator()(const ReadReq&) const { return 0; }
+  std::size_t operator()(const ReadRep& m) const {
+    return opt_block_bytes(m.block);
+  }
+  std::size_t operator()(const OrderReq&) const { return 0; }
+  std::size_t operator()(const OrderRep&) const { return 0; }
+  std::size_t operator()(const OrderReadReq&) const { return 0; }
+  std::size_t operator()(const OrderReadRep& m) const {
+    return opt_block_bytes(m.block);
+  }
+  std::size_t operator()(const MultiOrderReadReq&) const { return 0; }
+  std::size_t operator()(const MultiModifyReq& m) const {
+    return opt_block_bytes(m.block);
+  }
+  std::size_t operator()(const WriteReq& m) const { return m.block.size(); }
+  std::size_t operator()(const WriteRep&) const { return 0; }
+  std::size_t operator()(const ModifyReq& m) const {
+    return m.old_block.size() + m.new_block.size();
+  }
+  std::size_t operator()(const ModifyRep&) const { return 0; }
+  std::size_t operator()(const ModifyDeltaReq& m) const {
+    return opt_block_bytes(m.block);
+  }
+  std::size_t operator()(const GcReq&) const { return 0; }
+};
+
+struct IsRequestVisitor {
+  bool operator()(const ReadReq&) const { return true; }
+  bool operator()(const ReadRep&) const { return false; }
+  bool operator()(const OrderReq&) const { return true; }
+  bool operator()(const OrderRep&) const { return false; }
+  bool operator()(const OrderReadReq&) const { return true; }
+  bool operator()(const OrderReadRep&) const { return false; }
+  bool operator()(const MultiOrderReadReq&) const { return true; }
+  bool operator()(const MultiModifyReq&) const { return true; }
+  bool operator()(const WriteReq&) const { return true; }
+  bool operator()(const WriteRep&) const { return false; }
+  bool operator()(const ModifyReq&) const { return true; }
+  bool operator()(const ModifyRep&) const { return false; }
+  bool operator()(const ModifyDeltaReq&) const { return true; }
+  bool operator()(const GcReq&) const { return true; }
+};
+
+}  // namespace
+
+std::size_t payload_bytes(const Message& msg) {
+  return std::visit(PayloadVisitor{}, msg);
+}
+
+bool is_request(const Message& msg) {
+  return std::visit(IsRequestVisitor{}, msg);
+}
+
+}  // namespace fabec::core

@@ -1,0 +1,170 @@
+// Wire messages of the storage-register protocol (Algorithms 1–3).
+//
+// One request/reply pair per messaging phase:
+//   Read        — fast-path read; replicas report their newest timestamp and
+//                 (targets only) their newest block.
+//   Order       — phase 1 of write-stripe: claim a place in the total order.
+//   OrderRead   — combined order + versioned read; used by recovery
+//                 (j = ALL) and by the block-write fast path (j = block).
+//   Write       — phase 2 of write-stripe / recovery write-back. Each
+//                 destination receives only its own block of the encoded
+//                 stripe, so a full-stripe write costs nB of payload
+//                 (Table 1's convention).
+//   Modify      — block-write fast path: carries the old and new values of
+//                 data block j so parity processes can apply modify_{j,i}.
+//                 This is the unoptimized (2n+1)B form; §5.2's delta
+//                 optimization is exercised separately by the codec tests.
+//   Gc          — asynchronous log trimming after a complete write (§5.1);
+//                 has no reply.
+//
+// Bandwidth accounting: wire_size() counts block payload bytes only,
+// matching Table 1, which measures network b/w in units of the block size B
+// and ignores fixed-size metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+
+namespace fabec::core {
+
+/// Correlates replies with the coordinator-side pending operation phase.
+using OpId = std::uint64_t;
+
+/// Sentinel for OrderRead's j parameter meaning "every process returns its
+/// block" (the paper's ALL).
+inline constexpr BlockIndex kAllBlocks = ~BlockIndex{0};
+
+struct ReadReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  std::vector<ProcessId> targets;  ///< processes asked to return their block
+};
+
+struct ReadRep {
+  OpId op = 0;
+  bool status = false;
+  Timestamp val_ts;              ///< max-ts(log)
+  std::optional<Block> block;    ///< max-block(log) if self ∈ targets
+};
+
+struct OrderReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  Timestamp ts;
+};
+
+struct OrderRep {
+  OpId op = 0;
+  bool status = false;
+};
+
+struct OrderReadReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  BlockIndex j = kAllBlocks;  ///< block of interest, or kAllBlocks
+  Timestamp bound;            ///< the paper's `max`: return newest version < bound
+  Timestamp ts;
+};
+
+/// Multi-block generalization of OrderRead (footnote 2): every process in
+/// `js` returns its current block and version. Used by write_blocks.
+struct MultiOrderReadReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  std::vector<BlockIndex> js;
+  Timestamp ts;
+};
+
+struct OrderReadRep {
+  OpId op = 0;
+  bool status = false;
+  Timestamp lts;               ///< timestamp of the returned version (or LowTS)
+  std::optional<Block> block;  ///< the version's block, ⊥ if none / not asked
+};
+
+struct WriteReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  Timestamp ts;
+  Block block;  ///< the destination's block of encode(stripe)
+};
+
+struct WriteRep {
+  OpId op = 0;
+  bool status = false;
+};
+
+struct ModifyReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  BlockIndex j = 0;  ///< index of the updated data block
+  Block old_block;   ///< b_j: current value at p_j
+  Block new_block;   ///< b:   value being written
+  Timestamp ts_j;    ///< timestamp of b_j at p_j
+  Timestamp ts;
+};
+
+struct ModifyRep {
+  OpId op = 0;
+  bool status = false;
+};
+
+/// Multi-block generalization of Modify (footnote 2) with per-destination
+/// payloads: each updated data process receives its new block; each parity
+/// process receives ONE combined coded delta,
+///     Δ_p = Σ_{j ∈ js} G[p][j] · (old_j XOR new_j),
+/// precomputed by the coordinator (which knows the generator matrix), so a
+/// w-block write ships (w + k)B in this round regardless of w; uninvolved
+/// data processes receive a payload-free timestamp marker.
+struct MultiModifyReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  std::vector<BlockIndex> js;  ///< updated data blocks
+  std::optional<Block> block;  ///< new block / combined delta / ⊥
+  Timestamp ts_j;              ///< common version of all old blocks
+  Timestamp ts;
+};
+
+/// §5.2-optimized form of Modify with per-destination payloads: p_j receives
+/// the new block, each parity process receives one coded delta block
+/// (G[i][j] is applied receiver-side), and uninvolved data processes receive
+/// no payload at all — (k+2)B on the wire instead of Modify's (2n+1)B.
+struct ModifyDeltaReq {
+  StripeId stripe = 0;
+  OpId op = 0;
+  BlockIndex j = 0;            ///< index of the updated data block
+  std::optional<Block> block;  ///< new block (to p_j), delta (to parity), ⊥
+  Timestamp ts_j;
+  Timestamp ts;
+};
+
+struct GcReq {
+  StripeId stripe = 0;
+  Timestamp complete_ts;  ///< a write known complete on a full quorum
+};
+
+using Message =
+    std::variant<ReadReq, ReadRep, OrderReq, OrderRep, OrderReadReq,
+                 OrderReadRep, MultiOrderReadReq, WriteReq, WriteRep,
+                 ModifyReq, ModifyRep, ModifyDeltaReq, MultiModifyReq, GcReq>;
+
+/// Block-payload bytes carried by a message (Table 1's b/w unit).
+std::size_t payload_bytes(const Message& msg);
+
+/// Wrapper giving the variant the wire_size() interface sim::Network needs.
+struct Envelope {
+  Message msg;
+  std::size_t wire_size() const { return payload_bytes(msg); }
+};
+
+/// True for request kinds (handled by replicas), false for replies
+/// (handled by coordinators).
+bool is_request(const Message& msg);
+
+}  // namespace fabec::core

@@ -1,0 +1,230 @@
+#include "core/replica.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fabec::core {
+
+RegisterReplica::RegisterReplica(ProcessId brick, quorum::Config config,
+                                 const GroupLayout* layout,
+                                 const erasure::Codec* codec,
+                                 storage::BrickStore* store)
+    : brick_(brick),
+      config_(config),
+      layout_(layout),
+      codec_(codec),
+      store_(store) {
+  FABEC_CHECK(layout != nullptr && codec != nullptr && store != nullptr);
+  FABEC_CHECK(brick < layout->total_bricks());
+  FABEC_CHECK(layout->group_size() == config.n);
+}
+
+std::optional<Message> RegisterReplica::handle(const Message& request) {
+  if (const auto* read = std::get_if<ReadReq>(&request)) return on_read(*read);
+  if (const auto* order = std::get_if<OrderReq>(&request))
+    return on_order(*order);
+  if (const auto* oread = std::get_if<OrderReadReq>(&request))
+    return on_order_read(*oread);
+  if (const auto* moread = std::get_if<MultiOrderReadReq>(&request))
+    return on_multi_order_read(*moread);
+  if (const auto* mmodify = std::get_if<MultiModifyReq>(&request))
+    return on_multi_modify(*mmodify);
+  if (const auto* write = std::get_if<WriteReq>(&request))
+    return on_write(*write);
+  if (const auto* modify = std::get_if<ModifyReq>(&request))
+    return on_modify(*modify);
+  if (const auto* delta = std::get_if<ModifyDeltaReq>(&request))
+    return on_modify_delta(*delta);
+  if (const auto* gc = std::get_if<GcReq>(&request)) {
+    on_gc(*gc);
+    return std::nullopt;
+  }
+  FABEC_CHECK_MSG(false, "replica received a reply message");
+  return std::nullopt;
+}
+
+// Algorithm 2, lines 38-44.
+Message RegisterReplica::on_read(const ReadReq& req) {
+  ReadRep rep;
+  rep.op = req.op;
+  const auto pos = position(req.stripe);
+  if (!pos.has_value()) return rep;  // misrouted: status stays false
+  auto& replica = store_->replica(req.stripe);
+  rep.val_ts = replica.max_ts();
+  // status false means a write has ordered itself (ord-ts) but its value has
+  // not reached this replica yet — a write in progress or a partial write.
+  rep.status = rep.val_ts >= replica.ord_ts();
+  const bool targeted = std::find(req.targets.begin(), req.targets.end(),
+                                  *pos) != req.targets.end();
+  if (rep.status && targeted) rep.block = replica.max_block(store_->io());
+  return rep;
+}
+
+// Algorithm 2, lines 45-48.
+Message RegisterReplica::on_order(const OrderReq& req) {
+  OrderRep rep;
+  rep.op = req.op;
+  if (!position(req.stripe).has_value()) return rep;
+  auto& replica = store_->replica(req.stripe);
+  rep.status = req.ts > replica.max_ts() && req.ts >= replica.ord_ts();
+  if (rep.status) replica.store_ord_ts(req.ts, store_->io());
+  return rep;
+}
+
+// Algorithm 2, lines 49-56.
+Message RegisterReplica::on_order_read(const OrderReadReq& req) {
+  OrderReadRep rep;
+  rep.op = req.op;
+  rep.lts = kLowTS;
+  const auto pos = position(req.stripe);
+  if (!pos.has_value()) return rep;
+  auto& replica = store_->replica(req.stripe);
+  rep.status = req.ts > replica.max_ts() && req.ts >= replica.ord_ts();
+  if (rep.status) {
+    replica.store_ord_ts(req.ts, store_->io());
+    if (req.j == *pos || req.j == kAllBlocks) {
+      if (auto version = replica.max_below(req.bound, store_->io())) {
+        rep.lts = version->ts;
+        rep.block = std::move(version->block);
+      }
+      // else: the log holds nothing below the bound (post-GC) — reply
+      // (LowTS, ⊥), the line 51 defaults.
+    }
+  }
+  return rep;
+}
+
+// Footnote-2 extension: like on_order_read with bound = HighTS, but serving
+// every block listed in js so a multi-block write needs one round.
+Message RegisterReplica::on_multi_order_read(const MultiOrderReadReq& req) {
+  OrderReadRep rep;
+  rep.op = req.op;
+  rep.lts = kLowTS;
+  const auto pos = position(req.stripe);
+  if (!pos.has_value()) return rep;
+  auto& replica = store_->replica(req.stripe);
+  rep.status = req.ts > replica.max_ts() && req.ts >= replica.ord_ts();
+  if (rep.status) {
+    replica.store_ord_ts(req.ts, store_->io());
+    const bool targeted =
+        std::find(req.js.begin(), req.js.end(), *pos) != req.js.end();
+    if (targeted) {
+      if (auto version = replica.max_below(kHighTS, store_->io())) {
+        rep.lts = version->ts;
+        rep.block = std::move(version->block);
+      }
+    } else {
+      // Non-targeted processes still report their version so the
+      // coordinator can check all old blocks share one version.
+      rep.lts = replica.max_ts();
+    }
+  }
+  return rep;
+}
+
+// Footnote-2 extension of the Modify handler: the coordinator pre-combined
+// the parity delta, so a parity process only XORs it into its current block
+// (the generator coefficients were applied sender-side).
+Message RegisterReplica::on_multi_modify(const MultiModifyReq& req) {
+  ModifyRep rep;
+  rep.op = req.op;
+  const auto pos = position(req.stripe);
+  if (!pos.has_value()) return rep;
+  auto& replica = store_->replica(req.stripe);
+  rep.status = req.ts_j == replica.max_ts() && req.ts >= replica.ord_ts();
+  if (!rep.status) return rep;
+
+  std::optional<Block> to_store;
+  const bool updated =
+      std::find(req.js.begin(), req.js.end(), *pos) != req.js.end();
+  if (updated) {
+    FABEC_CHECK_MSG(req.block.has_value(),
+                    "MultiModify to an updated process must carry its block");
+    to_store = req.block;
+  } else if (*pos >= config_.m) {
+    FABEC_CHECK_MSG(req.block.has_value(),
+                    "MultiModify to a parity process must carry the delta");
+    Block parity = replica.max_block(store_->io());
+    xor_into(parity, *req.block);
+    to_store = std::move(parity);
+  }
+  replica.append(req.ts, std::move(to_store), store_->io());
+  return rep;
+}
+
+// Algorithm 2, lines 57-60.
+Message RegisterReplica::on_write(const WriteReq& req) {
+  WriteRep rep;
+  rep.op = req.op;
+  if (!position(req.stripe).has_value()) return rep;
+  auto& replica = store_->replica(req.stripe);
+  rep.status = req.ts > replica.max_ts() && req.ts >= replica.ord_ts();
+  if (rep.status) replica.append(req.ts, req.block, store_->io());
+  return rep;
+}
+
+// Algorithm 3, lines 88-98.
+Message RegisterReplica::on_modify(const ModifyReq& req) {
+  ModifyRep rep;
+  rep.op = req.op;
+  const auto pos = position(req.stripe);
+  if (!pos.has_value()) return rep;
+  auto& replica = store_->replica(req.stripe);
+  // ts_j must still be this replica's newest timestamp: a mismatch means a
+  // competing operation slipped in after the Order&Read phase.
+  rep.status = req.ts_j == replica.max_ts() && req.ts >= replica.ord_ts();
+  if (!rep.status) return rep;
+
+  std::optional<Block> to_store;
+  if (*pos == req.j) {
+    to_store = req.new_block;  // the updated data block itself
+  } else if (*pos >= config_.m) {
+    // Parity process: incremental update from (old data, new data, own
+    // current parity) — the modify_{j,i} primitive.
+    to_store = codec_->modify(req.j, *pos, req.old_block, req.new_block,
+                              replica.max_block(store_->io()));
+  }
+  // Other data processes store a ⊥ marker: their block is unchanged but the
+  // stripe's timestamp must advance uniformly (line 96).
+  replica.append(req.ts, std::move(to_store), store_->io());
+  return rep;
+}
+
+// §5.2's bandwidth-optimized Modify: same status check and log effects as
+// on_modify, but the payload is per-destination — the new block for p_j, a
+// raw delta (old XOR new) for parity processes, nothing for the rest. The
+// parity process applies its own generator coefficient to the delta, which
+// is why one coded block suffices regardless of which parity receives it.
+Message RegisterReplica::on_modify_delta(const ModifyDeltaReq& req) {
+  ModifyRep rep;
+  rep.op = req.op;
+  const auto pos = position(req.stripe);
+  if (!pos.has_value()) return rep;
+  auto& replica = store_->replica(req.stripe);
+  rep.status = req.ts_j == replica.max_ts() && req.ts >= replica.ord_ts();
+  if (!rep.status) return rep;
+
+  std::optional<Block> to_store;
+  if (*pos == req.j) {
+    FABEC_CHECK_MSG(req.block.has_value(),
+                    "ModifyDelta to p_j must carry the new block");
+    to_store = req.block;
+  } else if (*pos >= config_.m) {
+    FABEC_CHECK_MSG(req.block.has_value(),
+                    "ModifyDelta to a parity process must carry the delta");
+    Block parity = replica.max_block(store_->io());
+    codec_->apply_modify_delta(req.j, *pos, *req.block, parity);
+    to_store = std::move(parity);
+  }
+  replica.append(req.ts, std::move(to_store), store_->io());
+  return rep;
+}
+
+// §5.1: trim log entries made obsolete by a complete write.
+void RegisterReplica::on_gc(const GcReq& req) {
+  if (!store_->has_replica(req.stripe)) return;
+  store_->replica(req.stripe).gc_below(req.complete_ts);
+}
+
+}  // namespace fabec::core

@@ -1,0 +1,66 @@
+// Replica-side message handlers (Algorithm 2, plus the Modify handler of
+// Algorithm 3 and §5.1's garbage-collection message).
+//
+// The replica is deliberately stateless apart from the persistent
+// BrickStore: every handler is a pure function of (request, persistent
+// state). That is what makes crash-recovery trivial to get right — a crash
+// loses nothing the handlers depend on, and a recovered brick serves
+// requests again without any reconstruction step (§1.3: bricks "seamlessly
+// recover and rejoin").
+//
+// A brick's role is per-stripe: its position within the stripe's segment
+// group (data position < m, parity position >= m) comes from the
+// GroupLayout, so one replica object serves every stripe its brick holds,
+// possibly as a data process for one stripe and a parity process for
+// another.
+#pragma once
+
+#include <optional>
+
+#include "core/group_layout.h"
+#include "core/messages.h"
+#include "erasure/codec.h"
+#include "quorum/quorum.h"
+#include "storage/brick_store.h"
+
+namespace fabec::core {
+
+class RegisterReplica {
+ public:
+  /// `brick` is this brick's global id in the pool; layout, codec, and
+  /// store are owned by the enclosing brick/cluster and must outlive the
+  /// replica.
+  RegisterReplica(ProcessId brick, quorum::Config config,
+                  const GroupLayout* layout, const erasure::Codec* codec,
+                  storage::BrickStore* store);
+
+  /// Handles one request; returns the reply to send back to the
+  /// coordinator, or nullopt for fire-and-forget requests (Gc).
+  std::optional<Message> handle(const Message& request);
+
+ private:
+  /// This brick's position in the stripe's group. Requests for stripes the
+  /// brick does not serve are answered with status = false (they can only
+  /// arise from misrouting).
+  std::optional<std::uint32_t> position(StripeId stripe) const {
+    return layout_->position(stripe, brick_);
+  }
+
+  Message on_read(const ReadReq& req);
+  Message on_order(const OrderReq& req);
+  Message on_order_read(const OrderReadReq& req);
+  Message on_multi_order_read(const MultiOrderReadReq& req);
+  Message on_multi_modify(const MultiModifyReq& req);
+  Message on_write(const WriteReq& req);
+  Message on_modify(const ModifyReq& req);
+  Message on_modify_delta(const ModifyDeltaReq& req);
+  void on_gc(const GcReq& req);
+
+  ProcessId brick_;
+  quorum::Config config_;
+  const GroupLayout* layout_;
+  const erasure::Codec* codec_;
+  storage::BrickStore* store_;
+};
+
+}  // namespace fabec::core

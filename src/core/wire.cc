@@ -1,0 +1,293 @@
+#include "core/wire.h"
+
+#include <variant>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/serde.h"
+
+namespace fabec::core {
+namespace {
+
+void put_ts(ByteWriter& w, const Timestamp& ts) {
+  w.put_i64(ts.time);
+  w.put_u32(ts.proc);
+}
+
+bool get_ts(ByteReader& r, Timestamp* ts) {
+  return r.get_i64(&ts->time) && r.get_u32(&ts->proc);
+}
+
+void put_indices(ByteWriter& w, const std::vector<std::uint32_t>& v) {
+  w.put_u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint32_t x : v) w.put_u32(x);
+}
+
+bool get_indices(ByteReader& r, std::vector<std::uint32_t>* v) {
+  std::uint32_t count = 0;
+  if (!r.get_u32(&count)) return false;
+  // A group never exceeds 256 members; reject absurd counts before
+  // allocating.
+  if (count > 1024) return false;
+  v->resize(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    if (!r.get_u32(&(*v)[i])) return false;
+  return true;
+}
+
+struct EncodeVisitor {
+  ByteWriter& w;
+
+  void operator()(const ReadReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    put_indices(w, m.targets);
+  }
+  void operator()(const ReadRep& m) {
+    w.put_u64(m.op);
+    w.put_bool(m.status);
+    put_ts(w, m.val_ts);
+    w.put_optional_bytes(m.block);
+  }
+  void operator()(const OrderReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    put_ts(w, m.ts);
+  }
+  void operator()(const OrderRep& m) {
+    w.put_u64(m.op);
+    w.put_bool(m.status);
+  }
+  void operator()(const OrderReadReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    w.put_u32(m.j);
+    put_ts(w, m.bound);
+    put_ts(w, m.ts);
+  }
+  void operator()(const OrderReadRep& m) {
+    w.put_u64(m.op);
+    w.put_bool(m.status);
+    put_ts(w, m.lts);
+    w.put_optional_bytes(m.block);
+  }
+  void operator()(const MultiOrderReadReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    put_indices(w, m.js);
+    put_ts(w, m.ts);
+  }
+  void operator()(const WriteReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    put_ts(w, m.ts);
+    w.put_bytes(m.block);
+  }
+  void operator()(const WriteRep& m) {
+    w.put_u64(m.op);
+    w.put_bool(m.status);
+  }
+  void operator()(const ModifyReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    w.put_u32(m.j);
+    w.put_bytes(m.old_block);
+    w.put_bytes(m.new_block);
+    put_ts(w, m.ts_j);
+    put_ts(w, m.ts);
+  }
+  void operator()(const ModifyRep& m) {
+    w.put_u64(m.op);
+    w.put_bool(m.status);
+  }
+  void operator()(const ModifyDeltaReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    w.put_u32(m.j);
+    w.put_optional_bytes(m.block);
+    put_ts(w, m.ts_j);
+    put_ts(w, m.ts);
+  }
+  void operator()(const MultiModifyReq& m) {
+    w.put_u64(m.stripe);
+    w.put_u64(m.op);
+    put_indices(w, m.js);
+    w.put_optional_bytes(m.block);
+    put_ts(w, m.ts_j);
+    put_ts(w, m.ts);
+  }
+  void operator()(const GcReq& m) {
+    w.put_u64(m.stripe);
+    put_ts(w, m.complete_ts);
+  }
+};
+
+template <typename T>
+std::optional<Message> decode_body(ByteReader& r);
+
+template <>
+std::optional<Message> decode_body<ReadReq>(ByteReader& r) {
+  ReadReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) ||
+      !get_indices(r, &m.targets))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<ReadRep>(ByteReader& r) {
+  ReadRep m;
+  if (!r.get_u64(&m.op) || !r.get_bool(&m.status) || !get_ts(r, &m.val_ts) ||
+      !r.get_optional_bytes(&m.block))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<OrderReq>(ByteReader& r) {
+  OrderReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) || !get_ts(r, &m.ts))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<OrderRep>(ByteReader& r) {
+  OrderRep m;
+  if (!r.get_u64(&m.op) || !r.get_bool(&m.status)) return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<OrderReadReq>(ByteReader& r) {
+  OrderReadReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) || !r.get_u32(&m.j) ||
+      !get_ts(r, &m.bound) || !get_ts(r, &m.ts))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<OrderReadRep>(ByteReader& r) {
+  OrderReadRep m;
+  if (!r.get_u64(&m.op) || !r.get_bool(&m.status) || !get_ts(r, &m.lts) ||
+      !r.get_optional_bytes(&m.block))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<MultiOrderReadReq>(ByteReader& r) {
+  MultiOrderReadReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) || !get_indices(r, &m.js) ||
+      !get_ts(r, &m.ts))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<WriteReq>(ByteReader& r) {
+  WriteReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) || !get_ts(r, &m.ts) ||
+      !r.get_bytes(&m.block))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<WriteRep>(ByteReader& r) {
+  WriteRep m;
+  if (!r.get_u64(&m.op) || !r.get_bool(&m.status)) return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<ModifyReq>(ByteReader& r) {
+  ModifyReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) || !r.get_u32(&m.j) ||
+      !r.get_bytes(&m.old_block) || !r.get_bytes(&m.new_block) ||
+      !get_ts(r, &m.ts_j) || !get_ts(r, &m.ts))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<ModifyRep>(ByteReader& r) {
+  ModifyRep m;
+  if (!r.get_u64(&m.op) || !r.get_bool(&m.status)) return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<ModifyDeltaReq>(ByteReader& r) {
+  ModifyDeltaReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) || !r.get_u32(&m.j) ||
+      !r.get_optional_bytes(&m.block) || !get_ts(r, &m.ts_j) ||
+      !get_ts(r, &m.ts))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<MultiModifyReq>(ByteReader& r) {
+  MultiModifyReq m;
+  if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) || !get_indices(r, &m.js) ||
+      !r.get_optional_bytes(&m.block) || !get_ts(r, &m.ts_j) ||
+      !get_ts(r, &m.ts))
+    return std::nullopt;
+  return m;
+}
+template <>
+std::optional<Message> decode_body<GcReq>(ByteReader& r) {
+  GcReq m;
+  if (!r.get_u64(&m.stripe) || !get_ts(r, &m.complete_ts))
+    return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+Bytes encode_message(const Message& msg) {
+  Bytes out;
+  ByteWriter w(out);
+  w.put_u8(static_cast<std::uint8_t>(msg.index()));
+  std::visit(EncodeVisitor{w}, msg);
+  // Trailing CRC-32 over tag + body: real transports detect corruption and
+  // drop, which retransmission then masks (§2's fair-loss channels).
+  w.put_u32(crc32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<Message> decode_message(const Bytes& wire) {
+  if (wire.size() < 5) return std::nullopt;  // tag + CRC minimum
+  const std::size_t body_size = wire.size() - 4;
+  {
+    // Verify the checksum before parsing anything.
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i)
+      stored |= static_cast<std::uint32_t>(wire[body_size + i]) << (8 * i);
+    if (stored != crc32(wire.data(), body_size)) return std::nullopt;
+  }
+  const Bytes body(wire.begin(),
+                   wire.begin() + static_cast<std::ptrdiff_t>(body_size));
+  ByteReader r(body);
+  std::uint8_t tag = 0;
+  if (!r.get_u8(&tag)) return std::nullopt;
+  std::optional<Message> out;
+  switch (tag) {
+    case 0: out = decode_body<ReadReq>(r); break;
+    case 1: out = decode_body<ReadRep>(r); break;
+    case 2: out = decode_body<OrderReq>(r); break;
+    case 3: out = decode_body<OrderRep>(r); break;
+    case 4: out = decode_body<OrderReadReq>(r); break;
+    case 5: out = decode_body<OrderReadRep>(r); break;
+    case 6: out = decode_body<MultiOrderReadReq>(r); break;
+    case 7: out = decode_body<WriteReq>(r); break;
+    case 8: out = decode_body<WriteRep>(r); break;
+    case 9: out = decode_body<ModifyReq>(r); break;
+    case 10: out = decode_body<ModifyRep>(r); break;
+    case 11: out = decode_body<ModifyDeltaReq>(r); break;
+    case 12: out = decode_body<MultiModifyReq>(r); break;
+    case 13: out = decode_body<GcReq>(r); break;
+    default: return std::nullopt;
+  }
+  if (!out.has_value() || !r.exhausted()) return std::nullopt;
+  // The tag must round-trip: a valid body under the wrong tag is rejected
+  // by construction because the index is part of the encoding.
+  FABEC_CHECK(out->index() == tag);
+  return out;
+}
+
+std::size_t encoded_size(const Message& msg) {
+  return encode_message(msg).size();
+}
+
+}  // namespace fabec::core

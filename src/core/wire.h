@@ -1,0 +1,29 @@
+// Wire encoding of the register protocol messages.
+//
+// The simulator passes Message structs directly; a deployed FAB serializes
+// them onto TCP/UDP between bricks. This codec defines that format —
+// 1-byte message tag (the variant index) followed by the fields in
+// declaration order, all little-endian, blocks length-prefixed — and is the
+// contract a non-simulated transport would implement. decode() rejects
+// truncated, non-canonical, and trailing-garbage inputs (fair-lossy
+// channels may drop but not undetectably corrupt, §2: a checksum detects,
+// this layer rejects).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "core/messages.h"
+
+namespace fabec::core {
+
+/// Serializes any protocol message.
+Bytes encode_message(const Message& msg);
+
+/// Parses a message; nullopt on any malformed input.
+std::optional<Message> decode_message(const Bytes& wire);
+
+/// Exact number of bytes encode_message would produce.
+std::size_t encoded_size(const Message& msg);
+
+}  // namespace fabec::core

@@ -1,0 +1,162 @@
+#include "erasure/codec.h"
+
+#include <algorithm>
+
+#include "gf/gf256.h"
+
+namespace fabec::erasure {
+
+Codec::Codec(std::uint32_t m, std::uint32_t n)
+    : m_(m), n_(n), generator_(n, m) {
+  FABEC_CHECK_MSG(m >= 1 && m <= n && n <= 256, "codec requires 1<=m<=n<=256");
+  // Systematic part.
+  for (std::uint32_t i = 0; i < m_; ++i) generator_.at(i, i) = 1;
+  const std::uint32_t kparity = n_ - m_;
+  if (kparity == 0) return;
+  if (kparity == 1) {
+    // Single parity: the all-ones row, i.e. RAID-5 XOR parity. [I; 1..1] is
+    // MDS: replacing any identity row by the all-ones row keeps determinant 1.
+    for (std::uint32_t j = 0; j < m_; ++j) generator_.at(m_, j) = 1;
+    return;
+  }
+  Matrix c = Matrix::cauchy(kparity, m_);
+  // Scale each parity row so its first coefficient is 1. Row scaling keeps
+  // every m x m row-submatrix invertible and makes m = 1 exact replication.
+  for (std::uint32_t i = 0; i < kparity; ++i)
+    c.scale_row(i, gf::inv(c.at(i, 0)));
+  for (std::uint32_t i = 0; i < kparity; ++i)
+    for (std::uint32_t j = 0; j < m_; ++j)
+      generator_.at(m_ + i, j) = c.at(i, j);
+}
+
+std::vector<Block> Codec::encode(const std::vector<Block>& data) const {
+  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
+  const std::size_t block_size = data[0].size();
+  for (const Block& b : data) FABEC_CHECK(b.size() == block_size);
+
+  std::vector<Block> out;
+  out.reserve(n_);
+  for (std::uint32_t i = 0; i < m_; ++i) out.push_back(data[i]);
+  for (std::uint32_t r = m_; r < n_; ++r) {
+    Block parity(block_size, 0);
+    for (std::uint32_t c = 0; c < m_; ++c)
+      gf::mul_add_slice(generator_.at(r, c), data[c].data(), parity.data(),
+                        block_size);
+    out.push_back(std::move(parity));
+  }
+  return out;
+}
+
+std::vector<Block> Codec::decode(const std::vector<Shard>& shards) const {
+  FABEC_CHECK_MSG(shards.size() >= m_, "decode requires at least m shards");
+  // Pick the first m distinct shard indices, preferring data shards: rows of
+  // the identity part make the inversion (and the common no-failure path)
+  // cheap.
+  std::vector<const Shard*> chosen;
+  chosen.reserve(m_);
+  std::vector<bool> taken(n_, false);
+  auto take_if = [&](bool parity_pass) {
+    for (const Shard& s : shards) {
+      if (chosen.size() == m_) return;
+      FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
+      if (taken[s.index] || is_parity(s.index) != parity_pass) continue;
+      taken[s.index] = true;
+      chosen.push_back(&s);
+    }
+  };
+  take_if(/*parity_pass=*/false);
+  take_if(/*parity_pass=*/true);
+  FABEC_CHECK_MSG(chosen.size() == m_, "decode: fewer than m distinct shards");
+
+  const std::size_t block_size = chosen[0]->block.size();
+  for (const Shard* s : chosen) FABEC_CHECK(s->block.size() == block_size);
+
+  // Fast path: all m data shards present.
+  const bool all_data = std::all_of(chosen.begin(), chosen.end(),
+                                    [&](const Shard* s) {
+                                      return !is_parity(s->index);
+                                    });
+  std::vector<Block> data(m_, Block(block_size, 0));
+  if (all_data) {
+    for (const Shard* s : chosen) data[s->index] = s->block;
+    return data;
+  }
+
+  std::vector<std::size_t> rows;
+  rows.reserve(m_);
+  for (const Shard* s : chosen) rows.push_back(s->index);
+  const auto inverse = generator_.select_rows(rows).inverted();
+  FABEC_CHECK_MSG(inverse.has_value(),
+                  "MDS violation: selected rows are singular");
+  for (std::uint32_t i = 0; i < m_; ++i)
+    for (std::uint32_t j = 0; j < m_; ++j)
+      gf::mul_add_slice(inverse->at(i, j), chosen[j]->block.data(),
+                        data[i].data(), block_size);
+  return data;
+}
+
+std::optional<BlockIndex> Codec::find_corrupted(
+    const std::vector<Shard>& shards) const {
+  FABEC_CHECK_MSG(n_ - m_ >= 2,
+                  "single-error localization needs at least two parities");
+  FABEC_CHECK_MSG(shards.size() == n_, "localization needs all n shards");
+  // Index the shards by position.
+  std::vector<const Block*> by_pos(n_, nullptr);
+  for (const Shard& s : shards) {
+    FABEC_CHECK(s.index < n_ && by_pos[s.index] == nullptr);
+    by_pos[s.index] = &s.block;
+  }
+
+  // Fast path: the word as stored is already consistent.
+  auto word_excluding = [&](BlockIndex suspect) {
+    // Decode from any m shards that avoid `suspect`, then re-encode.
+    std::vector<Shard> trusted;
+    for (BlockIndex i = 0; i < n_ && trusted.size() < m_; ++i)
+      if (i != suspect) trusted.push_back(Shard{i, *by_pos[i]});
+    return encode(decode(trusted));
+  };
+  auto consistent_except = [&](const std::vector<Block>& word,
+                               BlockIndex allowed_mismatch) {
+    for (BlockIndex i = 0; i < n_; ++i)
+      if (i != allowed_mismatch && word[i] != *by_pos[i]) return false;
+    return true;
+  };
+
+  const auto as_stored = word_excluding(n_);  // excludes nothing < n
+  if (consistent_except(as_stored, n_)) return std::nullopt;
+
+  // One position at a time: rebuild the word without it and see whether
+  // everything else agrees. With <= 1 corruption exactly one position can
+  // pass (the corrupted one); report the first that does.
+  for (BlockIndex suspect = 0; suspect < n_; ++suspect) {
+    const auto word = word_excluding(suspect);
+    if (consistent_except(word, suspect) && word[suspect] != *by_pos[suspect])
+      return suspect;
+  }
+  // Inconsistent but not attributable to one shard: more than one error.
+  return std::nullopt;
+}
+
+Block Codec::modify(BlockIndex data_index, BlockIndex parity_index,
+                    const Block& old_data, const Block& new_data,
+                    const Block& old_parity) const {
+  FABEC_CHECK_MSG(data_index < m_, "modify: data index must be < m");
+  FABEC_CHECK_MSG(parity_index >= m_ && parity_index < n_,
+                  "modify: parity index must be in [m, n)");
+  FABEC_CHECK(old_data.size() == new_data.size() &&
+              old_data.size() == old_parity.size());
+  Block delta = old_data;
+  xor_into(delta, new_data);
+  Block parity = old_parity;
+  apply_modify_delta(data_index, parity_index, delta, parity);
+  return parity;
+}
+
+void Codec::apply_modify_delta(BlockIndex data_index, BlockIndex parity_index,
+                               const Block& data_delta, Block& parity) const {
+  FABEC_CHECK(data_delta.size() == parity.size());
+  gf::mul_add_slice(generator_.at(parity_index, data_index), data_delta.data(),
+                    parity.data(), data_delta.size());
+}
+
+}  // namespace fabec::erasure

@@ -1,0 +1,99 @@
+// The paper's erasure-coding primitives (§2.1, Figure 4):
+//
+//   encode      — m data blocks -> n blocks (first m are the data blocks
+//                 themselves; the code is systematic, matching the paper's
+//                 convention that encode "returns the original data blocks").
+//   decode      — any m of the n blocks -> the m data blocks.
+//   modify_{i,j}— incremental parity update: recomputes parity block j after
+//                 data block i changes, from (old data, new data, old parity)
+//                 alone. This is what makes small writes cost O(k) instead
+//                 of a full re-encode (Algorithm 3's Modify message).
+//
+// The generator matrix is [ I_m ; C ] where C is a k x m Cauchy matrix with
+// each row scaled so its first entry is 1. Row scaling preserves the MDS
+// property (any m of the n rows remain invertible) and yields two pleasant
+// degenerate cases:
+//   * m = 1  -> every row is [1]: plain replication, the paper's Figure 5
+//     setting ("replication as a special case of erasure coding").
+//   * k = 1  -> we substitute the all-ones row, so single-parity schemes are
+//     literal RAID-5 XOR parity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "erasure/matrix.h"
+
+namespace fabec::erasure {
+
+/// A block tagged with its position in the code word (0..n-1). Positions
+/// 0..m-1 are data blocks, m..n-1 parity blocks.
+struct Shard {
+  BlockIndex index = 0;
+  Block block;
+};
+
+class Codec {
+ public:
+  /// m-out-of-n codec; requires 1 <= m <= n <= 256.
+  Codec(std::uint32_t m, std::uint32_t n);
+
+  std::uint32_t m() const { return m_; }
+  std::uint32_t n() const { return n_; }
+  /// Number of parity blocks k = n - m.
+  std::uint32_t k() const { return n_ - m_; }
+
+  bool is_parity(BlockIndex index) const { return index >= m_; }
+
+  /// encode: m equally sized data blocks -> n blocks. The first m entries of
+  /// the result are copies of the inputs.
+  std::vector<Block> encode(const std::vector<Block>& data) const;
+
+  /// decode: any >= m distinct shards from one code word -> the m data
+  /// blocks. Shard indices must be distinct and < n; all blocks must have
+  /// equal size. Extra shards beyond m are ignored.
+  std::vector<Block> decode(const std::vector<Shard>& shards) const;
+
+  /// modify_{i,j}: new value of parity block j (global index, >= m) given
+  /// that data block i changed from old_data to new_data and the parity's
+  /// old value is old_parity:
+  ///     c'_j = c_j + G[j][i] * (b_i + b'_i)      (all + are XOR in GF(2^8))
+  Block modify(BlockIndex data_index, BlockIndex parity_index,
+               const Block& old_data, const Block& new_data,
+               const Block& old_parity) const;
+
+  /// The "delta" form of modify: given delta = old_data XOR new_data,
+  /// applies the parity update in place. This is the bandwidth optimization
+  /// the paper sketches in §5.2 (send one coded block instead of two).
+  void apply_modify_delta(BlockIndex data_index, BlockIndex parity_index,
+                          const Block& data_delta, Block& parity) const;
+
+  /// Corruption localization: given all n shards of a code word of which AT
+  /// MOST ONE has silently corrupted content (indices are trusted, contents
+  /// are not — the latent-error model a scrub faces), finds the corrupted
+  /// shard by consistency voting: a position i is implicated iff decoding
+  /// from the other n-1 shards re-encodes to a word agreeing everywhere
+  /// except i. Requires k = n - m >= 2 (with a single parity, a data error
+  /// and a parity error are indistinguishable).
+  /// Returns: nullopt = all consistent; index = that shard is corrupt.
+  /// Undefined under >= 2 corruptions (may blame an innocent shard), as for
+  /// any single-error decoder.
+  std::optional<BlockIndex> find_corrupted(
+      const std::vector<Shard>& shards) const;
+
+  /// Generator-matrix coefficient G[row][col].
+  std::uint8_t coefficient(BlockIndex row, BlockIndex col) const {
+    return generator_.at(row, col);
+  }
+
+ private:
+  std::uint32_t m_;
+  std::uint32_t n_;
+  Matrix generator_;  // n x m, first m rows identity
+};
+
+}  // namespace fabec::erasure

@@ -1,0 +1,90 @@
+#include "erasure/matrix.h"
+
+#include "gf/gf256.h"
+
+namespace fabec::erasure {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::cauchy(std::size_t rows, std::size_t cols) {
+  // x_i = cols + i and y_j = j are disjoint sets of field elements as long
+  // as rows + cols <= 256, which bounds n for the codec.
+  FABEC_CHECK_MSG(rows + cols <= 256, "Cauchy construction needs n <= 256");
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto xi = static_cast<std::uint8_t>(cols + i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const auto yj = static_cast<std::uint8_t>(j);
+      m.at(i, j) = gf::inv(gf::add(xi, yj));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::times(const Matrix& rhs) const {
+  FABEC_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out.at(i, j) ^= gf::mul(a, rhs.at(k, j));
+    }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  FABEC_CHECK(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix work(*this);
+  Matrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot at or below the diagonal.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.at(pivot, j), work.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    const std::uint8_t scale = gf::inv(work.at(col, col));
+    work.scale_row(col, scale);
+    inv.scale_row(col, scale);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(r, j) ^= gf::mul(factor, work.at(col, j));
+        inv.at(r, j) ^= gf::mul(factor, inv.at(col, j));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  FABEC_CHECK(!row_indices.empty());
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    FABEC_CHECK(row_indices[i] < rows_);
+    for (std::size_t j = 0; j < cols_; ++j)
+      out.at(i, j) = at(row_indices[i], j);
+  }
+  return out;
+}
+
+void Matrix::scale_row(std::size_t r, std::uint8_t factor) {
+  FABEC_CHECK(factor != 0);
+  for (std::size_t j = 0; j < cols_; ++j)
+    at(r, j) = gf::mul(at(r, j), factor);
+}
+
+}  // namespace fabec::erasure

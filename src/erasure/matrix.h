@@ -1,0 +1,60 @@
+// Dense matrices over GF(2^8), used to build and invert Reed–Solomon
+// generator matrices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fabec::erasure {
+
+class Matrix {
+ public:
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {
+    FABEC_CHECK(rows > 0 && cols > 0);
+  }
+
+  static Matrix identity(std::size_t n);
+
+  /// Cauchy matrix C[i][j] = 1 / (x_i + y_j) where x_i = m + i and y_j = j.
+  /// All x_i and y_j are distinct field elements, so every square submatrix
+  /// is invertible — the property that makes the codec MDS.
+  static Matrix cauchy(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  std::uint8_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  const std::uint8_t* row(std::size_t r) const { return &data_[r * cols_]; }
+
+  /// Matrix product this * rhs.
+  Matrix times(const Matrix& rhs) const;
+
+  /// Gauss–Jordan inverse; nullopt if singular. Requires a square matrix.
+  std::optional<Matrix> inverted() const;
+
+  /// New matrix consisting of the given rows of this matrix, in order.
+  Matrix select_rows(const std::vector<std::size_t>& row_indices) const;
+
+  /// Scales row r by a nonzero field element.
+  void scale_row(std::size_t r, std::uint8_t factor);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace fabec::erasure

@@ -1,0 +1,65 @@
+// Volume layout: maps a logical block address to (stripe, block-in-stripe).
+//
+// §3 observes that stripe-level conflicts can be made unlikely "by laying
+// out data so that consecutive blocks in a logical volume are mapped to
+// different stripes". kRotating implements that recommendation; kLinear
+// packs consecutive blocks into the same stripe and exists as the
+// contrast case for the conflict-rate ablation (and because it makes
+// sequential full-stripe writes cheap).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fabec::fab {
+
+enum class Layout {
+  kLinear,    ///< stripe = lba / m, index = lba % m
+  kRotating,  ///< stripe = lba % S, index = lba / S (S = stripe count)
+};
+
+class VolumeLayout {
+ public:
+  /// A volume of `num_blocks` logical blocks striped m-wide. num_blocks
+  /// must be a multiple of m (a real FAB rounds the volume size up).
+  VolumeLayout(std::uint64_t num_blocks, std::uint32_t m, Layout layout)
+      : num_blocks_(num_blocks), m_(m), layout_(layout) {
+    FABEC_CHECK(m >= 1);
+    FABEC_CHECK_MSG(num_blocks > 0 && num_blocks % m == 0,
+                    "volume size must be a positive multiple of m");
+  }
+
+  std::uint64_t num_blocks() const { return num_blocks_; }
+  std::uint64_t num_stripes() const { return num_blocks_ / m_; }
+  std::uint32_t m() const { return m_; }
+  Layout layout() const { return layout_; }
+
+  StripeId stripe_of(Lba lba) const {
+    FABEC_CHECK(lba < num_blocks_);
+    return layout_ == Layout::kLinear ? lba / m_ : lba % num_stripes();
+  }
+
+  BlockIndex index_of(Lba lba) const {
+    FABEC_CHECK(lba < num_blocks_);
+    return static_cast<BlockIndex>(layout_ == Layout::kLinear
+                                       ? lba % m_
+                                       : lba / num_stripes());
+  }
+
+  /// Inverse mapping, for iterating a stripe's logical blocks.
+  Lba lba_of(StripeId stripe, BlockIndex index) const {
+    FABEC_CHECK(stripe < num_stripes() && index < m_);
+    return layout_ == Layout::kLinear
+               ? stripe * m_ + index
+               : static_cast<Lba>(index) * num_stripes() + stripe;
+  }
+
+ private:
+  std::uint64_t num_blocks_;
+  std::uint32_t m_;
+  Layout layout_;
+};
+
+}  // namespace fabec::fab

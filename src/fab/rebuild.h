@@ -1,0 +1,53 @@
+// Rebuild service: restores redundancy after a brick replacement.
+//
+// The reliability models behind Figure 2 assume failed bricks are repaired
+// at rate μ — i.e. a replacement brick's blocks are reconstructed from the
+// surviving members of each stripe group it belongs to. This service does
+// that proactively: for every stripe the replaced brick serves, it runs the
+// register's recovery path, whose write-back re-encodes the newest version
+// onto a full quorum including the fresh brick.
+//
+// The protocol needs none of this for safety (reads repair lazily on
+// access); rebuild exists to restore the fault budget — until it completes,
+// the blank replacement is one of the f tolerated failures.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/cluster.h"
+
+namespace fabec::fab {
+
+struct RebuildReport {
+  std::uint64_t stripes_scanned = 0;   ///< stripes in the volume range
+  std::uint64_t stripes_served = 0;    ///< of those, held by the brick
+  std::uint64_t stripes_repaired = 0;  ///< recovery write-backs that succeeded
+  std::uint64_t stripes_failed = 0;    ///< aborted repairs (retry later)
+};
+
+/// Rebuilds `replaced` over stripe ids [0, num_stripes). Repairs are
+/// coordinated by `coordinator` (kNoProcess = the replaced brick itself,
+/// which is how a real FAB spreads rebuild work). Runs the simulator until
+/// each repair completes; retries each failed stripe once.
+RebuildReport rebuild_brick(core::Cluster& cluster, ProcessId replaced,
+                            std::uint64_t num_stripes,
+                            ProcessId coordinator = kNoProcess);
+
+/// Background scrub pass over stripe ids [0, num_stripes): verifies each
+/// stripe's stored parity against a re-encode of its data
+/// (Coordinator::scrub_stripe) and optionally heals what it finds.
+struct ScrubReport {
+  std::uint64_t scanned = 0;
+  std::uint64_t clean = 0;
+  std::uint64_t corrupt = 0;        ///< found corrupt (before any repair)
+  std::uint64_t repaired = 0;       ///< corrupt stripes healed
+  std::uint64_t inconclusive = 0;   ///< raced a write / member unreachable
+  std::vector<StripeId> corrupt_stripes;
+};
+
+ScrubReport scrub_stripes(core::Cluster& cluster, std::uint64_t num_stripes,
+                          ProcessId coordinator = 0,
+                          bool repair_corrupt = false);
+
+}  // namespace fabec::fab

@@ -1,0 +1,142 @@
+#include "fab/virtual_disk.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace fabec::fab {
+
+VirtualDisk::VirtualDisk(core::Cluster* cluster, VirtualDiskConfig config)
+    : cluster_(cluster),
+      layout_(config.num_blocks, cluster->config().m, config.layout),
+      stripe_base_(config.stripe_base) {
+  FABEC_CHECK(cluster != nullptr);
+}
+
+ProcessId VirtualDisk::pick_coordinator(ProcessId requested) {
+  if (requested != kNoProcess) return requested;
+  const std::uint32_t n = cluster_->brick_count();
+  for (std::uint32_t tries = 0; tries < n; ++tries) {
+    const ProcessId candidate = next_coord_;
+    next_coord_ = (next_coord_ + 1) % n;
+    if (cluster_->processes().alive(candidate)) return candidate;
+  }
+  FABEC_CHECK_MSG(false, "no live brick to coordinate the request");
+  return 0;
+}
+
+void VirtualDisk::read(Lba lba,
+                       std::function<void(std::optional<Block>)> done,
+                       ProcessId coord) {
+  cluster_->coordinator(pick_coordinator(coord))
+      .read_block(global_stripe(layout_.stripe_of(lba)),
+                  layout_.index_of(lba), std::move(done));
+}
+
+void VirtualDisk::write(Lba lba, Block data, std::function<void(bool)> done,
+                        ProcessId coord) {
+  FABEC_CHECK(data.size() == block_size());
+  cluster_->coordinator(pick_coordinator(coord))
+      .write_block(global_stripe(layout_.stripe_of(lba)),
+                   layout_.index_of(lba), std::move(data), std::move(done));
+}
+
+std::optional<Block> VirtualDisk::read_sync(Lba lba, ProcessId coord) {
+  return cluster_->read_block(pick_coordinator(coord),
+                              global_stripe(layout_.stripe_of(lba)),
+                              layout_.index_of(lba));
+}
+
+bool VirtualDisk::write_sync(Lba lba, Block data, ProcessId coord) {
+  FABEC_CHECK(data.size() == block_size());
+  return cluster_->write_block(pick_coordinator(coord),
+                               global_stripe(layout_.stripe_of(lba)),
+                               layout_.index_of(lba), std::move(data));
+}
+
+std::optional<std::vector<Block>> VirtualDisk::read_range_sync(
+    Lba lba, std::uint64_t count, ProcessId coord) {
+  FABEC_CHECK(count > 0 && lba + count <= capacity_blocks());
+  const std::uint32_t m = layout_.m();
+
+  // Group the span by stripe so whole-stripe reads go through read-stripe.
+  std::map<StripeId, std::vector<std::uint64_t>> by_stripe;  // -> span offset
+  for (std::uint64_t i = 0; i < count; ++i)
+    by_stripe[layout_.stripe_of(lba + i)].push_back(i);
+
+  std::vector<Block> out(count);
+  std::map<StripeId, std::vector<Block>> stripe_cache;
+  for (const auto& [stripe, offsets] : by_stripe) {
+    if (offsets.size() == m) {
+      const ProcessId c = pick_coordinator(coord);
+      auto data = cluster_->read_stripe(c, global_stripe(stripe));
+      if (!data.has_value()) return std::nullopt;
+      for (std::uint64_t off : offsets)
+        out[off] = (*data)[layout_.index_of(lba + off)];
+    } else if (offsets.size() > 1) {
+      // Partial span over several blocks: one multi-block read.
+      std::vector<BlockIndex> js;
+      js.reserve(offsets.size());
+      for (std::uint64_t off : offsets) js.push_back(layout_.index_of(lba + off));
+      auto blocks =
+          cluster_->read_blocks(pick_coordinator(coord), global_stripe(stripe), js);
+      if (!blocks.has_value()) return std::nullopt;
+      for (std::size_t i = 0; i < offsets.size(); ++i)
+        out[offsets[i]] = std::move((*blocks)[i]);
+    } else {
+      const ProcessId c = pick_coordinator(coord);
+      auto block = cluster_->read_block(c, global_stripe(stripe),
+                                        layout_.index_of(lba + offsets[0]));
+      if (!block.has_value()) return std::nullopt;
+      out[offsets[0]] = std::move(*block);
+    }
+  }
+  return out;
+}
+
+bool VirtualDisk::write_range_sync(Lba lba, const std::vector<Block>& data,
+                                   ProcessId coord) {
+  FABEC_CHECK(!data.empty() && lba + data.size() <= capacity_blocks());
+  for (const Block& b : data) FABEC_CHECK(b.size() == block_size());
+  const std::uint32_t m = layout_.m();
+
+  std::map<StripeId, std::vector<std::uint64_t>> by_stripe;
+  for (std::uint64_t i = 0; i < data.size(); ++i)
+    by_stripe[layout_.stripe_of(lba + i)].push_back(i);
+
+  for (const auto& [stripe, offsets] : by_stripe) {
+    if (offsets.size() == m) {
+      std::vector<Block> stripe_data(m);
+      for (std::uint64_t off : offsets)
+        stripe_data[layout_.index_of(lba + off)] = data[off];
+      if (!cluster_->write_stripe(pick_coordinator(coord),
+                                  global_stripe(stripe),
+                                  std::move(stripe_data)))
+        return false;
+    } else if (offsets.size() > 1) {
+      // Partial span over several blocks: one atomic multi-block write.
+      std::vector<BlockIndex> js;
+      std::vector<Block> blocks;
+      js.reserve(offsets.size());
+      blocks.reserve(offsets.size());
+      for (std::uint64_t off : offsets) {
+        js.push_back(layout_.index_of(lba + off));
+        blocks.push_back(data[off]);
+      }
+      if (!cluster_->write_blocks(pick_coordinator(coord),
+                                  global_stripe(stripe), std::move(js),
+                                  std::move(blocks)))
+        return false;
+    } else {
+      if (!cluster_->write_block(pick_coordinator(coord),
+                                 global_stripe(stripe),
+                                 layout_.index_of(lba + offsets[0]),
+                                 data[offsets[0]]))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fabec::fab

@@ -1,0 +1,43 @@
+#include "fab/volume_manager.h"
+
+#include "common/check.h"
+
+namespace fabec::fab {
+
+VolumeManager::VolumeManager(core::Cluster* cluster) : cluster_(cluster) {
+  FABEC_CHECK(cluster != nullptr);
+}
+
+VirtualDisk* VolumeManager::create(const std::string& name,
+                                   std::uint64_t num_blocks, Layout layout) {
+  if (num_blocks == 0 || volumes_.count(name) > 0) return nullptr;
+  const std::uint32_t m = cluster_->config().m;
+  const std::uint64_t rounded = (num_blocks + m - 1) / m * m;
+  VirtualDiskConfig config;
+  config.num_blocks = rounded;
+  config.layout = layout;
+  config.stripe_base = next_stripe_;
+  next_stripe_ += rounded / m;
+  auto disk = std::make_unique<VirtualDisk>(cluster_, config);
+  VirtualDisk* out = disk.get();
+  volumes_.emplace(name, std::move(disk));
+  return out;
+}
+
+VirtualDisk* VolumeManager::find(const std::string& name) {
+  auto it = volumes_.find(name);
+  return it == volumes_.end() ? nullptr : it->second.get();
+}
+
+bool VolumeManager::remove(const std::string& name) {
+  return volumes_.erase(name) > 0;
+}
+
+std::vector<std::string> VolumeManager::names() const {
+  std::vector<std::string> out;
+  out.reserve(volumes_.size());
+  for (const auto& [name, disk] : volumes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace fabec::fab

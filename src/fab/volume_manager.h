@@ -1,0 +1,52 @@
+// Volume management: several named logical volumes on one brick cluster
+// (Figure 1: "FAB presents the client with a number of logical volumes").
+//
+// Each volume owns a contiguous, never-reused range of the cluster's stripe
+// id namespace, so volumes are isolated by construction — the per-stripe
+// registers they use are disjoint. Deleting a volume retires its name and
+// its stripe range permanently; ranges are not recycled, which is what
+// makes "create after delete" trivially safe (a recreated volume can never
+// observe a predecessor's blocks). Space reclamation of retired stripes is
+// a physical-layer concern a real brick would handle in its allocator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fab/virtual_disk.h"
+
+namespace fabec::fab {
+
+class VolumeManager {
+ public:
+  /// The cluster must outlive the manager and its volumes.
+  explicit VolumeManager(core::Cluster* cluster);
+
+  /// Creates a volume of at least `num_blocks` logical blocks (rounded up
+  /// to a whole number of stripes). Returns nullptr if the name is taken
+  /// or num_blocks is zero.
+  VirtualDisk* create(const std::string& name, std::uint64_t num_blocks,
+                      Layout layout = Layout::kRotating);
+
+  /// The volume with this name, or nullptr.
+  VirtualDisk* find(const std::string& name);
+
+  /// Deletes the volume; its stripe range is retired, never reused.
+  /// Returns false if no such volume exists.
+  bool remove(const std::string& name);
+
+  std::vector<std::string> names() const;
+  std::size_t volume_count() const { return volumes_.size(); }
+  /// Total stripes ever allocated (including retired ranges).
+  StripeId stripes_allocated() const { return next_stripe_; }
+
+ private:
+  core::Cluster* cluster_;
+  std::map<std::string, std::unique_ptr<VirtualDisk>> volumes_;
+  StripeId next_stripe_ = 0;
+};
+
+}  // namespace fabec::fab

@@ -1,0 +1,78 @@
+#include "fab/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fabec::fab {
+
+std::vector<WorkloadOp> generate_workload(const WorkloadConfig& config,
+                                          std::uint64_t capacity_blocks,
+                                          Rng& rng) {
+  FABEC_CHECK(capacity_blocks > 0);
+  FABEC_CHECK(config.write_fraction >= 0.0 && config.write_fraction <= 1.0);
+  std::vector<WorkloadOp> ops;
+  ops.reserve(config.num_ops);
+  sim::Time at = 0;
+  Lba sequential_next = 0;
+  const std::uint64_t hot_blocks =
+      std::min(config.hotspot_blocks, capacity_blocks);
+  for (std::uint64_t i = 0; i < config.num_ops; ++i) {
+    WorkloadOp op;
+    if (config.mean_interarrival > 0)
+      at += static_cast<sim::Duration>(rng.next_exponential(
+          static_cast<double>(config.mean_interarrival)));
+    op.at = at;
+    op.is_write = rng.chance(config.write_fraction);
+    switch (config.pattern) {
+      case AccessPattern::kSequential:
+        op.lba = sequential_next;
+        sequential_next = (sequential_next + 1) % capacity_blocks;
+        break;
+      case AccessPattern::kUniform:
+        op.lba = rng.next_below(capacity_blocks);
+        break;
+      case AccessPattern::kHotspot:
+        op.lba = rng.chance(config.hotspot_fraction)
+                     ? rng.next_below(hot_blocks)
+                     : hot_blocks + rng.next_below(std::max<std::uint64_t>(
+                                        1, capacity_blocks - hot_blocks));
+        op.lba %= capacity_blocks;
+        break;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void LatencyRecorder::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+sim::Duration LatencyRecorder::mean() const {
+  if (samples_.empty()) return 0;
+  __int128 total = 0;
+  for (sim::Duration s : samples_) total += s;
+  return static_cast<sim::Duration>(total /
+                                    static_cast<__int128>(samples_.size()));
+}
+
+sim::Duration LatencyRecorder::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  FABEC_CHECK(p >= 0.0 && p <= 100.0);
+  sort();
+  const auto rank = static_cast<std::size_t>(
+      (p / 100.0) * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+sim::Duration LatencyRecorder::max() const {
+  if (samples_.empty()) return 0;
+  sort();
+  return samples_.back();
+}
+
+}  // namespace fabec::fab

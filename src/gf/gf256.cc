@@ -1,0 +1,101 @@
+#include "gf/gf256.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace fabec::gf {
+namespace {
+
+constexpr unsigned kPoly = 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
+constexpr unsigned kGenerator = 2;
+
+struct Tables {
+  // exp_ is doubled so mul can index log(a)+log(b) without a modulo.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+  // 64 KiB full product table: product_[a << 8 | b] = a * b.
+  std::array<std::uint8_t, 65536> product_{};
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<std::uint8_t>(x);
+      exp_[i + 255] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint8_t>(i);
+      x *= kGenerator;
+      if (x & 0x100) x ^= kPoly;
+    }
+    exp_[510] = exp_[0];
+    exp_[511] = exp_[1];
+    for (unsigned a = 1; a < 256; ++a)
+      for (unsigned b = 1; b < 256; ++b)
+        product_[(a << 8) | b] = exp_[log_[a] + log_[b]];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  return tables().product_[(static_cast<unsigned>(a) << 8) | b];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  FABEC_CHECK_MSG(b != 0, "gf::div by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  FABEC_CHECK_MSG(a != 0, "gf::inv of zero");
+  const auto& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned l = (static_cast<unsigned>(t.log_[a]) * (e % 255)) % 255;
+  return t.exp_[l];
+}
+
+std::uint8_t exp(unsigned i) { return tables().exp_[i % 255]; }
+
+std::uint8_t log(std::uint8_t a) {
+  FABEC_CHECK_MSG(a != 0, "gf::log of zero");
+  return tables().log_[a];
+}
+
+void mul_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+               std::size_t n) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  const std::uint8_t* row = &tables().product_[static_cast<unsigned>(c) << 8];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_add_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                   std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* row = &tables().product_[static_cast<unsigned>(c) << 8];
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+}  // namespace fabec::gf

@@ -1,0 +1,50 @@
+// Arithmetic over the Galois field GF(2^8).
+//
+// This is the algebraic substrate for the Reed–Solomon codec (src/erasure).
+// The field is GF(2)[x]/(x^8 + x^4 + x^3 + x^2 + 1), i.e. the reducing
+// polynomial 0x11d with generator 2 — the conventional choice in RAID-style
+// coding (Plank's tutorial [12] in the paper's references).
+//
+// Addition is XOR. Multiplication and inversion go through log/exp tables
+// built once at static initialization; bulk operations on block buffers use
+// a per-coefficient product table so the inner loop is one lookup per byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fabec::gf {
+
+/// Field addition (and subtraction — the field has characteristic 2).
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+/// Field multiplication.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Field division a / b. `b` must be nonzero.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse. `a` must be nonzero.
+std::uint8_t inv(std::uint8_t a);
+
+/// a raised to the integer power e (e may be any non-negative integer).
+std::uint8_t pow(std::uint8_t a, unsigned e);
+
+/// exp(i) = generator^i for i in [0, 255); wraps modulo 255.
+std::uint8_t exp(unsigned i);
+
+/// log(a) with respect to the generator; `a` must be nonzero.
+std::uint8_t log(std::uint8_t a);
+
+/// dst[i] = c * src[i] for i in [0, n).
+void mul_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+               std::size_t n);
+
+/// dst[i] ^= c * src[i] for i in [0, n) — the fused multiply-accumulate that
+/// dominates encode/decode time.
+void mul_add_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                   std::size_t n);
+
+}  // namespace fabec::gf

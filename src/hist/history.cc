@@ -1,0 +1,162 @@
+#include "hist/history.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace fabec::hist {
+
+History::OpRef History::begin_read(std::uint64_t seq) {
+  Operation op;
+  op.kind = OpKind::kRead;
+  op.invoke_seq = seq;
+  ops_.push_back(op);
+  return ops_.size() - 1;
+}
+
+History::OpRef History::begin_write(ValueId value, std::uint64_t seq) {
+  FABEC_CHECK_MSG(value != kNil, "nil is never written (Appendix B)");
+  Operation op;
+  op.kind = OpKind::kWrite;
+  op.value = value;
+  op.invoke_seq = seq;
+  ops_.push_back(op);
+  return ops_.size() - 1;
+}
+
+void History::end_read(OpRef op, std::uint64_t seq,
+                       std::optional<ValueId> returned) {
+  Operation& o = ops_.at(op);
+  FABEC_CHECK(o.kind == OpKind::kRead && o.end == OpEnd::kPending);
+  o.end_seq = seq;
+  if (returned.has_value()) {
+    o.end = OpEnd::kReturned;
+    o.value = returned;
+  } else {
+    o.end = OpEnd::kAborted;
+  }
+}
+
+void History::end_write(OpRef op, std::uint64_t seq, bool ok) {
+  Operation& o = ops_.at(op);
+  FABEC_CHECK(o.kind == OpKind::kWrite && o.end == OpEnd::kPending);
+  o.end_seq = seq;
+  o.end = ok ? OpEnd::kReturned : OpEnd::kAborted;
+}
+
+void History::crash(OpRef op, std::uint64_t seq) {
+  Operation& o = ops_.at(op);
+  FABEC_CHECK(o.end == OpEnd::kPending);
+  o.end_seq = seq;
+  o.end = OpEnd::kCrashed;
+}
+
+namespace {
+
+struct Edge {
+  ValueId to = kNil;
+  bool strict = false;
+};
+
+/// DFS-based cycle detection over the constraint graph. Any cycle through
+/// two or more distinct values (regardless of strictness) is a violation:
+/// v ≤ v' and v' ≤ v force v = v', impossible for distinct values.
+class CycleFinder {
+ public:
+  explicit CycleFinder(const std::map<ValueId, std::vector<Edge>>& graph)
+      : graph_(graph) {}
+
+  bool has_cycle() {
+    for (const auto& [node, edges] : graph_)
+      if (color_.emplace(node, 0).first->second == 0 && visit(node))
+        return true;
+    return false;
+  }
+
+ private:
+  bool visit(ValueId node) {
+    color_[node] = 1;  // on stack
+    auto it = graph_.find(node);
+    if (it != graph_.end()) {
+      for (const Edge& e : it->second) {
+        if (e.to == node) continue;  // non-strict self-loop: harmless
+        const int c = color_.emplace(e.to, 0).first->second;
+        if (c == 1) return true;  // back edge: cycle
+        if (c == 0 && visit(e.to)) return true;
+      }
+    }
+    color_[node] = 2;  // done
+    return false;
+  }
+
+  const std::map<ValueId, std::vector<Edge>>& graph_;
+  std::map<ValueId, int> color_;
+};
+
+}  // namespace
+
+CheckResult check_strict_linearizability(const History& history) {
+  const auto& ops = history.operations();
+
+  // ObservableH = values returned by successful reads ∪ values of writes
+  // that returned OK, plus nil (Definition 5 takes V ⊇ ObservableH; the
+  // minimal choice V = ObservableH ∪ {nil} imposes the fewest constraints,
+  // so a conforming order exists iff one exists for this V).
+  std::set<ValueId> observable;
+  observable.insert(kNil);
+  for (const Operation& op : ops) {
+    if (op.end != OpEnd::kReturned || !op.value.has_value()) continue;
+    observable.insert(*op.value);
+  }
+
+  std::map<ValueId, std::vector<Edge>> graph;
+  for (ValueId v : observable) graph[v];  // materialize nodes
+  // Condition (1): nil ≤ v.
+  for (ValueId v : observable)
+    if (v != kNil) graph[kNil].push_back(Edge{v, false});
+
+  // Conditions (2)-(5) over every →H-ordered pair of operations whose
+  // values are observable. Note crashed and aborted writes participate:
+  // their end event orders them, and if their value was observed the
+  // constraints bind exactly as for successful writes.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& a = ops[i];
+    if (!a.value.has_value() || !a.end_seq.has_value()) continue;
+    if (observable.count(*a.value) == 0) continue;
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      if (i == j) continue;
+      const Operation& b = ops[j];
+      if (!b.value.has_value()) continue;
+      if (observable.count(*b.value) == 0) continue;
+      if (*a.end_seq >= b.invoke_seq) continue;  // not a →H b
+      const bool strict = b.kind == OpKind::kWrite;  // conditions (2), (5)
+      if (strict && *a.value == *b.value) {
+        return CheckResult{
+            false, "strict constraint v < v forced (value re-ordered around "
+                   "a write of itself)"};
+      }
+      graph[*a.value].push_back(Edge{*b.value, strict});
+    }
+  }
+
+  CycleFinder finder(graph);
+  if (finder.has_cycle()) {
+    return CheckResult{false,
+                       "constraint cycle: no conforming total order exists "
+                       "(conditions (1)-(5) of Definition 5 conflict)"};
+  }
+  return CheckResult{};
+}
+
+ValueId ValueRegistry::id_of(const Block& block) {
+  const bool all_zero =
+      std::all_of(block.begin(), block.end(),
+                  [](std::uint8_t b) { return b == 0; });
+  if (all_zero) return kNil;
+  auto it = ids_.find(block);
+  if (it == ids_.end()) it = ids_.emplace(block, next_++).first;
+  return it->second;
+}
+
+}  // namespace fabec::hist

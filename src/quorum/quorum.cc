@@ -1,0 +1,98 @@
+#include "quorum/quorum.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fabec::quorum {
+
+std::uint32_t max_faulty(std::uint32_t n, std::uint32_t m) {
+  FABEC_CHECK_MSG(m >= 1 && m <= n, "require 1 <= m <= n");
+  return (n - m) / 2;
+}
+
+std::uint32_t quorum_size(std::uint32_t n, std::uint32_t m) {
+  return n - max_faulty(n, m);
+}
+
+bool system_exists(std::uint32_t n, std::uint32_t m, std::uint32_t f) {
+  return n >= 2 * f + m;
+}
+
+std::size_t intersection_size(const QuorumSet& a, const QuorumSet& b) {
+  QuorumSet sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  QuorumSet out;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+bool satisfies_consistency(const std::vector<QuorumSet>& system,
+                           std::uint32_t m) {
+  for (std::size_t i = 0; i < system.size(); ++i)
+    for (std::size_t j = i; j < system.size(); ++j)
+      if (intersection_size(system[i], system[j]) < m) return false;
+  return true;
+}
+
+namespace {
+
+// Calls fn(subset) for every size-k subset of {0..n-1}.
+template <typename Fn>
+void for_each_subset(std::uint32_t n, std::uint32_t k, Fn&& fn) {
+  QuorumSet subset(k);
+  for (std::uint32_t i = 0; i < k; ++i) subset[i] = i;
+  while (true) {
+    fn(subset);
+    // Advance to the next combination in lexicographic order.
+    std::int64_t i = static_cast<std::int64_t>(k) - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] ==
+                         n - k + static_cast<std::uint32_t>(i))
+      --i;
+    if (i < 0) return;
+    ++subset[static_cast<std::size_t>(i)];
+    for (auto j = static_cast<std::size_t>(i) + 1; j < k; ++j)
+      subset[j] = subset[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+bool satisfies_availability(const std::vector<QuorumSet>& system,
+                            std::uint32_t n, std::uint32_t f) {
+  if (f == 0) return !system.empty();
+  bool ok = true;
+  for_each_subset(n, f, [&](const QuorumSet& faulty) {
+    if (!ok) return;
+    const bool some_quorum_avoids =
+        std::any_of(system.begin(), system.end(), [&](const QuorumSet& q) {
+          return intersection_size(q, faulty) == 0;
+        });
+    if (!some_quorum_avoids) ok = false;
+  });
+  return ok;
+}
+
+std::vector<QuorumSet> threshold_system(std::uint32_t n, std::uint32_t m) {
+  const std::uint32_t q = quorum_size(n, m);
+  std::vector<QuorumSet> system;
+  for_each_subset(n, q, [&](const QuorumSet& s) { system.push_back(s); });
+  return system;
+}
+
+ReplyTracker::ReplyTracker(std::uint32_t n, std::uint32_t needed)
+    : replied_(n, false), needed_(needed) {
+  FABEC_CHECK(needed <= n);
+}
+
+bool ReplyTracker::add(ProcessId p) {
+  FABEC_CHECK(p < replied_.size());
+  if (replied_[p]) return false;
+  replied_[p] = true;
+  ++distinct_;
+  return true;
+}
+
+}  // namespace fabec::quorum

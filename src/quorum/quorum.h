@@ -1,0 +1,83 @@
+// m-quorum systems (paper §2.2 and Appendix A).
+//
+// For an m-out-of-n erasure code, any read quorum and write quorum must
+// intersect in at least m processes, or a reader may be unable to decode the
+// last written stripe. Definition 1 requires
+//     CONSISTENCY:  |Q1 ∩ Q2| >= m        for all quorums Q1, Q2
+//     AVAILABILITY: for every set S of f processes there is a quorum
+//                   disjoint from S
+// Theorem 2 shows such a system exists iff n >= 2f + m, and Lemma 3 shows
+// that when one exists, the *threshold* system Q = { Q : |Q| >= n - f } is
+// one. This module implements that canonical threshold construction plus
+// checkers used by tests to verify Definition 1 on explicit set systems.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fabec::quorum {
+
+/// Maximum number of faulty processes an m-of-n system can tolerate:
+/// f = floor((n - m) / 2)   (necessary and sufficient, Theorem 2).
+std::uint32_t max_faulty(std::uint32_t n, std::uint32_t m);
+
+/// Size of a threshold m-quorum: q = n - f.
+std::uint32_t quorum_size(std::uint32_t n, std::uint32_t m);
+
+/// Theorem 2: an m-quorum system tolerating f faults exists iff n >= 2f + m.
+bool system_exists(std::uint32_t n, std::uint32_t m, std::uint32_t f);
+
+/// Parameters of one stripe group's threshold m-quorum system.
+struct Config {
+  std::uint32_t n = 0;  ///< processes in the group
+  std::uint32_t m = 0;  ///< data blocks per stripe (= required intersection)
+
+  std::uint32_t f() const { return max_faulty(n, m); }
+  std::uint32_t quorum() const { return quorum_size(n, m); }
+  std::uint32_t parity() const { return n - m; }
+};
+
+/// A quorum as an explicit set of process ids (used by checkers and tests;
+/// the protocol itself only ever needs the threshold size).
+using QuorumSet = std::vector<ProcessId>;
+
+/// |a ∩ b| for sorted-or-unsorted id vectors without duplicates.
+std::size_t intersection_size(const QuorumSet& a, const QuorumSet& b);
+
+/// Checks Definition 1's CONSISTENCY property on an explicit set system.
+bool satisfies_consistency(const std::vector<QuorumSet>& system,
+                           std::uint32_t m);
+
+/// Checks Definition 1's AVAILABILITY property on an explicit set system:
+/// for every f-subset S of {0..n-1} some quorum avoids S. Exponential in n;
+/// intended for the small n used in tests.
+bool satisfies_availability(const std::vector<QuorumSet>& system,
+                            std::uint32_t n, std::uint32_t f);
+
+/// Enumerates the canonical threshold system { Q ⊆ {0..n-1} : |Q| = n - f }
+/// (minimal quorums only). Exponential in n; for tests.
+std::vector<QuorumSet> threshold_system(std::uint32_t n, std::uint32_t m);
+
+/// Tracks which processes have replied during one quorum RPC round and
+/// reports completion once `needed` distinct processes have answered.
+class ReplyTracker {
+ public:
+  ReplyTracker(std::uint32_t n, std::uint32_t needed);
+
+  /// Records a reply from `p`; returns true if this is the first reply from
+  /// `p` in this round.
+  bool add(ProcessId p);
+
+  bool complete() const { return distinct_ >= needed_; }
+  std::uint32_t distinct() const { return distinct_; }
+  bool has(ProcessId p) const { return replied_[p]; }
+
+ private:
+  std::vector<bool> replied_;
+  std::uint32_t needed_;
+  std::uint32_t distinct_ = 0;
+};
+
+}  // namespace fabec::quorum

@@ -1,0 +1,142 @@
+#include "reliability/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fabec::reliability {
+
+BrickModel BrickModel::make(BrickKind kind, const ComponentParams& params) {
+  const double d = params.disks_per_brick;
+  const double disk_lambda = 1.0 / params.disk_mttf_hours;
+  const double nondisk_lambda = 1.0 / params.brick_nondisk_mttf_hours;
+  BrickModel model;
+  model.raw_capacity_tb = d * params.disk_capacity_tb;
+  switch (kind) {
+    case BrickKind::kRaid0:
+      // Any disk failure loses the brick's data.
+      model.data_loss_rate_per_hour = d * disk_lambda + nondisk_lambda;
+      model.logical_capacity_tb = model.raw_capacity_tb;
+      break;
+    case BrickKind::kRaid5:
+      // Classic RAID-5 data-loss rate: a second disk failure during the
+      // first one's rebuild window, d(d-1)λ²·(repair time).
+      model.data_loss_rate_per_hour =
+          d * (d - 1) * disk_lambda * disk_lambda * params.disk_repair_hours +
+          nondisk_lambda;
+      model.logical_capacity_tb = (d - 1) * params.disk_capacity_tb;
+      break;
+    case BrickKind::kReliableRaid5: {
+      const double factor = params.highend_reliability_factor;
+      const double hl = disk_lambda / factor;
+      model.data_loss_rate_per_hour =
+          d * (d - 1) * hl * hl * params.disk_repair_hours +
+          nondisk_lambda / factor;
+      model.logical_capacity_tb = (d - 1) * params.disk_capacity_tb;
+      break;
+    }
+  }
+  return model;
+}
+
+double group_mttdl_hours(std::uint32_t group_size,
+                         std::uint32_t failures_to_loss, double lambda,
+                         double mu) {
+  FABEC_CHECK(failures_to_loss >= 1 && failures_to_loss <= group_size);
+  FABEC_CHECK(lambda > 0 && mu >= 0);
+  const std::uint32_t r = failures_to_loss;
+  // For a birth-death chain absorbed at the top, T_i = a_i + T_{i+1} holds
+  // exactly (reaching absorption from state i requires passing through
+  // i+1), with a_0 = 1/λ_0 and a_i = (1 + μ_i·a_{i-1}) / λ_i. This form is
+  // numerically stable — every term is positive — unlike the general
+  // tridiagonal elimination, which cancels catastrophically when μ >> λ.
+  // Failure rate in state i: (group_size - i)·λ; repair rate: i·μ.
+  double a_prev = 0.0;
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < r; ++i) {
+    const double li = (group_size - i) * lambda;
+    const double mi = i * mu;
+    const double a = (1.0 + mi * a_prev) / li;
+    total += a;
+    a_prev = a;
+  }
+  return total;
+}
+
+std::string SchemeConfig::label() const {
+  switch (kind) {
+    case Kind::kStriping:
+      return "striping";
+    case Kind::kReplication:
+      return std::to_string(replicas) + "-way replication";
+    case Kind::kErasureCode:
+      return "E.C.(" + std::to_string(m) + "," + std::to_string(n) + ")";
+  }
+  return "?";
+}
+
+double SchemeConfig::cross_brick_overhead() const {
+  switch (kind) {
+    case Kind::kStriping:
+      return 1.0;
+    case Kind::kReplication:
+      return static_cast<double>(replicas);
+    case Kind::kErasureCode:
+      return static_cast<double>(n) / static_cast<double>(m);
+  }
+  return 1.0;
+}
+
+std::uint32_t SchemeConfig::failures_to_loss() const {
+  switch (kind) {
+    case Kind::kStriping:
+      return 1;
+    case Kind::kReplication:
+      return replicas;
+    case Kind::kErasureCode:
+      return n - m + 1;
+  }
+  return 1;
+}
+
+std::uint32_t SchemeConfig::group_size() const {
+  switch (kind) {
+    case Kind::kStriping:
+      return 1;
+    case Kind::kReplication:
+      return replicas;
+    case Kind::kErasureCode:
+      return n;
+  }
+  return 1;
+}
+
+SystemPoint evaluate(const SchemeConfig& scheme, double logical_tb,
+                     const ComponentParams& params) {
+  FABEC_CHECK(logical_tb > 0);
+  const BrickModel brick = BrickModel::make(scheme.brick, params);
+  SystemPoint point;
+  point.logical_tb = logical_tb;
+  // Logical TB consumed per brick-logical TB across bricks:
+  const double cross = scheme.cross_brick_overhead();
+  const double bricks =
+      std::max(static_cast<double>(scheme.group_size()),
+               std::ceil(logical_tb * cross / brick.logical_capacity_tb));
+  point.num_bricks = bricks;
+  point.raw_tb = bricks * brick.raw_capacity_tb;
+  point.storage_overhead = point.raw_tb / logical_tb;
+
+  const double mu = 1.0 / params.brick_repair_hours;
+  const double group_hours =
+      group_mttdl_hours(scheme.group_size(), scheme.failures_to_loss(),
+                        brick.data_loss_rate_per_hour, mu);
+  // One effectively independent placement group per brick (rotated
+  // declustered placement); never fewer than one group.
+  const double groups = std::max(1.0, bricks);
+  point.mttdl_years = group_hours / groups / (24.0 * 365.0);
+  return point;
+}
+
+}  // namespace fabec::reliability

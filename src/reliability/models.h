@@ -1,0 +1,97 @@
+// Analytic reliability models behind Figures 2 and 3.
+//
+// The paper compares three redundancy schemes for a FAB built from N
+// bricks:
+//   (1) striping over reliable (high-end, internally RAID-5) bricks — no
+//       cross-brick redundancy, so any terminal brick failure loses data;
+//   (2) k-way replication across inexpensive bricks (RAID-0 or RAID-5
+//       internally);
+//   (3) m-of-n erasure coding across the same inexpensive bricks.
+// Data is lost when `failures_to_loss` bricks holding the same stripe are
+// terminally failed at the same time: 1 for striping, k for k-way
+// replication, and n - m + 1 for m-of-n erasure coding.
+//
+// MTTDL is computed with the standard Markov birth–death chain over one
+// redundancy group (bricks fail at rate λ each, concurrent repairs proceed
+// at rate μ each, absorption at `failures_to_loss` concurrent failures),
+// divided by the number of placement groups in the system — the paper's
+// "MTTDL is roughly proportional to the number of combinations of brick
+// failures that can lead to data loss" under random striping. With rotated
+// declustered placement the number of effectively distinct groups scales
+// with the brick count, so we use one group per brick.
+//
+// SUBSTITUTION (see DESIGN.md): the paper extrapolates component rates from
+// Asami's thesis [3], which we do not have. ComponentParams carries
+// commodity-hardware assumptions of the same era instead. Absolute MTTDLs
+// therefore differ from the paper's; the orderings and slopes — what
+// Figures 2 and 3 actually demonstrate — do not depend on the exact rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fabec::reliability {
+
+struct ComponentParams {
+  double disk_mttf_hours = 500'000;           ///< commodity disk MTTF
+  double disk_repair_hours = 24;              ///< in-brick RAID-5 rebuild
+  double brick_nondisk_mttf_hours = 300'000;  ///< controller/backplane, terminal
+  double brick_repair_hours = 24;             ///< cross-brick re-replication
+  std::uint32_t disks_per_brick = 12;
+  double disk_capacity_tb = 0.25;  ///< ~250 GB disks (2004 era)
+  /// How much more reliable "high-end" array hardware is than commodity
+  /// (applies to the striping curve's reliable bricks).
+  double highend_reliability_factor = 10.0;
+};
+
+enum class BrickKind {
+  kRaid0,        ///< non-redundant internals: any disk failure is terminal
+  kRaid5,        ///< internal parity: loses data on 2 disk failures in a window
+  kReliableRaid5 ///< high-end array brick for the striping comparison
+};
+
+/// Reliability and capacity of a single brick under the given internals.
+struct BrickModel {
+  double data_loss_rate_per_hour = 0;  ///< λ: terminal data-loss failures
+  double logical_capacity_tb = 0;
+  double raw_capacity_tb = 0;
+
+  static BrickModel make(BrickKind kind, const ComponentParams& params);
+};
+
+/// Expected hours to absorption of the birth–death chain on one redundancy
+/// group: state i = i failed bricks, failure rate (group_size - i)·λ,
+/// repair rate i·μ, absorbing at failures_to_loss.
+double group_mttdl_hours(std::uint32_t group_size,
+                         std::uint32_t failures_to_loss, double lambda,
+                         double mu);
+
+struct SchemeConfig {
+  enum class Kind { kStriping, kReplication, kErasureCode };
+  Kind kind = Kind::kErasureCode;
+  std::uint32_t replicas = 4;      ///< replication factor (kReplication)
+  std::uint32_t m = 5;             ///< data blocks (kErasureCode)
+  std::uint32_t n = 8;             ///< total blocks (kErasureCode)
+  BrickKind brick = BrickKind::kRaid0;
+
+  std::string label() const;
+  /// Cross-brick storage overhead (raw / logical), excluding brick
+  /// internals.
+  double cross_brick_overhead() const;
+  std::uint32_t failures_to_loss() const;
+  std::uint32_t group_size() const;
+};
+
+struct SystemPoint {
+  double logical_tb = 0;
+  double raw_tb = 0;
+  double storage_overhead = 0;  ///< raw capacity / logical capacity
+  double num_bricks = 0;
+  double mttdl_years = 0;
+};
+
+/// Evaluates one scheme at one logical capacity.
+SystemPoint evaluate(const SchemeConfig& scheme, double logical_tb,
+                     const ComponentParams& params);
+
+}  // namespace fabec::reliability

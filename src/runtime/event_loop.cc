@@ -1,0 +1,81 @@
+#include "runtime/event_loop.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace fabec::runtime {
+
+EventLoop::EventLoop(std::uint64_t seed)
+    : epoch_(Clock::now()), rng_(seed), worker_([this] { worker_main(); }) {}
+
+EventLoop::~EventLoop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  worker_.join();
+}
+
+std::int64_t EventLoop::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+sim::EventId EventLoop::schedule_event(sim::Duration delay,
+                                       std::function<void()> fn) {
+  FABEC_CHECK(delay >= 0);
+  const std::int64_t due = now_ns() + delay;
+  sim::EventId id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FABEC_CHECK_MSG(!stopping_, "scheduling on a stopped EventLoop");
+    id = sim::EventId{due, next_seq_++};
+    queue_.emplace(id, std::move(fn));
+  }
+  wake_.notify_all();
+  return id;
+}
+
+bool EventLoop::cancel_event(sim::EventId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.erase(id) > 0;
+}
+
+void EventLoop::run_sync(std::function<void()> fn) {
+  FABEC_CHECK_MSG(!on_loop_thread(), "run_sync from the loop thread");
+  std::promise<void> done;
+  auto future = done.get_future();
+  post([&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  future.wait();
+}
+
+void EventLoop::worker_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      wake_.wait(lock);
+      continue;
+    }
+    const auto it = queue_.begin();
+    const std::int64_t due = it->first.time;
+    const std::int64_t now = now_ns();
+    if (due > now) {
+      wake_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      continue;  // re-check: a nearer event or stop may have arrived
+    }
+    auto fn = std::move(it->second);
+    queue_.erase(it);
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace fabec::runtime

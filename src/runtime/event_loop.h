@@ -1,0 +1,73 @@
+// Wall-clock event loop: the runtime counterpart of sim::Simulator.
+//
+// One worker thread drains a timed event queue; everything the protocol
+// does (message delivery, retransmission timers, operation completion) runs
+// on that thread, giving the same single-threaded execution semantics the
+// simulator provides — client threads interact only by posting events and
+// waiting on futures. This is the "one shard" concurrency model: real
+// time, real threads at the edges, no data races inside.
+//
+// Implements sim::Executor, so core::Coordinator runs on it unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "sim/executor.h"
+
+namespace fabec::runtime {
+
+class EventLoop final : public sim::Executor {
+ public:
+  explicit EventLoop(std::uint64_t seed = 1);
+  /// Stops the worker; pending events are dropped.
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- sim::Executor -----------------------------------------------------
+  /// `delay` is in nanoseconds of real time.
+  sim::EventId schedule_event(sim::Duration delay,
+                              std::function<void()> fn) override;
+  bool cancel_event(sim::EventId id) override;
+  /// Only valid on the loop thread (protocol code), where access is
+  /// naturally serialized.
+  Rng& random() override { return rng_; }
+
+  // --- client-thread helpers ----------------------------------------------
+  /// Runs `fn` on the loop thread as soon as possible.
+  void post(std::function<void()> fn) { schedule_event(0, std::move(fn)); }
+
+  /// Posts `fn` and blocks until it has run. Must NOT be called from the
+  /// loop thread (it would deadlock); protocol code never needs it.
+  void run_sync(std::function<void()> fn);
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == worker_.get_id();
+  }
+
+  /// Nanoseconds since the loop started (the timestamp clock).
+  std::int64_t now_ns() const;
+
+ private:
+  void worker_main();
+
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::map<sim::EventId, std::function<void()>> queue_;  // keyed (ns, seq)
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  Rng rng_;
+  std::thread worker_;
+};
+
+}  // namespace fabec::runtime

@@ -1,0 +1,204 @@
+#include "runtime/threaded_cluster.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fabec::runtime {
+
+ThreadedCluster::ThreadedCluster(ThreadedClusterConfig config,
+                                 std::uint64_t seed)
+    : config_(config),
+      layout_(config.total_bricks == 0 ? config.n : config.total_bricks,
+              config.n),
+      codec_(config.m, config.n),
+      loop_(seed) {
+  const quorum::Config qc{config_.n, config_.m};
+  const std::uint32_t bricks = layout_.total_bricks();
+  bricks_.reserve(bricks);
+  for (ProcessId p = 0; p < bricks; ++p) {
+    auto brick = std::make_unique<Brick>(config_.block_size);
+    brick->replica = std::make_unique<core::RegisterReplica>(
+        p, qc, &layout_, &codec_, &brick->store);
+    brick->ts_source = std::make_unique<TimestampSource>(
+        p, [this]() { return loop_.now_ns(); });
+    brick->coordinator = std::make_unique<core::Coordinator>(
+        p, qc, &layout_, &codec_, &loop_, brick->ts_source.get(),
+        [this, p](ProcessId dest, core::Message msg) {
+          send(p, dest, std::move(msg));
+        },
+        config_.coordinator);
+    bricks_.push_back(std::move(brick));
+  }
+  if (config_.use_udp_transport) {
+    std::vector<ProcessId> all(bricks);
+    for (ProcessId p = 0; p < bricks; ++p) all[p] = p;
+    udp_ = std::make_unique<UdpTransport>(std::move(all));
+    udp_->set_peers(udp_->local_endpoints());
+    // Received datagrams hop from the receive thread onto the loop thread,
+    // where all protocol state lives.
+    udp_->start([this](ProcessId from, ProcessId to, core::Message msg) {
+      loop_.post([this, from, to, m = std::move(msg)]() mutable {
+        deliver(from, to, std::move(m));
+      });
+    });
+  }
+}
+
+ThreadedCluster::~ThreadedCluster() {
+  // Quiesce: drop in-flight operations on the loop thread before the loop
+  // is torn down, so no continuation outlives the bricks.
+  loop_.run_sync([this] {
+    for (auto& brick : bricks_) brick->coordinator->drop_all_pending();
+  });
+}
+
+void ThreadedCluster::send(ProcessId from, ProcessId to, core::Message msg) {
+  if (udp_) {
+    // Serialize onto the kernel's loopback; a failed send is message loss,
+    // which quorum retransmission masks.
+    udp_->send(from, to, msg);
+    return;
+  }
+  loop_.schedule_event(config_.link_delay,
+                       [this, from, to, m = std::move(msg)]() mutable {
+                         deliver(from, to, std::move(m));
+                       });
+}
+
+void ThreadedCluster::deliver(ProcessId from, ProcessId to,
+                              core::Message msg) {
+  Brick& brick = *bricks_[to];
+  if (!brick.alive) return;  // messages to a crashed brick are lost
+  if (!core::is_request(msg)) {
+    brick.coordinator->on_reply(from, msg);
+    return;
+  }
+  if (std::holds_alternative<core::GcReq>(msg)) {
+    brick.replica->handle(msg);
+    return;
+  }
+  const auto key = std::make_pair(
+      from, std::visit(
+                [](const auto& m) -> core::OpId {
+                  if constexpr (requires { m.op; })
+                    return m.op;
+                  else
+                    return 0;
+                },
+                msg));
+  if (auto cached = brick.reply_cache.find(key);
+      cached != brick.reply_cache.end()) {
+    send(to, from, cached->second);
+    return;
+  }
+  std::optional<core::Message> reply = brick.replica->handle(msg);
+  FABEC_CHECK(reply.has_value());
+  brick.reply_cache.emplace(key, *reply);
+  send(to, from, std::move(*reply));
+}
+
+void ThreadedCluster::crash(ProcessId p) {
+  loop_.run_sync([this, p] {
+    bricks_[p]->alive = false;
+    bricks_[p]->coordinator->drop_all_pending();
+    bricks_[p]->reply_cache.clear();
+    // Fail every blocking client operation this brick was coordinating:
+    // their protocol continuations are gone, so their outcome is ⊥.
+    auto aborts = std::move(bricks_[p]->client_aborts);
+    bricks_[p]->client_aborts.clear();
+    for (auto& [id, abort] : aborts) abort();
+  });
+}
+
+template <typename T, typename Start>
+T ThreadedCluster::blocking_op(ProcessId coord, T abort_value,
+                               Start&& start) {
+  struct Shared {
+    std::promise<T> promise;
+    std::atomic_flag completed = ATOMIC_FLAG_INIT;
+    void complete(T value) {
+      if (!completed.test_and_set()) promise.set_value(std::move(value));
+    }
+  };
+  auto shared = std::make_shared<Shared>();
+  auto future = shared->promise.get_future();
+  loop_.post([this, coord, shared, abort_value,
+              start = std::forward<Start>(start)]() mutable {
+    Brick& brick = *bricks_[coord];
+    if (!brick.alive) {
+      shared->complete(std::move(abort_value));
+      return;
+    }
+    const std::uint64_t id = brick.next_client_op++;
+    brick.client_aborts.emplace(
+        id, [shared, abort_value] { shared->complete(abort_value); });
+    start(*brick.coordinator, [this, coord, id, shared](T result) {
+      bricks_[coord]->client_aborts.erase(id);
+      shared->complete(std::move(result));
+    });
+  });
+  return future.get();
+}
+
+void ThreadedCluster::recover_brick(ProcessId p) {
+  loop_.run_sync([this, p] { bricks_[p]->alive = true; });
+}
+
+std::optional<std::vector<Block>> ThreadedCluster::read_stripe(
+    ProcessId coord, StripeId stripe) {
+  return blocking_op<core::Coordinator::StripeResult>(
+      coord, std::nullopt, [stripe](core::Coordinator& c, auto complete) {
+        c.read_stripe(stripe, std::move(complete));
+      });
+}
+
+bool ThreadedCluster::write_stripe(ProcessId coord, StripeId stripe,
+                                   std::vector<Block> data) {
+  return blocking_op<bool>(
+      coord, false,
+      [stripe, d = std::move(data)](core::Coordinator& c,
+                                    auto complete) mutable {
+        c.write_stripe(stripe, std::move(d), std::move(complete));
+      });
+}
+
+std::optional<Block> ThreadedCluster::read_block(ProcessId coord,
+                                                 StripeId stripe,
+                                                 BlockIndex j) {
+  return blocking_op<core::Coordinator::BlockResult>(
+      coord, std::nullopt, [stripe, j](core::Coordinator& c, auto complete) {
+        c.read_block(stripe, j, std::move(complete));
+      });
+}
+
+bool ThreadedCluster::write_block(ProcessId coord, StripeId stripe,
+                                  BlockIndex j, Block block) {
+  return blocking_op<bool>(
+      coord, false,
+      [stripe, j, b = std::move(block)](core::Coordinator& c,
+                                        auto complete) mutable {
+        c.write_block(stripe, j, std::move(b), std::move(complete));
+      });
+}
+
+core::CoordinatorStats ThreadedCluster::total_coordinator_stats() {
+  core::CoordinatorStats total;
+  loop_.run_sync([this, &total] {
+    for (const auto& brick : bricks_) {
+      const core::CoordinatorStats& s = brick->coordinator->stats();
+      total.stripe_reads += s.stripe_reads;
+      total.stripe_writes += s.stripe_writes;
+      total.block_reads += s.block_reads;
+      total.block_writes += s.block_writes;
+      total.fast_read_hits += s.fast_read_hits;
+      total.recoveries_started += s.recoveries_started;
+      total.aborts += s.aborts;
+      total.retransmit_rounds += s.retransmit_rounds;
+    }
+  });
+  return total;
+}
+
+}  // namespace fabec::runtime

@@ -1,0 +1,122 @@
+// A FAB brick group running in real time on a wall-clock event loop.
+//
+// Identical protocol objects to core::Cluster — the same RegisterReplica,
+// Coordinator, BrickStore, GroupLayout — driven by runtime::EventLoop
+// instead of the virtual-time simulator, with inter-brick messages posted
+// through the loop after a configurable real link delay. Client threads
+// issue operations concurrently through blocking (future-based) or
+// callback APIs; everything protocol-side stays on the loop thread.
+//
+// This is the deployment shape for "all bricks in one process" (useful for
+// embedding and integration testing against real time); a multi-process
+// deployment replaces the in-process link with the wire codec
+// (core/wire.h) over sockets, feeding received messages to
+// `deliver_external`-style entry points — the protocol neither knows nor
+// cares.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "core/coordinator.h"
+#include "core/group_layout.h"
+#include "core/replica.h"
+#include "erasure/codec.h"
+#include "runtime/event_loop.h"
+#include "runtime/udp_transport.h"
+#include "storage/brick_store.h"
+
+namespace fabec::runtime {
+
+struct ThreadedClusterConfig {
+  std::uint32_t n = 8;
+  std::uint32_t m = 5;
+  std::uint32_t total_bricks = 0;  ///< 0 = n
+  std::size_t block_size = 4096;
+  /// One-way link delay applied to every message (real nanoseconds).
+  /// Ignored when use_udp_transport is set (the kernel provides latency).
+  sim::Duration link_delay = sim::microseconds(50);
+  /// Route brick-to-brick messages through real loopback UDP sockets using
+  /// the wire codec, instead of posting them in-process. Same protocol,
+  /// real serialization, real kernel, real (rare) datagram loss — which the
+  /// retransmission machinery masks.
+  bool use_udp_transport = false;
+  core::Coordinator::Options coordinator;
+};
+
+class ThreadedCluster {
+ public:
+  explicit ThreadedCluster(ThreadedClusterConfig config,
+                           std::uint64_t seed = 1);
+  ~ThreadedCluster();
+
+  ThreadedCluster(const ThreadedCluster&) = delete;
+  ThreadedCluster& operator=(const ThreadedCluster&) = delete;
+
+  std::uint32_t brick_count() const { return layout_.total_bricks(); }
+  const ThreadedClusterConfig& config() const { return config_; }
+  EventLoop& loop() { return loop_; }
+  /// Present only under use_udp_transport.
+  const UdpTransport* udp() const { return udp_.get(); }
+
+  // --- blocking operations (callable from any client thread) -------------
+  std::optional<std::vector<Block>> read_stripe(ProcessId coord,
+                                                StripeId stripe);
+  bool write_stripe(ProcessId coord, StripeId stripe,
+                    std::vector<Block> data);
+  std::optional<Block> read_block(ProcessId coord, StripeId stripe,
+                                  BlockIndex j);
+  bool write_block(ProcessId coord, StripeId stripe, BlockIndex j,
+                   Block block);
+
+  // --- failure injection (synchronous, any thread) -----------------------
+  void crash(ProcessId p);
+  void recover_brick(ProcessId p);
+
+  // --- statistics ---------------------------------------------------------
+  core::CoordinatorStats total_coordinator_stats();
+
+ private:
+  struct Brick {
+    explicit Brick(std::size_t block_size) : store(block_size) {}
+    storage::BrickStore store;
+    std::unique_ptr<core::RegisterReplica> replica;
+    std::unique_ptr<core::Coordinator> coordinator;
+    std::unique_ptr<TimestampSource> ts_source;
+    std::map<std::pair<ProcessId, core::OpId>, core::Message> reply_cache;
+    bool alive = true;  // loop-thread state
+    /// Abort hooks for blocking client operations this brick coordinates:
+    /// a coordinator crash drops its continuations (by design — that is
+    /// what a partial write IS), so the runtime must fail the waiting
+    /// client futures itself or they would block forever.
+    std::map<std::uint64_t, std::function<void()>> client_aborts;
+    std::uint64_t next_client_op = 0;
+  };
+
+  /// Runs `start(coordinator, complete)` on the loop thread and blocks for
+  /// the result; `complete` may be called once, from the operation callback
+  /// or from the crash-abort hook, whichever happens first. Returns
+  /// `abort_value` if the coordinator is down or crashes mid-operation.
+  template <typename T, typename Start>
+  T blocking_op(ProcessId coord, T abort_value, Start&& start);
+
+  /// Runs on the loop thread.
+  void deliver(ProcessId from, ProcessId to, core::Message msg);
+  void send(ProcessId from, ProcessId to, core::Message msg);
+
+  ThreadedClusterConfig config_;
+  core::GroupLayout layout_;
+  erasure::Codec codec_;
+  EventLoop loop_;
+  std::unique_ptr<UdpTransport> udp_;
+  std::vector<std::unique_ptr<Brick>> bricks_;
+};
+
+}  // namespace fabec::runtime

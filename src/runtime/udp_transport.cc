@@ -1,0 +1,144 @@
+#include "runtime/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "core/wire.h"
+
+namespace fabec::runtime {
+namespace {
+
+// Datagram layout: [u32 from][u32 to][wire-encoded message]. The ids are a
+// routing envelope; the message body carries its own CRC.
+constexpr std::size_t kEnvelopeBytes = 8;
+constexpr std::size_t kMaxDatagram = 63 * 1024;
+
+sockaddr_in loopback_port(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::vector<ProcessId> local_bricks)
+    : local_bricks_(std::move(local_bricks)) {
+  FABEC_CHECK(!local_bricks_.empty());
+  sockets_.reserve(local_bricks_.size());
+  for (std::size_t i = 0; i < local_bricks_.size(); ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    FABEC_CHECK_MSG(fd >= 0, "UDP socket creation failed");
+    sockaddr_in addr = loopback_port(0);  // ephemeral
+    FABEC_CHECK_MSG(
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+        "UDP bind failed");
+    sockets_.push_back(fd);
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  stopping_ = true;
+  // Poke the receiver loop out of poll() by closing the sockets.
+  for (int fd : sockets_) ::shutdown(fd, SHUT_RDWR);
+  if (receiver_.joinable()) receiver_.join();
+  for (int fd : sockets_) ::close(fd);
+}
+
+std::map<ProcessId, std::uint16_t> UdpTransport::local_endpoints() const {
+  std::map<ProcessId, std::uint16_t> out;
+  for (std::size_t i = 0; i < local_bricks_.size(); ++i) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    FABEC_CHECK(::getsockname(sockets_[i], reinterpret_cast<sockaddr*>(&addr),
+                              &len) == 0);
+    out[local_bricks_[i]] = ntohs(addr.sin_port);
+  }
+  return out;
+}
+
+void UdpTransport::set_peers(std::map<ProcessId, std::uint16_t> peers) {
+  peers_ = std::move(peers);
+}
+
+void UdpTransport::start(Handler handler) {
+  FABEC_CHECK_MSG(!peers_.empty(), "set_peers before start");
+  FABEC_CHECK_MSG(!receiver_.joinable(), "transport already started");
+  handler_ = std::move(handler);
+  receiver_ = std::thread([this] { receive_main(); });
+}
+
+bool UdpTransport::send(ProcessId from, ProcessId to,
+                        const core::Message& msg) {
+  const auto peer = peers_.find(to);
+  if (peer == peers_.end()) return false;
+  // Find the sending brick's socket (source-port identifies the sender to
+  // observers; the envelope identifies it to the protocol).
+  int fd = -1;
+  for (std::size_t i = 0; i < local_bricks_.size(); ++i)
+    if (local_bricks_[i] == from) fd = sockets_[i];
+  FABEC_CHECK_MSG(fd >= 0, "send from a brick not hosted here");
+
+  Bytes datagram;
+  ByteWriter writer(datagram);
+  writer.put_u32(from);
+  writer.put_u32(to);
+  const Bytes body = core::encode_message(msg);
+  datagram.insert(datagram.end(), body.begin(), body.end());
+  FABEC_CHECK_MSG(datagram.size() <= kMaxDatagram,
+                  "block size too large for the UDP transport");
+
+  const sockaddr_in addr = loopback_port(peer->second);
+  const ssize_t sent =
+      ::sendto(fd, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (sent != static_cast<ssize_t>(datagram.size())) return false;
+  ++stats_.datagrams_sent;
+  return true;
+}
+
+void UdpTransport::receive_main() {
+  std::vector<pollfd> fds(sockets_.size());
+  for (std::size_t i = 0; i < sockets_.size(); ++i)
+    fds[i] = pollfd{sockets_[i], POLLIN, 0};
+  Bytes buffer(kMaxDatagram);
+  while (!stopping_) {
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      const ssize_t got =
+          ::recv(sockets_[i], buffer.data(), buffer.size(), 0);
+      if (got < static_cast<ssize_t>(kEnvelopeBytes)) {
+        if (got >= 0) ++stats_.rejected;
+        continue;
+      }
+      const Bytes envelope(buffer.begin(), buffer.begin() + kEnvelopeBytes);
+      ByteReader reader(envelope);
+      std::uint32_t from = 0, to = 0;
+      FABEC_CHECK(reader.get_u32(&from) && reader.get_u32(&to));
+      if (to != local_bricks_[i]) {  // misaddressed datagram
+        ++stats_.rejected;
+        continue;
+      }
+      const Bytes body(buffer.begin() + kEnvelopeBytes, buffer.begin() + got);
+      auto msg = core::decode_message(body);
+      if (!msg.has_value()) {  // corrupt: the CRC turned it into a drop
+        ++stats_.rejected;
+        continue;
+      }
+      ++stats_.datagrams_received;
+      handler_(from, to, std::move(*msg));
+    }
+  }
+}
+
+}  // namespace fabec::runtime

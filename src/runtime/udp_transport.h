@@ -1,0 +1,78 @@
+// UDP datagram transport for brick-to-brick messages, using the wire codec
+// (core/wire.h). This is the real-network leg of the runtime: messages are
+// serialized, checksummed, pushed through the kernel's loopback (or any
+// IPv4 path), received on a dedicated thread, decoded, and dispatched.
+//
+// UDP is a faithful realization of §2's channels: datagrams may be dropped
+// or reordered but arrive intact or not at all (the CRC turns corruption
+// into a drop) — exactly the fair-lossy model the protocol's
+// retransmission already masks. A brick group's blocks must fit a datagram
+// (~60 KB); larger block sizes would use TCP framing, which changes nothing
+// above this interface.
+//
+// One transport instance owns the sockets for the bricks hosted in THIS
+// process; peers (possibly in other processes) are installed as a
+// brick-id -> UDP-port map, so multi-process deployments differ from
+// in-process ones only in who fills that map.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "core/messages.h"
+
+namespace fabec::runtime {
+
+struct UdpTransportStats {
+  std::atomic<std::uint64_t> datagrams_sent{0};
+  std::atomic<std::uint64_t> datagrams_received{0};
+  std::atomic<std::uint64_t> rejected{0};  ///< undecodable / misaddressed
+};
+
+class UdpTransport {
+ public:
+  /// from, to, decoded message — called on the receive thread.
+  using Handler = std::function<void(ProcessId, ProcessId, core::Message)>;
+
+  /// Binds one loopback UDP socket (ephemeral port) per local brick.
+  explicit UdpTransport(std::vector<ProcessId> local_bricks);
+  ~UdpTransport();
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Ports of the bricks hosted here — the piece of the peer map this
+  /// process contributes.
+  std::map<ProcessId, std::uint16_t> local_endpoints() const;
+
+  /// Installs the full cluster's brick -> port map (including local ones).
+  void set_peers(std::map<ProcessId, std::uint16_t> peers);
+
+  /// Starts the receive thread. set_peers must have been called.
+  void start(Handler handler);
+
+  /// Sends from a locally hosted brick to any peer. Returns false if the
+  /// peer is unknown or the send failed (both count as message loss, which
+  /// retransmission masks).
+  bool send(ProcessId from, ProcessId to, const core::Message& msg);
+
+  const UdpTransportStats& stats() const { return stats_; }
+
+ private:
+  void receive_main();
+
+  std::vector<ProcessId> local_bricks_;
+  std::vector<int> sockets_;  ///< parallel to local_bricks_
+  std::map<ProcessId, std::uint16_t> peers_;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread receiver_;
+  UdpTransportStats stats_;
+};
+
+}  // namespace fabec::runtime

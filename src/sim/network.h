@@ -1,0 +1,139 @@
+// Simulated asynchronous, fair-lossy, point-to-point network (paper §2).
+//
+// Channels may delay, drop, and (through delay jitter) reorder messages;
+// they never corrupt them. Fair loss — a message retransmitted forever to a
+// correct process is delivered infinitely often — emerges from per-message
+// independent drop decisions with probability < 1; the protocol layers
+// implement the retransmission (quorum(), §2.2).
+//
+// The network is generic over the message type so the paper's register
+// protocol and the LS97 baseline each get a type-safe fabric with identical
+// timing/fault semantics. Msg must expose `std::size_t wire_size() const`
+// for bandwidth accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace fabec::sim {
+
+struct NetworkConfig {
+  /// Fixed component of the one-way delay (δ when jitter is zero).
+  Duration base_delay = kDefaultDelta;
+  /// Uniform extra delay in [0, jitter]. Nonzero jitter reorders messages.
+  Duration jitter = 0;
+  /// Independent per-message drop probability (must be < 1 for fair loss).
+  double drop_probability = 0.0;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;    // random loss
+  std::uint64_t messages_blocked = 0;    // partitions / dead destination
+  std::uint64_t bytes_sent = 0;
+};
+
+template <typename Msg>
+class Network {
+ public:
+  /// from, to, message — invoked at delivery time on the destination.
+  using Handler = std::function<void(ProcessId, ProcessId, Msg)>;
+  /// Returns whether `to` can currently accept a delivery (e.g. is alive).
+  using DeliveryGate = std::function<bool(ProcessId)>;
+
+  Network(Simulator& simulator, std::uint32_t n, NetworkConfig config)
+      : sim_(simulator),
+        n_(n),
+        config_(config),
+        rng_(simulator.rng().fork()),
+        blocked_(n, std::vector<bool>(n, false)) {
+    FABEC_CHECK(config.drop_probability < 1.0);
+  }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  void set_delivery_gate(DeliveryGate gate) { gate_ = std::move(gate); }
+
+  const NetworkConfig& config() const { return config_; }
+  void set_config(const NetworkConfig& config) {
+    FABEC_CHECK(config.drop_probability < 1.0);
+    config_ = config;
+  }
+
+  /// Sends `msg` from `from` to `to`. Loopback (from == to) is delivered
+  /// through the same path — a coordinator messaging its own replica still
+  /// pays δ and is counted, matching the paper's "all replicas are involved"
+  /// accounting for Table 1.
+  void send(ProcessId from, ProcessId to, Msg msg) {
+    FABEC_CHECK(from < n_ && to < n_);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += msg.wire_size();
+    if (blocked_[from][to]) {
+      ++stats_.messages_blocked;
+      return;
+    }
+    if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    Duration delay = config_.base_delay;
+    if (config_.jitter > 0)
+      delay += static_cast<Duration>(
+          rng_.next_below(static_cast<std::uint64_t>(config_.jitter) + 1));
+    sim_.schedule_after(delay, [this, from, to, m = std::move(msg)]() mutable {
+      if (gate_ && !gate_(to)) {
+        ++stats_.messages_blocked;
+        return;
+      }
+      ++stats_.messages_delivered;
+      FABEC_CHECK_MSG(static_cast<bool>(handler_), "network handler not set");
+      handler_(from, to, std::move(m));
+    });
+  }
+
+  /// Symmetrically blocks the link between a and b (network partition).
+  void block_link(ProcessId a, ProcessId b) {
+    blocked_[a][b] = blocked_[b][a] = true;
+  }
+  void unblock_link(ProcessId a, ProcessId b) {
+    blocked_[a][b] = blocked_[b][a] = false;
+  }
+
+  /// Partitions the processes into {group} vs the rest: every cross link is
+  /// blocked, intra-group links are left untouched.
+  void partition(const std::vector<ProcessId>& group) {
+    std::vector<bool> in_group(n_, false);
+    for (ProcessId p : group) in_group[p] = true;
+    for (ProcessId a = 0; a < n_; ++a)
+      for (ProcessId b = 0; b < n_; ++b)
+        if (in_group[a] != in_group[b]) blocked_[a][b] = true;
+  }
+
+  /// Removes all link blocks (heals every partition).
+  void heal() {
+    for (auto& row : blocked_) row.assign(n_, false);
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+ private:
+  Simulator& sim_;
+  std::uint32_t n_;
+  NetworkConfig config_;
+  Rng rng_;
+  Handler handler_;
+  DeliveryGate gate_;
+  std::vector<std::vector<bool>> blocked_;
+  NetworkStats stats_;
+};
+
+}  // namespace fabec::sim

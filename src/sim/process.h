@@ -1,0 +1,91 @@
+// Crash-recovery process bookkeeping (paper §2).
+//
+// Processes fail by crashing and may later recover. A crash destroys
+// volatile state and invalidates every continuation the process had in
+// flight; persistent state (src/storage) survives. The epoch counter is the
+// invalidation mechanism: callbacks capture the epoch at creation and become
+// no-ops if the process has crashed since.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fabec::sim {
+
+class ProcessSet {
+ public:
+  explicit ProcessSet(std::uint32_t n) : procs_(n) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(procs_.size()); }
+
+  bool alive(ProcessId p) const { return at(p).alive; }
+
+  /// Epoch increments on every crash; a continuation created at epoch e must
+  /// not run if epoch(p) != e.
+  std::uint64_t epoch(ProcessId p) const { return at(p).epoch; }
+
+  /// Crashes `p`: marks it down, bumps the epoch, and runs its on_crash hook
+  /// (which should drop volatile state). Crashing a crashed process is a
+  /// no-op.
+  void crash(ProcessId p) {
+    auto& proc = at(p);
+    if (!proc.alive) return;
+    proc.alive = false;
+    ++proc.epoch;
+    ++crashes_;
+    if (proc.on_crash) proc.on_crash();
+  }
+
+  /// Recovers `p`: marks it up and runs its on_recover hook (which should
+  /// reload persistent state). Recovering a live process is a no-op.
+  void recover(ProcessId p) {
+    auto& proc = at(p);
+    if (proc.alive) return;
+    proc.alive = true;
+    ++recoveries_;
+    if (proc.on_recover) proc.on_recover();
+  }
+
+  void set_on_crash(ProcessId p, std::function<void()> fn) {
+    at(p).on_crash = std::move(fn);
+  }
+  void set_on_recover(ProcessId p, std::function<void()> fn) {
+    at(p).on_recover = std::move(fn);
+  }
+
+  std::uint32_t alive_count() const {
+    std::uint32_t c = 0;
+    for (const auto& proc : procs_) c += proc.alive ? 1 : 0;
+    return c;
+  }
+
+  std::uint64_t total_crashes() const { return crashes_; }
+  std::uint64_t total_recoveries() const { return recoveries_; }
+
+ private:
+  struct Proc {
+    bool alive = true;
+    std::uint64_t epoch = 0;
+    std::function<void()> on_crash;
+    std::function<void()> on_recover;
+  };
+
+  const Proc& at(ProcessId p) const {
+    FABEC_CHECK(p < procs_.size());
+    return procs_[p];
+  }
+  Proc& at(ProcessId p) {
+    FABEC_CHECK(p < procs_.size());
+    return procs_[p];
+  }
+
+  std::vector<Proc> procs_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace fabec::sim

@@ -1,0 +1,114 @@
+// Deterministic discrete-event simulator.
+//
+// All asynchrony in the reproduction — message delays, retransmission
+// timers, crash and recovery schedules, workload arrivals — is expressed as
+// events on this single queue. Events at equal times fire in scheduling
+// order (a monotonically increasing sequence number breaks ties), so a run
+// is a pure function of (program, seed): every failing test is replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace fabec::sim {
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+struct EventId {
+  Time time = 0;
+  std::uint64_t seq = 0;
+
+  auto operator<=>(const EventId&) const = default;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Root random stream. Components should fork() child streams.
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run at now() + delay (delay >= 0).
+  EventId schedule_after(Duration delay, std::function<void()> fn) {
+    FABEC_CHECK(delay >= 0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute virtual time >= now().
+  EventId schedule_at(Time t, std::function<void()> fn) {
+    FABEC_CHECK(t >= now_);
+    const EventId id{t, next_seq_++};
+    queue_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId id) { return queue_.erase(id) > 0; }
+
+  /// Runs the earliest pending event. Returns false if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    auto it = queue_.begin();
+    FABEC_CHECK(it->first.time >= now_);
+    now_ = it->first.time;
+    auto fn = std::move(it->second);
+    queue_.erase(it);
+    ++events_run_;
+    fn();
+    return true;
+  }
+
+  /// Runs until the queue drains. `max_events` guards against runaway
+  /// retransmission loops in tests; hitting the guard aborts.
+  void run_until_idle(std::uint64_t max_events = 50'000'000) {
+    std::uint64_t n = 0;
+    while (step())
+      FABEC_CHECK_MSG(++n <= max_events, "simulator exceeded event budget");
+  }
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(Time t) {
+    while (!queue_.empty() && queue_.begin()->first.time <= t) step();
+    if (t > now_) now_ = t;
+  }
+
+  /// Runs events for the next `d` of virtual time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until `done()` returns true or the queue drains; returns whether
+  /// the predicate was satisfied.
+  bool run_until_pred(const std::function<bool()>& done,
+                      std::uint64_t max_events = 50'000'000) {
+    std::uint64_t n = 0;
+    while (!done()) {
+      if (!step()) return false;
+      FABEC_CHECK_MSG(++n <= max_events, "simulator exceeded event budget");
+    }
+    return true;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_run() const { return events_run_; }
+
+ private:
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_run_ = 0;
+  std::map<EventId, std::function<void()>> queue_;
+  Rng rng_;
+};
+
+}  // namespace fabec::sim

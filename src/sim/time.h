@@ -1,0 +1,30 @@
+// Virtual time for the discrete-event simulator.
+//
+// The paper's model (§2) is asynchronous: correctness never depends on
+// timing. Virtual time exists only to order events, to model network delay
+// distributions, and to measure latency in units of the one-way delay δ for
+// the Table 1 reproduction.
+#pragma once
+
+#include <cstdint>
+
+namespace fabec::sim {
+
+/// Nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// Nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration nanoseconds(std::int64_t v) { return v; }
+inline constexpr Duration microseconds(std::int64_t v) { return v * 1000; }
+inline constexpr Duration milliseconds(std::int64_t v) {
+  return v * 1'000'000;
+}
+inline constexpr Duration seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+/// The default one-way message delay δ used by latency accounting; benches
+/// report latencies as multiples of this.
+inline constexpr Duration kDefaultDelta = microseconds(100);
+
+}  // namespace fabec::sim

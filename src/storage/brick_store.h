@@ -1,0 +1,64 @@
+// A brick's persistent storage: one ReplicaStore per stripe it serves, plus
+// the brick-wide I/O counters. Stores are created lazily on first touch —
+// a register whose stripe was never accessed costs nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/types.h"
+#include "storage/disk_stats.h"
+#include "storage/replica_store.h"
+
+namespace fabec::storage {
+
+class BrickStore {
+ public:
+  explicit BrickStore(std::size_t block_size) : block_size_(block_size) {}
+
+  /// Persistent state for `stripe`, created in the initial (all-nil) state
+  /// on first access.
+  ReplicaStore& replica(StripeId stripe) {
+    auto it = stores_.find(stripe);
+    if (it == stores_.end())
+      it = stores_
+               .emplace(stripe, std::make_unique<ReplicaStore>(block_size_))
+               .first;
+    return *it->second;
+  }
+
+  bool has_replica(StripeId stripe) const { return stores_.count(stripe) > 0; }
+
+  /// Wipes all persistent state — models swapping in a REPLACEMENT brick
+  /// after a terminal hardware failure. Unlike a crash (which preserves
+  /// this store), a wiped brick re-enters in the initial all-nil state and
+  /// must be treated as faulty until a rebuild restores its blocks.
+  void wipe() { stores_.clear(); }
+
+  DiskStats& io() { return io_; }
+  const DiskStats& io() const { return io_; }
+  void reset_io() { io_ = DiskStats{}; }
+
+  std::size_t block_size() const { return block_size_; }
+  std::size_t stripes_stored() const { return stores_.size(); }
+
+  /// Total log entries / stored blocks across all stripes (GC ablation).
+  std::size_t total_log_entries() const {
+    std::size_t total = 0;
+    for (const auto& [id, store] : stores_) total += store->log_entries();
+    return total;
+  }
+  std::size_t total_log_blocks() const {
+    std::size_t total = 0;
+    for (const auto& [id, store] : stores_) total += store->log_blocks();
+    return total;
+  }
+
+ private:
+  std::size_t block_size_;
+  std::map<StripeId, std::unique_ptr<ReplicaStore>> stores_;
+  DiskStats io_;
+};
+
+}  // namespace fabec::storage

@@ -1,0 +1,24 @@
+// I/O accounting with Table 1's conventions:
+//   * reading a block from the log   = 1 disk read
+//   * writing a block to the log     = 1 disk write
+//   * timestamps (ord-ts, ⊥ entries) live in NVRAM — no disk I/O.
+#pragma once
+
+#include <cstdint>
+
+namespace fabec::storage {
+
+struct DiskStats {
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t nvram_writes = 0;
+
+  DiskStats& operator+=(const DiskStats& other) {
+    disk_reads += other.disk_reads;
+    disk_writes += other.disk_writes;
+    nvram_writes += other.nvram_writes;
+    return *this;
+  }
+};
+
+}  // namespace fabec::storage

@@ -1,0 +1,109 @@
+#include "storage/replica_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fabec::storage {
+
+ReplicaStore::ReplicaStore(std::size_t block_size) : block_size_(block_size) {
+  FABEC_CHECK(block_size > 0);
+  log_.push_back(LogEntry{kLowTS, zero_block(block_size)});
+}
+
+void ReplicaStore::store_ord_ts(const Timestamp& ts, DiskStats& io) {
+  ord_ts_ = ts;
+  ++io.nvram_writes;
+}
+
+Timestamp ReplicaStore::max_ts() const {
+  FABEC_CHECK(!log_.empty());
+  return log_.back().ts;
+}
+
+Timestamp ReplicaStore::max_block_ts() const {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it)
+    if (it->block.has_value()) return it->ts;
+  FABEC_CHECK_MSG(false, "log lost all block entries");
+  return kLowTS;
+}
+
+Block ReplicaStore::max_block(DiskStats& io) const {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->block.has_value()) {
+      ++io.disk_reads;
+      return *it->block;
+    }
+  }
+  FABEC_CHECK_MSG(false, "log lost all block entries");
+  return {};
+}
+
+std::optional<Version> ReplicaStore::max_below(const Timestamp& bound,
+                                               DiskStats& io) const {
+  std::optional<Timestamp> version_ts;
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->ts >= bound) continue;
+    if (!version_ts.has_value()) version_ts = it->ts;
+    if (it->block.has_value()) {
+      ++io.disk_reads;
+      return Version{*version_ts, *it->block};
+    }
+  }
+  return std::nullopt;
+}
+
+void ReplicaStore::append(const Timestamp& ts, std::optional<Block> block,
+                          DiskStats& io) {
+  FABEC_CHECK_MSG(ts > max_ts(),
+                  "append must use a timestamp above max-ts(log)");
+  if (block.has_value()) {
+    FABEC_CHECK(block->size() == block_size_);
+    ++io.disk_writes;
+  } else {
+    ++io.nvram_writes;
+  }
+  log_.push_back(LogEntry{ts, std::move(block)});
+}
+
+void ReplicaStore::gc_below(const Timestamp& complete_ts) {
+  // Locate the newest entry overall and the newest non-⊥ entry that are
+  // older than complete_ts; both survive collection.
+  const LogEntry* keep_newest = nullptr;
+  const LogEntry* keep_newest_block = nullptr;
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->ts >= complete_ts) continue;
+    if (!keep_newest) keep_newest = &*it;
+    if (!keep_newest_block && it->block.has_value()) {
+      keep_newest_block = &*it;
+      break;  // entries are sorted; nothing older can matter
+    }
+  }
+  std::vector<LogEntry> kept;
+  kept.reserve(log_.size());
+  for (const LogEntry& e : log_) {
+    if (e.ts >= complete_ts || &e == keep_newest || &e == keep_newest_block)
+      kept.push_back(e);
+  }
+  log_ = std::move(kept);
+  FABEC_CHECK(!log_.empty());
+}
+
+void ReplicaStore::corrupt_newest_block(Block garbage) {
+  FABEC_CHECK(garbage.size() == block_size_);
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->block.has_value()) {
+      it->block = std::move(garbage);
+      return;
+    }
+  }
+  FABEC_CHECK_MSG(false, "log lost all block entries");
+}
+
+std::size_t ReplicaStore::log_blocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(log_.begin(), log_.end(),
+                    [](const LogEntry& e) { return e.block.has_value(); }));
+}
+
+}  // namespace fabec::storage

@@ -1,0 +1,113 @@
+// Persistent per-replica state for one storage register (paper §4.2).
+//
+// Each process keeps, for each register (stripe) it serves:
+//   * ord-ts — the logical time at which the most recent write *started*;
+//     max-ts(log) < ord-ts signals a write in progress / partial write.
+//   * log    — a set of [timestamp, block] pairs recording the history of
+//     updates this replica has seen. A pair may carry ⊥ instead of a block,
+//     which advances the replica's timestamp knowledge without storing data
+//     (used by the Modify handler for uninvolved data processes).
+// The initial log is {[LowTS, nil]} where nil is the all-zero block: a
+// virtual disk reads zeros from addresses never written, and the all-zero
+// stripe is a valid codeword (parity of zeros is zero), so a fresh system is
+// consistent by construction.
+//
+// In a real brick this state lives in NVRAM (timestamps) and on disk
+// (blocks) and survives crashes; here it survives because ProcessSet crash
+// hooks only clear volatile protocol state, never the ReplicaStore. The
+// store() primitive of §4.2 is atomic per variable, which this in-memory
+// representation models trivially.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/timestamp.h"
+#include "storage/disk_stats.h"
+
+namespace fabec::storage {
+
+struct LogEntry {
+  Timestamp ts;
+  std::optional<Block> block;  ///< nullopt is the paper's ⊥ marker
+};
+
+/// A decoded (timestamp, block) pair returned by log queries.
+struct Version {
+  Timestamp ts;
+  Block block;
+};
+
+class ReplicaStore {
+ public:
+  /// Creates the initial state {ord-ts = LowTS, log = {[LowTS, nil]}}.
+  explicit ReplicaStore(std::size_t block_size);
+
+  std::size_t block_size() const { return block_size_; }
+
+  // --- ord-ts ---------------------------------------------------------
+  const Timestamp& ord_ts() const { return ord_ts_; }
+  /// store(ord-ts): NVRAM write.
+  void store_ord_ts(const Timestamp& ts, DiskStats& io);
+
+  // --- log queries (paper §4.2) ----------------------------------------
+  /// max-ts(log): highest timestamp in the log, ⊥ entries included. Reads
+  /// only the NVRAM timestamp index — no disk I/O.
+  Timestamp max_ts() const;
+
+  /// Timestamp of the newest non-⊥ entry (NVRAM only).
+  Timestamp max_block_ts() const;
+
+  /// max-block(log): the non-⊥ block with the highest timestamp. Always
+  /// exists (the initial nil entry is non-⊥). One disk read.
+  Block max_block(DiskStats& io) const;
+
+  /// max-below(log, bound): the replica's view of the newest stripe version
+  /// strictly below `bound`. Returns
+  ///   ts    — the highest entry timestamp < bound, ⊥ entries included: the
+  ///           version this reply vouches for;
+  ///   block — the newest non-⊥ block < bound: this replica's block value
+  ///           *as of* that version. A ⊥ marker appended by the Modify
+  ///           handler certifies exactly that the block is unchanged at its
+  ///           timestamp, which is why an older block may be served under a
+  ///           newer version timestamp.
+  /// nullopt if no non-⊥ entry exists below the bound (possible only after
+  /// garbage collection). One disk read when found.
+  std::optional<Version> max_below(const Timestamp& bound,
+                                   DiskStats& io) const;
+
+  // --- log updates -----------------------------------------------------
+  /// Appends [ts, block] (block == nullopt appends a ⊥ marker). `ts` must
+  /// exceed max_ts(); the protocol's status checks guarantee this. Counts
+  /// one disk write for a block, one NVRAM write for ⊥.
+  void append(const Timestamp& ts, std::optional<Block> block, DiskStats& io);
+
+  /// Garbage collection (paper §5.1): called once a write with timestamp
+  /// `complete_ts` is known complete on a full quorum. Drops entries older
+  /// than `complete_ts` except that — because *this* replica may not have
+  /// participated in that write — it always retains its newest non-⊥ entry
+  /// and its newest entry overall, so max_ts(), max_block() and recovery
+  /// remain well defined.
+  void gc_below(const Timestamp& complete_ts);
+
+  // --- fault injection ---------------------------------------------------
+  /// Overwrites the newest non-⊥ block in place, leaving timestamps
+  /// untouched — models a latent sector error (bit rot) that the protocol
+  /// cannot see but a scrub must detect. Test/maintenance use only.
+  void corrupt_newest_block(Block garbage);
+
+  // --- introspection ---------------------------------------------------
+  std::size_t log_entries() const { return log_.size(); }
+  /// Number of entries that hold an actual block (disk space consumed).
+  std::size_t log_blocks() const;
+  const std::vector<LogEntry>& log_for_inspection() const { return log_; }
+
+ private:
+  std::size_t block_size_;
+  Timestamp ord_ts_ = kLowTS;
+  std::vector<LogEntry> log_;  // kept sorted by ts ascending
+};
+
+}  // namespace fabec::storage

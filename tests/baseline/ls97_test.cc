@@ -1,0 +1,149 @@
+// LS97 replication baseline: behaviour plus the Table 1 cost columns.
+#include "baseline/ls97.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fabec::baseline {
+namespace {
+
+constexpr std::size_t kB = 1024;
+
+Ls97Config make_config(std::uint32_t n) {
+  Ls97Config config;
+  config.n = n;
+  config.block_size = kB;
+  return config;
+}
+
+TEST(Ls97Test, FreshRegisterReadsZeros) {
+  Ls97Cluster cluster(make_config(4));
+  EXPECT_EQ(cluster.read_sync(0, 0), zero_block(kB));
+}
+
+TEST(Ls97Test, WriteThenRead) {
+  Ls97Cluster cluster(make_config(4));
+  Rng rng(1);
+  const Block v = random_block(rng, kB);
+  EXPECT_TRUE(cluster.write_sync(0, 0, v));
+  EXPECT_EQ(cluster.read_sync(1, 0), v);
+}
+
+TEST(Ls97Test, AnyCoordinatorSeesLatestValue) {
+  Ls97Cluster cluster(make_config(5));
+  Rng rng(2);
+  Block last;
+  for (int round = 0; round < 6; ++round) {
+    last = random_block(rng, kB);
+    ASSERT_TRUE(cluster.write_sync(round % 5, 0, last));
+    for (ProcessId p = 0; p < 5; ++p)
+      EXPECT_EQ(cluster.read_sync(p, 0), last);
+  }
+}
+
+TEST(Ls97Test, RegistersAreIndependent) {
+  Ls97Cluster cluster(make_config(3));
+  Rng rng(3);
+  const Block a = random_block(rng, kB);
+  const Block b = random_block(rng, kB);
+  ASSERT_TRUE(cluster.write_sync(0, 1, a));
+  ASSERT_TRUE(cluster.write_sync(0, 2, b));
+  EXPECT_EQ(cluster.read_sync(1, 1), a);
+  EXPECT_EQ(cluster.read_sync(1, 2), b);
+  EXPECT_EQ(cluster.read_sync(1, 3), zero_block(kB));
+}
+
+TEST(Ls97Test, ToleratesMinorityCrashes) {
+  Ls97Cluster cluster(make_config(5));  // majority 3: tolerates 2 down
+  Rng rng(4);
+  cluster.crash(3);
+  cluster.crash(4);
+  const Block v = random_block(rng, kB);
+  EXPECT_TRUE(cluster.write_sync(0, 0, v));
+  EXPECT_EQ(cluster.read_sync(1, 0), v);
+}
+
+TEST(Ls97Test, ReadWriteBackPreventsStaleReads) {
+  // After a read returned v, later reads return v even if the original
+  // write only reached a bare majority.
+  Ls97Cluster cluster(make_config(5));
+  Rng rng(5);
+  const Block v = random_block(rng, kB);
+  ASSERT_TRUE(cluster.write_sync(0, 0, v));
+  // Crash two replicas, read through the remaining three, recover.
+  cluster.crash(0);
+  cluster.crash(1);
+  const auto seen = cluster.read_sync(2, 0);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, v);
+  cluster.recover_brick(0);
+  cluster.recover_brick(1);
+  EXPECT_EQ(cluster.read_sync(0, 0), v);
+}
+
+TEST(Ls97Test, LossyNetworkMaskedByRetransmission) {
+  Ls97Config config = make_config(5);
+  config.net.drop_probability = 0.3;
+  config.retransmit_period = sim::milliseconds(1);
+  Ls97Cluster cluster(config, /*seed=*/6);
+  Rng rng(6);
+  for (int round = 0; round < 5; ++round) {
+    const Block v = random_block(rng, kB);
+    ASSERT_TRUE(cluster.write_sync(round % 5, 0, v));
+    EXPECT_EQ(cluster.read_sync((round + 1) % 5, 0), v);
+  }
+}
+
+// Table 1, LS97 columns: read 4δ / 4n msgs / n disk reads / n disk writes /
+// 2nB; write 4δ / 4n msgs / 0 reads / n writes / nB.
+TEST(Ls97Test, Table1ReadCosts) {
+  const std::uint32_t n = 4;
+  Ls97Cluster cluster(make_config(n));
+  Rng rng(7);
+  ASSERT_TRUE(cluster.write_sync(0, 0, random_block(rng, kB)));
+  cluster.network().reset_stats();
+  cluster.reset_io_stats();
+  const sim::Time start = cluster.simulator().now();
+  ASSERT_TRUE(cluster.read_sync(0, 0).has_value());
+  EXPECT_EQ((cluster.simulator().now() - start) / sim::kDefaultDelta, 4);
+  EXPECT_EQ(cluster.network().stats().messages_sent, 4 * n);
+  EXPECT_EQ(cluster.total_io().disk_reads, n);
+  EXPECT_EQ(cluster.total_io().disk_writes, n);
+  EXPECT_EQ(cluster.network().stats().bytes_sent / kB, 2 * n);
+}
+
+TEST(Ls97Test, Table1WriteCosts) {
+  const std::uint32_t n = 4;
+  Ls97Cluster cluster(make_config(n));
+  Rng rng(8);
+  cluster.network().reset_stats();
+  cluster.reset_io_stats();
+  const sim::Time start = cluster.simulator().now();
+  ASSERT_TRUE(cluster.write_sync(0, 0, random_block(rng, kB)));
+  EXPECT_EQ((cluster.simulator().now() - start) / sim::kDefaultDelta, 4);
+  EXPECT_EQ(cluster.network().stats().messages_sent, 4 * n);
+  EXPECT_EQ(cluster.total_io().disk_reads, 0u);
+  EXPECT_EQ(cluster.total_io().disk_writes, n);
+  EXPECT_EQ(cluster.network().stats().bytes_sent / kB, n);
+}
+
+TEST(Ls97Test, ConcurrentWritesConvergeToOneValue) {
+  Ls97Cluster cluster(make_config(5));
+  Rng rng(9);
+  const Block a = random_block(rng, kB);
+  const Block b = random_block(rng, kB);
+  int done = 0;
+  cluster.write(0, 0, a, [&](bool) { ++done; });
+  cluster.write(1, 0, b, [&](bool) { ++done; });
+  cluster.simulator().run_until_idle();
+  EXPECT_EQ(done, 2);
+  const auto seen = cluster.read_sync(2, 0);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_TRUE(*seen == a || *seen == b);
+  // Stable thereafter.
+  EXPECT_EQ(cluster.read_sync(3, 0), *seen);
+}
+
+}  // namespace
+}  // namespace fabec::baseline

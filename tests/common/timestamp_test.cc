@@ -1,0 +1,121 @@
+#include "common/timestamp.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fabec {
+namespace {
+
+TEST(TimestampTest, SentinelsBracketEverything) {
+  const Timestamp t{12345, 3};
+  EXPECT_LT(kLowTS, t);
+  EXPECT_LT(t, kHighTS);
+  EXPECT_LT(kLowTS, kHighTS);
+}
+
+TEST(TimestampTest, LexicographicOrder) {
+  EXPECT_LT((Timestamp{1, 9}), (Timestamp{2, 0}));
+  EXPECT_LT((Timestamp{5, 1}), (Timestamp{5, 2}));
+  EXPECT_EQ((Timestamp{5, 1}), (Timestamp{5, 1}));
+}
+
+TEST(TimestampTest, ProcIdBreaksTies) {
+  // Two processes reading the same clock still produce ordered, distinct
+  // timestamps (UNIQUENESS).
+  TimestampSource a(1, [] { return 100; });
+  TimestampSource b(2, [] { return 100; });
+  const Timestamp ta = a.next();
+  const Timestamp tb = b.next();
+  EXPECT_NE(ta, tb);
+  EXPECT_EQ(ta.time, tb.time);
+  EXPECT_LT(ta, tb);
+}
+
+TEST(TimestampTest, ToStringSentinels) {
+  EXPECT_EQ(kLowTS.to_string(), "LowTS");
+  EXPECT_EQ(kHighTS.to_string(), "HighTS");
+  EXPECT_EQ((Timestamp{42, 7}).to_string(), "42.7");
+}
+
+TEST(TimestampSourceTest, Monotonicity) {
+  std::int64_t clock = 0;
+  TimestampSource src(0, [&clock] { return clock; });
+  Timestamp prev = src.next();
+  for (int i = 0; i < 1000; ++i) {
+    clock += (i % 3 == 0) ? 1 : 0;  // clock may stall
+    const Timestamp next = src.next();
+    EXPECT_LT(prev, next) << "MONOTONICITY violated at i=" << i;
+    prev = next;
+  }
+}
+
+TEST(TimestampSourceTest, MonotonicUnderClockRollback) {
+  std::int64_t clock = 1000;
+  TimestampSource src(0, [&clock] { return clock; });
+  const Timestamp t1 = src.next();
+  clock = 10;  // clock jumps backwards
+  const Timestamp t2 = src.next();
+  EXPECT_LT(t1, t2);
+}
+
+TEST(TimestampSourceTest, UniquenessAcrossSources) {
+  std::int64_t clock = 0;
+  TimestampSource a(0, [&clock] { return clock; });
+  TimestampSource b(1, [&clock] { return clock; });
+  std::set<Timestamp> seen;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(seen.insert(a.next()).second);
+    EXPECT_TRUE(seen.insert(b.next()).second);
+    ++clock;
+  }
+}
+
+TEST(TimestampSourceTest, ProgressPastOtherProcesses) {
+  // PROGRESS: repeatedly invoking newTS eventually exceeds any timestamp
+  // another process generated, as long as the clock advances.
+  std::int64_t clock = 0;
+  TimestampSource fast(0, [&clock] { return clock; });
+  TimestampSource slow(1, [&clock] { return clock; });
+  clock = 1'000'000;
+  const Timestamp target = fast.next();
+  clock = 0;
+  Timestamp t = slow.next();
+  int iterations = 0;
+  while (t < target && iterations < 2'000'000) {
+    ++clock;
+    t = slow.next();
+    ++iterations;
+  }
+  EXPECT_GT(t, target);
+}
+
+TEST(TimestampSourceTest, GeneratedAlwaysStrictlyBetweenSentinels) {
+  std::int64_t clock = 0;
+  TimestampSource src(0, [&clock] { return clock; });
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp t = src.next();
+    EXPECT_LT(kLowTS, t);
+    EXPECT_LT(t, kHighTS);
+  }
+}
+
+TEST(TimestampSourceTest, ObserveRatchetsPastForeignTimestamp) {
+  std::int64_t clock = 0;
+  TimestampSource src(0, [&clock] { return clock; });
+  src.observe(Timestamp{500, 3});
+  EXPECT_GT(src.next(), (Timestamp{500, 3}));
+}
+
+TEST(TimestampSourceTest, ObserveHighTSIsIgnored) {
+  std::int64_t clock = 10;
+  TimestampSource src(0, [&clock] { return clock; });
+  src.observe(kHighTS);
+  const Timestamp t = src.next();
+  EXPECT_LT(t, kHighTS);
+  EXPECT_EQ(t.time, 10);
+}
+
+}  // namespace
+}  // namespace fabec

@@ -1,0 +1,195 @@
+// Brick pools: N > n bricks with rotated n-brick segment groups per stripe.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/group_layout.h"
+#include "fab/virtual_disk.h"
+
+namespace fabec::core {
+namespace {
+
+constexpr std::size_t kB = 128;
+
+TEST(GroupLayoutTest, IdentityWhenPoolEqualsGroup) {
+  GroupLayout layout(8, 8);
+  for (StripeId s : {0ULL, 5ULL, 123ULL}) {
+    for (std::uint32_t pos = 0; pos < 8; ++pos)
+      EXPECT_EQ(layout.member(s, pos), pos);
+    for (ProcessId p = 0; p < 8; ++p) {
+      ASSERT_TRUE(layout.position(s, p).has_value());
+      EXPECT_EQ(*layout.position(s, p), p);
+    }
+  }
+}
+
+TEST(GroupLayoutTest, RotationCoversPool) {
+  GroupLayout layout(24, 8);
+  // Consecutive stripes start one brick apart; every brick serves some
+  // stripes and skips others.
+  std::set<ProcessId> first_members;
+  for (StripeId s = 0; s < 24; ++s) first_members.insert(layout.member(s, 0));
+  EXPECT_EQ(first_members.size(), 24u);
+
+  const auto group = layout.group(7);
+  ASSERT_EQ(group.size(), 8u);
+  std::set<ProcessId> distinct(group.begin(), group.end());
+  EXPECT_EQ(distinct.size(), 8u);
+  for (std::uint32_t pos = 0; pos < 8; ++pos)
+    EXPECT_EQ(group[pos], (7 + pos) % 24);
+}
+
+TEST(GroupLayoutTest, PositionInverseOfMember) {
+  GroupLayout layout(13, 5);  // deliberately non-divisible
+  for (StripeId s = 0; s < 40; ++s) {
+    std::uint32_t serving = 0;
+    for (ProcessId p = 0; p < 13; ++p) {
+      const auto pos = layout.position(s, p);
+      if (!pos.has_value()) continue;
+      ++serving;
+      EXPECT_EQ(layout.member(s, *pos), p);
+      EXPECT_TRUE(layout.serves(s, p));
+    }
+    EXPECT_EQ(serving, 5u);
+  }
+}
+
+TEST(GroupLayoutTest, WrapAroundGroups) {
+  GroupLayout layout(10, 4);
+  // Stripe 8: members 8, 9, 0, 1.
+  EXPECT_EQ(layout.group(8), (std::vector<ProcessId>{8, 9, 0, 1}));
+  EXPECT_EQ(*layout.position(8, 0), 2u);
+  EXPECT_FALSE(layout.position(8, 5).has_value());
+}
+
+ClusterConfig pool_config(std::uint32_t total, std::uint32_t n,
+                          std::uint32_t m) {
+  ClusterConfig config;
+  config.n = n;
+  config.m = m;
+  config.total_bricks = total;
+  config.block_size = kB;
+  return config;
+}
+
+std::vector<Block> random_stripe(std::uint32_t m, Rng& rng) {
+  std::vector<Block> stripe;
+  for (std::uint32_t i = 0; i < m; ++i) stripe.push_back(random_block(rng, kB));
+  return stripe;
+}
+
+TEST(BrickPoolTest, StripesLandOnTheirGroups) {
+  Cluster cluster(pool_config(24, 8, 5), 1);
+  Rng rng(1);
+  for (StripeId s = 0; s < 24; ++s)
+    ASSERT_TRUE(cluster.write_stripe(0, s, random_stripe(5, rng)));
+  cluster.simulator().run_until_idle();
+  // Each brick stores exactly the stripes whose group contains it: with 24
+  // stripes rotated over 24 bricks in groups of 8, that is 8 stripes each.
+  for (ProcessId p = 0; p < 24; ++p)
+    EXPECT_EQ(cluster.store(p).stripes_stored(), 8u) << "brick " << p;
+}
+
+TEST(BrickPoolTest, ReadWriteAcrossGroups) {
+  Cluster cluster(pool_config(20, 8, 5), 2);
+  Rng rng(2);
+  std::map<StripeId, std::vector<Block>> golden;
+  for (StripeId s = 0; s < 40; ++s) {
+    golden[s] = random_stripe(5, rng);
+    // Any brick can coordinate any stripe, member of its group or not.
+    ASSERT_TRUE(cluster.write_stripe(s % 20, s, golden[s]));
+  }
+  for (const auto& [s, expected] : golden)
+    EXPECT_EQ(cluster.read_stripe((s + 7) % 20, s), expected);
+}
+
+TEST(BrickPoolTest, NonMemberCoordinatorWorks) {
+  Cluster cluster(pool_config(16, 8, 5), 3);
+  Rng rng(3);
+  // Stripe 0's group is bricks 0..7; brick 12 is not a member but can
+  // coordinate (the coordinator role needs no local replica).
+  ASSERT_FALSE(cluster.group_layout().serves(0, 12));
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(12, 0, stripe));
+  EXPECT_EQ(cluster.read_stripe(12, 0), stripe);
+  EXPECT_EQ(cluster.store(12).stripes_stored(), 0u);
+}
+
+TEST(BrickPoolTest, BlockOpsAcrossGroups) {
+  Cluster cluster(pool_config(12, 8, 5), 4);
+  Rng rng(4);
+  for (StripeId s = 0; s < 12; ++s) {
+    const Block b = random_block(rng, kB);
+    ASSERT_TRUE(cluster.write_block(0, s, 2, b));
+    EXPECT_EQ(cluster.read_block(5, s, 2), b);
+  }
+}
+
+TEST(BrickPoolTest, CrashAffectsOnlyItsGroups) {
+  Cluster cluster(pool_config(24, 8, 5), 5);
+  Rng rng(5);
+  std::map<StripeId, std::vector<Block>> golden;
+  for (StripeId s = 0; s < 24; ++s) {
+    golden[s] = random_stripe(5, rng);
+    ASSERT_TRUE(cluster.write_stripe(0, s, golden[s]));
+  }
+  // One brick down: every group contains at most 1 failed brick = f, so
+  // every stripe stays readable and writable.
+  cluster.crash(10);
+  for (StripeId s = 0; s < 24; ++s)
+    EXPECT_EQ(cluster.read_stripe((s + 1) % 24 == 10 ? 11 : (s + 1) % 24, s),
+              golden[s])
+        << "stripe " << s;
+  // Two adjacent bricks down would exceed f=1 for the groups containing
+  // both — but groups containing at most one of them still work.
+  cluster.crash(11);
+  // Stripe 20's group is bricks 20,21,22,23,0,1,2,3: unaffected.
+  ASSERT_FALSE(cluster.group_layout().serves(20, 10));
+  EXPECT_EQ(cluster.read_stripe(0, 20), golden[20]);
+}
+
+TEST(BrickPoolTest, DeclusteredPlacementSpreadsLoad) {
+  Cluster cluster(pool_config(24, 8, 5), 6);
+  Rng rng(6);
+  for (StripeId s = 0; s < 48; ++s)
+    ASSERT_TRUE(cluster.write_stripe(s % 24, s, random_stripe(5, rng)));
+  cluster.simulator().run_until_idle();
+  // Every brick did some disk writes; none did more than ~2x the mean.
+  std::uint64_t total = 0, max_writes = 0;
+  for (ProcessId p = 0; p < 24; ++p) {
+    const auto w = cluster.store(p).io().disk_writes;
+    EXPECT_GT(w, 0u) << "brick " << p;
+    total += w;
+    max_writes = std::max(max_writes, w);
+  }
+  EXPECT_LE(max_writes, 2 * total / 24);
+}
+
+TEST(BrickPoolTest, VirtualDiskOverPool) {
+  Cluster cluster(pool_config(20, 8, 5), 7);
+  fab::VirtualDisk disk(&cluster, fab::VirtualDiskConfig{500});
+  Rng rng(7);
+  std::map<Lba, Block> golden;
+  for (Lba lba = 0; lba < 60; lba += 3) {
+    golden[lba] = random_block(rng, kB);
+    ASSERT_TRUE(disk.write_sync(lba, golden[lba]));
+  }
+  cluster.crash(3);
+  for (const auto& [lba, expected] : golden)
+    EXPECT_EQ(disk.read_sync(lba), expected) << "lba " << lba;
+}
+
+TEST(BrickPoolTest, MultiBlockOpsOverPool) {
+  Cluster cluster(pool_config(16, 8, 5), 8);
+  Rng rng(8);
+  const std::vector<BlockIndex> js{0, 3};
+  const std::vector<Block> blocks{random_block(rng, kB),
+                                  random_block(rng, kB)};
+  ASSERT_TRUE(cluster.write_blocks(9, 5, js, blocks));
+  EXPECT_EQ(cluster.read_blocks(2, 5, js), blocks);
+}
+
+}  // namespace
+}  // namespace fabec::core

@@ -1,0 +1,117 @@
+// Table 1's closed-form cost formulas, verified as FUNCTIONS of (n, m) —
+// not just at the paper's 5-of-8 point. For every scheme in the sweep, the
+// failure-free operations must cost exactly:
+//   stripe read : 2δ, 2n msgs, m reads, 0 writes, mB
+//   stripe write: 4δ, 4n msgs, 0 reads, n writes, nB
+//   block read  : 2δ, 2n msgs, 1 read,  0 writes, B
+//   block write : 4δ, 4n msgs, k+1 reads, k+1 writes, (2n+1)B
+// (block ops need m >= 2 to be distinct from stripe ops; k = n - m.)
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace fabec::core {
+namespace {
+
+constexpr std::size_t kB = 512;
+
+class CostSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+ protected:
+  CostSweepTest() : rng_(1) {
+    ClusterConfig config;
+    config.n = n();
+    config.m = m();
+    config.block_size = kB;
+    config.coordinator.auto_gc = false;
+    cluster_ = std::make_unique<Cluster>(config, 1);
+  }
+
+  std::uint32_t n() const { return std::get<0>(GetParam()); }
+  std::uint32_t m() const { return std::get<1>(GetParam()); }
+  std::uint32_t k() const { return n() - m(); }
+
+  std::vector<Block> random_stripe() {
+    std::vector<Block> stripe;
+    for (std::uint32_t i = 0; i < m(); ++i)
+      stripe.push_back(random_block(rng_, kB));
+    return stripe;
+  }
+
+  void reset() {
+    cluster_->network().reset_stats();
+    cluster_->reset_io_stats();
+    start_ = cluster_->simulator().now();
+  }
+
+  void expect_costs(std::int64_t deltas, std::uint64_t messages,
+                    std::uint64_t reads, std::uint64_t writes,
+                    std::uint64_t payload) {
+    EXPECT_EQ((cluster_->simulator().now() - start_) / sim::kDefaultDelta,
+              deltas);
+    EXPECT_EQ(cluster_->network().stats().messages_sent, messages);
+    EXPECT_EQ(cluster_->total_io().disk_reads, reads);
+    EXPECT_EQ(cluster_->total_io().disk_writes, writes);
+    EXPECT_EQ(cluster_->network().stats().bytes_sent / kB, payload);
+  }
+
+  Rng rng_;
+  std::unique_ptr<Cluster> cluster_;
+  sim::Time start_ = 0;
+};
+
+TEST_P(CostSweepTest, StripeReadFast) {
+  ASSERT_TRUE(cluster_->write_stripe(0, 0, random_stripe()));
+  reset();
+  ASSERT_TRUE(cluster_->read_stripe(0, 0).has_value());
+  expect_costs(2, 2 * n(), m(), 0, m());
+}
+
+TEST_P(CostSweepTest, StripeWrite) {
+  reset();
+  ASSERT_TRUE(cluster_->write_stripe(0, 0, random_stripe()));
+  expect_costs(4, 4 * n(), 0, n(), n());
+}
+
+TEST_P(CostSweepTest, BlockReadFast) {
+  if (m() < 2) GTEST_SKIP() << "block ops degenerate at m = 1";
+  ASSERT_TRUE(cluster_->write_stripe(0, 0, random_stripe()));
+  reset();
+  ASSERT_TRUE(cluster_->read_block(0, 0, m() - 1).has_value());
+  expect_costs(2, 2 * n(), 1, 0, 1);
+}
+
+TEST_P(CostSweepTest, BlockWriteFast) {
+  if (m() < 2) GTEST_SKIP() << "block ops degenerate at m = 1";
+  ASSERT_TRUE(cluster_->write_stripe(0, 0, random_stripe()));
+  reset();
+  ASSERT_TRUE(cluster_->write_block(0, 0, 0, random_block(rng_, kB)));
+  expect_costs(4, 4 * n(), k() + 1, k() + 1, 2 * n() + 1);
+}
+
+TEST_P(CostSweepTest, MultiBlockWriteFast) {
+  if (m() < 3) GTEST_SKIP() << "needs at least 3 data blocks";
+  ASSERT_TRUE(cluster_->write_stripe(0, 0, random_stripe()));
+  reset();
+  const std::uint32_t w = 2;
+  ASSERT_TRUE(cluster_->write_blocks(
+      0, 0, {0, 2}, {random_block(rng_, kB), random_block(rng_, kB)}));
+  expect_costs(4, 4 * n(), w + k(), w + k(), 2 * w + k());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, CostSweepTest,
+    ::testing::Values(std::make_tuple(8u, 5u), std::make_tuple(7u, 5u),
+                      std::make_tuple(5u, 3u), std::make_tuple(9u, 3u),
+                      std::make_tuple(5u, 4u), std::make_tuple(3u, 1u),
+                      std::make_tuple(12u, 8u), std::make_tuple(6u, 6u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace fabec::core

@@ -1,0 +1,133 @@
+// §5.2's bandwidth-optimized block-write path (delta Modify): identical
+// semantics to the baseline path at (k+2)B of payload instead of (2n+1)B.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace fabec::core {
+namespace {
+
+constexpr std::uint32_t kN = 8;
+constexpr std::uint32_t kM = 5;
+constexpr std::uint32_t kK = kN - kM;
+constexpr std::size_t kB = 1024;
+
+ClusterConfig make_config(bool delta) {
+  ClusterConfig config;
+  config.n = kN;
+  config.m = kM;
+  config.block_size = kB;
+  config.coordinator.auto_gc = false;
+  config.coordinator.delta_block_writes = delta;
+  return config;
+}
+
+std::vector<Block> random_stripe(Rng& rng) {
+  std::vector<Block> stripe;
+  for (std::uint32_t i = 0; i < kM; ++i) stripe.push_back(random_block(rng, kB));
+  return stripe;
+}
+
+TEST(DeltaWriteTest, RoundTripMatchesBaselinePath) {
+  // Run the same operation sequence through both paths; all reads agree.
+  for (bool delta : {false, true}) {
+    Cluster cluster(make_config(delta), /*seed=*/1);
+    Rng rng(1);
+    auto stripe = random_stripe(rng);
+    ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+    for (BlockIndex j = 0; j < kM; ++j) {
+      stripe[j] = random_block(rng, kB);
+      ASSERT_TRUE(cluster.write_block(j % kN, 0, j, stripe[j]))
+          << "delta=" << delta << " j=" << j;
+    }
+    EXPECT_EQ(cluster.read_stripe(1, 0), stripe) << "delta=" << delta;
+  }
+}
+
+TEST(DeltaWriteTest, PayloadIsKPlus2Blocks) {
+  Cluster cluster(make_config(true), /*seed=*/2);
+  Rng rng(2);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(rng)));
+  cluster.network().reset_stats();
+  ASSERT_TRUE(cluster.write_block(0, 0, 2, random_block(rng, kB)));
+  // Order&Read reply from p_j: B. ModifyDelta: B to p_j + kB to parity.
+  EXPECT_EQ(cluster.network().stats().bytes_sent / kB, kK + 2);
+  // Message count and latency are unchanged — only payload shrinks.
+  EXPECT_EQ(cluster.network().stats().messages_sent, 4 * kN);
+}
+
+TEST(DeltaWriteTest, BaselinePayloadIs2NPlus1Blocks) {
+  Cluster cluster(make_config(false), /*seed=*/3);
+  Rng rng(3);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(rng)));
+  cluster.network().reset_stats();
+  ASSERT_TRUE(cluster.write_block(0, 0, 2, random_block(rng, kB)));
+  EXPECT_EQ(cluster.network().stats().bytes_sent / kB, 2 * kN + 1);
+}
+
+TEST(DeltaWriteTest, DiskCostsUnchanged) {
+  Cluster cluster(make_config(true), /*seed=*/4);
+  Rng rng(4);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(rng)));
+  cluster.reset_io_stats();
+  ASSERT_TRUE(cluster.write_block(0, 0, 2, random_block(rng, kB)));
+  EXPECT_EQ(cluster.total_io().disk_reads, kK + 1);
+  EXPECT_EQ(cluster.total_io().disk_writes, kK + 1);
+}
+
+TEST(DeltaWriteTest, SequentialDeltaWritesKeepParityConsistent) {
+  // The acid test for receiver-side coefficient application: after many
+  // delta writes, reconstructing from parity-only subsets must still work.
+  Cluster cluster(make_config(true), /*seed=*/5);
+  Rng rng(5);
+  auto stripe = random_stripe(rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  for (int round = 0; round < 10; ++round) {
+    const auto j = static_cast<BlockIndex>(rng.next_below(kM));
+    stripe[j] = random_block(rng, kB);
+    ASSERT_TRUE(cluster.write_block(round % kN, 0, j, stripe[j]));
+  }
+  // Force decode through the parity blocks: crash one data brick and read
+  // its block (reconstruction must use parity).
+  cluster.crash(0);
+  EXPECT_EQ(cluster.read_block(1, 0, 0), stripe[0]);
+  EXPECT_EQ(cluster.read_stripe(2, 0), stripe);
+}
+
+TEST(DeltaWriteTest, PartialDeltaWriteIsResolvedByReads) {
+  Cluster cluster(make_config(true), /*seed=*/6);
+  Rng rng(6);
+  auto stripe = random_stripe(rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  const Block nb = random_block(rng, kB);
+  cluster.coordinator(1).write_block(0, 3, nb, [](bool) {});
+  cluster.simulator().run_for(sim::kDefaultDelta);
+  cluster.crash(1);
+  cluster.simulator().run_until_idle();
+  const auto seen = cluster.read_stripe(2, 0);
+  ASSERT_TRUE(seen.has_value());
+  auto with_new = stripe;
+  with_new[3] = nb;
+  EXPECT_TRUE(*seen == stripe || *seen == with_new);
+  cluster.recover_brick(1);
+  EXPECT_EQ(cluster.read_stripe(1, 0), *seen);
+}
+
+TEST(DeltaWriteTest, ReplicationDegenerateCase) {
+  // m = 1: there are no "other data processes"; p_0 gets the block and the
+  // copies get deltas which XOR straight in (coefficient 1).
+  ClusterConfig config = make_config(true);
+  config.n = 3;
+  config.m = 1;
+  Cluster cluster(config, /*seed=*/7);
+  Rng rng(7);
+  const Block a = random_block(rng, kB);
+  const Block b = random_block(rng, kB);
+  ASSERT_TRUE(cluster.write_block(0, 0, 0, a));
+  ASSERT_TRUE(cluster.write_block(1, 0, 0, b));
+  EXPECT_EQ(cluster.read_block(2, 0, 0), b);
+}
+
+}  // namespace
+}  // namespace fabec::core

@@ -1,0 +1,202 @@
+// Failure-free behaviour of the storage register (Algorithms 1-3).
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace fabec::core {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+ClusterConfig make_config(std::uint32_t n, std::uint32_t m) {
+  ClusterConfig config;
+  config.n = n;
+  config.m = m;
+  config.block_size = kBlockSize;
+  return config;
+}
+
+std::vector<Block> random_stripe(std::uint32_t m, Rng& rng) {
+  std::vector<Block> stripe;
+  for (std::uint32_t i = 0; i < m; ++i)
+    stripe.push_back(random_block(rng, kBlockSize));
+  return stripe;
+}
+
+class RegisterSchemeTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+ protected:
+  std::uint32_t n() const { return std::get<0>(GetParam()); }
+  std::uint32_t m() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(RegisterSchemeTest, FreshRegisterReadsZeros) {
+  // A virtual disk reads nil (zeros) from never-written stripes.
+  Cluster cluster(make_config(n(), m()));
+  const auto value = cluster.read_stripe(0, /*stripe=*/0);
+  ASSERT_TRUE(value.has_value());
+  ASSERT_EQ(value->size(), m());
+  for (const Block& b : *value) EXPECT_EQ(b, zero_block(kBlockSize));
+}
+
+TEST_P(RegisterSchemeTest, WriteThenReadStripe) {
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(1);
+  const auto stripe = random_stripe(m(), rng);
+  EXPECT_TRUE(cluster.write_stripe(0, 0, stripe));
+  EXPECT_EQ(cluster.read_stripe(0, 0), stripe);
+}
+
+TEST_P(RegisterSchemeTest, ReadsFromAnyCoordinator) {
+  // Any brick can coordinate any operation (§4.1).
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(2);
+  const auto stripe = random_stripe(m(), rng);
+  EXPECT_TRUE(cluster.write_stripe(0, 0, stripe));
+  for (ProcessId coord = 0; coord < n(); ++coord)
+    EXPECT_EQ(cluster.read_stripe(coord, 0), stripe) << "coord " << coord;
+}
+
+TEST_P(RegisterSchemeTest, OverwritesAreOrdered) {
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(3);
+  for (int round = 0; round < 5; ++round) {
+    const auto stripe = random_stripe(m(), rng);
+    const ProcessId coord = round % n();
+    EXPECT_TRUE(cluster.write_stripe(coord, 0, stripe));
+    EXPECT_EQ(cluster.read_stripe((coord + 1) % n(), 0), stripe);
+  }
+}
+
+TEST_P(RegisterSchemeTest, WriteThenReadBlock) {
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(4);
+  for (BlockIndex j = 0; j < m(); ++j) {
+    const Block b = random_block(rng, kBlockSize);
+    EXPECT_TRUE(cluster.write_block(j % n(), 0, j, b));
+    EXPECT_EQ(cluster.read_block((j + 1) % n(), 0, j), b);
+  }
+}
+
+TEST_P(RegisterSchemeTest, BlockWritesPreserveOtherBlocks) {
+  // A block write must update parity so the whole stripe stays consistent
+  // (Algorithm 3's reason for the Modify phase).
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(5);
+  auto stripe = random_stripe(m(), rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  const Block replacement = random_block(rng, kBlockSize);
+  ASSERT_TRUE(cluster.write_block(1 % n(), 0, 0, replacement));
+  stripe[0] = replacement;
+  EXPECT_EQ(cluster.read_stripe(2 % n(), 0), stripe);
+}
+
+TEST_P(RegisterSchemeTest, StripesAreIndependent) {
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(6);
+  const auto stripe_a = random_stripe(m(), rng);
+  const auto stripe_b = random_stripe(m(), rng);
+  EXPECT_TRUE(cluster.write_stripe(0, /*stripe=*/1, stripe_a));
+  EXPECT_TRUE(cluster.write_stripe(0, /*stripe=*/2, stripe_b));
+  EXPECT_EQ(cluster.read_stripe(0, 1), stripe_a);
+  EXPECT_EQ(cluster.read_stripe(0, 2), stripe_b);
+  // Stripe 3 untouched.
+  const auto untouched = cluster.read_stripe(0, 3);
+  ASSERT_TRUE(untouched.has_value());
+  for (const Block& b : *untouched) EXPECT_EQ(b, zero_block(kBlockSize));
+}
+
+TEST_P(RegisterSchemeTest, FastPathsAreUsedWhenFailureFree) {
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(7);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(m(), rng)));
+  ASSERT_TRUE(cluster.read_stripe(1 % n(), 0).has_value());
+  ASSERT_TRUE(cluster.write_block(0, 0, 0, random_block(rng, kBlockSize)));
+  ASSERT_TRUE(cluster.read_block(1 % n(), 0, 0).has_value());
+  const auto stats = cluster.total_coordinator_stats();
+  EXPECT_EQ(stats.fast_read_hits, 2u);  // stripe read + block read
+  EXPECT_EQ(stats.fast_block_write_hits, 1u);
+  EXPECT_EQ(stats.recoveries_started, 0u);
+  EXPECT_EQ(stats.aborts, 0u);
+  EXPECT_EQ(stats.retransmit_rounds, 0u);
+}
+
+TEST_P(RegisterSchemeTest, SequentialBlockWritesEveryIndex) {
+  Cluster cluster(make_config(n(), m()));
+  Rng rng(8);
+  std::vector<Block> expected(m(), zero_block(kBlockSize));
+  for (int round = 0; round < 3; ++round) {
+    for (BlockIndex j = 0; j < m(); ++j) {
+      expected[j] = random_block(rng, kBlockSize);
+      ASSERT_TRUE(cluster.write_block((round + j) % n(), 0, j, expected[j]));
+    }
+  }
+  EXPECT_EQ(cluster.read_stripe(0, 0), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, RegisterSchemeTest,
+    ::testing::Values(std::make_tuple(8u, 5u),   // the paper's headline code
+                      std::make_tuple(7u, 5u),   // §4.1.1's example
+                      std::make_tuple(5u, 3u),   // Figure 4's 3-of-5
+                      std::make_tuple(3u, 1u),   // replication special case
+                      std::make_tuple(5u, 4u),   // single XOR parity
+                      std::make_tuple(9u, 3u),   // wide parity, f = 3
+                      std::make_tuple(4u, 4u)),  // no redundancy, f = 0
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RegisterTest, GarbageCollectionTrimsLogs) {
+  ClusterConfig config = make_config(8, 5);
+  ASSERT_TRUE(config.coordinator.auto_gc);
+  Cluster cluster(config);
+  Rng rng(9);
+  for (int round = 0; round < 10; ++round)
+    ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(5, rng)));
+  cluster.simulator().run_until_idle();  // let async Gc messages land
+  // With GC on, each replica's log stays short: the latest complete write
+  // plus the retained fallback entries, not the 10-version history.
+  EXPECT_LE(cluster.total_log_entries(), 8u * 3u);
+}
+
+TEST(RegisterTest, WithoutGcLogsGrow) {
+  ClusterConfig config = make_config(8, 5);
+  config.coordinator.auto_gc = false;
+  Cluster cluster(config);
+  Rng rng(10);
+  for (int round = 0; round < 10; ++round)
+    ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(5, rng)));
+  // 10 versions + the initial nil entry per replica.
+  EXPECT_EQ(cluster.total_log_entries(), 8u * 11u);
+}
+
+TEST(RegisterTest, WorksWithJitteryNetwork) {
+  ClusterConfig config = make_config(8, 5);
+  config.net.jitter = sim::microseconds(50);
+  Cluster cluster(config, /*seed=*/11);
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    const auto stripe = random_stripe(5, rng);
+    ASSERT_TRUE(cluster.write_stripe(round % 8, 0, stripe));
+    EXPECT_EQ(cluster.read_stripe((round + 3) % 8, 0), stripe);
+  }
+}
+
+TEST(RegisterTest, LargeBlocks) {
+  ClusterConfig config = make_config(5, 3);
+  config.block_size = 16 * 1024;
+  Cluster cluster(config);
+  Rng rng(12);
+  std::vector<Block> stripe;
+  for (int i = 0; i < 3; ++i) stripe.push_back(random_block(rng, 16 * 1024));
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  EXPECT_EQ(cluster.read_stripe(1, 0), stripe);
+}
+
+}  // namespace
+}  // namespace fabec::core

@@ -1,0 +1,192 @@
+// Wire codec: round-trip property tests over randomized messages of every
+// kind, plus rejection of truncated / corrupted / trailing-garbage inputs.
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serde.h"
+
+namespace fabec::core {
+namespace {
+
+Timestamp random_ts(Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: return kLowTS;
+    case 1: return kHighTS;
+    default:
+      return Timestamp{rng.next_in(-1000000, 1000000),
+                       static_cast<ProcessId>(rng.next_below(64))};
+  }
+}
+
+std::optional<Block> random_opt_block(Rng& rng) {
+  if (rng.chance(0.3)) return std::nullopt;
+  return random_block(rng, rng.next_below(64));  // includes empty blocks
+}
+
+std::vector<std::uint32_t> random_indices(Rng& rng) {
+  std::vector<std::uint32_t> v(rng.next_below(6));
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(16));
+  return v;
+}
+
+Message random_message(Rng& rng) {
+  const std::uint64_t stripe = rng.next_u64();
+  const OpId op = rng.next_u64();
+  switch (rng.next_below(14)) {
+    case 0: return ReadReq{stripe, op, random_indices(rng)};
+    case 1:
+      return ReadRep{op, rng.chance(0.5), random_ts(rng),
+                     random_opt_block(rng)};
+    case 2: return OrderReq{stripe, op, random_ts(rng)};
+    case 3: return OrderRep{op, rng.chance(0.5)};
+    case 4:
+      return OrderReadReq{stripe, op,
+                          static_cast<BlockIndex>(rng.next_below(16)),
+                          random_ts(rng), random_ts(rng)};
+    case 5:
+      return OrderReadRep{op, rng.chance(0.5), random_ts(rng),
+                          random_opt_block(rng)};
+    case 6: return MultiOrderReadReq{stripe, op, random_indices(rng),
+                                     random_ts(rng)};
+    case 7:
+      return WriteReq{stripe, op, random_ts(rng),
+                      random_block(rng, rng.next_below(64))};
+    case 8: return WriteRep{op, rng.chance(0.5)};
+    case 9:
+      return ModifyReq{stripe,
+                       op,
+                       static_cast<BlockIndex>(rng.next_below(16)),
+                       random_block(rng, 32),
+                       random_block(rng, 32),
+                       random_ts(rng),
+                       random_ts(rng)};
+    case 10: return ModifyRep{op, rng.chance(0.5)};
+    case 11:
+      return ModifyDeltaReq{stripe, op,
+                            static_cast<BlockIndex>(rng.next_below(16)),
+                            random_opt_block(rng), random_ts(rng),
+                            random_ts(rng)};
+    case 12:
+      return MultiModifyReq{stripe, op, random_indices(rng),
+                            random_opt_block(rng), random_ts(rng),
+                            random_ts(rng)};
+    default: return GcReq{stripe, random_ts(rng)};
+  }
+}
+
+bool messages_equal(const Message& a, const Message& b) {
+  // Message has no operator== (blocks make a memberwise default fine, but
+  // keeping the structs aggregate-simple is worth more); compare via the
+  // canonical encoding instead.
+  return encode_message(a) == encode_message(b);
+}
+
+TEST(WireTest, RoundTripEveryKind) {
+  Rng rng(1);
+  int per_kind[14] = {};
+  for (int i = 0; i < 2000; ++i) {
+    const Message msg = random_message(rng);
+    ++per_kind[msg.index()];
+    const Bytes wire = encode_message(msg);
+    const auto decoded = decode_message(wire);
+    ASSERT_TRUE(decoded.has_value()) << "kind " << msg.index();
+    EXPECT_EQ(decoded->index(), msg.index());
+    EXPECT_TRUE(messages_equal(msg, *decoded));
+  }
+  for (int k = 0; k < 14; ++k)
+    EXPECT_GT(per_kind[k], 0) << "kind " << k << " never sampled";
+}
+
+TEST(WireTest, EncodedSizeMatches) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Message msg = random_message(rng);
+    EXPECT_EQ(encoded_size(msg), encode_message(msg).size());
+  }
+}
+
+TEST(WireTest, TruncationAlwaysRejected) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes wire = encode_message(random_message(rng));
+    for (std::size_t cut : {std::size_t{0}, wire.size() / 2,
+                            wire.size() - 1}) {
+      if (cut >= wire.size()) continue;
+      const Bytes truncated(wire.begin(),
+                            wire.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_FALSE(decode_message(truncated).has_value())
+          << "cut at " << cut << " of " << wire.size();
+    }
+  }
+}
+
+TEST(WireTest, TrailingGarbageRejected) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    Bytes wire = encode_message(random_message(rng));
+    wire.push_back(0xAB);
+    EXPECT_FALSE(decode_message(wire).has_value());
+  }
+}
+
+TEST(WireTest, UnknownTagRejected) {
+  for (std::uint8_t tag : {std::uint8_t{14}, std::uint8_t{99},
+                           std::uint8_t{255}}) {
+    Bytes wire{tag};
+    EXPECT_FALSE(decode_message(wire).has_value());
+  }
+  EXPECT_FALSE(decode_message(Bytes{}).has_value());
+}
+
+TEST(WireTest, RandomBytesNeverCrashTheDecoder) {
+  // Fuzz-ish: feeding arbitrary bytes must yield reject-or-parse, never a
+  // crash or an out-of-bounds read (run under ASan in debug builds).
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    Bytes junk(rng.next_below(80));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto result = decode_message(junk);
+    if (result.has_value()) {
+      // If it parsed, it must re-encode to exactly the same bytes
+      // (canonical encoding).
+      EXPECT_EQ(encode_message(*result), junk);
+    }
+  }
+}
+
+TEST(WireTest, AbsurdIndexCountRejectedWithoutAllocation) {
+  // tag=0 (ReadReq), stripe, op, then count = 2^32-1.
+  Bytes wire{0};
+  ByteWriter w(wire);
+  w.put_u64(1);
+  w.put_u64(2);
+  w.put_u32(0xFFFFFFFFu);
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(WireTest, AnySingleByteCorruptionRejected) {
+  // The trailing CRC-32 catches every single-byte corruption.
+  Rng rng(7);
+  const Bytes wire = encode_message(random_message(rng));
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes corrupted = wire;
+    corrupted[i] ^= 0x5A;
+    EXPECT_FALSE(decode_message(corrupted).has_value()) << "byte " << i;
+  }
+}
+
+TEST(WireTest, PayloadDominatedByBlocks) {
+  // The wire overhead per block is small and fixed — the Table 1 convention
+  // of counting only block payload is a good approximation.
+  Rng rng(6);
+  const Block big = random_block(rng, 64 * 1024);
+  const WriteReq req{1, 2, Timestamp{3, 4}, big};
+  const std::size_t size = encoded_size(Message{req});
+  EXPECT_GT(size, big.size());
+  EXPECT_LT(size - big.size(), 64u);
+}
+
+}  // namespace
+}  // namespace fabec::core

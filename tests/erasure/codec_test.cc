@@ -1,0 +1,287 @@
+#include "erasure/codec.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fabec::erasure {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+std::vector<Block> random_stripe(std::uint32_t m, Rng& rng) {
+  std::vector<Block> stripe;
+  for (std::uint32_t i = 0; i < m; ++i)
+    stripe.push_back(random_block(rng, kBlockSize));
+  return stripe;
+}
+
+// ---------------------------------------------------------------------
+// Parameterized sweep over (m, n) schemes, including the paper's 5-of-8
+// and Figure 4's 3-of-5.
+// ---------------------------------------------------------------------
+class CodecSchemeTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+ protected:
+  std::uint32_t m() const { return std::get<0>(GetParam()); }
+  std::uint32_t n() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(CodecSchemeTest, EncodeIsSystematic) {
+  Rng rng(1);
+  Codec codec(m(), n());
+  const auto stripe = random_stripe(m(), rng);
+  const auto encoded = codec.encode(stripe);
+  ASSERT_EQ(encoded.size(), n());
+  for (std::uint32_t i = 0; i < m(); ++i) EXPECT_EQ(encoded[i], stripe[i]);
+}
+
+TEST_P(CodecSchemeTest, DecodeFromDataShards) {
+  Rng rng(2);
+  Codec codec(m(), n());
+  const auto stripe = random_stripe(m(), rng);
+  const auto encoded = codec.encode(stripe);
+  std::vector<Shard> shards;
+  for (std::uint32_t i = 0; i < m(); ++i) shards.push_back({i, encoded[i]});
+  EXPECT_EQ(codec.decode(shards), stripe);
+}
+
+TEST_P(CodecSchemeTest, DecodeFromEveryMSubset) {
+  // MDS property: ANY m of the n blocks reconstruct the stripe. Exhaustive
+  // over all C(n, m) subsets.
+  Rng rng(3);
+  Codec codec(m(), n());
+  const auto stripe = random_stripe(m(), rng);
+  const auto encoded = codec.encode(stripe);
+
+  std::vector<std::uint32_t> indices(m());
+  std::iota(indices.begin(), indices.end(), 0);
+  while (true) {
+    std::vector<Shard> shards;
+    for (std::uint32_t i : indices) shards.push_back({i, encoded[i]});
+    EXPECT_EQ(codec.decode(shards), stripe);
+    // Next combination.
+    int i = static_cast<int>(m()) - 1;
+    while (i >= 0 && indices[i] == n() - m() + static_cast<std::uint32_t>(i))
+      --i;
+    if (i < 0) break;
+    ++indices[i];
+    for (std::size_t j = i + 1; j < m(); ++j) indices[j] = indices[j - 1] + 1;
+  }
+}
+
+TEST_P(CodecSchemeTest, DecodeIgnoresExtraShards) {
+  Rng rng(4);
+  Codec codec(m(), n());
+  const auto stripe = random_stripe(m(), rng);
+  const auto encoded = codec.encode(stripe);
+  std::vector<Shard> shards;
+  for (std::uint32_t i = 0; i < n(); ++i) shards.push_back({i, encoded[i]});
+  EXPECT_EQ(codec.decode(shards), stripe);
+}
+
+TEST_P(CodecSchemeTest, ModifyMatchesReencode) {
+  // Figure 4's contract: after data block i changes, modify_{i,j} yields
+  // the same parity block j that a full re-encode would.
+  Rng rng(5);
+  Codec codec(m(), n());
+  auto stripe = random_stripe(m(), rng);
+  const auto encoded = codec.encode(stripe);
+  for (std::uint32_t i = 0; i < m(); ++i) {
+    const Block new_data = random_block(rng, kBlockSize);
+    auto new_stripe = stripe;
+    new_stripe[i] = new_data;
+    const auto reencoded = codec.encode(new_stripe);
+    for (std::uint32_t j = m(); j < n(); ++j) {
+      EXPECT_EQ(codec.modify(i, j, stripe[i], new_data, encoded[j]),
+                reencoded[j])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(CodecSchemeTest, ModifyDeltaFormMatches) {
+  // §5.2's bandwidth optimization: sending delta = old XOR new is
+  // equivalent to sending both blocks.
+  Rng rng(6);
+  Codec codec(m(), n());
+  const auto stripe = random_stripe(m(), rng);
+  const auto encoded = codec.encode(stripe);
+  if (m() == n()) return;  // no parity
+  const Block new_data = random_block(rng, kBlockSize);
+  Block delta = stripe[0];
+  xor_into(delta, new_data);
+  for (std::uint32_t j = m(); j < n(); ++j) {
+    Block parity = encoded[j];
+    codec.apply_modify_delta(0, j, delta, parity);
+    EXPECT_EQ(parity, codec.modify(0, j, stripe[0], new_data, encoded[j]));
+  }
+}
+
+TEST_P(CodecSchemeTest, ZeroStripeEncodesToZeros) {
+  // The all-zero stripe is a codeword of all-zero blocks: this is what
+  // makes the register's initial nil state consistent by construction.
+  Codec codec(m(), n());
+  std::vector<Block> zeros(m(), zero_block(kBlockSize));
+  for (const Block& b : codec.encode(zeros)) EXPECT_EQ(b, zero_block(kBlockSize));
+}
+
+TEST_P(CodecSchemeTest, RandomErasuresProperty) {
+  // Property sweep: kill random n-m blocks, decode from the survivors.
+  Rng rng(7);
+  Codec codec(m(), n());
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto stripe = random_stripe(m(), rng);
+    const auto encoded = codec.encode(stripe);
+    std::vector<std::uint32_t> order(n());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::vector<Shard> survivors;
+    for (std::uint32_t i = 0; i < m(); ++i)
+      survivors.push_back({order[i], encoded[order[i]]});
+    EXPECT_EQ(codec.decode(survivors), stripe);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, CodecSchemeTest,
+    ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(1u, 3u),
+                      std::make_tuple(2u, 3u), std::make_tuple(3u, 5u),
+                      std::make_tuple(5u, 8u), std::make_tuple(5u, 7u),
+                      std::make_tuple(4u, 8u), std::make_tuple(10u, 14u),
+                      std::make_tuple(8u, 8u)),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Special cases
+// ---------------------------------------------------------------------
+
+TEST(CodecTest, ReplicationSpecialCase) {
+  // m = 1: every encoded block is a literal copy (paper Figure 5 uses
+  // "replication as a special case of erasure coding").
+  Rng rng(8);
+  Codec codec(1, 4);
+  const Block data = random_block(rng, kBlockSize);
+  const auto encoded = codec.encode({data});
+  for (const Block& b : encoded) EXPECT_EQ(b, data);
+}
+
+TEST(CodecTest, SingleParityIsXor) {
+  // k = 1: RAID-5 style parity — the parity block is the XOR of the data.
+  Rng rng(9);
+  Codec codec(4, 5);
+  const auto stripe = random_stripe(4, rng);
+  const auto encoded = codec.encode(stripe);
+  Block expected = zero_block(kBlockSize);
+  for (const Block& b : stripe) xor_into(expected, b);
+  EXPECT_EQ(encoded[4], expected);
+}
+
+TEST(CodecTest, GeneratorCoefficients) {
+  Codec codec(3, 5);
+  // Identity part.
+  for (std::uint32_t i = 0; i < 3; ++i)
+    for (std::uint32_t j = 0; j < 3; ++j)
+      EXPECT_EQ(codec.coefficient(i, j), i == j ? 1 : 0);
+  // Parity rows are scaled to start with 1.
+  for (std::uint32_t r = 3; r < 5; ++r) EXPECT_EQ(codec.coefficient(r, 0), 1);
+}
+
+TEST(CodecTest, IsParity) {
+  Codec codec(5, 8);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_FALSE(codec.is_parity(i));
+  for (std::uint32_t i = 5; i < 8; ++i) EXPECT_TRUE(codec.is_parity(i));
+  EXPECT_EQ(codec.k(), 3u);
+}
+
+TEST(CodecTest, LargeBlocksRoundTrip) {
+  Rng rng(10);
+  Codec codec(5, 8);
+  std::vector<Block> stripe;
+  for (int i = 0; i < 5; ++i) stripe.push_back(random_block(rng, 64 * 1024));
+  const auto encoded = codec.encode(stripe);
+  std::vector<Shard> shards;
+  for (std::uint32_t i : {2u, 5u, 6u, 7u, 0u}) shards.push_back({i, encoded[i]});
+  EXPECT_EQ(codec.decode(shards), stripe);
+}
+
+TEST(CodecTest, DecodePrefersDataShards) {
+  // With all data shards present, decode must not touch parity (it would
+  // still be correct, but the fast path matters for read cost).
+  Rng rng(11);
+  Codec codec(3, 5);
+  const auto stripe = random_stripe(3, rng);
+  auto encoded = codec.encode(stripe);
+  // Corrupt the parity shards: decode should still return the right data
+  // because the data shards alone suffice and are preferred.
+  std::vector<Shard> shards;
+  for (std::uint32_t i = 0; i < 3; ++i) shards.push_back({i, encoded[i]});
+  shards.push_back({3, random_block(rng, kBlockSize)});
+  shards.push_back({4, random_block(rng, kBlockSize)});
+  EXPECT_EQ(codec.decode(shards), stripe);
+}
+
+TEST(CodecTest, DecodeDeduplicatesShardIndices) {
+  Rng rng(12);
+  Codec codec(2, 4);
+  const auto stripe = random_stripe(2, rng);
+  const auto encoded = codec.encode(stripe);
+  // Duplicates of shard 0 plus one parity shard: still decodable because
+  // distinct indices {0, 2} >= m.
+  std::vector<Shard> shards{{0, encoded[0]}, {0, encoded[0]}, {2, encoded[2]}};
+  EXPECT_EQ(codec.decode(shards), stripe);
+}
+
+TEST(CodecTest, FindCorruptedLocatesAnySinglePosition) {
+  Rng rng(13);
+  Codec codec(5, 8);
+  const auto stripe = random_stripe(5, rng);
+  const auto encoded = codec.encode(stripe);
+  for (std::uint32_t victim = 0; victim < 8; ++victim) {
+    std::vector<Shard> shards;
+    for (std::uint32_t i = 0; i < 8; ++i) shards.push_back({i, encoded[i]});
+    shards[victim].block = random_block(rng, kBlockSize);
+    const auto located = codec.find_corrupted(shards);
+    ASSERT_TRUE(located.has_value()) << "victim " << victim;
+    EXPECT_EQ(*located, victim);
+  }
+}
+
+TEST(CodecTest, FindCorruptedCleanWordReportsNothing) {
+  Rng rng(14);
+  Codec codec(3, 6);
+  const auto encoded = codec.encode(random_stripe(3, rng));
+  std::vector<Shard> shards;
+  for (std::uint32_t i = 0; i < 6; ++i) shards.push_back({i, encoded[i]});
+  EXPECT_FALSE(codec.find_corrupted(shards).has_value());
+}
+
+TEST(CodecTest, FindCorruptedEnablesContentRecovery) {
+  // The scrub story end-to-end at the codec level: locate the rotted
+  // shard, decode from the others, and the true stripe is back.
+  Rng rng(15);
+  Codec codec(5, 8);
+  const auto stripe = random_stripe(5, rng);
+  auto encoded = codec.encode(stripe);
+  encoded[2] = random_block(rng, kBlockSize);  // rot a DATA block
+  std::vector<Shard> shards;
+  for (std::uint32_t i = 0; i < 8; ++i) shards.push_back({i, encoded[i]});
+  const auto located = codec.find_corrupted(shards);
+  ASSERT_TRUE(located.has_value());
+  ASSERT_EQ(*located, 2u);
+  std::vector<Shard> survivors;
+  for (const Shard& s : shards)
+    if (s.index != *located) survivors.push_back(s);
+  EXPECT_EQ(codec.decode(survivors), stripe);
+}
+
+}  // namespace
+}  // namespace fabec::erasure

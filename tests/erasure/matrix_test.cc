@@ -1,0 +1,123 @@
+#include "erasure/matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/gf256.h"
+
+namespace fabec::erasure {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m.at(r, c) = static_cast<std::uint8_t>(rng.next_u64());
+  return m;
+}
+
+TEST(MatrixTest, IdentityTimesAnything) {
+  Rng rng(1);
+  const Matrix a = random_matrix(5, 7, rng);
+  EXPECT_EQ(Matrix::identity(5).times(a), a);
+  EXPECT_EQ(a.times(Matrix::identity(7)), a);
+}
+
+TEST(MatrixTest, MultiplicationAssociates) {
+  Rng rng(2);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix c = random_matrix(5, 2, rng);
+  EXPECT_EQ(a.times(b).times(c), a.times(b.times(c)));
+}
+
+TEST(MatrixTest, InverseRoundTrip) {
+  Rng rng(3);
+  int inverted = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix a = random_matrix(6, 6, rng);
+    const auto inverse = a.inverted();
+    if (!inverse.has_value()) continue;  // random singular matrices exist
+    ++inverted;
+    EXPECT_EQ(a.times(*inverse), Matrix::identity(6));
+    EXPECT_EQ(inverse->times(a), Matrix::identity(6));
+  }
+  EXPECT_GT(inverted, 40);  // almost all random matrices are invertible
+}
+
+TEST(MatrixTest, SingularMatrixRejected) {
+  Matrix a(3, 3);  // zero matrix
+  EXPECT_FALSE(a.inverted().has_value());
+
+  Matrix b = Matrix::identity(3);
+  // Duplicate a row to force singularity.
+  for (std::size_t j = 0; j < 3; ++j) b.at(2, j) = b.at(1, j);
+  EXPECT_FALSE(b.inverted().has_value());
+}
+
+TEST(MatrixTest, IdentityInverseIsIdentity) {
+  const auto inverse = Matrix::identity(4).inverted();
+  ASSERT_TRUE(inverse.has_value());
+  EXPECT_EQ(*inverse, Matrix::identity(4));
+}
+
+TEST(MatrixTest, SelectRowsPicksAndOrders) {
+  Rng rng(4);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix sel = a.select_rows({4, 0, 2});
+  ASSERT_EQ(sel.rows(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(sel.at(0, j), a.at(4, j));
+    EXPECT_EQ(sel.at(1, j), a.at(0, j));
+    EXPECT_EQ(sel.at(2, j), a.at(2, j));
+  }
+}
+
+TEST(MatrixTest, ScaleRow) {
+  Rng rng(5);
+  Matrix a = random_matrix(3, 4, rng);
+  const Matrix before = a;
+  a.scale_row(1, 3);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(a.at(0, j), before.at(0, j));
+    EXPECT_EQ(a.at(1, j), gf::mul(before.at(1, j), 3));
+    EXPECT_EQ(a.at(2, j), before.at(2, j));
+  }
+}
+
+// The MDS-enabling property: every square submatrix of a Cauchy matrix is
+// invertible. Exhaustive over all square submatrices of a 4x5 instance.
+TEST(MatrixTest, CauchySubmatricesInvertible) {
+  const Matrix c = Matrix::cauchy(4, 5);
+  // All 2x2 submatrices.
+  for (std::size_t r1 = 0; r1 < 4; ++r1)
+    for (std::size_t r2 = r1 + 1; r2 < 4; ++r2)
+      for (std::size_t c1 = 0; c1 < 5; ++c1)
+        for (std::size_t c2 = c1 + 1; c2 < 5; ++c2) {
+          Matrix sub(2, 2);
+          sub.at(0, 0) = c.at(r1, c1);
+          sub.at(0, 1) = c.at(r1, c2);
+          sub.at(1, 0) = c.at(r2, c1);
+          sub.at(1, 1) = c.at(r2, c2);
+          EXPECT_TRUE(sub.inverted().has_value())
+              << "rows " << r1 << "," << r2 << " cols " << c1 << "," << c2;
+        }
+}
+
+TEST(MatrixTest, CauchyEntriesNonzero) {
+  const Matrix c = Matrix::cauchy(8, 16);
+  for (std::size_t r = 0; r < c.rows(); ++r)
+    for (std::size_t j = 0; j < c.cols(); ++j) EXPECT_NE(c.at(r, j), 0);
+}
+
+TEST(MatrixTest, CauchySquareInvertible) {
+  for (std::size_t size : {1u, 2u, 3u, 5u, 8u}) {
+    const Matrix c = Matrix::cauchy(size, size);
+    EXPECT_TRUE(c.inverted().has_value()) << "size " << size;
+  }
+}
+
+}  // namespace
+}  // namespace fabec::erasure

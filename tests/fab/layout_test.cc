@@ -1,0 +1,53 @@
+#include "fab/layout.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fabec::fab {
+namespace {
+
+TEST(LayoutTest, LinearPacksStripesContiguously) {
+  VolumeLayout layout(20, 5, Layout::kLinear);
+  EXPECT_EQ(layout.num_stripes(), 4u);
+  EXPECT_EQ(layout.stripe_of(0), 0u);
+  EXPECT_EQ(layout.stripe_of(4), 0u);
+  EXPECT_EQ(layout.stripe_of(5), 1u);
+  EXPECT_EQ(layout.index_of(0), 0u);
+  EXPECT_EQ(layout.index_of(4), 4u);
+  EXPECT_EQ(layout.index_of(7), 2u);
+}
+
+TEST(LayoutTest, RotatingSpreadsConsecutiveBlocks) {
+  // §3: consecutive logical blocks map to different stripes.
+  VolumeLayout layout(20, 5, Layout::kRotating);
+  for (Lba lba = 0; lba + 1 < 20; ++lba)
+    EXPECT_NE(layout.stripe_of(lba), layout.stripe_of(lba + 1)) << lba;
+}
+
+TEST(LayoutTest, MappingsAreBijective) {
+  for (Layout kind : {Layout::kLinear, Layout::kRotating}) {
+    VolumeLayout layout(30, 3, kind);
+    std::set<std::pair<StripeId, BlockIndex>> seen;
+    for (Lba lba = 0; lba < 30; ++lba) {
+      const auto key = std::make_pair(layout.stripe_of(lba),
+                                      layout.index_of(lba));
+      EXPECT_TRUE(seen.insert(key).second) << "collision at lba " << lba;
+      EXPECT_LT(key.first, layout.num_stripes());
+      EXPECT_LT(key.second, 3u);
+      EXPECT_EQ(layout.lba_of(key.first, key.second), lba);
+    }
+  }
+}
+
+TEST(LayoutTest, SingleStripeVolume) {
+  VolumeLayout layout(5, 5, Layout::kRotating);
+  EXPECT_EQ(layout.num_stripes(), 1u);
+  for (Lba lba = 0; lba < 5; ++lba) {
+    EXPECT_EQ(layout.stripe_of(lba), 0u);
+    EXPECT_EQ(layout.index_of(lba), lba);
+  }
+}
+
+}  // namespace
+}  // namespace fabec::fab

@@ -1,0 +1,142 @@
+#include "fab/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fabec::fab {
+namespace {
+
+constexpr std::size_t kB = 64;
+
+TEST(TraceFormatTest, RoundTrip) {
+  const std::vector<TraceRecord> trace{
+      {0, 5, false}, {100, 7, true}, {250, 5, true}, {300, 0, false}};
+  const auto parsed = trace_from_text(trace_to_text(trace));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, trace);
+}
+
+TEST(TraceFormatTest, CommentsAndBlanksIgnored) {
+  const auto parsed = trace_from_text(
+      "# header\n"
+      "\n"
+      "10 R 3   # inline comment\n"
+      "   \t \n"
+      "20 w 4\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], (TraceRecord{10, 3, false}));
+  EXPECT_EQ((*parsed)[1], (TraceRecord{20, 4, true}));
+}
+
+TEST(TraceFormatTest, MalformedRejected) {
+  EXPECT_FALSE(trace_from_text("10 X 3\n").has_value());   // bad op
+  EXPECT_FALSE(trace_from_text("10 R\n").has_value());     // missing lba
+  EXPECT_FALSE(trace_from_text("ten R 3\n").has_value());  // bad time
+  EXPECT_FALSE(trace_from_text("10 R 3 9\n").has_value()); // trailing field
+}
+
+TEST(TraceAnalysisTest, NoOverlapNoConflicts) {
+  // Well-spaced ops on the same block never conflict.
+  std::vector<TraceRecord> trace;
+  for (int i = 0; i < 10; ++i)
+    trace.push_back({i * 1000, 5, i % 2 == 0});
+  const auto report = analyze_block_conflicts(trace, /*service_time=*/100);
+  EXPECT_EQ(report.ops, 10u);
+  EXPECT_EQ(report.conflicting_pairs, 0u);
+  EXPECT_EQ(report.conflict_fraction(), 0.0);
+}
+
+TEST(TraceAnalysisTest, OverlappingWritesConflict) {
+  const std::vector<TraceRecord> trace{
+      {0, 5, true}, {50, 5, true},   // overlap, same block, both writes
+      {50, 6, true},                 // different block: no conflict
+      {200, 5, false}, {250, 5, false}};  // overlap but read-read: fine
+  const auto report = analyze_block_conflicts(trace, 100);
+  EXPECT_EQ(report.conflicting_pairs, 1u);
+  EXPECT_EQ(report.conflicting_ops, 2u);
+}
+
+TEST(TraceAnalysisTest, ReadWriteOverlapConflicts) {
+  const std::vector<TraceRecord> trace{{0, 9, false}, {10, 9, true}};
+  EXPECT_EQ(analyze_block_conflicts(trace, 100).conflicting_pairs, 1u);
+}
+
+TEST(TraceAnalysisTest, UnsortedInputHandled) {
+  const std::vector<TraceRecord> trace{{50, 5, true}, {0, 5, true}};
+  EXPECT_EQ(analyze_block_conflicts(trace, 100).conflicting_pairs, 1u);
+}
+
+TEST(TraceAnalysisTest, StripeConflictsDependOnLayout) {
+  // Two overlapping writes to consecutive lbas: same stripe under the
+  // linear layout, different stripes under the rotating one — §3's
+  // layout recommendation, quantified.
+  const std::vector<TraceRecord> trace{{0, 10, true}, {10, 11, true}};
+  const VolumeLayout linear(100, 5, Layout::kLinear);
+  const VolumeLayout rotating(100, 5, Layout::kRotating);
+  EXPECT_EQ(analyze_stripe_conflicts(trace, 100, linear).conflicting_pairs,
+            1u);
+  EXPECT_EQ(analyze_stripe_conflicts(trace, 100, rotating).conflicting_pairs,
+            0u);
+}
+
+TEST(TraceAnalysisTest, SparseRealisticTraceHasLowConflictFraction) {
+  // The §3 claim on a synthetic approximation: light load + large address
+  // space -> conflicting concurrent accesses are (almost) nonexistent.
+  Rng rng(1);
+  WorkloadConfig wl;
+  wl.num_ops = 2000;
+  wl.write_fraction = 0.3;
+  wl.pattern = AccessPattern::kUniform;
+  wl.mean_interarrival = sim::microseconds(500);
+  const auto trace = to_trace(generate_workload(wl, 100000, rng));
+  const auto report =
+      analyze_block_conflicts(trace, sim::microseconds(400));
+  EXPECT_LT(report.conflict_fraction(), 0.01);
+}
+
+TEST(TraceReplayTest, ReplayDrivesTheDisk) {
+  core::ClusterConfig config;
+  config.n = 8;
+  config.m = 5;
+  config.block_size = kB;
+  core::Cluster cluster(config, 7);
+  VirtualDisk disk(&cluster, VirtualDiskConfig{100});
+
+  const auto trace = *trace_from_text(
+      "0 W 5\n"
+      "1000000 R 5\n"     // 1 ms later
+      "2000000 W 17\n"
+      "3000000 R 17\n");
+  const auto stats = replay_trace(disk, trace);
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_EQ(stats.aborted, 0u);
+  EXPECT_EQ(stats.read_latency.count(), 2u);
+  EXPECT_GE(stats.read_latency.mean(), 2 * sim::kDefaultDelta);
+  EXPECT_GE(stats.write_latency.mean(), 4 * sim::kDefaultDelta);
+}
+
+TEST(TraceReplayTest, GeneratedTraceRoundTripsThroughTextAndReplays) {
+  core::ClusterConfig config;
+  config.n = 8;
+  config.m = 5;
+  config.block_size = kB;
+  core::Cluster cluster(config, 8);
+  VirtualDisk disk(&cluster, VirtualDiskConfig{200});
+  Rng rng(8);
+  WorkloadConfig wl;
+  wl.num_ops = 100;
+  wl.write_fraction = 0.4;
+  wl.mean_interarrival = 10 * sim::kDefaultDelta;
+  const auto trace = to_trace(generate_workload(wl, 200, rng));
+  const auto reparsed = trace_from_text(trace_to_text(trace));
+  ASSERT_TRUE(reparsed.has_value());
+  const auto stats = replay_trace(disk, *reparsed);
+  EXPECT_EQ(stats.reads + stats.writes, 100u);
+  EXPECT_EQ(stats.aborted, 0u);
+}
+
+}  // namespace
+}  // namespace fabec::fab

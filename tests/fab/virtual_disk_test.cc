@@ -1,0 +1,230 @@
+#include "fab/virtual_disk.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fab/workload.h"
+
+namespace fabec::fab {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+struct Fixture {
+  explicit Fixture(std::uint64_t blocks = 40,
+                   Layout layout = Layout::kRotating, std::uint64_t seed = 1)
+      : cluster(make_cluster_config(), seed),
+        disk(&cluster, VirtualDiskConfig{blocks, layout}) {}
+
+  static core::ClusterConfig make_cluster_config() {
+    core::ClusterConfig config;
+    config.n = 8;
+    config.m = 5;
+    config.block_size = kBlockSize;
+    return config;
+  }
+
+  core::Cluster cluster;
+  VirtualDisk disk;
+};
+
+TEST(VirtualDiskTest, FreshDiskReadsZeros) {
+  Fixture f;
+  for (Lba lba : {0ULL, 17ULL, 39ULL})
+    EXPECT_EQ(f.disk.read_sync(lba), zero_block(kBlockSize));
+}
+
+TEST(VirtualDiskTest, WriteReadRoundTrip) {
+  Fixture f;
+  Rng rng(1);
+  std::map<Lba, Block> golden;
+  for (Lba lba = 0; lba < 40; lba += 3) {
+    golden[lba] = random_block(rng, kBlockSize);
+    ASSERT_TRUE(f.disk.write_sync(lba, golden[lba]));
+  }
+  for (const auto& [lba, expected] : golden)
+    EXPECT_EQ(f.disk.read_sync(lba), expected) << "lba " << lba;
+}
+
+TEST(VirtualDiskTest, OverwritesStick) {
+  Fixture f;
+  Rng rng(2);
+  const Lba lba = 13;
+  for (int round = 0; round < 4; ++round) {
+    const Block b = random_block(rng, kBlockSize);
+    ASSERT_TRUE(f.disk.write_sync(lba, b));
+    EXPECT_EQ(f.disk.read_sync(lba), b);
+  }
+}
+
+TEST(VirtualDiskTest, RangeIoRoundTrip) {
+  Fixture f;
+  Rng rng(3);
+  std::vector<Block> data;
+  for (int i = 0; i < 12; ++i) data.push_back(random_block(rng, kBlockSize));
+  ASSERT_TRUE(f.disk.write_range_sync(7, data));
+  const auto read = f.disk.read_range_sync(7, 12);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, data);
+  // Blocks outside the range untouched.
+  EXPECT_EQ(f.disk.read_sync(6), zero_block(kBlockSize));
+  EXPECT_EQ(f.disk.read_sync(19), zero_block(kBlockSize));
+}
+
+TEST(VirtualDiskTest, FullStripeSpanUsesStripeWrite) {
+  // Linear layout: blocks [5, 10) are exactly stripe 1. The write must go
+  // through one write-stripe operation, not five block writes.
+  Fixture f(40, Layout::kLinear);
+  Rng rng(4);
+  std::vector<Block> data;
+  for (int i = 0; i < 5; ++i) data.push_back(random_block(rng, kBlockSize));
+  ASSERT_TRUE(f.disk.write_range_sync(5, data));
+  const auto stats = f.cluster.total_coordinator_stats();
+  EXPECT_EQ(stats.stripe_writes, 1u);
+  EXPECT_EQ(stats.block_writes, 0u);
+  const auto read = f.disk.read_range_sync(5, 5);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(VirtualDiskTest, PartialSpanUsesOneMultiBlockWrite) {
+  Fixture f(40, Layout::kLinear);
+  Rng rng(5);
+  std::vector<Block> data{random_block(rng, kBlockSize),
+                          random_block(rng, kBlockSize)};
+  ASSERT_TRUE(f.disk.write_range_sync(5, data));
+  const auto stats = f.cluster.total_coordinator_stats();
+  EXPECT_EQ(stats.stripe_writes, 0u);
+  EXPECT_EQ(stats.block_writes, 0u);
+  EXPECT_EQ(stats.multi_block_writes, 1u);
+}
+
+TEST(VirtualDiskTest, SingleBlockSpanUsesBlockWrite) {
+  Fixture f(40, Layout::kLinear);
+  Rng rng(5);
+  ASSERT_TRUE(f.disk.write_range_sync(5, {random_block(rng, kBlockSize)}));
+  const auto stats = f.cluster.total_coordinator_stats();
+  EXPECT_EQ(stats.block_writes, 1u);
+  EXPECT_EQ(stats.multi_block_writes, 0u);
+}
+
+TEST(VirtualDiskTest, RoundRobinSpreadsCoordinators) {
+  Fixture f;
+  Rng rng(6);
+  for (Lba lba = 0; lba < 16; ++lba)
+    ASSERT_TRUE(f.disk.write_sync(lba, random_block(rng, kBlockSize)));
+  // Every brick coordinated some of the 16 writes.
+  std::uint32_t coordinators_used = 0;
+  for (ProcessId p = 0; p < 8; ++p)
+    if (f.cluster.coordinator(p).stats().block_writes > 0)
+      ++coordinators_used;
+  EXPECT_EQ(coordinators_used, 8u);
+}
+
+TEST(VirtualDiskTest, ExplicitCoordinatorIsHonored) {
+  Fixture f;
+  Rng rng(7);
+  ASSERT_TRUE(f.disk.write_sync(3, random_block(rng, kBlockSize), 5));
+  EXPECT_EQ(f.cluster.coordinator(5).stats().block_writes, 1u);
+}
+
+TEST(VirtualDiskTest, SkipsDeadCoordinators) {
+  Fixture f;
+  Rng rng(8);
+  f.cluster.crash(0);
+  // Round-robin must route around the dead brick.
+  for (Lba lba = 0; lba < 8; ++lba)
+    ASSERT_TRUE(f.disk.write_sync(lba, random_block(rng, kBlockSize)));
+  EXPECT_EQ(f.cluster.coordinator(0).stats().block_writes, 0u);
+}
+
+TEST(VirtualDiskTest, SurvivesBrickFailureDuringWorkload) {
+  Fixture f;
+  Rng rng(9);
+  std::map<Lba, Block> golden;
+  for (Lba lba = 0; lba < 10; ++lba) {
+    golden[lba] = random_block(rng, kBlockSize);
+    ASSERT_TRUE(f.disk.write_sync(lba, golden[lba]));
+  }
+  f.cluster.crash(2);
+  for (Lba lba = 10; lba < 20; ++lba) {
+    golden[lba] = random_block(rng, kBlockSize);
+    ASSERT_TRUE(f.disk.write_sync(lba, golden[lba]));
+  }
+  for (const auto& [lba, expected] : golden)
+    EXPECT_EQ(f.disk.read_sync(lba), expected) << "lba " << lba;
+}
+
+TEST(WorkloadTest, SequentialWraps) {
+  Rng rng(10);
+  WorkloadConfig config;
+  config.num_ops = 25;
+  config.pattern = AccessPattern::kSequential;
+  config.write_fraction = 0;
+  const auto ops = generate_workload(config, 10, rng);
+  ASSERT_EQ(ops.size(), 25u);
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    EXPECT_EQ(ops[i].lba, i % 10);
+}
+
+TEST(WorkloadTest, UniformStaysInRange) {
+  Rng rng(11);
+  WorkloadConfig config;
+  config.num_ops = 1000;
+  config.pattern = AccessPattern::kUniform;
+  for (const auto& op : generate_workload(config, 64, rng))
+    EXPECT_LT(op.lba, 64u);
+}
+
+TEST(WorkloadTest, WriteFractionApproximatelyHonored) {
+  Rng rng(12);
+  WorkloadConfig config;
+  config.num_ops = 5000;
+  config.write_fraction = 0.25;
+  int writes = 0;
+  for (const auto& op : generate_workload(config, 64, rng)) writes += op.is_write;
+  EXPECT_NEAR(writes / 5000.0, 0.25, 0.03);
+}
+
+TEST(WorkloadTest, HotspotConcentratesAccesses) {
+  Rng rng(13);
+  WorkloadConfig config;
+  config.num_ops = 5000;
+  config.pattern = AccessPattern::kHotspot;
+  config.hotspot_fraction = 0.9;
+  config.hotspot_blocks = 8;
+  int hot = 0;
+  for (const auto& op : generate_workload(config, 1000, rng))
+    hot += op.lba < 8;
+  EXPECT_NEAR(hot / 5000.0, 0.9, 0.03);
+}
+
+TEST(WorkloadTest, PoissonArrivalsIncrease) {
+  Rng rng(14);
+  WorkloadConfig config;
+  config.num_ops = 100;
+  config.mean_interarrival = sim::microseconds(50);
+  const auto ops = generate_workload(config, 64, rng);
+  for (std::size_t i = 1; i < ops.size(); ++i)
+    EXPECT_GE(ops[i].at, ops[i - 1].at);
+  EXPECT_GT(ops.back().at, 0);
+}
+
+TEST(LatencyRecorderTest, Percentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(i);
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.mean(), 50);  // (1+...+100)/100 = 50.5 truncated
+  EXPECT_EQ(rec.percentile(0), 1);
+  EXPECT_EQ(rec.percentile(100), 100);
+  EXPECT_NEAR(static_cast<double>(rec.percentile(50)), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(rec.percentile(99)), 99.0, 1.0);
+  EXPECT_EQ(rec.max(), 100);
+  rec.record(500);  // stays correct after re-sorting
+  EXPECT_EQ(rec.max(), 500);
+}
+
+}  // namespace
+}  // namespace fabec::fab

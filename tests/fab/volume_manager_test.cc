@@ -1,0 +1,122 @@
+#include "fab/volume_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fabec::fab {
+namespace {
+
+constexpr std::size_t kB = 64;
+
+core::ClusterConfig make_config() {
+  core::ClusterConfig config;
+  config.n = 8;
+  config.m = 5;
+  config.block_size = kB;
+  return config;
+}
+
+TEST(VolumeManagerTest, CreateFindRemove) {
+  core::Cluster cluster(make_config(), 1);
+  VolumeManager manager(&cluster);
+  EXPECT_EQ(manager.volume_count(), 0u);
+  VirtualDisk* vol = manager.create("db", 100);
+  ASSERT_NE(vol, nullptr);
+  EXPECT_EQ(manager.find("db"), vol);
+  EXPECT_EQ(manager.find("nope"), nullptr);
+  EXPECT_EQ(manager.names(), std::vector<std::string>{"db"});
+  EXPECT_TRUE(manager.remove("db"));
+  EXPECT_FALSE(manager.remove("db"));
+  EXPECT_EQ(manager.find("db"), nullptr);
+}
+
+TEST(VolumeManagerTest, NameCollisionRejected) {
+  core::Cluster cluster(make_config(), 2);
+  VolumeManager manager(&cluster);
+  ASSERT_NE(manager.create("v", 10), nullptr);
+  EXPECT_EQ(manager.create("v", 10), nullptr);
+  EXPECT_EQ(manager.create("w", 0), nullptr);  // zero-size rejected
+}
+
+TEST(VolumeManagerTest, CapacityRoundsUpToWholeStripes) {
+  core::Cluster cluster(make_config(), 3);
+  VolumeManager manager(&cluster);
+  VirtualDisk* vol = manager.create("v", 7);  // m = 5 -> rounds to 10
+  ASSERT_NE(vol, nullptr);
+  EXPECT_EQ(vol->capacity_blocks(), 10u);
+}
+
+TEST(VolumeManagerTest, VolumesAreIsolated) {
+  core::Cluster cluster(make_config(), 4);
+  VolumeManager manager(&cluster);
+  VirtualDisk* a = manager.create("a", 50);
+  VirtualDisk* b = manager.create("b", 50);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->stripe_base(), b->stripe_base());
+
+  Rng rng(4);
+  const Block block_a = random_block(rng, kB);
+  const Block block_b = random_block(rng, kB);
+  // Same LBA in both volumes: distinct stripes underneath.
+  ASSERT_TRUE(a->write_sync(7, block_a));
+  ASSERT_TRUE(b->write_sync(7, block_b));
+  EXPECT_EQ(a->read_sync(7), block_a);
+  EXPECT_EQ(b->read_sync(7), block_b);
+  // Unwritten addresses of b read zeros even where a has data.
+  ASSERT_TRUE(a->write_sync(3, block_a));
+  EXPECT_EQ(b->read_sync(3), zero_block(kB));
+}
+
+TEST(VolumeManagerTest, RecreatedVolumeNeverSeesOldData) {
+  core::Cluster cluster(make_config(), 5);
+  VolumeManager manager(&cluster);
+  Rng rng(5);
+  VirtualDisk* v1 = manager.create("scratch", 20);
+  ASSERT_TRUE(v1->write_sync(0, random_block(rng, kB)));
+  const StripeId old_base = v1->stripe_base();
+  ASSERT_TRUE(manager.remove("scratch"));
+
+  VirtualDisk* v2 = manager.create("scratch", 20);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_GT(v2->stripe_base(), old_base);  // range never reused
+  EXPECT_EQ(v2->read_sync(0), zero_block(kB));
+}
+
+TEST(VolumeManagerTest, ManyVolumesMixedWorkload) {
+  core::Cluster cluster(make_config(), 6);
+  VolumeManager manager(&cluster);
+  Rng rng(6);
+  std::map<std::string, std::map<Lba, Block>> golden;
+  for (int v = 0; v < 5; ++v) {
+    const std::string name = "vol" + std::to_string(v);
+    ASSERT_NE(manager.create(name, 25 + 10 * v), nullptr);
+  }
+  for (int round = 0; round < 20; ++round) {
+    const std::string name = "vol" + std::to_string(rng.next_below(5));
+    VirtualDisk* vol = manager.find(name);
+    const Lba lba = rng.next_below(vol->capacity_blocks());
+    golden[name][lba] = random_block(rng, kB);
+    ASSERT_TRUE(vol->write_sync(lba, golden[name][lba]));
+  }
+  for (const auto& [name, blocks] : golden)
+    for (const auto& [lba, expected] : blocks)
+      EXPECT_EQ(manager.find(name)->read_sync(lba), expected)
+          << name << " lba " << lba;
+}
+
+TEST(VolumeManagerTest, StripeAccountingMonotonic) {
+  core::Cluster cluster(make_config(), 7);
+  VolumeManager manager(&cluster);
+  EXPECT_EQ(manager.stripes_allocated(), 0u);
+  manager.create("a", 50);  // 10 stripes
+  EXPECT_EQ(manager.stripes_allocated(), 10u);
+  manager.create("b", 5);  // 1 stripe
+  EXPECT_EQ(manager.stripes_allocated(), 11u);
+  manager.remove("a");
+  EXPECT_EQ(manager.stripes_allocated(), 11u);  // retired, not reclaimed
+}
+
+}  // namespace
+}  // namespace fabec::fab

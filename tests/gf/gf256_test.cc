@@ -1,0 +1,163 @@
+#include "gf/gf256.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fabec::gf {
+namespace {
+
+TEST(Gf256Test, AdditionIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(add(0, 0), 0);
+  EXPECT_EQ(add(0xFF, 0xFF), 0);
+}
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<std::uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256Test, KnownProduct) {
+  // 0x80 * 2 = 0x100, reduced by the polynomial 0x11d to 0x1d.
+  EXPECT_EQ(mul(0x80, 0x02), 0x1d);
+  // The generator's square.
+  EXPECT_EQ(mul(0x02, 0x02), 0x04);
+}
+
+TEST(Gf256Test, MulCommutes) {
+  for (unsigned a = 0; a < 256; a += 7)
+    for (unsigned b = 0; b < 256; ++b)
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+}
+
+TEST(Gf256Test, MulAssociates) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_u64());
+    const auto b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto c = static_cast<std::uint8_t>(rng.next_u64());
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256Test, MulDistributesOverAdd) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_u64());
+    const auto b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto c = static_cast<std::uint8_t>(rng.next_u64());
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, EveryNonzeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto inverse = inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), inverse), 1u)
+        << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, DivIsMulByInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_u64());
+    auto b = static_cast<std::uint8_t>(rng.next_u64());
+    if (b == 0) b = 1;
+    EXPECT_EQ(div(a, b), mul(a, inv(b)));
+  }
+}
+
+TEST(Gf256Test, DivRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_u64());
+    auto b = static_cast<std::uint8_t>(rng.next_u64());
+    if (b == 0) b = 1;
+    EXPECT_EQ(mul(div(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, LogExpRoundTrip) {
+  for (unsigned a = 1; a < 256; ++a)
+    EXPECT_EQ(exp(log(static_cast<std::uint8_t>(a))),
+              static_cast<std::uint8_t>(a));
+}
+
+TEST(Gf256Test, ExpIsPeriodic255) {
+  for (unsigned i = 0; i < 255; ++i) EXPECT_EQ(exp(i), exp(i + 255));
+}
+
+TEST(Gf256Test, GeneratorHasFullOrder) {
+  // Powers of the generator enumerate all 255 nonzero elements.
+  std::vector<bool> seen(256, false);
+  for (unsigned i = 0; i < 255; ++i) {
+    const auto v = exp(i);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "repeated at i=" << i;
+    seen[v] = true;
+  }
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_u64() | 1);
+    const auto e = static_cast<unsigned>(rng.next_below(600));
+    std::uint8_t expected = 1;
+    for (unsigned k = 0; k < e; ++k) expected = mul(expected, a);
+    EXPECT_EQ(pow(a, e), expected) << "a=" << unsigned(a) << " e=" << e;
+  }
+}
+
+TEST(Gf256Test, PowEdgeCases) {
+  EXPECT_EQ(pow(0, 0), 1);  // convention: x^0 = 1
+  EXPECT_EQ(pow(0, 5), 0);
+  EXPECT_EQ(pow(7, 0), 1);
+  EXPECT_EQ(pow(7, 1), 7);
+}
+
+TEST(Gf256Test, MulSliceMatchesScalar) {
+  Rng rng(6);
+  std::vector<std::uint8_t> src(257), dst(257);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (unsigned c : {0u, 1u, 2u, 37u, 255u}) {
+    mul_slice(static_cast<std::uint8_t>(c), src.data(), dst.data(),
+              src.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+      EXPECT_EQ(dst[i], mul(static_cast<std::uint8_t>(c), src[i]));
+  }
+}
+
+TEST(Gf256Test, MulAddSliceMatchesScalar) {
+  Rng rng(7);
+  std::vector<std::uint8_t> src(128), dst(128), expected(128);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (unsigned c : {0u, 1u, 5u, 199u}) {
+    expected = dst;
+    for (std::size_t i = 0; i < src.size(); ++i)
+      expected[i] = add(expected[i], mul(static_cast<std::uint8_t>(c), src[i]));
+    mul_add_slice(static_cast<std::uint8_t>(c), src.data(), dst.data(),
+                  src.size());
+    EXPECT_EQ(dst, expected);
+  }
+}
+
+TEST(Gf256Test, MulAddSliceZeroCoefficientIsNoop) {
+  std::vector<std::uint8_t> src(16, 0xAB), dst(16, 0x11);
+  mul_add_slice(0, src.data(), dst.data(), src.size());
+  EXPECT_EQ(dst, std::vector<std::uint8_t>(16, 0x11));
+}
+
+}  // namespace
+}  // namespace fabec::gf

@@ -1,0 +1,237 @@
+// Unit tests for the conforming-total-order checker on hand-built
+// histories, including the paper's Figure 5 counter-example.
+#include "hist/history.h"
+
+#include <gtest/gtest.h>
+
+namespace fabec::hist {
+namespace {
+
+class Seq {
+ public:
+  std::uint64_t next() { return ++seq_; }
+
+ private:
+  std::uint64_t seq_ = 0;
+};
+
+TEST(HistoryCheckerTest, EmptyHistoryIsLinearizable) {
+  History h;
+  EXPECT_TRUE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, SequentialWriteReadIsLegal) {
+  History h;
+  Seq s;
+  auto w = h.begin_write(1, s.next());
+  h.end_write(w, s.next(), true);
+  auto r = h.begin_read(s.next());
+  h.end_read(r, s.next(), 1);
+  EXPECT_TRUE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, ReadOfNilBeforeAnyWriteIsLegal) {
+  History h;
+  Seq s;
+  auto r = h.begin_read(s.next());
+  h.end_read(r, s.next(), kNil);
+  auto w = h.begin_write(1, s.next());
+  h.end_write(w, s.next(), true);
+  EXPECT_TRUE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, ReadOfNilAfterCompletedWriteIsIllegal) {
+  History h;
+  Seq s;
+  auto w = h.begin_write(1, s.next());
+  h.end_write(w, s.next(), true);
+  auto r1 = h.begin_read(s.next());
+  h.end_read(r1, s.next(), 1);
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), kNil);  // lost the write
+  EXPECT_FALSE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, StaleReadAfterNewerReadIsIllegal) {
+  // read(v2) then read(v1) with v1 written before v2: violates (3)+(2).
+  History h;
+  Seq s;
+  auto w1 = h.begin_write(1, s.next());
+  h.end_write(w1, s.next(), true);
+  auto w2 = h.begin_write(2, s.next());
+  h.end_write(w2, s.next(), true);
+  auto r1 = h.begin_read(s.next());
+  h.end_read(r1, s.next(), 2);
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), 1);  // goes back in time
+  EXPECT_FALSE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, Figure5ViolationIsDetected) {
+  // write(v) ok; write(v') crashes; read2 -> v; read3 -> v'.
+  // Strictness: the crashed write happens-before read2, so v' <= v; but
+  // read2 -> read3 gives v <= v' — a cycle between distinct values.
+  History h;
+  Seq s;
+  auto w = h.begin_write(1, s.next());
+  h.end_write(w, s.next(), true);
+  auto w2 = h.begin_write(2, s.next());
+  h.crash(w2, s.next());
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), 1);
+  auto r3 = h.begin_read(s.next());
+  h.end_read(r3, s.next(), 2);  // the partially written value resurfaces
+  EXPECT_FALSE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, CrashedWriteMayTakeEffectBeforeNextRead) {
+  // Same prefix as Figure 5 but read2 returns v' (rolled forward): legal.
+  History h;
+  Seq s;
+  auto w = h.begin_write(1, s.next());
+  h.end_write(w, s.next(), true);
+  auto w2 = h.begin_write(2, s.next());
+  h.crash(w2, s.next());
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), 2);
+  auto r3 = h.begin_read(s.next());
+  h.end_read(r3, s.next(), 2);
+  EXPECT_TRUE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, CrashedWriteMayVanish) {
+  // A crashed write whose value is never observed imposes no constraint.
+  History h;
+  Seq s;
+  auto w = h.begin_write(1, s.next());
+  h.end_write(w, s.next(), true);
+  auto w2 = h.begin_write(2, s.next());
+  h.crash(w2, s.next());
+  auto r = h.begin_read(s.next());
+  h.end_read(r, s.next(), 1);
+  EXPECT_TRUE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, AbortedWriteMayTakeEitherOutcome) {
+  for (ValueId outcome : {ValueId{1}, ValueId{2}}) {
+    History h;
+    Seq s;
+    auto w1 = h.begin_write(1, s.next());
+    h.end_write(w1, s.next(), true);
+    auto w2 = h.begin_write(2, s.next());
+    h.end_write(w2, s.next(), false);  // ⊥: non-deterministic outcome
+    auto r = h.begin_read(s.next());
+    h.end_read(r, s.next(), outcome);
+    EXPECT_TRUE(check_strict_linearizability(h)) << "outcome " << outcome;
+  }
+}
+
+TEST(HistoryCheckerTest, AbortedWriteOutcomeMustStayFixed) {
+  // Once a read observed v after the abort, flip-flopping back to the
+  // pre-abort value is illegal.
+  History h;
+  Seq s;
+  auto w1 = h.begin_write(1, s.next());
+  h.end_write(w1, s.next(), true);
+  auto w2 = h.begin_write(2, s.next());
+  h.end_write(w2, s.next(), false);
+  auto r1 = h.begin_read(s.next());
+  h.end_read(r1, s.next(), 2);
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), 1);
+  EXPECT_FALSE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, ConcurrentOperationsOrderFreely) {
+  // Two overlapping writes then a read of either value: both end states
+  // are legal because neither write happens-before the other.
+  for (ValueId outcome : {ValueId{1}, ValueId{2}}) {
+    History h;
+    Seq s;
+    auto w1 = h.begin_write(1, s.next());
+    auto w2 = h.begin_write(2, s.next());
+    h.end_write(w1, s.next(), true);
+    h.end_write(w2, s.next(), true);
+    auto r = h.begin_read(s.next());
+    h.end_read(r, s.next(), outcome);
+    EXPECT_TRUE(check_strict_linearizability(h)) << "outcome " << outcome;
+  }
+}
+
+TEST(HistoryCheckerTest, ConcurrentReadsMayDisagreeOnlyForward) {
+  // A read concurrent with a write may return old or new; but two
+  // *sequential* reads must not go backwards even if both were concurrent
+  // with the write.
+  History h;
+  Seq s;
+  auto w1 = h.begin_write(1, s.next());
+  h.end_write(w1, s.next(), true);
+  auto w2 = h.begin_write(2, s.next());  // stays pending (crashes later)
+  auto r1 = h.begin_read(s.next());
+  h.end_read(r1, s.next(), 2);
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), 1);
+  h.crash(w2, s.next());
+  EXPECT_FALSE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, PendingOperationImposesNoOrder) {
+  // An operation with no return/crash event (infinite op) cannot be ordered
+  // before anything.
+  History h;
+  Seq s;
+  auto w1 = h.begin_write(1, s.next());
+  h.end_write(w1, s.next(), true);
+  h.begin_write(2, s.next());  // never ends
+  auto r = h.begin_read(s.next());
+  h.end_read(r, s.next(), 2);
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), 2);
+  EXPECT_TRUE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, WritePrecedingWriteOrdersValues) {
+  // write(1) -> write(2) complete in order; a read between them returning 2
+  // is fine, but a read *after both* returning 1 is not.
+  History h;
+  Seq s;
+  auto w1 = h.begin_write(1, s.next());
+  h.end_write(w1, s.next(), true);
+  auto w2 = h.begin_write(2, s.next());
+  h.end_write(w2, s.next(), true);
+  auto r = h.begin_read(s.next());
+  h.end_read(r, s.next(), 1);
+  EXPECT_FALSE(check_strict_linearizability(h));
+}
+
+TEST(HistoryCheckerTest, AbortedReadsImposeNothing) {
+  History h;
+  Seq s;
+  auto w1 = h.begin_write(1, s.next());
+  h.end_write(w1, s.next(), true);
+  auto r1 = h.begin_read(s.next());
+  h.end_read(r1, s.next(), std::nullopt);  // aborted read
+  auto r2 = h.begin_read(s.next());
+  h.end_read(r2, s.next(), 1);
+  EXPECT_TRUE(check_strict_linearizability(h));
+}
+
+TEST(ValueRegistryTest, ZeroBlockIsNil) {
+  ValueRegistry reg;
+  EXPECT_EQ(reg.id_of(Block(16, 0)), kNil);
+}
+
+TEST(ValueRegistryTest, StableIdsPerContent) {
+  ValueRegistry reg;
+  const Block a{1, 2, 3};
+  const Block b{4, 5, 6};
+  const ValueId ia = reg.id_of(a);
+  const ValueId ib = reg.id_of(b);
+  EXPECT_NE(ia, ib);
+  EXPECT_NE(ia, kNil);
+  EXPECT_EQ(reg.id_of(a), ia);
+  EXPECT_EQ(reg.id_of(Block{1, 2, 3}), ia);
+}
+
+}  // namespace
+}  // namespace fabec::hist

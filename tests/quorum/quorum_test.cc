@@ -1,0 +1,119 @@
+#include "quorum/quorum.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace fabec::quorum {
+namespace {
+
+TEST(QuorumMathTest, MaxFaultyFormula) {
+  // f = floor((n - m) / 2), the Theorem 2 bound.
+  EXPECT_EQ(max_faulty(8, 5), 1u);   // the paper's 5-of-8
+  EXPECT_EQ(max_faulty(7, 5), 1u);   // §4.1.1's example (quorum size 6)
+  EXPECT_EQ(max_faulty(5, 3), 1u);
+  EXPECT_EQ(max_faulty(9, 3), 3u);
+  EXPECT_EQ(max_faulty(4, 4), 0u);
+  EXPECT_EQ(max_faulty(3, 1), 1u);   // replication: majority quorums
+}
+
+TEST(QuorumMathTest, QuorumSizeFormula) {
+  EXPECT_EQ(quorum_size(8, 5), 7u);
+  EXPECT_EQ(quorum_size(7, 5), 6u);  // matches §4.1.1 ("the m-quorum size is 6")
+  EXPECT_EQ(quorum_size(3, 1), 2u);  // majority of 3
+  EXPECT_EQ(quorum_size(4, 4), 4u);  // no fault tolerance: all processes
+}
+
+TEST(QuorumMathTest, Theorem2ExistenceCondition) {
+  // n >= 2f + m is necessary and sufficient.
+  EXPECT_TRUE(system_exists(8, 5, 1));
+  EXPECT_FALSE(system_exists(8, 5, 2));
+  EXPECT_TRUE(system_exists(9, 5, 2));
+  EXPECT_TRUE(system_exists(5, 5, 0));
+  EXPECT_FALSE(system_exists(5, 5, 1));
+  EXPECT_TRUE(system_exists(3, 1, 1));
+  EXPECT_FALSE(system_exists(2, 1, 1));
+}
+
+TEST(QuorumMathTest, ConfigAccessors) {
+  const Config config{8, 5};
+  EXPECT_EQ(config.f(), 1u);
+  EXPECT_EQ(config.quorum(), 7u);
+  EXPECT_EQ(config.parity(), 3u);
+}
+
+TEST(QuorumSetTest, IntersectionSize) {
+  EXPECT_EQ(intersection_size({0, 1, 2}, {2, 3, 4}), 1u);
+  EXPECT_EQ(intersection_size({0, 1, 2}, {3, 4, 5}), 0u);
+  EXPECT_EQ(intersection_size({5, 1, 3}, {3, 5, 0}), 2u);  // unsorted inputs
+  EXPECT_EQ(intersection_size({}, {1, 2}), 0u);
+}
+
+// Definition 1 verified on the canonical threshold construction for a sweep
+// of (n, m). This is the executable form of Lemma 4.
+class ThresholdSystemTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(ThresholdSystemTest, SatisfiesDefinition1) {
+  const auto [n, m] = GetParam();
+  const auto system = threshold_system(n, m);
+  ASSERT_FALSE(system.empty());
+  // Every minimal quorum has size n - f.
+  for (const auto& q : system) EXPECT_EQ(q.size(), quorum_size(n, m));
+  EXPECT_TRUE(satisfies_consistency(system, m));
+  EXPECT_TRUE(satisfies_availability(system, n, max_faulty(n, m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThresholdSystemTest,
+    ::testing::Values(std::make_tuple(3u, 1u), std::make_tuple(5u, 3u),
+                      std::make_tuple(7u, 5u), std::make_tuple(8u, 5u),
+                      std::make_tuple(6u, 2u), std::make_tuple(9u, 3u),
+                      std::make_tuple(4u, 4u), std::make_tuple(10u, 4u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ThresholdSystemTest, LargerQuorumsWouldLoseAvailability) {
+  // If quorums were one process larger than n - f, a set of f faulty
+  // processes could block every quorum: availability fails.
+  const std::uint32_t n = 7, m = 3;
+  const std::uint32_t f = max_faulty(n, m);  // 2
+  std::vector<QuorumSet> too_big;
+  for (auto& q : threshold_system(n, m + 2))  // quorums of size n - f + 1
+    too_big.push_back(q);
+  EXPECT_FALSE(satisfies_availability(too_big, n, f));
+}
+
+TEST(ThresholdSystemTest, SmallerQuorumsWouldLoseConsistency) {
+  // Quorums smaller than n - f cannot all pairwise intersect in m: the
+  // size-6 subsets of 8 processes (threshold_system(8, 4)) include pairs
+  // intersecting in only 4 < m = 5.
+  const std::vector<QuorumSet> too_small = threshold_system(8, 4);
+  ASSERT_EQ(too_small.front().size(), 6u);
+  EXPECT_FALSE(satisfies_consistency(too_small, 5));
+}
+
+TEST(ReplyTrackerTest, TracksDistinctReplies) {
+  ReplyTracker tracker(5, 3);
+  EXPECT_FALSE(tracker.complete());
+  EXPECT_TRUE(tracker.add(0));
+  EXPECT_TRUE(tracker.add(2));
+  EXPECT_FALSE(tracker.add(2));  // duplicate
+  EXPECT_FALSE(tracker.complete());
+  EXPECT_TRUE(tracker.add(4));
+  EXPECT_TRUE(tracker.complete());
+  EXPECT_EQ(tracker.distinct(), 3u);
+  EXPECT_TRUE(tracker.has(2));
+  EXPECT_FALSE(tracker.has(1));
+}
+
+TEST(ReplyTrackerTest, ZeroNeededIsImmediatelyComplete) {
+  ReplyTracker tracker(3, 0);
+  EXPECT_TRUE(tracker.complete());
+}
+
+}  // namespace
+}  // namespace fabec::quorum

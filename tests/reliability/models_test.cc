@@ -1,0 +1,225 @@
+// Analytic reliability models: closed-form sanity checks plus the ordering
+// properties Figures 2 and 3 depend on.
+#include "reliability/models.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fabec::reliability {
+namespace {
+
+TEST(GroupMttdlTest, SingleFailureIsExponential) {
+  // r = 1: MTTDL = 1 / (n·λ) exactly.
+  EXPECT_NEAR(group_mttdl_hours(1, 1, 0.001, 0.1), 1000.0, 1e-6);
+  EXPECT_NEAR(group_mttdl_hours(4, 1, 0.001, 0.1), 250.0, 1e-6);
+}
+
+TEST(GroupMttdlTest, TwoOfTwoMatchesClosedForm) {
+  // Group of 2, loss at 2 concurrent failures:
+  // T0 = 1/(2λ) + T1;  T1 = (1 + μ·T0) / (λ + μ).
+  // Closed form: T0 = (3λ + μ) / (2λ²).
+  const double lambda = 0.001, mu = 0.05;
+  const double expected = (3 * lambda + mu) / (2 * lambda * lambda);
+  EXPECT_NEAR(group_mttdl_hours(2, 2, lambda, mu), expected,
+              expected * 1e-9);
+}
+
+TEST(GroupMttdlTest, RepairRateExtendsLife) {
+  const double without = group_mttdl_hours(8, 4, 1e-4, 0.0);
+  const double with = group_mttdl_hours(8, 4, 1e-4, 1.0 / 24);
+  EXPECT_GT(with, 100 * without);
+}
+
+TEST(GroupMttdlTest, MoreToleranceHelps) {
+  double prev = 0;
+  for (std::uint32_t r = 1; r <= 4; ++r) {
+    const double t = group_mttdl_hours(8, r, 1e-4, 1.0 / 24);
+    EXPECT_GT(t, prev) << "r=" << r;
+    prev = t;
+  }
+}
+
+TEST(GroupMttdlTest, WiderGroupSameToleranceIsWorse) {
+  // EC(5,8) vs 4-way replication: both absorb at 4 failures, but the group
+  // of 8 has more ways to fail.
+  const double rep4 = group_mttdl_hours(4, 4, 1e-4, 1.0 / 24);
+  const double ec58 = group_mttdl_hours(8, 4, 1e-4, 1.0 / 24);
+  EXPECT_GT(rep4, ec58);
+  EXPECT_LT(rep4 / ec58, 1000.0);  // but within a few decades
+}
+
+TEST(BrickModelTest, Raid5BrickLosesDataFarLessOften) {
+  const ComponentParams params;
+  const auto r0 = BrickModel::make(BrickKind::kRaid0, params);
+  const auto r5 = BrickModel::make(BrickKind::kRaid5, params);
+  EXPECT_GT(r0.data_loss_rate_per_hour, 5 * r5.data_loss_rate_per_hour);
+  // RAID-5 gives up one disk of capacity.
+  EXPECT_LT(r5.logical_capacity_tb, r0.logical_capacity_tb);
+  EXPECT_EQ(r5.raw_capacity_tb, r0.raw_capacity_tb);
+}
+
+TEST(BrickModelTest, HighEndBrickIsMostReliable) {
+  const ComponentParams params;
+  const auto r5 = BrickModel::make(BrickKind::kRaid5, params);
+  const auto hi = BrickModel::make(BrickKind::kReliableRaid5, params);
+  EXPECT_GT(r5.data_loss_rate_per_hour, hi.data_loss_rate_per_hour);
+}
+
+TEST(SchemeConfigTest, Labels) {
+  SchemeConfig striping{SchemeConfig::Kind::kStriping};
+  SchemeConfig rep;
+  rep.kind = SchemeConfig::Kind::kReplication;
+  rep.replicas = 4;
+  SchemeConfig ec;
+  ec.kind = SchemeConfig::Kind::kErasureCode;
+  EXPECT_EQ(striping.label(), "striping");
+  EXPECT_EQ(rep.label(), "4-way replication");
+  EXPECT_EQ(ec.label(), "E.C.(5,8)");
+}
+
+TEST(SchemeConfigTest, OverheadAndTolerance) {
+  SchemeConfig rep;
+  rep.kind = SchemeConfig::Kind::kReplication;
+  rep.replicas = 4;
+  EXPECT_DOUBLE_EQ(rep.cross_brick_overhead(), 4.0);
+  EXPECT_EQ(rep.failures_to_loss(), 4u);
+
+  SchemeConfig ec;
+  ec.kind = SchemeConfig::Kind::kErasureCode;
+  ec.m = 5;
+  ec.n = 8;
+  EXPECT_DOUBLE_EQ(ec.cross_brick_overhead(), 1.6);
+  EXPECT_EQ(ec.failures_to_loss(), 4u);  // tolerates 3, dies at 4
+}
+
+// The qualitative content of Figure 2.
+class Figure2PropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Figure2PropertyTest, SchemeOrderingAtEachCapacity) {
+  const double tb = GetParam();
+  const ComponentParams params;
+
+  SchemeConfig striping{SchemeConfig::Kind::kStriping};
+  striping.brick = BrickKind::kReliableRaid5;
+  SchemeConfig rep_r0;
+  rep_r0.kind = SchemeConfig::Kind::kReplication;
+  rep_r0.replicas = 4;
+  rep_r0.brick = BrickKind::kRaid0;
+  SchemeConfig rep_r5 = rep_r0;
+  rep_r5.brick = BrickKind::kRaid5;
+  SchemeConfig ec_r0;
+  ec_r0.kind = SchemeConfig::Kind::kErasureCode;
+  ec_r0.brick = BrickKind::kRaid0;
+  SchemeConfig ec_r5 = ec_r0;
+  ec_r5.brick = BrickKind::kRaid5;
+
+  const double s = evaluate(striping, tb, params).mttdl_years;
+  const double r0 = evaluate(rep_r0, tb, params).mttdl_years;
+  const double r5 = evaluate(rep_r5, tb, params).mttdl_years;
+  const double e0 = evaluate(ec_r0, tb, params).mttdl_years;
+  const double e5 = evaluate(ec_r5, tb, params).mttdl_years;
+
+  // Striping is far below every redundant scheme.
+  EXPECT_LT(s, e0 / 100);
+  // R5 bricks beat R0 bricks under either redundancy scheme.
+  EXPECT_GT(r5, r0);
+  EXPECT_GT(e5, e0);
+  // 4-way replication edges out EC(5,8) on same bricks ("reliability is
+  // almost as high as the 4-way replicated system").
+  EXPECT_GT(r0, e0);
+  EXPECT_GT(r5, e5);
+  EXPECT_LT(r0 / e0, 1e4);  // "almost as high": within a few decades
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, Figure2PropertyTest,
+                         ::testing::Values(1.0, 10.0, 100.0, 1000.0));
+
+TEST(Figure2PropertyTest, MttdlFallsWithCapacity) {
+  const ComponentParams params;
+  SchemeConfig ec;
+  ec.kind = SchemeConfig::Kind::kErasureCode;
+  // Tiny systems clamp to the minimum group size (n bricks), so the curve
+  // may be flat at first; it must be non-increasing throughout and strictly
+  // lower at scale.
+  double prev = std::numeric_limits<double>::infinity();
+  double first = 0;
+  for (double tb : {1.0, 10.0, 100.0, 1000.0}) {
+    const double years = evaluate(ec, tb, params).mttdl_years;
+    EXPECT_LE(years, prev);
+    if (first == 0) first = years;
+    prev = years;
+  }
+  EXPECT_LT(prev, first / 10);
+}
+
+// The qualitative content of Figure 3 at the paper's 256 TB design point.
+TEST(Figure3PropertyTest, ErasureCodingReachesTargetReliabilityCheaper) {
+  const ComponentParams params;
+  const double target_years = 1e6;  // the paper's one-million-year bar
+  const double tb = 256.0;
+
+  auto overhead_for_target = [&](auto make_scheme, int lo, int hi) {
+    for (int level = lo; level <= hi; ++level) {
+      const SchemeConfig scheme = make_scheme(level);
+      const SystemPoint point = evaluate(scheme, tb, params);
+      if (point.mttdl_years >= target_years) return point.storage_overhead;
+    }
+    return std::numeric_limits<double>::infinity();
+  };
+
+  const double rep_overhead = overhead_for_target(
+      [](int k) {
+        SchemeConfig s;
+        s.kind = SchemeConfig::Kind::kReplication;
+        s.replicas = static_cast<std::uint32_t>(k);
+        s.brick = BrickKind::kRaid0;
+        return s;
+      },
+      1, 8);
+  const double ec_overhead = overhead_for_target(
+      [](int n) {
+        SchemeConfig s;
+        s.kind = SchemeConfig::Kind::kErasureCode;
+        s.m = 5;
+        s.n = static_cast<std::uint32_t>(n);
+        s.brick = BrickKind::kRaid0;
+        return s;
+      },
+      5, 13);
+
+  EXPECT_LT(ec_overhead, rep_overhead);
+  EXPECT_LT(ec_overhead, 2.5);   // paper: ~1.6 with R0 bricks
+  EXPECT_GE(rep_overhead, 3.0);  // paper: ~4 with R0 bricks
+}
+
+TEST(Figure3PropertyTest, OverheadGrowsWithReliabilityDemand) {
+  // Along each family, more redundancy = more MTTDL and more overhead: the
+  // two curves of Figure 3 are monotone.
+  const ComponentParams params;
+  double prev_years = 0, prev_overhead = 0;
+  for (std::uint32_t n = 5; n <= 11; ++n) {
+    SchemeConfig ec;
+    ec.kind = SchemeConfig::Kind::kErasureCode;
+    ec.m = 5;
+    ec.n = n;
+    const SystemPoint point = evaluate(ec, 256.0, params);
+    EXPECT_GT(point.mttdl_years, prev_years) << "n=" << n;
+    EXPECT_GT(point.storage_overhead, prev_overhead) << "n=" << n;
+    prev_years = point.mttdl_years;
+    prev_overhead = point.storage_overhead;
+  }
+}
+
+TEST(SystemPointTest, BrickCountMatchesCapacity) {
+  const ComponentParams params;  // 12 x 0.25 TB = 3 TB raw per brick
+  SchemeConfig ec;
+  ec.kind = SchemeConfig::Kind::kErasureCode;  // overhead 1.6, R0 bricks
+  const SystemPoint point = evaluate(ec, 300.0, params);
+  // 300 TB * 1.6 / 3 TB = 160 bricks.
+  EXPECT_NEAR(point.num_bricks, 160.0, 1.0);
+  EXPECT_NEAR(point.storage_overhead, 1.6, 0.05);
+}
+
+}  // namespace
+}  // namespace fabec::reliability

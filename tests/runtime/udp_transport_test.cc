@@ -1,0 +1,134 @@
+// Real sockets: the wire codec over loopback UDP, standalone and driving a
+// full cluster.
+#include "runtime/udp_transport.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/threaded_cluster.h"
+
+namespace fabec::runtime {
+namespace {
+
+constexpr std::size_t kB = 256;
+
+TEST(UdpTransportTest, MessagesCrossTwoTransports) {
+  // Two transport instances = the two-process deployment shape: each hosts
+  // one brick and learns the other's port out of band.
+  UdpTransport left({0});
+  UdpTransport right({1});
+  std::map<ProcessId, std::uint16_t> peers = left.local_endpoints();
+  for (const auto& [brick, port] : right.local_endpoints())
+    peers[brick] = port;
+  left.set_peers(peers);
+  right.set_peers(peers);
+
+  std::atomic<int> got{0};
+  core::Message received;
+  std::mutex mu;
+  right.start([&](ProcessId from, ProcessId to, core::Message msg) {
+    EXPECT_EQ(from, 0u);
+    EXPECT_EQ(to, 1u);
+    std::lock_guard<std::mutex> lock(mu);
+    received = std::move(msg);
+    ++got;
+  });
+  left.start([](ProcessId, ProcessId, core::Message) {});
+
+  Rng rng(1);
+  core::WriteReq req{7, 42, Timestamp{9, 3}, random_block(rng, kB)};
+  ASSERT_TRUE(left.send(0, 1, core::Message{req}));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got.load() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(got.load(), 1);
+  std::lock_guard<std::mutex> lock(mu);
+  const auto* write = std::get_if<core::WriteReq>(&received);
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->stripe, 7u);
+  EXPECT_EQ(write->op, 42u);
+  EXPECT_EQ(write->block, req.block);
+}
+
+TEST(UdpTransportTest, UnknownPeerReportsLoss) {
+  UdpTransport transport({0});
+  transport.set_peers(transport.local_endpoints());
+  EXPECT_FALSE(transport.send(0, 99, core::Message{core::OrderRep{1, true}}));
+}
+
+ThreadedClusterConfig udp_config() {
+  ThreadedClusterConfig config;
+  config.n = 8;
+  config.m = 5;
+  config.block_size = kB;
+  config.use_udp_transport = true;
+  // Real sockets can drop under burst; retransmit briskly.
+  config.coordinator.retransmit_period = sim::milliseconds(20);
+  return config;
+}
+
+std::vector<Block> random_stripe(Rng& rng) {
+  std::vector<Block> stripe;
+  for (int i = 0; i < 5; ++i) stripe.push_back(random_block(rng, kB));
+  return stripe;
+}
+
+TEST(UdpClusterTest, RoundTripOverRealSockets) {
+  ThreadedCluster cluster(udp_config(), 1);
+  Rng rng(1);
+  const auto stripe = random_stripe(rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  EXPECT_EQ(cluster.read_stripe(5, 0), stripe);
+  ASSERT_GT(cluster.udp()->stats().datagrams_sent.load(), 0u);
+  const Block b = random_block(rng, kB);
+  ASSERT_TRUE(cluster.write_block(3, 0, 2, b));
+  EXPECT_EQ(cluster.read_block(7, 0, 2), b);
+}
+
+TEST(UdpClusterTest, SurvivesCrashOverRealSockets) {
+  ThreadedCluster cluster(udp_config(), 2);
+  Rng rng(2);
+  const auto stripe = random_stripe(rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  cluster.crash(6);
+  EXPECT_EQ(cluster.read_stripe(1, 0), stripe);
+  const auto stripe2 = random_stripe(rng);
+  EXPECT_TRUE(cluster.write_stripe(2, 0, stripe2));
+  cluster.recover_brick(6);
+  EXPECT_EQ(cluster.read_stripe(6, 0), stripe2);
+}
+
+TEST(UdpClusterTest, ConcurrentClientsOverRealSockets) {
+  ThreadedCluster cluster(udp_config(), 3);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(50 + t);
+      const auto stripe = static_cast<StripeId>(t);
+      for (int i = 0; i < 10; ++i) {
+        std::vector<Block> data;
+        for (int j = 0; j < 5; ++j) data.push_back(random_block(rng, kB));
+        if (!cluster.write_stripe(static_cast<ProcessId>((t + i) % 8),
+                                  stripe, data)) {
+          ++failures;
+          continue;
+        }
+        const auto seen = cluster.read_stripe(
+            static_cast<ProcessId>((t + i + 4) % 8), stripe);
+        if (!seen.has_value() || *seen != data) ++failures;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace fabec::runtime

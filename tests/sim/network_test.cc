@@ -1,0 +1,202 @@
+#include "sim/network.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace fabec::sim {
+namespace {
+
+struct TestMsg {
+  int payload = 0;
+  std::size_t bytes = 100;
+  std::size_t wire_size() const { return bytes; }
+};
+
+struct Delivery {
+  ProcessId from, to;
+  int payload;
+  Time at;
+};
+
+struct Fixture {
+  explicit Fixture(NetworkConfig config = {}, std::uint64_t seed = 1)
+      : sim(seed), net(sim, 4, config) {
+    net.set_handler([this](ProcessId from, ProcessId to, TestMsg msg) {
+      deliveries.push_back({from, to, msg.payload, sim.now()});
+    });
+  }
+  Simulator sim;
+  Network<TestMsg> net;
+  std::vector<Delivery> deliveries;
+};
+
+TEST(NetworkTest, DeliversWithBaseDelay) {
+  Fixture f;
+  f.net.send(0, 1, TestMsg{42});
+  f.sim.run_until_idle();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].payload, 42);
+  EXPECT_EQ(f.deliveries[0].at, kDefaultDelta);
+  EXPECT_EQ(f.deliveries[0].from, 0u);
+  EXPECT_EQ(f.deliveries[0].to, 1u);
+}
+
+TEST(NetworkTest, LoopbackGoesThroughTheNetwork) {
+  // A coordinator messaging its own replica still pays δ (Table 1 counts
+  // all n replicas).
+  Fixture f;
+  f.net.send(2, 2, TestMsg{7});
+  f.sim.run_until_idle();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].at, kDefaultDelta);
+}
+
+TEST(NetworkTest, CountsMessagesAndBytes) {
+  Fixture f;
+  f.net.send(0, 1, TestMsg{1, 100});
+  f.net.send(0, 2, TestMsg{2, 250});
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.net.stats().messages_sent, 2u);
+  EXPECT_EQ(f.net.stats().messages_delivered, 2u);
+  EXPECT_EQ(f.net.stats().bytes_sent, 350u);
+}
+
+TEST(NetworkTest, DropProbabilityLosesMessages) {
+  NetworkConfig config;
+  config.drop_probability = 0.5;
+  Fixture f(config);
+  for (int i = 0; i < 1000; ++i) f.net.send(0, 1, TestMsg{i});
+  f.sim.run_until_idle();
+  const auto& stats = f.net.stats();
+  EXPECT_EQ(stats.messages_sent, 1000u);
+  EXPECT_EQ(stats.messages_delivered + stats.messages_dropped, 1000u);
+  EXPECT_GT(stats.messages_dropped, 350u);
+  EXPECT_LT(stats.messages_dropped, 650u);
+}
+
+TEST(NetworkTest, JitterReordersMessages) {
+  NetworkConfig config;
+  config.jitter = milliseconds(10);
+  Fixture f(config, /*seed=*/7);
+  for (int i = 0; i < 50; ++i) f.net.send(0, 1, TestMsg{i});
+  f.sim.run_until_idle();
+  ASSERT_EQ(f.deliveries.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < f.deliveries.size(); ++i)
+    if (f.deliveries[i].payload < f.deliveries[i - 1].payload) reordered = true;
+  EXPECT_TRUE(reordered);
+}
+
+TEST(NetworkTest, BlockedLinkDropsBothDirections) {
+  Fixture f;
+  f.net.block_link(0, 1);
+  f.net.send(0, 1, TestMsg{1});
+  f.net.send(1, 0, TestMsg{2});
+  f.net.send(0, 2, TestMsg{3});  // unaffected
+  f.sim.run_until_idle();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].payload, 3);
+  EXPECT_EQ(f.net.stats().messages_blocked, 2u);
+}
+
+TEST(NetworkTest, UnblockRestoresLink) {
+  Fixture f;
+  f.net.block_link(0, 1);
+  f.net.unblock_link(0, 1);
+  f.net.send(0, 1, TestMsg{5});
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.deliveries.size(), 1u);
+}
+
+TEST(NetworkTest, PartitionSplitsGroups) {
+  Fixture f;
+  f.net.partition({0, 1});  // {0,1} vs {2,3}
+  f.net.send(0, 1, TestMsg{1});  // intra-group: ok
+  f.net.send(2, 3, TestMsg{2});  // intra-group: ok
+  f.net.send(0, 2, TestMsg{3});  // cross: blocked
+  f.net.send(3, 1, TestMsg{4});  // cross: blocked
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.deliveries.size(), 2u);
+  EXPECT_EQ(f.net.stats().messages_blocked, 2u);
+}
+
+TEST(NetworkTest, HealRemovesAllPartitions) {
+  Fixture f;
+  f.net.partition({0});
+  f.net.heal();
+  f.net.send(0, 3, TestMsg{9});
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.deliveries.size(), 1u);
+}
+
+TEST(NetworkTest, DeliveryGateChecksAtDeliveryTime) {
+  // A message in flight to a process that crashes before delivery is lost;
+  // the gate is evaluated at delivery, not at send.
+  Fixture f;
+  ProcessSet procs(4);
+  f.net.set_delivery_gate([&procs](ProcessId to) { return procs.alive(to); });
+  f.net.send(0, 1, TestMsg{1});
+  procs.crash(1);
+  f.sim.run_until_idle();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.net.stats().messages_blocked, 1u);
+
+  procs.recover(1);
+  f.net.send(0, 1, TestMsg{2});
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.deliveries.size(), 1u);
+}
+
+TEST(NetworkTest, DeterministicUnderSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    NetworkConfig config;
+    config.jitter = milliseconds(5);
+    config.drop_probability = 0.2;
+    Fixture f(config, seed);
+    for (int i = 0; i < 100; ++i)
+      f.net.send(i % 4, (i + 1) % 4, TestMsg{i});
+    f.sim.run_until_idle();
+    std::vector<int> payloads;
+    for (const auto& d : f.deliveries) payloads.push_back(d.payload);
+    return payloads;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(ProcessSetTest, CrashRecoverLifecycle) {
+  ProcessSet procs(3);
+  EXPECT_TRUE(procs.alive(1));
+  EXPECT_EQ(procs.epoch(1), 0u);
+
+  int crashes = 0, recoveries = 0;
+  procs.set_on_crash(1, [&] { ++crashes; });
+  procs.set_on_recover(1, [&] { ++recoveries; });
+
+  procs.crash(1);
+  EXPECT_FALSE(procs.alive(1));
+  EXPECT_EQ(procs.epoch(1), 1u);
+  EXPECT_EQ(crashes, 1);
+
+  procs.crash(1);  // crash while down: no-op
+  EXPECT_EQ(procs.epoch(1), 1u);
+  EXPECT_EQ(crashes, 1);
+
+  procs.recover(1);
+  EXPECT_TRUE(procs.alive(1));
+  EXPECT_EQ(recoveries, 1);
+  procs.recover(1);  // recover while up: no-op
+  EXPECT_EQ(recoveries, 1);
+
+  procs.crash(1);
+  EXPECT_EQ(procs.epoch(1), 2u);
+  EXPECT_EQ(procs.alive_count(), 2u);
+  EXPECT_EQ(procs.total_crashes(), 2u);
+  EXPECT_EQ(procs.total_recoveries(), 1u);
+}
+
+}  // namespace
+}  // namespace fabec::sim

@@ -1,0 +1,148 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fabec::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule_after(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_after(milliseconds(20), [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_after(milliseconds(5), [&order, i] { order.push_back(i); });
+  sim.run_until_idle();
+  std::vector<int> expected(10);
+  for (int i = 0; i < 10; ++i) expected[i] = i;
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  std::vector<Time> fire_times;
+  sim.schedule_after(milliseconds(1), [&] {
+    fire_times.push_back(sim.now());
+    sim.schedule_after(milliseconds(2), [&] { fire_times.push_back(sim.now()); });
+  });
+  sim.run_until_idle();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], milliseconds(1));
+  EXPECT_EQ(fire_times[1], milliseconds(3));
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAfterCoTimedEarlierEvents) {
+  // The coordinator's finalize trick relies on this: an event scheduled
+  // with zero delay from inside a handler runs after every event already
+  // queued for the same instant.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(milliseconds(1), [&] {
+    order.push_back(1);
+    sim.schedule_after(0, [&] { order.push_back(3); });
+  });
+  sim.schedule_after(milliseconds(1), [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(milliseconds(5), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run_until_idle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(0, [] {});
+  sim.run_until_idle();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(milliseconds(10), [&] { ++fired; });
+  sim.schedule_after(milliseconds(30), [&] { ++fired; });
+  sim.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), milliseconds(20));
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.schedule_after(milliseconds(5), [] {});
+  sim.run_for(milliseconds(10));
+  EXPECT_EQ(sim.now(), milliseconds(10));
+  sim.run_for(milliseconds(10));
+  EXPECT_EQ(sim.now(), milliseconds(20));
+}
+
+TEST(SimulatorTest, RunUntilPredStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_after(milliseconds(i), [&] { ++count; });
+  EXPECT_TRUE(sim.run_until_pred([&] { return count == 4; }));
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(SimulatorTest, RunUntilPredReturnsFalseWhenQueueDrains) {
+  Simulator sim;
+  sim.schedule_after(milliseconds(1), [] {});
+  EXPECT_FALSE(sim.run_until_pred([] { return false; }));
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, StepReturnsFalseOnEmptyQueue) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, PendingAndRunCounters) {
+  Simulator sim;
+  sim.schedule_after(1, [] {});
+  sim.schedule_after(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run_until_idle();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_run(), 2u);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 20; ++i) {
+      const Duration d = static_cast<Duration>(sim.rng().next_below(1000));
+      sim.schedule_after(d, [&values, &sim] {
+        values.push_back(static_cast<std::uint64_t>(sim.now()));
+      });
+    }
+    sim.run_until_idle();
+    return values;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+}  // namespace
+}  // namespace fabec::sim
