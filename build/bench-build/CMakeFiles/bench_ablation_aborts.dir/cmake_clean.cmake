@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_aborts"
+  "../bench/bench_ablation_aborts.pdb"
+  "CMakeFiles/bench_ablation_aborts.dir/bench_ablation_aborts.cpp.o"
+  "CMakeFiles/bench_ablation_aborts.dir/bench_ablation_aborts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multiblock"
+  "../bench/bench_ablation_multiblock.pdb"
+  "CMakeFiles/bench_ablation_multiblock.dir/bench_ablation_multiblock.cpp.o"
+  "CMakeFiles/bench_ablation_multiblock.dir/bench_ablation_multiblock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

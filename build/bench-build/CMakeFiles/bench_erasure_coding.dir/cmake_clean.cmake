@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_erasure_coding"
+  "../bench/bench_erasure_coding.pdb"
+  "CMakeFiles/bench_erasure_coding.dir/bench_erasure_coding.cpp.o"
+  "CMakeFiles/bench_erasure_coding.dir/bench_erasure_coding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erasure_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_mttdl"
+  "../bench/bench_fig2_mttdl.pdb"
+  "CMakeFiles/bench_fig2_mttdl.dir/bench_fig2_mttdl.cpp.o"
+  "CMakeFiles/bench_fig2_mttdl.dir/bench_fig2_mttdl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mttdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_register_throughput"
+  "../bench/bench_register_throughput.pdb"
+  "CMakeFiles/bench_register_throughput.dir/bench_register_throughput.cpp.o"
+  "CMakeFiles/bench_register_throughput.dir/bench_register_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_register_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_primitives.dir/erasure_primitives.cpp.o"
+  "CMakeFiles/erasure_primitives.dir/erasure_primitives.cpp.o.d"
+  "erasure_primitives"
+  "erasure_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

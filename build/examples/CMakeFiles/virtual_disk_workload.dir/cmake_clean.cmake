@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_disk_workload.dir/virtual_disk_workload.cpp.o"
+  "CMakeFiles/virtual_disk_workload.dir/virtual_disk_workload.cpp.o.d"
+  "virtual_disk_workload"
+  "virtual_disk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_disk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_baseline.dir/ls97.cc.o"
+  "CMakeFiles/fabec_baseline.dir/ls97.cc.o.d"
+  "libfabec_baseline.a"
+  "libfabec_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_common.dir/bytes.cc.o"
+  "CMakeFiles/fabec_common.dir/bytes.cc.o.d"
+  "CMakeFiles/fabec_common.dir/crc32.cc.o"
+  "CMakeFiles/fabec_common.dir/crc32.cc.o.d"
+  "CMakeFiles/fabec_common.dir/rng.cc.o"
+  "CMakeFiles/fabec_common.dir/rng.cc.o.d"
+  "CMakeFiles/fabec_common.dir/timestamp.cc.o"
+  "CMakeFiles/fabec_common.dir/timestamp.cc.o.d"
+  "libfabec_common.a"
+  "libfabec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

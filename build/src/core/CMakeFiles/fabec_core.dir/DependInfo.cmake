@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/fabec_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/fabec_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/fabec_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/fabec_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/core/CMakeFiles/fabec_core.dir/messages.cc.o" "gcc" "src/core/CMakeFiles/fabec_core.dir/messages.cc.o.d"
+  "/root/repo/src/core/replica.cc" "src/core/CMakeFiles/fabec_core.dir/replica.cc.o" "gcc" "src/core/CMakeFiles/fabec_core.dir/replica.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/fabec_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/fabec_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fabec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/fabec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/fabec_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fabec_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fabec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_core.dir/cluster.cc.o"
+  "CMakeFiles/fabec_core.dir/cluster.cc.o.d"
+  "CMakeFiles/fabec_core.dir/coordinator.cc.o"
+  "CMakeFiles/fabec_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/fabec_core.dir/messages.cc.o"
+  "CMakeFiles/fabec_core.dir/messages.cc.o.d"
+  "CMakeFiles/fabec_core.dir/replica.cc.o"
+  "CMakeFiles/fabec_core.dir/replica.cc.o.d"
+  "CMakeFiles/fabec_core.dir/wire.cc.o"
+  "CMakeFiles/fabec_core.dir/wire.cc.o.d"
+  "libfabec_core.a"
+  "libfabec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_erasure.dir/codec.cc.o"
+  "CMakeFiles/fabec_erasure.dir/codec.cc.o.d"
+  "CMakeFiles/fabec_erasure.dir/matrix.cc.o"
+  "CMakeFiles/fabec_erasure.dir/matrix.cc.o.d"
+  "libfabec_erasure.a"
+  "libfabec_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

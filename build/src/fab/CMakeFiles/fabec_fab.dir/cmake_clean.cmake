@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_fab.dir/rebuild.cc.o"
+  "CMakeFiles/fabec_fab.dir/rebuild.cc.o.d"
+  "CMakeFiles/fabec_fab.dir/trace.cc.o"
+  "CMakeFiles/fabec_fab.dir/trace.cc.o.d"
+  "CMakeFiles/fabec_fab.dir/virtual_disk.cc.o"
+  "CMakeFiles/fabec_fab.dir/virtual_disk.cc.o.d"
+  "CMakeFiles/fabec_fab.dir/volume_manager.cc.o"
+  "CMakeFiles/fabec_fab.dir/volume_manager.cc.o.d"
+  "CMakeFiles/fabec_fab.dir/workload.cc.o"
+  "CMakeFiles/fabec_fab.dir/workload.cc.o.d"
+  "libfabec_fab.a"
+  "libfabec_fab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_fab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fabec_fab.
+# This may be replaced when dependencies are built.

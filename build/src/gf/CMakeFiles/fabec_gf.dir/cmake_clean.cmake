@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_gf.dir/gf256.cc.o"
+  "CMakeFiles/fabec_gf.dir/gf256.cc.o.d"
+  "libfabec_gf.a"
+  "libfabec_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

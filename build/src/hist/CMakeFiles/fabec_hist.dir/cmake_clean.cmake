@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_hist.dir/history.cc.o"
+  "CMakeFiles/fabec_hist.dir/history.cc.o.d"
+  "libfabec_hist.a"
+  "libfabec_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fabec_hist.
+# This may be replaced when dependencies are built.

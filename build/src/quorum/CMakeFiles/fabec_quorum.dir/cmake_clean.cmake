@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_quorum.dir/quorum.cc.o"
+  "CMakeFiles/fabec_quorum.dir/quorum.cc.o.d"
+  "libfabec_quorum.a"
+  "libfabec_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

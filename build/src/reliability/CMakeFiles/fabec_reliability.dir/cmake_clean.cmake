@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_reliability.dir/models.cc.o"
+  "CMakeFiles/fabec_reliability.dir/models.cc.o.d"
+  "libfabec_reliability.a"
+  "libfabec_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_runtime.dir/event_loop.cc.o"
+  "CMakeFiles/fabec_runtime.dir/event_loop.cc.o.d"
+  "CMakeFiles/fabec_runtime.dir/threaded_cluster.cc.o"
+  "CMakeFiles/fabec_runtime.dir/threaded_cluster.cc.o.d"
+  "CMakeFiles/fabec_runtime.dir/udp_transport.cc.o"
+  "CMakeFiles/fabec_runtime.dir/udp_transport.cc.o.d"
+  "libfabec_runtime.a"
+  "libfabec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

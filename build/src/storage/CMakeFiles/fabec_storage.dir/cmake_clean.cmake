@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabec_storage.dir/replica_store.cc.o"
+  "CMakeFiles/fabec_storage.dir/replica_store.cc.o.d"
+  "libfabec_storage.a"
+  "libfabec_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabec_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brick_pool_test.dir/core/brick_pool_test.cc.o"
+  "CMakeFiles/brick_pool_test.dir/core/brick_pool_test.cc.o.d"
+  "brick_pool_test"
+  "brick_pool_test.pdb"
+  "brick_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brick_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_sweep_test.dir/core/cost_sweep_test.cc.o"
+  "CMakeFiles/cost_sweep_test.dir/core/cost_sweep_test.cc.o.d"
+  "cost_sweep_test"
+  "cost_sweep_test.pdb"
+  "cost_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_write_test.dir/core/delta_write_test.cc.o"
+  "CMakeFiles/delta_write_test.dir/core/delta_write_test.cc.o.d"
+  "delta_write_test"
+  "delta_write_test.pdb"
+  "delta_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_time_test.dir/core/disk_time_test.cc.o"
+  "CMakeFiles/disk_time_test.dir/core/disk_time_test.cc.o.d"
+  "disk_time_test"
+  "disk_time_test.pdb"
+  "disk_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls97_strictness_test.dir/baseline/ls97_strictness_test.cc.o"
+  "CMakeFiles/ls97_strictness_test.dir/baseline/ls97_strictness_test.cc.o.d"
+  "ls97_strictness_test"
+  "ls97_strictness_test.pdb"
+  "ls97_strictness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls97_strictness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls97_test.dir/baseline/ls97_test.cc.o"
+  "CMakeFiles/ls97_test.dir/baseline/ls97_test.cc.o.d"
+  "ls97_test"
+  "ls97_test.pdb"
+  "ls97_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls97_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_block_test.dir/core/multi_block_test.cc.o"
+  "CMakeFiles/multi_block_test.dir/core/multi_block_test.cc.o.d"
+  "multi_block_test"
+  "multi_block_test.pdb"
+  "multi_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_basic_test.dir/core/register_basic_test.cc.o"
+  "CMakeFiles/register_basic_test.dir/core/register_basic_test.cc.o.d"
+  "register_basic_test"
+  "register_basic_test.pdb"
+  "register_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

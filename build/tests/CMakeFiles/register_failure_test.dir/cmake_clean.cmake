@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_failure_test.dir/core/register_failure_test.cc.o"
+  "CMakeFiles/register_failure_test.dir/core/register_failure_test.cc.o.d"
+  "register_failure_test"
+  "register_failure_test.pdb"
+  "register_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_handler_test.dir/core/replica_handler_test.cc.o"
+  "CMakeFiles/replica_handler_test.dir/core/replica_handler_test.cc.o.d"
+  "replica_handler_test"
+  "replica_handler_test.pdb"
+  "replica_handler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_store_test.dir/storage/replica_store_test.cc.o"
+  "CMakeFiles/replica_store_test.dir/storage/replica_store_test.cc.o.d"
+  "replica_store_test"
+  "replica_store_test.pdb"
+  "replica_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strict_linearizability_test.dir/core/strict_linearizability_test.cc.o"
+  "CMakeFiles/strict_linearizability_test.dir/core/strict_linearizability_test.cc.o.d"
+  "strict_linearizability_test"
+  "strict_linearizability_test.pdb"
+  "strict_linearizability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strict_linearizability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

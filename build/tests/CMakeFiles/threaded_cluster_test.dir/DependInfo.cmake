@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/threaded_cluster_test.cc" "tests/CMakeFiles/threaded_cluster_test.dir/runtime/threaded_cluster_test.cc.o" "gcc" "tests/CMakeFiles/threaded_cluster_test.dir/runtime/threaded_cluster_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fabec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fab/CMakeFiles/fabec_fab.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fabec_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/fabec_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/fabec_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fabec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/fabec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fabec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/fabec_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fabec_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fabec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_cluster_test.dir/runtime/threaded_cluster_test.cc.o"
+  "CMakeFiles/threaded_cluster_test.dir/runtime/threaded_cluster_test.cc.o.d"
+  "threaded_cluster_test"
+  "threaded_cluster_test.pdb"
+  "threaded_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

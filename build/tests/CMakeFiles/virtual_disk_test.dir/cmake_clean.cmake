@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_disk_test.dir/fab/virtual_disk_test.cc.o"
+  "CMakeFiles/virtual_disk_test.dir/fab/virtual_disk_test.cc.o.d"
+  "virtual_disk_test"
+  "virtual_disk_test.pdb"
+  "virtual_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

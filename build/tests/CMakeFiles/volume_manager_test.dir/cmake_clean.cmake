@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_manager_test.dir/fab/volume_manager_test.cc.o"
+  "CMakeFiles/volume_manager_test.dir/fab/volume_manager_test.cc.o.d"
+  "volume_manager_test"
+  "volume_manager_test.pdb"
+  "volume_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
