@@ -1,0 +1,375 @@
+#include "chaos/campaign.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fnv.h"
+#include "core/cluster.h"
+#include "fab/layout.h"
+#include "hist/history.h"
+
+namespace fabec::chaos {
+
+namespace {
+
+/// One in-flight register operation and its projections onto the per-block
+/// histories it touches (a stripe operation projects onto all m blocks).
+struct OpRecord {
+  ProcessId coord = 0;
+  bool done = false;
+  std::vector<std::pair<hist::History*, hist::History::OpRef>> parts;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(const CampaignConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed ^ 0x63616d706169676eULL),  // "campaign"
+        layout_(static_cast<std::uint64_t>(cfg.num_stripes) * cfg.m, cfg.m,
+                fab::Layout::kRotating) {
+    result_.seed = seed;
+
+    core::ClusterConfig cluster_cfg;
+    cluster_cfg.n = cfg_.n;
+    cluster_cfg.m = cfg_.m;
+    cluster_cfg.total_bricks = cfg_.total_bricks;
+    cluster_cfg.block_size = cfg_.block_size;
+    cluster_cfg.coordinator.delta_block_writes = cfg_.delta_block_writes;
+    // Seed-derived retransmission period: varying the timer relative to the
+    // (skewed) clocks shifts every retransmission interleaving between
+    // campaigns. Kept well above the round trip so failure-free phases
+    // don't retransmit spuriously.
+    cluster_cfg.coordinator.retransmit_period =
+        sim::milliseconds(1) + static_cast<sim::Duration>(rng_.next_below(
+                                   sim::milliseconds(2) + 1));
+    if (cfg_.max_clock_skew > 0) {
+      const std::uint32_t bricks =
+          cfg_.total_bricks == 0 ? cfg_.n : cfg_.total_bricks;
+      for (std::uint32_t p = 0; p < bricks; ++p)
+        cluster_cfg.clock_offsets.push_back(
+            rng_.next_in(-cfg_.max_clock_skew, cfg_.max_clock_skew));
+    }
+    cluster_ = std::make_unique<core::Cluster>(cluster_cfg, rng_.next_u64());
+
+    NemesisConfig ncfg = cfg_.nemesis;
+    ncfg.window = cfg_.window;
+    nemesis_ = std::make_unique<Nemesis>(cluster_.get(), ncfg, seed);
+  }
+
+  CampaignResult run() {
+    cluster_->set_crash_listener([this](ProcessId victim) {
+      for (auto& op : ops_)
+        if (!op->done && op->coord == victim) mark_crashed(*op);
+    });
+    schedule_workload();
+    nemesis_->arm();
+    cluster_->simulator().run_until_idle();
+    // Operations orphaned by a crash whose coordinator never re-ran them.
+    for (auto& op : ops_)
+      if (!op->done) mark_crashed(*op);
+    check();
+    result_.faults = nemesis_->stats();
+    for (const FaultEvent& e : nemesis_->schedule())
+      result_.fault_schedule.push_back(e.describe());
+    result_.events_run = cluster_->simulator().events_run();
+    result_.end_time = cluster_->simulator().now();
+    result_.history_hash = hash_run();
+    return std::move(result_);
+  }
+
+ private:
+  hist::History& history(StripeId stripe, BlockIndex j) {
+    return histories_[{stripe, j}];
+  }
+
+  std::uint64_t seq() { return ++seq_; }
+
+  hist::ValueId fresh_value(Block* out) {
+    const hist::ValueId id = next_value_++;
+    Block b = zero_block(cfg_.block_size);
+    FABEC_CHECK_MSG(cfg_.block_size >= sizeof(hist::ValueId),
+                    "block size too small to carry unique value ids");
+    for (std::size_t i = 0; i < sizeof(hist::ValueId); ++i)
+      b[i] = static_cast<std::uint8_t>(id >> (8 * i));
+    values_[b] = id;
+    *out = std::move(b);
+    return id;
+  }
+
+  std::optional<hist::ValueId> value_of(const Block& b) {
+    if (b == zero_block(cfg_.block_size)) return hist::kNil;
+    auto it = values_.find(b);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void mark_crashed(OpRecord& op) {
+    const std::uint64_t s = seq();
+    for (auto& [h, ref] : op.parts) h->crash(ref, s);
+    op.done = true;
+    ++result_.ops_crashed;
+  }
+
+  void fail(const std::string& why) {
+    if (result_.violation.empty()) result_.violation = why;
+  }
+
+  void schedule_workload() {
+    fab::WorkloadConfig wcfg;
+    wcfg.num_ops = cfg_.num_ops;
+    wcfg.write_fraction = cfg_.write_fraction;
+    wcfg.pattern = cfg_.pattern;
+    wcfg.hotspot_blocks = std::max<std::uint64_t>(2, layout_.num_blocks() / 8);
+    wcfg.mean_interarrival =
+        static_cast<sim::Duration>(cfg_.window / std::max<std::uint64_t>(
+                                                     1, cfg_.num_ops));
+    Rng wrng = rng_.fork();
+    const auto trace =
+        fab::generate_workload(wcfg, layout_.num_blocks(), wrng);
+    auto& sim = cluster_->simulator();
+    for (const fab::WorkloadOp& op : trace)
+      sim.schedule_at(op.at, [this, op] { issue(op); });
+  }
+
+  /// Picks a live coordinator uniformly-ish; kNoProcess if all are down.
+  ProcessId pick_coordinator() {
+    const std::uint32_t pool = cluster_->brick_count();
+    for (std::uint32_t tries = 0; tries < pool; ++tries) {
+      const auto candidate = static_cast<ProcessId>(rng_.next_below(pool));
+      if (cluster_->processes().alive(candidate)) return candidate;
+    }
+    return kNoProcess;
+  }
+
+  void issue(const fab::WorkloadOp& wop) {
+    const ProcessId coord = pick_coordinator();
+    if (coord == kNoProcess) {
+      ++result_.ops_skipped;
+      return;
+    }
+    ++result_.ops_issued;
+    const StripeId stripe = layout_.stripe_of(wop.lba);
+    const BlockIndex j = layout_.index_of(wop.lba);
+    auto record = std::make_shared<OpRecord>();
+    record->coord = coord;
+    ops_.push_back(record);
+
+    const bool wide = cfg_.m >= 2 && rng_.chance(cfg_.wide_op_fraction);
+    const bool whole_stripe = wide && rng_.chance(0.5);
+    if (wop.is_write) {
+      if (whole_stripe)
+        issue_write_stripe(coord, stripe, record);
+      else if (wide)
+        issue_write_blocks(coord, stripe, j, record);
+      else
+        issue_write_block(coord, stripe, j, record);
+    } else {
+      if (whole_stripe)
+        issue_read_stripe(coord, stripe, record);
+      else if (wide)
+        issue_read_blocks(coord, stripe, j, record);
+      else
+        issue_read_block(coord, stripe, j, record);
+    }
+  }
+
+  // --- writes -----------------------------------------------------------
+
+  void finish_write(const std::shared_ptr<OpRecord>& record, bool ok) {
+    if (record->done) return;
+    record->done = true;
+    ++(ok ? result_.ops_ok : result_.ops_aborted);
+    const std::uint64_t s = seq();
+    for (auto& [h, ref] : record->parts) h->end_write(ref, s, ok);
+  }
+
+  void issue_write_stripe(ProcessId coord, StripeId stripe,
+                          std::shared_ptr<OpRecord> record) {
+    std::vector<Block> data;
+    std::vector<hist::ValueId> ids;
+    for (std::uint32_t b = 0; b < cfg_.m; ++b) {
+      Block blk;
+      ids.push_back(fresh_value(&blk));
+      data.push_back(std::move(blk));
+    }
+    const std::uint64_t s = seq();
+    for (std::uint32_t b = 0; b < cfg_.m; ++b)
+      record->parts.push_back(
+          {&history(stripe, b), history(stripe, b).begin_write(ids[b], s)});
+    cluster_->coordinator(coord).write_stripe(
+        stripe, std::move(data),
+        [this, record](bool ok) { finish_write(record, ok); });
+  }
+
+  void issue_write_blocks(ProcessId coord, StripeId stripe, BlockIndex j,
+                          std::shared_ptr<OpRecord> record) {
+    std::vector<BlockIndex> js{j, static_cast<BlockIndex>(
+                                      (j + 1 + rng_.next_below(cfg_.m - 1)) %
+                                      cfg_.m)};
+    std::vector<Block> data;
+    std::vector<hist::ValueId> ids;
+    for (std::size_t i = 0; i < js.size(); ++i) {
+      Block blk;
+      ids.push_back(fresh_value(&blk));
+      data.push_back(std::move(blk));
+    }
+    const std::uint64_t s = seq();
+    for (std::size_t i = 0; i < js.size(); ++i)
+      record->parts.push_back({&history(stripe, js[i]),
+                               history(stripe, js[i]).begin_write(ids[i], s)});
+    cluster_->coordinator(coord).write_blocks(
+        stripe, js, std::move(data),
+        [this, record](bool ok) { finish_write(record, ok); });
+  }
+
+  void issue_write_block(ProcessId coord, StripeId stripe, BlockIndex j,
+                         std::shared_ptr<OpRecord> record) {
+    Block blk;
+    const hist::ValueId id = fresh_value(&blk);
+    record->parts.push_back(
+        {&history(stripe, j), history(stripe, j).begin_write(id, seq())});
+    cluster_->coordinator(coord).write_block(
+        stripe, j, std::move(blk),
+        [this, record](bool ok) { finish_write(record, ok); });
+  }
+
+  // --- reads ------------------------------------------------------------
+
+  void finish_read(const std::shared_ptr<OpRecord>& record,
+                   const core::Coordinator::StripeResult& result) {
+    if (record->done) return;
+    record->done = true;
+    ++(result.has_value() ? result_.ops_ok : result_.ops_aborted);
+    const std::uint64_t s = seq();
+    for (std::size_t i = 0; i < record->parts.size(); ++i) {
+      auto& [h, ref] = record->parts[i];
+      if (!result.has_value()) {
+        h->end_read(ref, s, std::nullopt);
+        continue;
+      }
+      const auto id = value_of((*result)[i]);
+      if (!id.has_value()) {
+        // Record as aborted (imposes no ordering constraints); the failure
+        // itself is already fatal for the campaign.
+        fail("read returned a value no writer ever produced");
+        h->end_read(ref, s, std::nullopt);
+        continue;
+      }
+      h->end_read(ref, s, id);
+    }
+  }
+
+  void issue_read_stripe(ProcessId coord, StripeId stripe,
+                         std::shared_ptr<OpRecord> record) {
+    const std::uint64_t s = seq();
+    for (std::uint32_t b = 0; b < cfg_.m; ++b)
+      record->parts.push_back(
+          {&history(stripe, b), history(stripe, b).begin_read(s)});
+    cluster_->coordinator(coord).read_stripe(
+        stripe, [this, record](core::Coordinator::StripeResult r) {
+          finish_read(record, r);
+        });
+  }
+
+  void issue_read_blocks(ProcessId coord, StripeId stripe, BlockIndex j,
+                         std::shared_ptr<OpRecord> record) {
+    std::vector<BlockIndex> js{j, static_cast<BlockIndex>(
+                                      (j + 1 + rng_.next_below(cfg_.m - 1)) %
+                                      cfg_.m)};
+    const std::uint64_t s = seq();
+    for (BlockIndex b : js)
+      record->parts.push_back(
+          {&history(stripe, b), history(stripe, b).begin_read(s)});
+    cluster_->coordinator(coord).read_blocks(
+        stripe, js, [this, record](core::Coordinator::StripeResult r) {
+          finish_read(record, r);
+        });
+  }
+
+  void issue_read_block(ProcessId coord, StripeId stripe, BlockIndex j,
+                        std::shared_ptr<OpRecord> record) {
+    record->parts.push_back(
+        {&history(stripe, j), history(stripe, j).begin_read(seq())});
+    cluster_->coordinator(coord).read_block(
+        stripe, j, [this, record](core::Coordinator::BlockResult r) {
+          core::Coordinator::StripeResult wrapped;
+          if (r.has_value()) wrapped.emplace(1, std::move(*r));
+          finish_read(record, wrapped);
+        });
+  }
+
+  // --- verdict ----------------------------------------------------------
+
+  void check() {
+    for (auto& [key, h] : histories_) {
+      const auto verdict = hist::check_strict_linearizability(h);
+      if (!verdict.ok) {
+        std::ostringstream os;
+        os << "stripe " << key.first << " block "
+           << static_cast<std::uint32_t>(key.second) << ": "
+           << verdict.violation;
+        fail(os.str());
+      }
+    }
+    if (nemesis_->stats().persistence_violations > 0)
+      fail("persistent state changed across a crash (ord-ts/log must "
+           "survive)");
+    result_.ok = result_.violation.empty();
+  }
+
+  std::uint64_t hash_run() {
+    Fnv1a h;
+    for (const auto& [key, hist] : histories_) {
+      h.update_value(key.first);
+      h.update_value(key.second);
+      h.update_value(hist::fingerprint(hist));
+    }
+    for (ProcessId p = 0; p < cluster_->brick_count(); ++p)
+      h.update_value(cluster_->store(p).fingerprint());
+    h.update_value(result_.events_run);
+    h.update_value(static_cast<std::uint64_t>(result_.end_time));
+    return h.digest();
+  }
+
+  CampaignConfig cfg_;
+  Rng rng_;
+  fab::VolumeLayout layout_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<Nemesis> nemesis_;
+  std::map<std::pair<StripeId, BlockIndex>, hist::History> histories_;
+  std::vector<std::shared_ptr<OpRecord>> ops_;
+  std::map<Block, hist::ValueId> values_;
+  hist::ValueId next_value_ = 1;
+  std::uint64_t seq_ = 0;
+  CampaignResult result_;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config, std::uint64_t seed) {
+  return CampaignRunner(config, seed).run();
+}
+
+std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "torture --replay " << seed << " --n " << config.n << " --m "
+     << config.m;
+  if (config.total_bricks != 0) os << " --bricks " << config.total_bricks;
+  os << " --stripes " << config.num_stripes << " --ops " << config.num_ops
+     << " --write-frac " << config.write_fraction << " --wide-frac "
+     << config.wide_op_fraction << " --window-us "
+     << config.window / 1000 << " --skew-us " << config.max_clock_skew / 1000
+     << " --crashes " << config.nemesis.crashes << " --partitions "
+     << config.nemesis.partitions << " --isolations "
+     << config.nemesis.isolations << " --drop-ramps "
+     << config.nemesis.drop_ramps << " --jitter-ramps "
+     << config.nemesis.jitter_ramps << " --midphase "
+     << config.nemesis.mid_phase_crashes;
+  if (config.delta_block_writes) os << " --delta-writes";
+  os << " --verbose";
+  return os.str();
+}
+
+}  // namespace fabec::chaos

@@ -1,0 +1,88 @@
+// Torture campaigns: seeded end-to-end runs of workload × nemesis × checker.
+//
+// One campaign builds a fresh simulated cluster (with seed-derived clock
+// skew and retransmission timing), drives a src/fab workload through
+// randomly chosen coordinators as stripe/block/multi-block register
+// operations, lets a Nemesis inject its fault schedule, records every
+// operation into per-block histories, and finally checks each history
+// against the Appendix B conforming-total-order oracle.
+//
+// Reproducibility contract: run_campaign(config, seed) is a pure function.
+// The result carries a history hash covering every recorded history and
+// every brick's final persistent state; re-running a seed must reproduce
+// the hash bit-for-bit (tests assert this), so a failure report of
+// "seed S violated strict linearizability" is a complete repro recipe —
+// see replay_command().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/nemesis.h"
+#include "fab/workload.h"
+#include "sim/time.h"
+
+namespace fabec::chaos {
+
+struct CampaignConfig {
+  // Cluster shape.
+  std::uint32_t n = 8;             ///< bricks per stripe group
+  std::uint32_t m = 5;             ///< data blocks per stripe
+  std::uint32_t total_bricks = 0;  ///< 0 = single group
+  std::uint32_t num_stripes = 4;
+  std::size_t block_size = 16;
+  bool delta_block_writes = false;  ///< §5.2 wire optimization on the side
+
+  // Workload (mapped over the volume rotating-layout, §3).
+  std::uint64_t num_ops = 100;
+  double write_fraction = 0.5;
+  fab::AccessPattern pattern = fab::AccessPattern::kHotspot;
+  /// Fraction of operations widened from single-block to whole-stripe or
+  /// multi-block (footnote 2) operations.
+  double wide_op_fraction = 0.3;
+  /// Operations arrive uniformly in [0, window).
+  sim::Duration window = 250 * sim::kDefaultDelta;
+
+  // Faults. nemesis.window is overridden to `window`.
+  NemesisConfig nemesis;
+
+  /// Per-brick clock offsets are drawn uniformly in [-skew, +skew]; skews
+  /// both timestamp generation (§2.3 stays correct, abort rate changes)
+  /// and, via the derived retransmission-period scaling, the quorum()
+  /// retransmission timers.
+  sim::Duration max_clock_skew = 2 * sim::kDefaultDelta;
+};
+
+struct CampaignResult {
+  bool ok = false;
+  std::string violation;  ///< first check failure, empty when ok
+  std::uint64_t seed = 0;
+
+  /// Fingerprint of every per-block history plus every brick's final
+  /// persistent state; the replay-determinism assertion compares these.
+  std::uint64_t history_hash = 0;
+
+  // Operation outcomes.
+  std::uint64_t ops_issued = 0;
+  std::uint64_t ops_ok = 0;
+  std::uint64_t ops_aborted = 0;   ///< returned ⊥
+  std::uint64_t ops_crashed = 0;   ///< coordinator crashed mid-operation
+  std::uint64_t ops_skipped = 0;   ///< no live coordinator at arrival
+
+  NemesisStats faults;
+  /// Human-readable generated fault schedule (FaultEvent::describe()), for
+  /// replay diagnostics.
+  std::vector<std::string> fault_schedule;
+  std::uint64_t events_run = 0;
+  sim::Time end_time = 0;
+};
+
+/// Runs one seeded campaign to completion. Deterministic in (config, seed).
+CampaignResult run_campaign(const CampaignConfig& config, std::uint64_t seed);
+
+/// Shell command (tools/torture_main) reproducing the campaign for `seed`
+/// under `config`, printed with failure reports.
+std::string replay_command(const CampaignConfig& config, std::uint64_t seed);
+
+}  // namespace fabec::chaos

@@ -1,0 +1,317 @@
+#include "chaos/nemesis.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fabec::chaos {
+
+namespace {
+
+sim::Duration draw_duration(Rng& rng, sim::Duration lo, sim::Duration hi) {
+  FABEC_CHECK(lo <= hi);
+  if (lo == hi) return lo;
+  return lo + static_cast<sim::Duration>(
+                  rng.next_below(static_cast<std::uint64_t>(hi - lo)));
+}
+
+}  // namespace
+
+std::string FaultEvent::describe() const {
+  std::ostringstream os;
+  os << "t=" << at << " ";
+  switch (kind) {
+    case FaultKind::kCrash:
+      os << "crash brick " << victim << " for " << duration << "ns";
+      break;
+    case FaultKind::kPartition: {
+      os << "partition {";
+      for (std::size_t i = 0; i < group.size(); ++i)
+        os << (i ? "," : "") << group[i];
+      os << "} for " << duration << "ns";
+      break;
+    }
+    case FaultKind::kIsolateOutbound:
+      os << "isolate outbound of brick " << victim << " for " << duration
+         << "ns";
+      break;
+    case FaultKind::kIsolateInbound:
+      os << "isolate inbound of brick " << victim << " for " << duration
+         << "ns";
+      break;
+    case FaultKind::kDropRamp:
+      os << "drop ramp to p=" << peak_drop << " over " << duration << "ns";
+      break;
+    case FaultKind::kJitterRamp:
+      os << "jitter ramp to " << peak_jitter << "ns over " << duration
+         << "ns";
+      break;
+    case FaultKind::kMidPhaseCrash:
+      os << "crash brick " << victim << " at its " << phases
+         << "th phase start (then down " << duration << "ns)";
+      break;
+    case FaultKind::kRecoveryPhaseCrash:
+      os << "crash brick " << victim
+         << " when it starts a recovery (then down " << duration << "ns)";
+      break;
+  }
+  return os.str();
+}
+
+Nemesis::Nemesis(core::Cluster* cluster, NemesisConfig config,
+                 std::uint64_t seed)
+    : cluster_(cluster), config_(config) {
+  FABEC_CHECK(cluster != nullptr);
+  FABEC_CHECK(config.window > 0);
+  generate(seed);
+}
+
+void Nemesis::generate(std::uint64_t seed) {
+  // One private stream; every magnitude is drawn here, up front, so the
+  // schedule is a pure function of (config, seed) no matter how injection
+  // interleaves with the workload.
+  Rng rng(seed ^ 0x6e656d65736973ULL);  // "nemesis"
+  const std::uint32_t bricks = cluster_->brick_count();
+  const std::uint32_t f = cluster_->quorum_config().f();
+
+  auto draw_at = [&] {
+    return static_cast<sim::Time>(
+        rng.next_below(static_cast<std::uint64_t>(config_.window)));
+  };
+  auto draw_victim = [&] {
+    return static_cast<ProcessId>(rng.next_below(bricks));
+  };
+
+  for (std::uint32_t i = 0; i < config_.crashes; ++i) {
+    FaultEvent e;
+    e.at = draw_at();
+    e.kind = FaultKind::kCrash;
+    e.victim = draw_victim();
+    e.duration =
+        draw_duration(rng, sim::kDefaultDelta, config_.max_downtime);
+    schedule_.push_back(std::move(e));
+  }
+
+  if (f > 0) {
+    for (std::uint32_t i = 0; i < config_.partitions; ++i) {
+      FaultEvent e;
+      e.at = draw_at();
+      e.kind = FaultKind::kPartition;
+      // Cut off a minority of at most f bricks: quorums on the majority
+      // side keep making progress, the minority stalls and retransmits.
+      std::vector<ProcessId> all(bricks);
+      std::iota(all.begin(), all.end(), 0);
+      rng.shuffle(all);
+      const auto size = static_cast<std::size_t>(
+          1 + rng.next_below(std::min(f, bricks - 1)));
+      e.group.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(size));
+      e.duration =
+          draw_duration(rng, sim::kDefaultDelta, config_.max_partition_span);
+      schedule_.push_back(std::move(e));
+    }
+  }
+
+  for (std::uint32_t i = 0; i < config_.isolations; ++i) {
+    FaultEvent e;
+    e.at = draw_at();
+    e.kind = rng.chance(0.5) ? FaultKind::kIsolateOutbound
+                             : FaultKind::kIsolateInbound;
+    e.victim = draw_victim();
+    e.duration =
+        draw_duration(rng, sim::kDefaultDelta, config_.max_partition_span);
+    schedule_.push_back(std::move(e));
+  }
+
+  for (std::uint32_t i = 0; i < config_.drop_ramps; ++i) {
+    FaultEvent e;
+    e.at = draw_at();
+    e.kind = FaultKind::kDropRamp;
+    e.peak_drop = 0.05 + rng.next_double() *
+                             std::max(0.0, config_.max_drop_probability - 0.05);
+    e.duration =
+        draw_duration(rng, 2 * sim::kDefaultDelta, config_.max_partition_span);
+    schedule_.push_back(std::move(e));
+  }
+
+  for (std::uint32_t i = 0; i < config_.jitter_ramps; ++i) {
+    FaultEvent e;
+    e.at = draw_at();
+    e.kind = FaultKind::kJitterRamp;
+    e.peak_jitter =
+        draw_duration(rng, sim::kDefaultDelta / 2, config_.max_extra_jitter);
+    e.duration =
+        draw_duration(rng, 2 * sim::kDefaultDelta, config_.max_partition_span);
+    schedule_.push_back(std::move(e));
+  }
+
+  for (std::uint32_t i = 0; i < config_.mid_phase_crashes; ++i) {
+    FaultEvent e;
+    e.at = draw_at();
+    e.kind = rng.chance(0.5) ? FaultKind::kMidPhaseCrash
+                             : FaultKind::kRecoveryPhaseCrash;
+    e.victim = draw_victim();
+    e.phases = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    e.duration =
+        draw_duration(rng, sim::kDefaultDelta, config_.max_downtime);
+    schedule_.push_back(std::move(e));
+  }
+
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void Nemesis::arm() {
+  FABEC_CHECK_MSG(!probe_installed_, "nemesis armed twice");
+  install_phase_probe();
+  auto& sim = cluster_->simulator();
+  for (const FaultEvent& e : schedule_)
+    sim.schedule_at(e.at, [this, &e] { inject(e); });
+}
+
+void Nemesis::install_phase_probe() {
+  probe_installed_ = true;
+  cluster_->set_phase_probe([this](ProcessId coord, core::OpId /*phase*/) {
+    for (Trigger& t : triggers_) {
+      if (t.fired || t.victim != coord) continue;
+      if (t.kind == FaultKind::kMidPhaseCrash) {
+        if (t.phases_left > 1) {
+          --t.phases_left;
+          continue;
+        }
+      } else {  // kRecoveryPhaseCrash
+        if (cluster_->coordinator(coord).stats().recoveries_started <=
+            t.recoveries_baseline)
+          continue;
+      }
+      t.fired = true;
+      ++stats_.mid_phase_crashes;
+      // Defer by a zero-length event: the phase's first request burst is
+      // already on the wire, and the crash then lands between this phase
+      // start and its completion — a guaranteed partial operation if the
+      // phase was a write round.
+      const sim::Duration downtime = t.downtime;
+      cluster_->simulator().schedule_after(0, [this, coord, downtime] {
+        crash_with_budget(coord, downtime);
+      });
+    }
+  });
+}
+
+void Nemesis::crash_with_budget(ProcessId victim, sim::Duration downtime) {
+  auto& procs = cluster_->processes();
+  if (!procs.alive(victim)) {
+    ++stats_.crashes_suppressed;
+    return;
+  }
+  // Respect the fault bound: never take more than f bricks down at once,
+  // or the algorithm's liveness assumption (a responsive quorum exists) is
+  // violated and operations block until a recovery.
+  const std::uint32_t f = cluster_->quorum_config().f();
+  if (procs.alive_count() + 0u <= cluster_->brick_count() - f) {
+    ++stats_.crashes_suppressed;
+    return;
+  }
+  const std::uint64_t fp_before = cluster_->store(victim).fingerprint();
+  cluster_->crash(victim);
+  ++stats_.persistence_checks;
+  if (cluster_->store(victim).fingerprint() != fp_before)
+    ++stats_.persistence_violations;
+  ++stats_.crashes_injected;
+  const sim::Time back = cluster_->simulator().now() + downtime;
+  cluster_->schedule_recovery(back, victim);
+  cluster_->simulator().schedule_at(back, [this] { ++stats_.recoveries; });
+}
+
+void Nemesis::inject(const FaultEvent& e) {
+  auto& sim = cluster_->simulator();
+  auto& net = cluster_->network();
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      crash_with_budget(e.victim, e.duration);
+      break;
+
+    case FaultKind::kPartition: {
+      ++stats_.partitions;
+      net.partition(e.group);
+      sim.schedule_after(e.duration, [this, &e] {
+        cluster_->network().unpartition(e.group);
+      });
+      break;
+    }
+
+    case FaultKind::kIsolateOutbound:
+    case FaultKind::kIsolateInbound: {
+      ++stats_.isolations;
+      const bool outbound = e.kind == FaultKind::kIsolateOutbound;
+      if (outbound)
+        net.isolate_outbound(e.victim);
+      else
+        net.isolate_inbound(e.victim);
+      sim.schedule_after(e.duration, [this, &e, outbound] {
+        auto& n = cluster_->network();
+        for (ProcessId q = 0; q < cluster_->brick_count(); ++q) {
+          if (outbound)
+            n.unblock_one_way(e.victim, q);
+          else
+            n.unblock_one_way(q, e.victim);
+        }
+      });
+      break;
+    }
+
+    case FaultKind::kDropRamp: {
+      ++stats_.net_ramps;
+      const double baseline = net.config().drop_probability;
+      auto set_drop = [this](double p) {
+        auto cfg = cluster_->network().config();
+        cfg.drop_probability = p;
+        cluster_->network().set_config(cfg);
+      };
+      set_drop(e.peak_drop / 2);
+      sim.schedule_after(e.duration / 3,
+                         [set_drop, &e] { set_drop(e.peak_drop); });
+      sim.schedule_after(e.duration, [set_drop, baseline] {
+        set_drop(baseline);
+      });
+      break;
+    }
+
+    case FaultKind::kJitterRamp: {
+      ++stats_.net_ramps;
+      const sim::Duration baseline = net.config().jitter;
+      auto set_jitter = [this](sim::Duration j) {
+        auto cfg = cluster_->network().config();
+        cfg.jitter = j;
+        cluster_->network().set_config(cfg);
+      };
+      set_jitter(e.peak_jitter / 2);
+      sim.schedule_after(e.duration / 3,
+                         [set_jitter, &e] { set_jitter(e.peak_jitter); });
+      sim.schedule_after(e.duration, [set_jitter, baseline] {
+        set_jitter(baseline);
+      });
+      break;
+    }
+
+    case FaultKind::kMidPhaseCrash:
+    case FaultKind::kRecoveryPhaseCrash: {
+      Trigger t;
+      t.kind = e.kind;
+      t.victim = e.victim;
+      t.phases_left = e.phases;
+      t.downtime = e.duration;
+      if (e.kind == FaultKind::kRecoveryPhaseCrash)
+        t.recoveries_baseline =
+            cluster_->coordinator(e.victim).stats().recoveries_started;
+      triggers_.push_back(t);
+      break;
+    }
+  }
+}
+
+}  // namespace fabec::chaos

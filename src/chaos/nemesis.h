@@ -1,0 +1,145 @@
+// Nemesis: deterministic, seeded fault-schedule generation and injection.
+//
+// The paper claims strict linearizability under crash-recovery processes,
+// network partitions, and fair-lossy channels (§5.1, Appendix B). The
+// hand-written failure tests exercise the interleavings someone thought of;
+// the nemesis exercises the ones nobody did. Given a seed it generates a
+// timed schedule of faults over a simulation window and injects them into a
+// running core::Cluster:
+//
+//   * crash + recover        — volatile state lost, ord-ts/log survive (the
+//                              nemesis fingerprints the victim's persistent
+//                              store across every crash and reports any
+//                              brick whose NVRAM/disk state changed);
+//   * symmetric partitions   — a minority group vs the rest, via
+//                              Network::partition / unpartition;
+//   * asymmetric isolations  — one brick loses its outbound OR inbound
+//                              links only (Network::block_one_way et al.),
+//                              the half-open links fair quorums must ride out;
+//   * drop / jitter ramps    — the channel degrades in steps to a peak loss
+//                              probability or jitter, holds, then restores
+//                              the baseline NetworkConfig;
+//   * mid-phase crashes      — armed triggers on the coordinator phase
+//                              probe: the victim is crashed at the start of
+//                              its k-th quorum phase after the trigger
+//                              time, or at its first recovery (read-prev-
+//                              stripe) phase — the interleavings that
+//                              manufacture partial writes (Figure 5).
+//
+// Everything is drawn up front from one Rng(seed) in generate(), so the
+// schedule — and, because the simulator is deterministic, the entire run —
+// is a pure function of (config, seed). A failing campaign is replayed by
+// re-running its seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "sim/time.h"
+
+namespace fabec::chaos {
+
+enum class FaultKind {
+  kCrash,              ///< crash now, recover after `duration`
+  kPartition,          ///< split `group` vs rest for `duration`
+  kIsolateOutbound,    ///< victim's outbound links die for `duration`
+  kIsolateInbound,     ///< victim's inbound links die for `duration`
+  kDropRamp,           ///< drop probability ramps to `peak_drop`, restores
+  kJitterRamp,         ///< jitter ramps to `peak_jitter`, restores
+  kMidPhaseCrash,      ///< crash victim at its `phases`-th phase start
+  kRecoveryPhaseCrash, ///< crash victim when it starts a recovery
+};
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  ProcessId victim = 0;
+  std::vector<ProcessId> group;  ///< kPartition: the minority side
+  sim::Duration duration = 0;
+  double peak_drop = 0.0;
+  sim::Duration peak_jitter = 0;
+  std::uint32_t phases = 0;  ///< kMidPhaseCrash: phase starts to let pass
+
+  std::string describe() const;
+};
+
+struct NemesisConfig {
+  /// Faults are scheduled in [0, window); recoveries/heals may land a
+  /// little past it (every fault is always undone).
+  sim::Duration window = 250 * sim::kDefaultDelta;
+  /// Scheduled event counts per class (0 disables the class).
+  std::uint32_t crashes = 4;
+  std::uint32_t partitions = 1;
+  std::uint32_t isolations = 1;
+  std::uint32_t drop_ramps = 1;
+  std::uint32_t jitter_ramps = 1;
+  std::uint32_t mid_phase_crashes = 1;
+  /// Upper bounds for randomly drawn magnitudes.
+  sim::Duration max_downtime = 40 * sim::kDefaultDelta;
+  sim::Duration max_partition_span = 30 * sim::kDefaultDelta;
+  double max_drop_probability = 0.4;
+  sim::Duration max_extra_jitter = 4 * sim::kDefaultDelta;
+};
+
+struct NemesisStats {
+  std::uint64_t crashes_injected = 0;
+  std::uint64_t crashes_suppressed = 0;  ///< fault budget would be exceeded
+  std::uint64_t recoveries = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t isolations = 0;
+  std::uint64_t net_ramps = 0;
+  std::uint64_t mid_phase_crashes = 0;
+  std::uint64_t persistence_checks = 0;
+  /// Bricks whose persistent fingerprint changed across a crash. Any
+  /// nonzero value is a durability bug (ord-ts/log must survive crashes).
+  std::uint64_t persistence_violations = 0;
+};
+
+class Nemesis {
+ public:
+  /// Generates the schedule for `seed`. Does not touch the cluster yet.
+  Nemesis(core::Cluster* cluster, NemesisConfig config, std::uint64_t seed);
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Injects the schedule into the cluster's simulator and takes ownership
+  /// of the cluster's coordinator phase probe (needed by the mid-phase
+  /// triggers). Call once, before running the simulator.
+  void arm();
+
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  const NemesisStats& stats() const { return stats_; }
+
+ private:
+  void generate(std::uint64_t seed);
+  void install_phase_probe();
+
+  /// Crashes `victim` if the fault budget allows (at most f bricks down),
+  /// verifying persistent-state survival, and schedules its recovery.
+  void crash_with_budget(ProcessId victim, sim::Duration downtime);
+
+  void inject(const FaultEvent& e);
+
+  /// An armed mid-phase trigger awaiting its firing condition.
+  struct Trigger {
+    FaultKind kind = FaultKind::kMidPhaseCrash;
+    ProcessId victim = 0;
+    std::uint32_t phases_left = 0;
+    sim::Duration downtime = 0;
+    std::uint64_t recoveries_baseline = 0;  ///< kRecoveryPhaseCrash
+    bool fired = false;
+  };
+
+  core::Cluster* cluster_;
+  NemesisConfig config_;
+  std::vector<FaultEvent> schedule_;
+  std::vector<Trigger> triggers_;
+  NemesisStats stats_;
+  bool probe_installed_ = false;
+};
+
+}  // namespace fabec::chaos

@@ -1,0 +1,42 @@
+// FNV-1a — a tiny, stable, dependency-free 64-bit hash.
+//
+// Used wherever the repository needs a *reproducible* fingerprint of
+// structured state (operation histories, replica logs) for replay
+// assertions: the same seed must yield the same fingerprint across runs and
+// builds, so std::hash (implementation-defined) is not an option. Not a
+// cryptographic hash; collisions only weaken a test's sensitivity, never
+// correctness.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace fabec {
+
+class Fnv1a {
+ public:
+  /// Absorbs raw bytes.
+  void update(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= p[i];
+      state_ *= 0x100000001b3ULL;
+    }
+  }
+
+  /// Absorbs a trivially copyable value by its object representation.
+  /// Restricted to integral/enum types so padding bytes can never leak in.
+  template <typename T>
+  void update_value(T value) {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    auto v = static_cast<std::uint64_t>(value);
+    update(&v, sizeof(v));
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace fabec

@@ -48,6 +48,30 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
   }
 }
 
+void Cluster::crash(ProcessId p) {
+  if (procs_.alive(p) && crash_listener_) crash_listener_(p);
+  procs_.crash(p);
+}
+
+sim::EventId Cluster::schedule_crash(sim::Time at, ProcessId p) {
+  return sim_.schedule_at(at, [this, p] { crash(p); });
+}
+
+sim::EventId Cluster::schedule_recovery(sim::Time at, ProcessId p) {
+  return sim_.schedule_at(at, [this, p] { recover_brick(p); });
+}
+
+void Cluster::set_phase_probe(std::function<void(ProcessId, OpId)> probe) {
+  for (ProcessId p = 0; p < layout_.total_bricks(); ++p) {
+    if (!probe) {
+      bricks_[p]->coordinator->set_phase_probe(nullptr);
+      continue;
+    }
+    bricks_[p]->coordinator->set_phase_probe(
+        [probe, p](OpId phase) { probe(p, phase); });
+  }
+}
+
 void Cluster::deliver(ProcessId from, ProcessId to, Envelope envelope) {
   Brick& brick = *bricks_[to];
   if (!is_request(envelope.msg)) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -73,15 +74,37 @@ class Cluster {
 
   // --- failure injection --------------------------------------------------
   /// Crashes brick p: volatile state (in-flight coordinator operations,
-  /// reply dedup cache) is lost; the persistent store survives.
-  void crash(ProcessId p) { procs_.crash(p); }
+  /// reply dedup cache) is lost; the persistent store survives. Notifies
+  /// the crash listener (if any) first, while the victim's in-flight
+  /// operations are still observable.
+  void crash(ProcessId p);
   /// Recovers brick p; it serves requests again immediately (§1.3).
   void recover_brick(ProcessId p) { procs_.recover(p); }
+
+  // --- failure scheduling (fault-injection campaigns, src/chaos) ----------
+  /// Schedules crash(p) / recover_brick(p) at absolute virtual time `at`.
+  /// Pure sugar over simulator().schedule_at, but it keeps every injected
+  /// fault on the cluster's API so campaigns read as schedules.
+  sim::EventId schedule_crash(sim::Time at, ProcessId p);
+  sim::EventId schedule_recovery(sim::Time at, ProcessId p);
+
+  /// Observer invoked just before an injected crash of a still-live brick
+  /// takes effect. History recorders use it to mark the victim's in-flight
+  /// operations as crashed (strict linearizability orders them by the
+  /// crash event, Appendix B).
+  using CrashListener = std::function<void(ProcessId)>;
+  void set_crash_listener(CrashListener listener) {
+    crash_listener_ = std::move(listener);
+  }
+
+  /// Installs `probe` as the phase probe of every coordinator; it receives
+  /// (coordinator brick, phase op id) at each quorum-phase start.
+  void set_phase_probe(std::function<void(ProcessId, OpId)> probe);
   /// Swaps brick p for a blank replacement: persistent state is wiped and
   /// the (new) brick comes up empty. The replacement counts against the
   /// fault budget until fab::rebuild_brick restores its blocks.
   void replace_brick(ProcessId p) {
-    procs_.crash(p);  // ensure volatile state is dropped
+    crash(p);  // ensure volatile state is dropped (and notify the listener)
     bricks_[p]->store.wipe();
     procs_.recover(p);
   }
@@ -137,6 +160,7 @@ class Cluster {
   sim::Network<Envelope> net_;
   sim::ProcessSet procs_;
   std::vector<std::unique_ptr<Brick>> bricks_;
+  CrashListener crash_listener_;
 };
 
 }  // namespace fabec::core

@@ -79,6 +79,11 @@ OpId Coordinator::start_rpc(
   pending_.emplace(op, std::move(rpc));
   transmit_round(op);
   arm_retransmit(op);
+  // After the sends: the phase's first round is on the wire, so a probe
+  // crashing us here leaves replicas holding requests whose coordinator is
+  // gone — the paper's partial-write scenario. transmit_round/arm_retransmit
+  // tolerate the synchronous-crash case (pending_ already cleared).
+  if (phase_probe_) phase_probe_(op);
   return op;
 }
 

@@ -140,6 +140,15 @@ class Coordinator {
   /// Crash: forget all in-flight operations. Their callbacks never run.
   void drop_all_pending();
 
+  /// Observer invoked at the start of every quorum() messaging phase, after
+  /// the phase's requests have been handed to the send function. Fault
+  /// injectors (src/chaos) use it to crash a coordinator *mid-phase* — the
+  /// interleaving that manufactures partial writes. The probe may crash
+  /// this coordinator synchronously (drop_all_pending() is safe here) or
+  /// schedule the crash for the same virtual instant.
+  using PhaseProbe = std::function<void(OpId phase)>;
+  void set_phase_probe(PhaseProbe probe) { phase_probe_ = std::move(probe); }
+
   const CoordinatorStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CoordinatorStats{}; }
   ProcessId self() const { return self_; }
@@ -222,6 +231,7 @@ class Coordinator {
   OpId next_op_ = 1;
   std::map<OpId, Rpc> pending_;
   CoordinatorStats stats_;
+  PhaseProbe phase_probe_;
 };
 
 }  // namespace fabec::core

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/fnv.h"
 
 namespace fabec::hist {
 
@@ -147,6 +148,20 @@ CheckResult check_strict_linearizability(const History& history) {
                        "(conditions (1)-(5) of Definition 5 conflict)"};
   }
   return CheckResult{};
+}
+
+std::uint64_t fingerprint(const History& history) {
+  Fnv1a h;
+  for (const Operation& op : history.operations()) {
+    h.update_value(op.kind);
+    h.update_value(op.value.has_value());
+    h.update_value(op.value.value_or(kNil));
+    h.update_value(op.invoke_seq);
+    h.update_value(op.end_seq.has_value());
+    h.update_value(op.end_seq.value_or(0));
+    h.update_value(op.end);
+  }
+  return h.digest();
 }
 
 ValueId ValueRegistry::id_of(const Block& block) {

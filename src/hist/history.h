@@ -90,6 +90,12 @@ struct CheckResult {
 /// (Definition 5 + Proposition 6 ⇒ the history is strictly linearizable).
 CheckResult check_strict_linearizability(const History& history);
 
+/// Stable 64-bit fingerprint of a history: every operation's kind, value,
+/// invocation/end sequence, and outcome is absorbed in order. Two runs of
+/// the same seeded campaign must produce equal fingerprints — the replay
+/// assertion the chaos torture suite is built on.
+std::uint64_t fingerprint(const History& history);
+
 /// Helper for tests: maps block contents to ValueIds, with the all-zero
 /// block mapping to kNil.
 class ValueRegistry {

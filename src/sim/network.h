@@ -107,6 +107,30 @@ class Network {
     blocked_[a][b] = blocked_[b][a] = false;
   }
 
+  /// Blocks only the from→to direction (asymmetric partition): `to` still
+  /// reaches `from`, so a quorum primitive can receive requests it cannot
+  /// answer — the adversarial half-open links the fairness argument of §2.2
+  /// must survive.
+  void block_one_way(ProcessId from, ProcessId to) {
+    blocked_[from][to] = true;
+  }
+  void unblock_one_way(ProcessId from, ProcessId to) {
+    blocked_[from][to] = false;
+  }
+  bool link_blocked(ProcessId from, ProcessId to) const {
+    return blocked_[from][to];
+  }
+
+  /// Severs every link out of `p` (it can hear but not be heard) or into
+  /// `p` (it can shout into the void), the two canonical asymmetric
+  /// isolations a flaky NIC produces.
+  void isolate_outbound(ProcessId p) {
+    for (ProcessId q = 0; q < n_; ++q) blocked_[p][q] = true;
+  }
+  void isolate_inbound(ProcessId p) {
+    for (ProcessId q = 0; q < n_; ++q) blocked_[q][p] = true;
+  }
+
   /// Partitions the processes into {group} vs the rest: every cross link is
   /// blocked, intra-group links are left untouched.
   void partition(const std::vector<ProcessId>& group) {
@@ -115,6 +139,18 @@ class Network {
     for (ProcessId a = 0; a < n_; ++a)
       for (ProcessId b = 0; b < n_; ++b)
         if (in_group[a] != in_group[b]) blocked_[a][b] = true;
+  }
+
+  /// Exact inverse of partition(group): unblocks the cross links, leaving
+  /// any other active blocks (overlapping partitions, one-way isolations on
+  /// intra-group links) in place. Lets a fault schedule end each partition
+  /// individually instead of healing the world.
+  void unpartition(const std::vector<ProcessId>& group) {
+    std::vector<bool> in_group(n_, false);
+    for (ProcessId p : group) in_group[p] = true;
+    for (ProcessId a = 0; a < n_; ++a)
+      for (ProcessId b = 0; b < n_; ++b)
+        if (in_group[a] != in_group[b]) blocked_[a][b] = false;
   }
 
   /// Removes all link blocks (heals every partition).

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 
+#include "common/fnv.h"
 #include "common/types.h"
 #include "storage/disk_stats.h"
 #include "storage/replica_store.h"
@@ -42,6 +43,18 @@ class BrickStore {
 
   std::size_t block_size() const { return block_size_; }
   std::size_t stripes_stored() const { return stores_.size(); }
+
+  /// Stable fingerprint of the brick's whole persistent state: every
+  /// stripe's id and ReplicaStore fingerprint, in stripe order. Equal
+  /// across a crash (persistence invariant) and across same-seed replays.
+  std::uint64_t fingerprint() const {
+    Fnv1a h;
+    for (const auto& [id, store] : stores_) {
+      h.update_value(id);
+      h.update_value(store->fingerprint());
+    }
+    return h.digest();
+  }
 
   /// Total log entries / stored blocks across all stripes (GC ablation).
   std::size_t total_log_entries() const {

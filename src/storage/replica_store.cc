@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/fnv.h"
 
 namespace fabec::storage {
 
@@ -98,6 +99,19 @@ void ReplicaStore::corrupt_newest_block(Block garbage) {
     }
   }
   FABEC_CHECK_MSG(false, "log lost all block entries");
+}
+
+std::uint64_t ReplicaStore::fingerprint() const {
+  Fnv1a h;
+  h.update_value(ord_ts_.time);
+  h.update_value(ord_ts_.proc);
+  for (const LogEntry& e : log_) {
+    h.update_value(e.ts.time);
+    h.update_value(e.ts.proc);
+    h.update_value(e.block.has_value());
+    if (e.block.has_value()) h.update(e.block->data(), e.block->size());
+  }
+  return h.digest();
 }
 
 std::size_t ReplicaStore::log_blocks() const {

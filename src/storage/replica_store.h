@@ -99,6 +99,12 @@ class ReplicaStore {
   void corrupt_newest_block(Block garbage);
 
   // --- introspection ---------------------------------------------------
+  /// Stable 64-bit fingerprint of the full persistent state (ord-ts + every
+  /// log entry, block contents included). Fault injectors hash a brick
+  /// before and after a crash to assert the NVRAM/disk state really did
+  /// survive, and campaign replays compare end-state fingerprints.
+  std::uint64_t fingerprint() const;
+
   std::size_t log_entries() const { return log_.size(); }
   /// Number of entries that hold an actual block (disk space consumed).
   std::size_t log_blocks() const;

@@ -1,0 +1,151 @@
+// Codec property tests over fully random schemes: where codec_test.cc pins
+// a fixed list of (m, n) pairs, this suite draws a fresh random scheme per
+// iteration and checks the MDS contract as properties —
+//   * decode ∘ encode = identity for ANY random erasure set of ≤ n−m shards
+//     (equivalently: any surviving ≥ m shards reconstruct the data);
+//   * modify_{i,j} ≡ re-encode, singly, chained across a random sequence of
+//     updates, and in the §5.2 delta form.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "erasure/codec.h"
+
+namespace fabec::erasure {
+namespace {
+
+std::vector<Block> random_stripe(Rng& rng, std::uint32_t m,
+                                 std::size_t block_size) {
+  std::vector<Block> data;
+  for (std::uint32_t i = 0; i < m; ++i)
+    data.push_back(random_block(rng, block_size));
+  return data;
+}
+
+TEST(CodecPropertyTest, DecodeSurvivesAnyRandomErasureSet) {
+  Rng rng(1);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto m = static_cast<std::uint32_t>(1 + rng.next_below(10));
+    const auto n = m + static_cast<std::uint32_t>(rng.next_below(7));
+    const std::size_t block_size = 1 + rng.next_below(96);
+    const Codec codec(m, n);
+    const auto data = random_stripe(rng, m, block_size);
+    const auto word = codec.encode(data);
+    ASSERT_EQ(word.size(), n);
+
+    // Erase a random set of at most n − m positions.
+    std::vector<BlockIndex> positions(n);
+    std::iota(positions.begin(), positions.end(), 0);
+    rng.shuffle(positions);
+    const auto erasures = rng.next_below(n - m + 1);  // 0..k inclusive
+    std::vector<Shard> survivors;
+    for (std::size_t i = erasures; i < positions.size(); ++i)
+      survivors.push_back(Shard{positions[i], word[positions[i]]});
+
+    const auto decoded = codec.decode(survivors);
+    EXPECT_EQ(decoded, data) << "m=" << m << " n=" << n << " erased "
+                             << erasures << " (iter " << iter << ")";
+  }
+}
+
+TEST(CodecPropertyTest, ModifyEquivalentToReencode) {
+  Rng rng(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto m = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    const auto k = static_cast<std::uint32_t>(1 + rng.next_below(5));
+    const auto n = m + k;
+    const std::size_t block_size = 1 + rng.next_below(64);
+    const Codec codec(m, n);
+    auto data = random_stripe(rng, m, block_size);
+    const auto word = codec.encode(data);
+
+    const auto i = static_cast<BlockIndex>(rng.next_below(m));
+    const Block new_data = random_block(rng, block_size);
+    auto updated = data;
+    updated[i] = new_data;
+    const auto expected = codec.encode(updated);
+
+    for (BlockIndex j = m; j < n; ++j) {
+      EXPECT_EQ(codec.modify(i, j, data[i], new_data, word[j]), expected[j])
+          << "m=" << m << " n=" << n << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(CodecPropertyTest, ChainedModifiesTrackReencode) {
+  // A parity maintained purely through modify_{i,j} across a random update
+  // sequence must equal a from-scratch re-encode at every step — the
+  // incremental-update invariant block writes rely on (Algorithm 3).
+  Rng rng(3);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto m = static_cast<std::uint32_t>(1 + rng.next_below(6));
+    const auto n = m + static_cast<std::uint32_t>(1 + rng.next_below(4));
+    const std::size_t block_size = 1 + rng.next_below(48);
+    const Codec codec(m, n);
+    auto data = random_stripe(rng, m, block_size);
+    auto word = codec.encode(data);
+
+    for (int step = 0; step < 8; ++step) {
+      const auto i = static_cast<BlockIndex>(rng.next_below(m));
+      const Block new_data = random_block(rng, block_size);
+      for (BlockIndex j = m; j < n; ++j)
+        word[j] = codec.modify(i, j, data[i], new_data, word[j]);
+      data[i] = new_data;
+      word[i] = new_data;
+      EXPECT_EQ(word, codec.encode(data))
+          << "m=" << m << " n=" << n << " step " << step;
+    }
+  }
+}
+
+TEST(CodecPropertyTest, DeltaFormMatchesModify) {
+  Rng rng(4);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto m = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    const auto n = m + static_cast<std::uint32_t>(1 + rng.next_below(5));
+    const std::size_t block_size = 1 + rng.next_below(64);
+    const Codec codec(m, n);
+    const auto data = random_stripe(rng, m, block_size);
+    const auto word = codec.encode(data);
+
+    const auto i = static_cast<BlockIndex>(rng.next_below(m));
+    const Block new_data = random_block(rng, block_size);
+    Block delta = data[i];
+    xor_into(delta, new_data);
+
+    for (BlockIndex j = m; j < n; ++j) {
+      Block via_delta = word[j];
+      codec.apply_modify_delta(i, j, delta, via_delta);
+      EXPECT_EQ(via_delta, codec.modify(i, j, data[i], new_data, word[j]));
+    }
+  }
+}
+
+TEST(CodecPropertyTest, FullErasureBudgetAlwaysRecoverable) {
+  // The boundary case: erase exactly n − m shards (the paper's fault bound
+  // f) for every random scheme — decode must still succeed from the
+  // remaining exactly-m shards.
+  Rng rng(5);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto m = static_cast<std::uint32_t>(1 + rng.next_below(12));
+    const auto n = m + static_cast<std::uint32_t>(rng.next_below(8));
+    const Codec codec(m, n);
+    const auto data = random_stripe(rng, m, 32);
+    const auto word = codec.encode(data);
+
+    std::vector<BlockIndex> positions(n);
+    std::iota(positions.begin(), positions.end(), 0);
+    rng.shuffle(positions);
+    std::vector<Shard> survivors;
+    for (std::uint32_t i = 0; i < m; ++i)
+      survivors.push_back(Shard{positions[i], word[positions[i]]});
+    EXPECT_EQ(codec.decode(survivors), data) << "m=" << m << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace fabec::erasure
