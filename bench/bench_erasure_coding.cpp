@@ -105,6 +105,52 @@ void BM_ModifyDelta(benchmark::State& state) {
                           static_cast<std::int64_t>(block_size));
 }
 
+void BM_EncodeParityInto(benchmark::State& state) {
+  // The allocation-free encode path: parity computed into caller-provided
+  // buffers from views of the data blocks; what store_stripe runs per write.
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto block_size = static_cast<std::size_t>(state.range(2));
+  erasure::Codec codec(m, n);
+  const auto stripe = make_stripe(m, block_size);
+  const std::vector<erasure::ConstByteSpan> data(stripe.begin(), stripe.end());
+  std::vector<Block> parity(n - m, Block(block_size));
+  const std::vector<erasure::MutByteSpan> parity_views(parity.begin(),
+                                                       parity.end());
+  for (auto _ : state) {
+    codec.encode_parity(data, parity_views);
+    benchmark::DoNotOptimize(parity.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * m *
+                          static_cast<std::int64_t>(block_size));
+}
+
+void BM_DecodeIntoDegraded(benchmark::State& state) {
+  // The allocation-free degraded read: maximum data loss, reconstruction
+  // into caller buffers, decode matrix served from the inversion cache
+  // after the first iteration (a rebuild of one failed brick re-decodes
+  // the same failure pattern for every stripe it serves).
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto block_size = static_cast<std::size_t>(state.range(2));
+  erasure::Codec codec(m, n);
+  const auto encoded = codec.encode(make_stripe(m, block_size));
+  const std::uint32_t k = n - m;
+  std::vector<erasure::ShardView> shards;  // skip the first k data shards
+  for (std::uint32_t i = k; i < n; ++i)
+    shards.push_back(erasure::ShardView{i, encoded[i]});
+  std::vector<Block> out(m, Block(block_size));
+  const std::vector<erasure::MutByteSpan> out_views(out.begin(), out.end());
+  for (auto _ : state) {
+    codec.decode_into(shards, out_views);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * m *
+                          static_cast<std::int64_t>(block_size));
+}
+
 void SchemeArgs(benchmark::internal::Benchmark* bench) {
   for (auto [m, n] : {std::pair{3, 5}, {5, 8}, {10, 14}})
     for (std::int64_t block : {4 * 1024, 64 * 1024})
@@ -112,8 +158,10 @@ void SchemeArgs(benchmark::internal::Benchmark* bench) {
 }
 
 BENCHMARK(BM_Encode)->Apply(SchemeArgs);
+BENCHMARK(BM_EncodeParityInto)->Apply(SchemeArgs);
 BENCHMARK(BM_DecodeDataOnly)->Apply(SchemeArgs);
 BENCHMARK(BM_DecodeWithErasures)->Apply(SchemeArgs);
+BENCHMARK(BM_DecodeIntoDegraded)->Apply(SchemeArgs);
 BENCHMARK(BM_Modify)->Apply(SchemeArgs);
 BENCHMARK(BM_ModifyDelta)->Arg(4 * 1024)->Arg(64 * 1024);
 

@@ -1,0 +1,151 @@
+// Microbenchmarks of the GF(2^8) bulk kernels: every compiled variant
+// (scalar reference, portable64 SWAR, PSHUFB/VPSHUFB shuffles) across block
+// sizes, plus the fused multi-source kernel against row-by-row accumulation.
+// The scalar rows ARE the seed implementation, so the dispatched/scalar
+// ratio printed here is the whole-PR kernel speedup; tools/bench2json
+// distills the JSON form of this output into BENCH_erasure.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gf/kernels.h"
+
+namespace {
+
+using namespace fabec;
+
+std::vector<std::uint8_t> random_bytes(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+void BM_MulAddSlice(benchmark::State& state, const gf::Kernels* kernels,
+                    std::size_t size) {
+  const auto src = random_bytes(1, size);
+  auto dst = random_bytes(2, size);
+  for (auto _ : state) {
+    kernels->mul_add_slice(0x8e, src.data(), dst.data(), size);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+
+void BM_XorSlice(benchmark::State& state, const gf::Kernels* kernels,
+                 std::size_t size) {
+  const auto src = random_bytes(3, size);
+  auto dst = random_bytes(4, size);
+  for (auto _ : state) {
+    kernels->xor_slice(src.data(), dst.data(), size);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+
+// The encode inner loop both ways: k sources streamed through one
+// cache-blocked chunk at a time (fused) versus each source making a full
+// pass over dst (row-by-row — the seed encode's memory access pattern).
+constexpr std::size_t kMultiSources = 5;
+
+void BM_MulAddMultiFused(benchmark::State& state, const gf::Kernels* kernels,
+                         std::size_t size) {
+  std::vector<std::vector<std::uint8_t>> srcs;
+  std::vector<const std::uint8_t*> ptrs;
+  std::uint8_t coeffs[kMultiSources];
+  for (std::size_t s = 0; s < kMultiSources; ++s) {
+    srcs.push_back(random_bytes(10 + s, size));
+    ptrs.push_back(srcs.back().data());
+    coeffs[s] = static_cast<std::uint8_t>(3 + 2 * s);
+  }
+  std::vector<std::uint8_t> dst(size);
+  for (auto _ : state) {
+    kernels->mul_add_multi(coeffs, ptrs.data(), kMultiSources, dst.data(),
+                           size, /*accumulate=*/false);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * kMultiSources));
+}
+
+void BM_MulAddMultiRowByRow(benchmark::State& state,
+                            const gf::Kernels* kernels, std::size_t size) {
+  std::vector<std::vector<std::uint8_t>> srcs;
+  std::vector<const std::uint8_t*> ptrs;
+  std::uint8_t coeffs[kMultiSources];
+  for (std::size_t s = 0; s < kMultiSources; ++s) {
+    srcs.push_back(random_bytes(20 + s, size));
+    ptrs.push_back(srcs.back().data());
+    coeffs[s] = static_cast<std::uint8_t>(3 + 2 * s);
+  }
+  std::vector<std::uint8_t> dst(size);
+  for (auto _ : state) {
+    kernels->mul_slice(coeffs[0], ptrs[0], dst.data(), size);
+    for (std::size_t s = 1; s < kMultiSources; ++s)
+      kernels->mul_add_slice(coeffs[s], ptrs[s], dst.data(), size);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * kMultiSources));
+}
+
+void register_all() {
+  const std::size_t kSizes[] = {1024, 4096, 16384, 65536, 262144};
+  for (const gf::Kernels* k : gf::compiled_kernels()) {
+    const std::string name(k->name);
+    for (std::size_t size : kSizes) {
+      const std::string suffix = name + "/" + std::to_string(size);
+      benchmark::RegisterBenchmark(
+          ("BM_MulAddSlice/" + suffix).c_str(),
+          [k, size](benchmark::State& st) { BM_MulAddSlice(st, k, size); });
+      benchmark::RegisterBenchmark(
+          ("BM_XorSlice/" + suffix).c_str(),
+          [k, size](benchmark::State& st) { BM_XorSlice(st, k, size); });
+    }
+    // Multi-source sizes where all k sources overflow L1/L2 together, so
+    // the cache-blocked fusion is visible.
+    for (std::size_t size : {65536u, 1048576u}) {
+      const std::string suffix = name + "/" + std::to_string(size);
+      benchmark::RegisterBenchmark(
+          ("BM_MulAddMultiFused/" + suffix).c_str(),
+          [k, size](benchmark::State& st) {
+            BM_MulAddMultiFused(st, k, size);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_MulAddMultiRowByRow/" + suffix).c_str(),
+          [k, size](benchmark::State& st) {
+            BM_MulAddMultiRowByRow(st, k, size);
+          });
+    }
+  }
+  // The dispatched entry point, labelled by what it resolved to — the
+  // headline "what does gf::mul_add_slice cost now" row.
+  for (std::size_t size : kSizes) {
+    benchmark::RegisterBenchmark(
+        ("BM_MulAddSlice/dispatched_" + std::string(gf::kernels().name) + "/" +
+         std::to_string(size))
+            .c_str(),
+        [size](benchmark::State& st) {
+          BM_MulAddSlice(st, &gf::kernels(), size);
+        });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -11,7 +11,13 @@
 
 namespace fabec {
 
-/// CRC-32 of `data[0, size)`.
+/// CRC-32 of `data[0, size)`. Slicing-by-8: eight bytes per step through
+/// eight independent table lookups (~4-5x the byte-at-a-time loop on
+/// block-sized payloads).
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// The classic byte-at-a-time implementation over the same table — kept as
+/// the differential-test oracle for crc32(); not for production use.
+std::uint32_t crc32_reference(const std::uint8_t* data, std::size_t size);
 
 }  // namespace fabec

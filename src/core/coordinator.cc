@@ -214,16 +214,19 @@ void Coordinator::fast_read_stripe(StripeId stripe, StripeCb done) {
           }
           val_ts = rep->val_ts;
         }
-        std::vector<erasure::Shard> shards;
+        // Borrow the reply blocks: the views stay valid through the
+        // synchronous decode, so each data block is materialized exactly
+        // once (inside decode_blocks) instead of once per Shard copy.
+        std::vector<erasure::ShardView> shards;
         for (ProcessId t : *targets) {
           const ReadRep* rep = as<ReadRep>(replies[t]);
           if (rep == nullptr || !rep->block.has_value()) {
             done(std::nullopt);
             return;
           }
-          shards.push_back(erasure::Shard{t, *rep->block});
+          shards.push_back(erasure::ShardView{t, *rep->block});
         }
-        done(codec_->decode(shards));
+        done(codec_->decode_blocks(shards));
       },
       std::vector<std::uint32_t>(targets->begin(), targets->end()));
 }
@@ -251,7 +254,7 @@ void Coordinator::recover(StripeId stripe, StripeCb done) {
     // Lines 20-21: write the recovered value back under the new timestamp;
     // this is what rolls the partial write forward or back once and for all.
     auto value = std::make_shared<std::vector<Block>>(std::move(*prev));
-    store_stripe(stripe, *value, ts, [value, done](bool ok) {
+    store_stripe(stripe, value, ts, [value, done](bool ok) {
       done(ok ? StripeResult(*value) : std::nullopt);
     });
   };
@@ -277,14 +280,14 @@ void Coordinator::read_prev_stripe(std::shared_ptr<RecoverState> state) {
         for (const auto& r : replies)
           if (const OrderReadRep* rep = as<OrderReadRep>(r))
             max = std::max(max, rep->lts);
-        std::vector<erasure::Shard> shards;
+        std::vector<erasure::ShardView> shards;
         for (ProcessId p = 0; p < config_.n; ++p) {
           const OrderReadRep* rep = as<OrderReadRep>(replies[p]);
           if (rep != nullptr && rep->lts == max && rep->block.has_value())
-            shards.push_back(erasure::Shard{p, *rep->block});
+            shards.push_back(erasure::ShardView{p, *rep->block});
         }
         if (shards.size() >= config_.m) {
-          state->done(codec_->decode(shards));
+          state->done(codec_->decode_blocks(shards));
           return;
         }
         if (max <= kLowTS) {
@@ -319,22 +322,34 @@ void Coordinator::write_stripe(StripeId stripe, std::vector<Block> data,
           done(false);
           return;
         }
-        store_stripe(stripe, *shared_data, ts, [this, done](bool ok) {
+        store_stripe(stripe, shared_data, ts, [this, done](bool ok) {
           if (!ok) ++stats_.aborts;
           done(ok);
         });
       });
 }
 
-void Coordinator::store_stripe(StripeId stripe, const std::vector<Block>& data,
+void Coordinator::store_stripe(StripeId stripe,
+                               std::shared_ptr<const std::vector<Block>> data,
                                Timestamp ts, WriteCb done) {
   // Lines 34-37. Each destination gets only its own block of the code word,
-  // so the phase moves nB of payload (Table 1).
-  auto encoded = std::make_shared<std::vector<Block>>(codec_->encode(data));
+  // so the phase moves nB of payload (Table 1). Only the k parity blocks
+  // are materialized here; the m data blocks ship straight out of `data`
+  // (the encode is systematic), so a stripe write allocates k blocks, not n.
+  const std::size_t block_size = (*data)[0].size();
+  auto parity = std::make_shared<std::vector<Block>>(config_.n - config_.m,
+                                                     Block(block_size));
+  const std::vector<erasure::ConstByteSpan> data_views(data->begin(),
+                                                       data->end());
+  const std::vector<erasure::MutByteSpan> parity_views(parity->begin(),
+                                                       parity->end());
+  codec_->encode_parity(data_views, parity_views);
   start_rpc(
       layout_->group(stripe),
-      [stripe, ts, encoded](std::uint32_t pos, OpId op) -> Message {
-        return WriteReq{stripe, op, ts, (*encoded)[pos]};
+      [stripe, ts, data, parity, m = config_.m](std::uint32_t pos,
+                                                OpId op) -> Message {
+        return WriteReq{stripe, op, ts,
+                        pos < m ? (*data)[pos] : (*parity)[pos - m]};
       },
       [this, stripe, ts, done = std::move(done)](Replies& replies) {
         if (!all_status_true<WriteRep>(replies)) {
@@ -489,8 +504,9 @@ void Coordinator::slow_write_block(StripeId stripe, BlockIndex j, Block block,
       done(false);
       return;
     }
-    (*prev)[j] = *shared_block;
-    store_stripe(stripe, *prev, ts, [this, done](bool ok) {
+    auto value = std::make_shared<std::vector<Block>>(std::move(*prev));
+    (*value)[j] = *shared_block;
+    store_stripe(stripe, std::move(value), ts, [this, done](bool ok) {
       if (!ok) ++stats_.aborts;
       done(ok);
     });
@@ -669,9 +685,10 @@ void Coordinator::slow_write_blocks(
       done(false);
       return;
     }
+    auto value = std::make_shared<std::vector<Block>>(std::move(*prev));
     for (std::size_t i = 0; i < js->size(); ++i)
-      (*prev)[(*js)[i]] = (*blocks)[i];
-    store_stripe(stripe, *prev, ts, [this, done](bool ok) {
+      (*value)[(*js)[i]] = (*blocks)[i];
+    store_stripe(stripe, std::move(value), ts, [this, done](bool ok) {
       if (!ok) ++stats_.aborts;
       done(ok);
     });
@@ -719,13 +736,20 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
           done(ScrubResult::kInconclusive);
           return;
         }
-        std::vector<Block> data;
-        data.reserve(config_.m);
+        // Recompute the parity from views of the data replies — no data
+        // block is copied; only k scratch parity blocks are allocated.
+        const std::size_t block_size = blocks[0]->size();
+        std::vector<erasure::ConstByteSpan> data_views;
+        data_views.reserve(config_.m);
         for (std::uint32_t j = 0; j < config_.m; ++j)
-          data.push_back(*blocks[j]);
-        const auto reencoded = codec_->encode(data);
+          data_views.emplace_back(*blocks[j]);
+        std::vector<Block> reencoded(config_.n - config_.m,
+                                     Block(block_size));
+        const std::vector<erasure::MutByteSpan> parity_views(
+            reencoded.begin(), reencoded.end());
+        codec_->encode_parity(data_views, parity_views);
         for (std::uint32_t pos = config_.m; pos < config_.n; ++pos) {
-          if (reencoded[pos] != *blocks[pos]) {
+          if (reencoded[pos - config_.m] != *blocks[pos]) {
             done(ScrubResult::kCorrupt);
             return;
           }

@@ -195,7 +195,12 @@ class Coordinator {
   void recover(StripeId stripe, StripeCb done);
   struct RecoverState;
   void read_prev_stripe(std::shared_ptr<RecoverState> state);
-  void store_stripe(StripeId stripe, const std::vector<Block>& data,
+  /// Encodes and writes one complete stripe version. Takes shared ownership
+  /// of the data blocks: only the k parity blocks are computed (into fresh
+  /// buffers); the data blocks themselves are referenced, not copied, until
+  /// each send serializes its own block.
+  void store_stripe(StripeId stripe,
+                    std::shared_ptr<const std::vector<Block>> data,
                     Timestamp ts, WriteCb done);
 
   // Algorithm 3 internals.

@@ -1,8 +1,10 @@
 #include "erasure/codec.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "gf/gf256.h"
+#include "gf/kernels.h"
 
 namespace fabec::erasure {
 
@@ -29,70 +31,165 @@ Codec::Codec(std::uint32_t m, std::uint32_t n)
       generator_.at(m_ + i, j) = c.at(i, j);
 }
 
-std::vector<Block> Codec::encode(const std::vector<Block>& data) const {
-  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
-  const std::size_t block_size = data[0].size();
-  for (const Block& b : data) FABEC_CHECK(b.size() == block_size);
+// ---------------------------------------------------------------------
+// Allocation-free span API.
+// ---------------------------------------------------------------------
 
-  std::vector<Block> out;
-  out.reserve(n_);
-  for (std::uint32_t i = 0; i < m_; ++i) out.push_back(data[i]);
-  for (std::uint32_t r = m_; r < n_; ++r) {
-    Block parity(block_size, 0);
-    for (std::uint32_t c = 0; c < m_; ++c)
-      gf::mul_add_slice(generator_.at(r, c), data[c].data(), parity.data(),
-                        block_size);
-    out.push_back(std::move(parity));
-  }
-  return out;
+void Codec::encode_parity(std::span<const ConstByteSpan> data,
+                          std::span<const MutByteSpan> parity) const {
+  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
+  FABEC_CHECK_MSG(parity.size() == k(), "encode requires exactly k parity "
+                                        "buffers");
+  const std::size_t block_size = data[0].size();
+  for (const ConstByteSpan& b : data) FABEC_CHECK(b.size() == block_size);
+  for (const MutByteSpan& p : parity) FABEC_CHECK(p.size() == block_size);
+
+  // The generator is stored row-major with m columns, so row r's parity
+  // coefficients are exactly the coefficient vector mul_add_multi wants.
+  const std::uint8_t* srcs[256];
+  for (std::uint32_t j = 0; j < m_; ++j) srcs[j] = data[j].data();
+  const gf::Kernels& kern = gf::kernels();
+  for (std::uint32_t r = 0; r < k(); ++r)
+    kern.mul_add_multi(generator_.row(m_ + r), srcs, m_, parity[r].data(),
+                       block_size, /*accumulate=*/false);
 }
 
-std::vector<Block> Codec::decode(const std::vector<Shard>& shards) const {
+std::size_t Codec::choose_shards(std::span<const ShardView> shards,
+                                 const ShardView** chosen) const {
   FABEC_CHECK_MSG(shards.size() >= m_, "decode requires at least m shards");
   // Pick the first m distinct shard indices, preferring data shards: rows of
   // the identity part make the inversion (and the common no-failure path)
   // cheap.
-  std::vector<const Shard*> chosen;
-  chosen.reserve(m_);
-  std::vector<bool> taken(n_, false);
-  auto take_if = [&](bool parity_pass) {
-    for (const Shard& s : shards) {
-      if (chosen.size() == m_) return;
+  bool taken[256] = {};
+  std::size_t num_chosen = 0;
+  for (int parity_pass = 0; parity_pass < 2 && num_chosen < m_;
+       ++parity_pass) {
+    for (const ShardView& s : shards) {
+      if (num_chosen == m_) break;
       FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
-      if (taken[s.index] || is_parity(s.index) != parity_pass) continue;
+      if (taken[s.index] || is_parity(s.index) != (parity_pass != 0))
+        continue;
       taken[s.index] = true;
-      chosen.push_back(&s);
+      chosen[num_chosen++] = &s;
     }
-  };
-  take_if(/*parity_pass=*/false);
-  take_if(/*parity_pass=*/true);
-  FABEC_CHECK_MSG(chosen.size() == m_, "decode: fewer than m distinct shards");
-
-  const std::size_t block_size = chosen[0]->block.size();
-  for (const Shard* s : chosen) FABEC_CHECK(s->block.size() == block_size);
-
-  // Fast path: all m data shards present.
-  const bool all_data = std::all_of(chosen.begin(), chosen.end(),
-                                    [&](const Shard* s) {
-                                      return !is_parity(s->index);
-                                    });
-  std::vector<Block> data(m_, Block(block_size, 0));
-  if (all_data) {
-    for (const Shard* s : chosen) data[s->index] = s->block;
-    return data;
   }
+  FABEC_CHECK_MSG(num_chosen == m_, "decode: fewer than m distinct shards");
+  const std::size_t block_size = chosen[0]->block.size();
+  for (std::size_t i = 0; i < m_; ++i)
+    FABEC_CHECK(chosen[i]->block.size() == block_size);
+  return block_size;
+}
+
+std::shared_ptr<const Matrix> Codec::cached_inverse(
+    const ShardView* const* chosen) const {
+  // n <= 256, so the chosen row pattern packs into one byte per row. The
+  // choose_shards order is deterministic for a given shard set, so equal
+  // failure patterns always map to equal keys.
+  std::string key(m_, '\0');
+  for (std::uint32_t i = 0; i < m_; ++i)
+    key[i] = static_cast<char>(chosen[i]->index);
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = inverse_cache_.find(key);
+  if (it != inverse_cache_.end()) return it->second;
 
   std::vector<std::size_t> rows;
   rows.reserve(m_);
-  for (const Shard* s : chosen) rows.push_back(s->index);
-  const auto inverse = generator_.select_rows(rows).inverted();
+  for (std::uint32_t i = 0; i < m_; ++i) rows.push_back(chosen[i]->index);
+  auto inverse = generator_.select_rows(rows).inverted();
   FABEC_CHECK_MSG(inverse.has_value(),
                   "MDS violation: selected rows are singular");
+  // Degraded patterns are bounded by real failure combinations, but guard
+  // against pathological churn (e.g. a scrub cycling suspects) anyway.
+  if (inverse_cache_.size() >= 1024) inverse_cache_.clear();
+  auto entry = std::make_shared<const Matrix>(std::move(*inverse));
+  inverse_cache_.emplace(std::move(key), entry);
+  return entry;
+}
+
+std::size_t Codec::cached_inversions() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return inverse_cache_.size();
+}
+
+bool Codec::try_data_views(std::span<const ShardView> shards,
+                           std::span<ConstByteSpan> out) const {
+  FABEC_CHECK_MSG(out.size() == m_, "try_data_views requires m output slots");
+  bool seen[256] = {};
+  std::size_t found = 0;
+  for (const ShardView& s : shards) {
+    FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
+    if (is_parity(s.index) || seen[s.index]) continue;
+    seen[s.index] = true;
+    out[s.index] = s.block;
+    if (++found == m_) return true;
+  }
+  return false;
+}
+
+void Codec::decode_into(std::span<const ShardView> shards,
+                        std::span<const MutByteSpan> out) const {
+  FABEC_CHECK_MSG(out.size() == m_, "decode requires m output buffers");
+  const ShardView* chosen[256];
+  const std::size_t block_size = choose_shards(shards, chosen);
+  for (const MutByteSpan& o : out) FABEC_CHECK(o.size() == block_size);
+
+  // Fast path: all m data shards present — chosen[] holds exactly the data
+  // blocks, each landing at its own index.
+  if (!is_parity(chosen[m_ - 1]->index)) {
+    for (std::uint32_t i = 0; i < m_; ++i)
+      std::memcpy(out[chosen[i]->index].data(), chosen[i]->block.data(),
+                  block_size);
+    return;
+  }
+
+  const std::shared_ptr<const Matrix> inverse = cached_inverse(chosen);
+  const std::uint8_t* srcs[256];
+  for (std::uint32_t j = 0; j < m_; ++j) srcs[j] = chosen[j]->block.data();
+  const gf::Kernels& kern = gf::kernels();
   for (std::uint32_t i = 0; i < m_; ++i)
-    for (std::uint32_t j = 0; j < m_; ++j)
-      gf::mul_add_slice(inverse->at(i, j), chosen[j]->block.data(),
-                        data[i].data(), block_size);
+    kern.mul_add_multi(inverse->row(i), srcs, m_, out[i].data(), block_size,
+                       /*accumulate=*/false);
+}
+
+std::vector<Block> Codec::decode_blocks(
+    std::span<const ShardView> shards) const {
+  FABEC_CHECK_MSG(!shards.empty(), "decode requires at least m shards");
+  const std::size_t block_size = shards[0].block.size();
+  std::vector<Block> data(m_, Block(block_size));
+  MutByteSpan out[256];
+  for (std::uint32_t i = 0; i < m_; ++i) out[i] = MutByteSpan(data[i]);
+  decode_into(shards, std::span<const MutByteSpan>(out, m_));
   return data;
+}
+
+// ---------------------------------------------------------------------
+// Owning convenience API, layered on the span entry points.
+// ---------------------------------------------------------------------
+
+std::vector<Block> Codec::encode(const std::vector<Block>& data) const {
+  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
+  const std::size_t block_size = data[0].size();
+
+  std::vector<Block> out;
+  out.reserve(n_);
+  for (std::uint32_t i = 0; i < m_; ++i) out.push_back(data[i]);
+  for (std::uint32_t r = m_; r < n_; ++r) out.emplace_back(block_size);
+
+  ConstByteSpan views[256];
+  MutByteSpan parity[256];
+  for (std::uint32_t i = 0; i < m_; ++i) views[i] = ConstByteSpan(data[i]);
+  for (std::uint32_t r = 0; r < k(); ++r) parity[r] = MutByteSpan(out[m_ + r]);
+  encode_parity(std::span<const ConstByteSpan>(views, m_),
+                std::span<const MutByteSpan>(parity, k()));
+  return out;
+}
+
+std::vector<Block> Codec::decode(const std::vector<Shard>& shards) const {
+  std::vector<ShardView> views;
+  views.reserve(shards.size());
+  for (const Shard& s : shards) views.push_back(view_of(s));
+  return decode_blocks(views);
 }
 
 std::optional<BlockIndex> Codec::find_corrupted(

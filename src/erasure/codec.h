@@ -20,7 +20,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -30,12 +35,30 @@
 
 namespace fabec::erasure {
 
+/// Read-only / writable views of one block's bytes. The span-based entry
+/// points below are the hot-path API: callers provide every output buffer,
+/// and the codec never allocates or copies a Block.
+using ConstByteSpan = std::span<const std::uint8_t>;
+using MutByteSpan = std::span<std::uint8_t>;
+
 /// A block tagged with its position in the code word (0..n-1). Positions
 /// 0..m-1 are data blocks, m..n-1 parity blocks.
 struct Shard {
   BlockIndex index = 0;
   Block block;
 };
+
+/// View form of Shard: a code-word position plus a borrowed byte range.
+/// The bytes must outlive any codec call the view is passed to.
+struct ShardView {
+  BlockIndex index = 0;
+  ConstByteSpan block;
+};
+
+/// View of a Shard's bytes.
+inline ShardView view_of(const Shard& s) {
+  return ShardView{s.index, ConstByteSpan(s.block)};
+}
 
 class Codec {
  public:
@@ -48,6 +71,45 @@ class Codec {
   std::uint32_t k() const { return n_ - m_; }
 
   bool is_parity(BlockIndex index) const { return index >= m_; }
+
+  // --- allocation-free span API (the hot path) -------------------------
+  //
+  // The protocol's per-stripe work — parity generation on every write,
+  // reconstruction on every degraded read — runs through these. They take
+  // borrowed views and write into caller-provided buffers; no Block is
+  // allocated, copied, or returned.
+
+  /// Computes the k parity blocks into parity[0..k) from views of the m
+  /// data blocks, in generator-row order (parity[i] is code-word position
+  /// m + i). All spans must have one common size. Each parity chunk is
+  /// produced by a fused multi-source kernel, so the data blocks stream
+  /// through cache once per chunk rather than once per parity row.
+  void encode_parity(std::span<const ConstByteSpan> data,
+                     std::span<const MutByteSpan> parity) const;
+
+  /// Zero-copy decode fast path: if every data block appears among the
+  /// shards, points out[i] at data block i's bytes and returns true (no
+  /// byte is touched). Returns false otherwise, leaving `out` unspecified.
+  /// `out` must have m entries.
+  bool try_data_views(std::span<const ShardView> shards,
+                      std::span<ConstByteSpan> out) const;
+
+  /// Reconstructs the m data blocks into caller-provided buffers out[0..m)
+  /// from any >= m distinct shards. Shard indices must be distinct and < n;
+  /// shard blocks and outputs must share one size. When all data shards are
+  /// present this is m block copies; otherwise the decode matrix for the
+  /// shard pattern is fetched from a per-codec cache (inverted on first
+  /// sight of the pattern) and applied with the fused kernel. Output
+  /// buffers must not alias the shard bytes.
+  void decode_into(std::span<const ShardView> shards,
+                   std::span<const MutByteSpan> out) const;
+
+  /// Convenience: decode shard views into freshly allocated blocks — one
+  /// allocation + copy per data block, rather than the owning-API cost of
+  /// copying every shard into a Shard first.
+  std::vector<Block> decode_blocks(std::span<const ShardView> shards) const;
+
+  // --- owning convenience API ------------------------------------------
 
   /// encode: m equally sized data blocks -> n blocks. The first m entries of
   /// the result are copies of the inputs.
@@ -90,10 +152,34 @@ class Codec {
     return generator_.at(row, col);
   }
 
+  /// Number of decode matrices currently cached (degraded patterns seen).
+  std::size_t cached_inversions() const;
+
  private:
+  /// Picks m distinct shards (data-first), appending them to chosen[] and
+  /// returning the common block size. Aborts unless m distinct shards with
+  /// equal-sized blocks exist.
+  std::size_t choose_shards(std::span<const ShardView> shards,
+                            const ShardView** chosen) const;
+
+  /// The inverse of the generator rows named by chosen[0..m), memoized by
+  /// the row pattern. Thread-safe; repeated degraded reads of one failure
+  /// pattern skip the Gaussian elimination.
+  std::shared_ptr<const Matrix> cached_inverse(
+      const ShardView* const* chosen) const;
+
   std::uint32_t m_;
   std::uint32_t n_;
   Matrix generator_;  // n x m, first m rows identity
+
+  // Decode-matrix cache, keyed by the chosen row pattern (one byte per
+  // row; n <= 256 keeps every index in a byte). Guarded by a mutex: a
+  // Codec is shared read-only across coordinator threads, and degraded
+  // decodes are rare enough that the lock never contends with the
+  // all-data fast path (which doesn't touch the cache).
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const Matrix>>
+      inverse_cache_;
 };
 
 }  // namespace fabec::erasure

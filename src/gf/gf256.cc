@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/check.h"
+#include "gf/kernels.h"
 
 namespace fabec::gf {
 namespace {
@@ -75,27 +76,20 @@ std::uint8_t log(std::uint8_t a) {
 
 void mul_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
                std::size_t n) {
-  if (c == 0) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
-    return;
-  }
-  if (c == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
-    return;
-  }
-  const std::uint8_t* row = &tables().product_[static_cast<unsigned>(c) << 8];
-  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+  kernels().mul_slice(c, src, dst, n);
 }
 
 void mul_add_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
                    std::size_t n) {
-  if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
-    return;
-  }
-  const std::uint8_t* row = &tables().product_[static_cast<unsigned>(c) << 8];
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  kernels().mul_add_slice(c, src, dst, n);
 }
+
+namespace detail {
+
+const std::uint8_t* product_row(std::uint8_t c) {
+  return &tables().product_[static_cast<unsigned>(c) << 8];
+}
+
+}  // namespace detail
 
 }  // namespace fabec::gf

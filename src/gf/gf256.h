@@ -6,8 +6,10 @@
 // coding (Plank's tutorial [12] in the paper's references).
 //
 // Addition is XOR. Multiplication and inversion go through log/exp tables
-// built once at static initialization; bulk operations on block buffers use
-// a per-coefficient product table so the inner loop is one lookup per byte.
+// built once at static initialization. Bulk operations on block buffers
+// (mul_slice / mul_add_slice) dispatch to the best vectorized kernel the
+// CPU supports — see gf/kernels.h for the variants and the dispatch model;
+// the scalar per-coefficient-product-table loop remains the reference.
 #pragma once
 
 #include <cstddef>
@@ -46,5 +48,12 @@ void mul_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
 /// dominates encode/decode time.
 void mul_add_slice(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
                    std::size_t n);
+
+namespace detail {
+/// Row `c` of the 256x256 product table: product_row(c)[x] = c * x. Backing
+/// store for the scalar kernels and the vector-tail loops; `c` must be
+/// nonzero (row 0 exists but the kernels special-case c == 0 instead).
+const std::uint8_t* product_row(std::uint8_t c);
+}  // namespace detail
 
 }  // namespace fabec::gf

@@ -1,0 +1,514 @@
+#include "gf/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "gf/gf256.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FABEC_GF_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define FABEC_GF_NEON 1
+#endif
+
+namespace fabec::gf {
+namespace {
+
+// ---------------------------------------------------------------------
+// Split nibble tables, shared by every shuffle kernel:
+//   lo[c][i] = c * i          (low nibble products)
+//   hi[c][i] = c * (i << 4)   (high nibble products)
+// 8 KiB total, built lazily from the log/exp tables.
+// ---------------------------------------------------------------------
+
+struct SplitTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+  SplitTables() {
+    for (unsigned c = 0; c < 256; ++c)
+      for (unsigned i = 0; i < 16; ++i) {
+        lo[c][i] = mul(static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(i));
+        hi[c][i] = mul(static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(i << 4));
+      }
+  }
+};
+
+const SplitTables& split() {
+  static const SplitTables t;
+  return t;
+}
+
+// ---------------------------------------------------------------------
+// scalar — the seed implementation, kept verbatim as the reference every
+// other variant must match bit-for-bit.
+// ---------------------------------------------------------------------
+
+void mul_slice_scalar(std::uint8_t c, const std::uint8_t* src,
+                      std::uint8_t* dst, std::size_t n) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_add_slice_scalar(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void xor_slice_scalar(const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+// ---------------------------------------------------------------------
+// Cache-blocked multi-source driver, parameterized by a variant's single-
+// source kernels. Streaming the k sources through one chunk of dst at a
+// time keeps the destination resident in L1 across all k accumulations, so
+// encode reads each data block once per chunk instead of once per parity
+// row. accumulate == false overwrites dst via the first source (mul_slice
+// zero-fills for c == 0, so the semantics hold for any coefficients).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kMultiChunk = 8 * 1024;
+
+void mul_add_multi_blocked(
+    void (*mul_s)(std::uint8_t, const std::uint8_t*, std::uint8_t*,
+                  std::size_t),
+    void (*mul_add)(std::uint8_t, const std::uint8_t*, std::uint8_t*,
+                    std::size_t),
+    const std::uint8_t* coeffs, const std::uint8_t* const* srcs,
+    std::size_t num_srcs, std::uint8_t* dst, std::size_t n, bool accumulate) {
+  if (num_srcs == 0) {
+    if (!accumulate) std::memset(dst, 0, n);
+    return;
+  }
+  for (std::size_t off = 0; off < n; off += kMultiChunk) {
+    const std::size_t len = std::min(kMultiChunk, n - off);
+    std::size_t s = 0;
+    if (!accumulate) {
+      mul_s(coeffs[0], srcs[0] + off, dst + off, len);
+      s = 1;
+    }
+    for (; s < num_srcs; ++s)
+      mul_add(coeffs[s], srcs[s] + off, dst + off, len);
+  }
+}
+
+void mul_add_multi_scalar(const std::uint8_t* coeffs,
+                          const std::uint8_t* const* srcs,
+                          std::size_t num_srcs, std::uint8_t* dst,
+                          std::size_t n, bool accumulate) {
+  mul_add_multi_blocked(mul_slice_scalar, mul_add_slice_scalar, coeffs, srcs,
+                        num_srcs, dst, n, accumulate);
+}
+
+// ---------------------------------------------------------------------
+// portable64 — SWAR over 64-bit words, no ISA assumptions. Multiplication
+// uses the carry-less shift-and-add over packed bytes: xtimes() doubles all
+// eight lanes at once (shift left, mask the bit that crossed each lane
+// boundary, fold the reducing polynomial 0x1d back into lanes that
+// overflowed), and an arbitrary coefficient is its bit decomposition.
+// Words are loaded/stored with memcpy, so any alignment is fine.
+// ---------------------------------------------------------------------
+
+inline std::uint64_t xtimes64(std::uint64_t w) {
+  const std::uint64_t hi = (w >> 7) & 0x0101010101010101ull;
+  return ((w << 1) & 0xfefefefefefefefeull) ^ (hi * 0x1d);
+}
+
+inline std::uint64_t mul64(std::uint8_t c, std::uint64_t v) {
+  std::uint64_t r = 0;
+  unsigned cc = c;
+  while (cc) {
+    if (cc & 1) r ^= v;
+    cc >>= 1;
+    if (cc) v = xtimes64(v);
+  }
+  return r;
+}
+
+void xor_slice_portable64(const std::uint8_t* src, std::uint8_t* dst,
+                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, src + i, 8);
+    std::memcpy(&b, dst + i, 8);
+    b ^= a;
+    std::memcpy(dst + i, &b, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_slice_portable64(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t v;
+    std::memcpy(&v, src + i, 8);
+    const std::uint64_t r = mul64(c, v);
+    std::memcpy(dst + i, &r, 8);
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_add_slice_portable64(std::uint8_t c, const std::uint8_t* src,
+                              std::uint8_t* dst, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_slice_portable64(src, dst, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t v, d;
+    std::memcpy(&v, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= mul64(c, v);
+    std::memcpy(dst + i, &d, 8);
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_add_multi_portable64(const std::uint8_t* coeffs,
+                              const std::uint8_t* const* srcs,
+                              std::size_t num_srcs, std::uint8_t* dst,
+                              std::size_t n, bool accumulate) {
+  mul_add_multi_blocked(mul_slice_portable64, mul_add_slice_portable64, coeffs,
+                        srcs, num_srcs, dst, n, accumulate);
+}
+
+#ifdef FABEC_GF_X86
+
+// ---------------------------------------------------------------------
+// ssse3 — 16 bytes per step via PSHUFB. Compiled with a function-level
+// target attribute so the rest of the binary stays baseline x86-64; only
+// selected when the CPU reports SSSE3.
+// ---------------------------------------------------------------------
+
+__attribute__((target("ssse3"))) void mul_slice_ssse3(std::uint8_t c,
+                                                      const std::uint8_t* src,
+                                                      std::uint8_t* dst,
+                                                      std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const SplitTables& t = split();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i p =
+        _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p);
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+__attribute__((target("ssse3"))) void mul_add_slice_ssse3(
+    std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+    std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_slice_portable64(src, dst, n);
+    return;
+  }
+  const SplitTables& t = split();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i p =
+        _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, p));
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_add_multi_ssse3(const std::uint8_t* coeffs,
+                         const std::uint8_t* const* srcs, std::size_t num_srcs,
+                         std::uint8_t* dst, std::size_t n, bool accumulate) {
+  mul_add_multi_blocked(mul_slice_ssse3, mul_add_slice_ssse3, coeffs, srcs,
+                        num_srcs, dst, n, accumulate);
+}
+
+// ---------------------------------------------------------------------
+// avx2 — 32 bytes per step via VPSHUFB, the 16-byte table broadcast to both
+// lanes (VPSHUFB shuffles within each 128-bit lane, which is exactly the
+// nibble-table access pattern).
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void xor_slice_avx2(const std::uint8_t* src,
+                                                    std::uint8_t* dst,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+__attribute__((target("avx2"))) void mul_slice_avx2(std::uint8_t c,
+                                                    const std::uint8_t* src,
+                                                    std::uint8_t* dst,
+                                                    std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const SplitTables& t = split();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    const __m256i p = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                       _mm256_shuffle_epi8(thi, hi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), p);
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+__attribute__((target("avx2"))) void mul_add_slice_avx2(
+    std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+    std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_slice_avx2(src, dst, n);
+    return;
+  }
+  const SplitTables& t = split();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    const __m256i p = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                       _mm256_shuffle_epi8(thi, hi));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_add_multi_avx2(const std::uint8_t* coeffs,
+                        const std::uint8_t* const* srcs, std::size_t num_srcs,
+                        std::uint8_t* dst, std::size_t n, bool accumulate) {
+  mul_add_multi_blocked(mul_slice_avx2, mul_add_slice_avx2, coeffs, srcs,
+                        num_srcs, dst, n, accumulate);
+}
+
+#endif  // FABEC_GF_X86
+
+#ifdef FABEC_GF_NEON
+
+// ---------------------------------------------------------------------
+// neon — 16 bytes per step via TBL (AArch64 vqtbl1q_u8).
+// ---------------------------------------------------------------------
+
+void xor_slice_neon(const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_slice_neon(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const SplitTables& t = split();
+  const uint8x16_t tlo = vld1q_u8(t.lo[c]);
+  const uint8x16_t thi = vld1q_u8(t.hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(src + i);
+    const uint8x16_t p = veorq_u8(vqtbl1q_u8(tlo, vandq_u8(v, mask)),
+                                  vqtbl1q_u8(thi, vshrq_n_u8(v, 4)));
+    vst1q_u8(dst + i, p);
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_add_slice_neon(std::uint8_t c, const std::uint8_t* src,
+                        std::uint8_t* dst, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_slice_neon(src, dst, n);
+    return;
+  }
+  const SplitTables& t = split();
+  const uint8x16_t tlo = vld1q_u8(t.lo[c]);
+  const uint8x16_t thi = vld1q_u8(t.hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(src + i);
+    const uint8x16_t p = veorq_u8(vqtbl1q_u8(tlo, vandq_u8(v, mask)),
+                                  vqtbl1q_u8(thi, vshrq_n_u8(v, 4)));
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), p));
+  }
+  const std::uint8_t* row = detail::product_row(c);
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_add_multi_neon(const std::uint8_t* coeffs,
+                        const std::uint8_t* const* srcs, std::size_t num_srcs,
+                        std::uint8_t* dst, std::size_t n, bool accumulate) {
+  mul_add_multi_blocked(mul_slice_neon, mul_add_slice_neon, coeffs, srcs,
+                        num_srcs, dst, n, accumulate);
+}
+
+#endif  // FABEC_GF_NEON
+
+// ---------------------------------------------------------------------
+// Registry and dispatch.
+// ---------------------------------------------------------------------
+
+constexpr Kernels kScalar = {"scalar",          mul_slice_scalar,
+                             mul_add_slice_scalar, xor_slice_scalar,
+                             mul_add_multi_scalar};
+
+constexpr Kernels kPortable64 = {"portable64",          mul_slice_portable64,
+                                 mul_add_slice_portable64,
+                                 xor_slice_portable64,  mul_add_multi_portable64};
+
+#ifdef FABEC_GF_X86
+constexpr Kernels kSsse3 = {"ssse3",          mul_slice_ssse3,
+                            mul_add_slice_ssse3, xor_slice_portable64,
+                            mul_add_multi_ssse3};
+
+constexpr Kernels kAvx2 = {"avx2",          mul_slice_avx2, mul_add_slice_avx2,
+                           xor_slice_avx2,  mul_add_multi_avx2};
+#endif
+
+#ifdef FABEC_GF_NEON
+constexpr Kernels kNeon = {"neon",        mul_slice_neon, mul_add_slice_neon,
+                           xor_slice_neon, mul_add_multi_neon};
+#endif
+
+std::vector<const Kernels*> detect_compiled() {
+  // Ordered worst-to-best; dispatch takes the back.
+  std::vector<const Kernels*> v{&kScalar, &kPortable64};
+#ifdef FABEC_GF_X86
+  if (__builtin_cpu_supports("ssse3")) v.push_back(&kSsse3);
+  if (__builtin_cpu_supports("avx2")) v.push_back(&kAvx2);
+#endif
+#ifdef FABEC_GF_NEON
+  v.push_back(&kNeon);
+#endif
+  return v;
+}
+
+const Kernels* select() {
+  const auto& all = compiled_kernels();
+  if (const char* env = std::getenv("FABEC_GF_KERNEL")) {
+    for (const Kernels* k : all)
+      if (std::strcmp(k->name, env) == 0) return k;
+    // Unknown or unsupported name: fall through to the best variant.
+  }
+  return all.back();
+}
+
+}  // namespace
+
+const std::vector<const Kernels*>& compiled_kernels() {
+  static const std::vector<const Kernels*> all = detect_compiled();
+  return all;
+}
+
+const Kernels& kernels() {
+  static const Kernels& chosen = *select();
+  return chosen;
+}
+
+const Kernels& scalar_kernels() { return kScalar; }
+
+}  // namespace fabec::gf

@@ -283,5 +283,131 @@ TEST(CodecTest, FindCorruptedEnablesContentRecovery) {
   EXPECT_EQ(codec.decode(survivors), stripe);
 }
 
+// ---------------------------------------------------------------------
+// Allocation-free span API.
+// ---------------------------------------------------------------------
+
+std::vector<ShardView> views_of(const std::vector<Shard>& shards) {
+  std::vector<ShardView> views;
+  for (const Shard& s : shards) views.push_back(view_of(s));
+  return views;
+}
+
+TEST(CodecSpanApiTest, EncodeParityMatchesOwningEncode) {
+  Rng rng(20);
+  Codec codec(5, 8);
+  const auto stripe = random_stripe(5, rng);
+  const auto encoded = codec.encode(stripe);
+
+  std::vector<ConstByteSpan> data(stripe.begin(), stripe.end());
+  std::vector<Block> parity(3, Block(kBlockSize, 0xEE));  // dirty buffers
+  std::vector<MutByteSpan> parity_views(parity.begin(), parity.end());
+  codec.encode_parity(data, parity_views);
+  for (std::uint32_t r = 0; r < 3; ++r) EXPECT_EQ(parity[r], encoded[5 + r]);
+}
+
+TEST(CodecSpanApiTest, DecodeIntoMatchesOwningDecodeForEverySubset) {
+  Rng rng(21);
+  Codec codec(3, 5);
+  const auto stripe = random_stripe(3, rng);
+  const auto encoded = codec.encode(stripe);
+  std::vector<std::uint32_t> indices(5);
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<bool> pick(5, false);
+  std::fill(pick.begin(), pick.begin() + 3, true);
+  do {
+    std::vector<Shard> shards;
+    for (std::uint32_t i = 0; i < 5; ++i)
+      if (pick[i]) shards.push_back({i, encoded[i]});
+    const auto views = views_of(shards);
+    std::vector<Block> out(3, Block(kBlockSize, 0xEE));
+    std::vector<MutByteSpan> out_views(out.begin(), out.end());
+    codec.decode_into(views, out_views);
+    EXPECT_EQ(out, stripe);
+    EXPECT_EQ(codec.decode_blocks(views), stripe);
+  } while (std::prev_permutation(pick.begin(), pick.end()));
+}
+
+TEST(CodecSpanApiTest, TryDataViewsZeroCopyWhenAllDataPresent) {
+  Rng rng(22);
+  Codec codec(3, 5);
+  const auto stripe = random_stripe(3, rng);
+  const auto encoded = codec.encode(stripe);
+  // Data shards present (in scrambled order, with a parity shard mixed in).
+  std::vector<Shard> shards = {{4, encoded[4]},
+                               {2, encoded[2]},
+                               {0, encoded[0]},
+                               {1, encoded[1]}};
+  std::vector<ConstByteSpan> views(3);
+  ASSERT_TRUE(codec.try_data_views(views_of(shards), views));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    // The view aliases the shard's storage — no bytes were copied.
+    const Shard* owner = nullptr;
+    for (const Shard& s : shards)
+      if (s.index == i) owner = &s;
+    ASSERT_NE(owner, nullptr);
+    EXPECT_EQ(views[i].data(), owner->block.data());
+    EXPECT_EQ(Block(views[i].begin(), views[i].end()), stripe[i]);
+  }
+  // Missing one data shard: no view set is possible.
+  shards.erase(shards.begin() + 2);  // drop index 0
+  EXPECT_FALSE(codec.try_data_views(views_of(shards), views));
+}
+
+TEST(CodecSpanApiTest, DecodeMatrixCacheHitsRepeatedFailurePattern) {
+  Rng rng(23);
+  Codec codec(5, 8);
+  const auto stripe = random_stripe(5, rng);
+  const auto encoded = codec.encode(stripe);
+  EXPECT_EQ(codec.cached_inversions(), 0u);
+
+  // Degraded read: data shards 0 and 1 lost, parity 5 and 6 substituted.
+  std::vector<Shard> shards;
+  for (std::uint32_t i : {2u, 3u, 4u, 5u, 6u}) shards.push_back({i, encoded[i]});
+  EXPECT_EQ(codec.decode(shards), stripe);
+  EXPECT_EQ(codec.cached_inversions(), 1u);
+  // Same failure pattern again: served from the cache (still one entry),
+  // still correct.
+  EXPECT_EQ(codec.decode(shards), stripe);
+  EXPECT_EQ(codec.cached_inversions(), 1u);
+
+  // A different pattern adds a second entry.
+  std::vector<Shard> other;
+  for (std::uint32_t i : {0u, 1u, 2u, 3u, 7u}) other.push_back({i, encoded[i]});
+  EXPECT_EQ(codec.decode(other), stripe);
+  EXPECT_EQ(codec.cached_inversions(), 2u);
+
+  // The all-data fast path never touches the cache.
+  std::vector<Shard> all_data;
+  for (std::uint32_t i = 0; i < 5; ++i) all_data.push_back({i, encoded[i]});
+  EXPECT_EQ(codec.decode(all_data), stripe);
+  EXPECT_EQ(codec.cached_inversions(), 2u);
+}
+
+TEST(CodecSpanApiTest, DecodeIntoOddBlockSizesAndUnalignedViews) {
+  // Vector-tail coverage at the codec level: block sizes that are not
+  // multiples of any vector width, with shard views at odd offsets into a
+  // shared arena.
+  Rng rng(24);
+  Codec codec(3, 5);
+  for (std::size_t block_size : {1u, 13u, 31u, 100u, 257u}) {
+    std::vector<Block> stripe;
+    for (int i = 0; i < 3; ++i) stripe.push_back(random_block(rng, block_size));
+    const auto encoded = codec.encode(stripe);
+    // Pack shards 1,2,4 back-to-back at offset 1 so every view is misaligned.
+    std::vector<std::uint8_t> arena(1 + 3 * block_size);
+    const std::uint32_t picked[] = {1, 2, 4};
+    std::vector<ShardView> views;
+    for (int s = 0; s < 3; ++s) {
+      std::copy(encoded[picked[s]].begin(), encoded[picked[s]].end(),
+                arena.begin() + 1 + s * block_size);
+      views.push_back(ShardView{
+          picked[s],
+          ConstByteSpan(arena.data() + 1 + s * block_size, block_size)});
+    }
+    EXPECT_EQ(codec.decode_blocks(views), stripe) << "bs=" << block_size;
+  }
+}
+
 }  // namespace
 }  // namespace fabec::erasure
