@@ -44,8 +44,10 @@ Ls97Cluster::Ls97Cluster(Ls97Config config, std::uint64_t seed)
   });
   for (ProcessId p = 0; p < config_.n; ++p) {
     procs_.set_on_crash(p, [this, p] {
-      for (auto& [op, rpc] : bricks_[p]->pending)
+      for (auto& [op, rpc] : bricks_[p]->pending) {
         sim_.cancel(rpc.retransmit_timer);
+        if (rpc.deadline_armed) sim_.cancel(rpc.deadline_timer);
+      }
       bricks_[p]->pending.clear();
       bricks_[p]->reply_cache.clear();
     });
@@ -119,13 +121,21 @@ void Ls97Cluster::deliver(ProcessId from, ProcessId to, Ls97Envelope env) {
 std::uint64_t Ls97Cluster::start_rpc(
     ProcessId coord,
     std::function<Ls97Message(ProcessId, std::uint64_t)> make_request,
-    std::function<void(std::vector<std::optional<Ls97Message>>&)> done) {
+    std::function<void(std::vector<std::optional<Ls97Message>>&, bool)>
+        done) {
   const std::uint64_t op = next_op_++;
   Rpc rpc;
   rpc.make_request = std::move(make_request);
   rpc.replies.resize(config_.n);
+  rpc.next_period = config_.retransmit_period;
   rpc.on_complete = std::move(done);
-  bricks_[coord]->pending.emplace(op, std::move(rpc));
+  auto& placed = bricks_[coord]->pending.emplace(op, std::move(rpc))
+                     .first->second;
+  if (config_.op_deadline > 0) {
+    placed.deadline_armed = true;
+    placed.deadline_timer = sim_.schedule_after(
+        config_.op_deadline, [this, coord, op] { timeout_rpc(coord, op); });
+  }
   transmit_round(coord, op);
   arm_retransmit(coord, op);
   return op;
@@ -142,23 +152,47 @@ void Ls97Cluster::transmit_round(ProcessId coord, std::uint64_t op) {
 void Ls97Cluster::arm_retransmit(ProcessId coord, std::uint64_t op) {
   auto it = bricks_[coord]->pending.find(op);
   if (it == bricks_[coord]->pending.end()) return;
-  it->second.retransmit_timer =
-      sim_.schedule_after(config_.retransmit_period, [this, coord, op] {
-        auto it2 = bricks_[coord]->pending.find(op);
-        if (it2 == bricks_[coord]->pending.end() || it2->second.finalizing)
-          return;
-        transmit_round(coord, op);
-        arm_retransmit(coord, op);
-      });
+  sim::Duration delay = it->second.next_period;
+  if (config_.retransmit_jitter > 0) {
+    const double u = 2.0 * sim_.rng().next_double() - 1.0;
+    delay += static_cast<sim::Duration>(
+        u * config_.retransmit_jitter * static_cast<double>(delay));
+    if (delay < 1) delay = 1;
+  }
+  it->second.retransmit_timer = sim_.schedule_after(delay, [this, coord, op] {
+    auto it2 = bricks_[coord]->pending.find(op);
+    if (it2 == bricks_[coord]->pending.end() || it2->second.finalizing)
+      return;
+    transmit_round(coord, op);
+    const double factor = std::max(1.0, config_.retransmit_backoff);
+    const sim::Duration cap = config_.retransmit_max_period > 0
+                                  ? config_.retransmit_max_period
+                                  : 4 * config_.retransmit_period;
+    const auto next = static_cast<sim::Duration>(
+        static_cast<double>(it2->second.next_period) * factor);
+    it2->second.next_period = std::min(cap, std::max<sim::Duration>(next, 1));
+    arm_retransmit(coord, op);
+  });
 }
 
 void Ls97Cluster::finalize_rpc(ProcessId coord, std::uint64_t op) {
   auto it = bricks_[coord]->pending.find(op);
   if (it == bricks_[coord]->pending.end()) return;
   sim_.cancel(it->second.retransmit_timer);
+  if (it->second.deadline_armed) sim_.cancel(it->second.deadline_timer);
   Rpc rpc = std::move(it->second);
   bricks_[coord]->pending.erase(it);
-  rpc.on_complete(rpc.replies);
+  rpc.on_complete(rpc.replies, /*timed_out=*/false);
+}
+
+void Ls97Cluster::timeout_rpc(ProcessId coord, std::uint64_t op) {
+  auto it = bricks_[coord]->pending.find(op);
+  if (it == bricks_[coord]->pending.end() || it->second.finalizing) return;
+  ++op_timeouts_;
+  sim_.cancel(it->second.retransmit_timer);
+  Rpc rpc = std::move(it->second);
+  bricks_[coord]->pending.erase(it);
+  rpc.on_complete(rpc.replies, /*timed_out=*/true);
 }
 
 void Ls97Cluster::read(ProcessId coord, RegisterId reg,
@@ -169,7 +203,12 @@ void Ls97Cluster::read(ProcessId coord, RegisterId reg,
       [reg](ProcessId, std::uint64_t op) -> Ls97Message {
         return QueryReq{reg, op, /*want_value=*/true};
       },
-      [this, coord, reg, done = std::move(done)](auto& replies) {
+      [this, coord, reg, done = std::move(done)](auto& replies,
+                                                 bool timed_out) {
+        if (timed_out) {
+          done(std::nullopt);  // majority unreachable within the deadline
+          return;
+        }
         Timestamp best_ts = kLowTS;
         const Block* best = nullptr;
         for (const auto& r : replies) {
@@ -190,7 +229,14 @@ void Ls97Cluster::read(ProcessId coord, RegisterId reg,
             [reg, best_ts, value](ProcessId, std::uint64_t op) -> Ls97Message {
               return PutReq{reg, op, best_ts, *value};
             },
-            [value, done](auto&) { done(*value); });
+            [value, done](auto&, bool write_back_timed_out) {
+              // An incomplete write-back cannot guarantee later reads see
+              // this value: the read is ⊥, like any other abort.
+              if (write_back_timed_out)
+                done(std::nullopt);
+              else
+                done(*value);
+            });
       });
 }
 
@@ -203,7 +249,12 @@ void Ls97Cluster::write(ProcessId coord, RegisterId reg, Block block,
       [reg](ProcessId, std::uint64_t op) -> Ls97Message {
         return QueryReq{reg, op, /*want_value=*/false};
       },
-      [this, coord, reg, value, done = std::move(done)](auto& replies) {
+      [this, coord, reg, value, done = std::move(done)](auto& replies,
+                                                        bool timed_out) {
+        if (timed_out) {
+          done(false);
+          return;
+        }
         Timestamp max_ts = kLowTS;
         for (const auto& r : replies) {
           if (!r.has_value()) continue;
@@ -221,7 +272,7 @@ void Ls97Cluster::write(ProcessId coord, RegisterId reg, Block block,
             [reg, ts, value](ProcessId, std::uint64_t op) -> Ls97Message {
               return PutReq{reg, op, ts, *value};
             },
-            [done](auto&) { done(true); });
+            [done](auto&, bool store_timed_out) { done(!store_timed_out); });
       });
 }
 

@@ -73,6 +73,14 @@ struct Ls97Config {
   std::size_t block_size = 1024;
   sim::NetworkConfig net;
   sim::Duration retransmit_period = sim::milliseconds(10);
+  /// Retransmit liveness knobs, mirroring core::Coordinator::Options:
+  /// exponential backoff (cap 0 = 4 * retransmit_period) with deterministic
+  /// jitter, and an optional per-phase deadline (0 = wait forever) that
+  /// fails the operation with ⊥ instead of hanging on a lost majority.
+  double retransmit_backoff = 2.0;
+  sim::Duration retransmit_max_period = 0;
+  double retransmit_jitter = 0.1;
+  sim::Duration op_deadline = 0;
 };
 
 class Ls97Cluster {
@@ -103,6 +111,8 @@ class Ls97Cluster {
 
   storage::DiskStats total_io() const;
   void reset_io_stats();
+  /// Phases ended by Ls97Config::op_deadline.
+  std::uint64_t op_timeouts() const { return op_timeouts_; }
 
  private:
   struct Stored {
@@ -116,7 +126,12 @@ class Ls97Cluster {
     std::uint32_t distinct = 0;
     bool finalizing = false;
     sim::EventId retransmit_timer{};
-    std::function<void(std::vector<std::optional<Ls97Message>>&)> on_complete;
+    sim::Duration next_period = 0;
+    bool deadline_armed = false;
+    sim::EventId deadline_timer{};
+    /// timed_out=true: the phase's deadline expired short of a majority.
+    std::function<void(std::vector<std::optional<Ls97Message>>&, bool)>
+        on_complete;
   };
 
   struct Brick {
@@ -130,10 +145,12 @@ class Ls97Cluster {
   std::uint64_t start_rpc(
       ProcessId coord,
       std::function<Ls97Message(ProcessId, std::uint64_t)> make_request,
-      std::function<void(std::vector<std::optional<Ls97Message>>&)> done);
+      std::function<void(std::vector<std::optional<Ls97Message>>&, bool)>
+          done);
   void transmit_round(ProcessId coord, std::uint64_t op);
   void arm_retransmit(ProcessId coord, std::uint64_t op);
   void finalize_rpc(ProcessId coord, std::uint64_t op);
+  void timeout_rpc(ProcessId coord, std::uint64_t op);
   void deliver(ProcessId from, ProcessId to, Ls97Envelope envelope);
   Ls97Message handle_request(ProcessId self, const Ls97Message& request);
   Stored& stored(ProcessId self, RegisterId reg);
@@ -144,6 +161,7 @@ class Ls97Cluster {
   sim::ProcessSet procs_;
   std::vector<std::unique_ptr<Brick>> bricks_;
   std::uint64_t next_op_ = 1;  // global: op ids unique across coordinators
+  std::uint64_t op_timeouts_ = 0;
 };
 
 }  // namespace fabec::baseline

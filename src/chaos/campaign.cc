@@ -1,5 +1,6 @@
 #include "chaos/campaign.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -15,11 +16,28 @@ namespace fabec::chaos {
 
 namespace {
 
+/// The shape of one register operation; a retried attempt re-dispatches the
+/// same kind against a freshly picked coordinator.
+enum class OpKind {
+  kWriteStripe,
+  kWriteBlocks,
+  kWriteBlock,
+  kReadStripe,
+  kReadBlocks,
+  kReadBlock,
+};
+
 /// One in-flight register operation and its projections onto the per-block
 /// histories it touches (a stripe operation projects onto all m blocks).
 struct OpRecord {
   ProcessId coord = 0;
   bool done = false;
+  OpKind kind = OpKind::kReadBlock;
+  StripeId stripe = 0;
+  BlockIndex j = 0;
+  std::uint32_t attempts_left = 0;  ///< retries remaining after this attempt
+  sim::Duration backoff = 0;        ///< delay before the next retry
+  sim::Time issued_at = 0;
   std::vector<std::pair<hist::History*, hist::History::OpRef>> parts;
 };
 
@@ -37,6 +55,7 @@ class CampaignRunner {
     cluster_cfg.total_bricks = cfg_.total_bricks;
     cluster_cfg.block_size = cfg_.block_size;
     cluster_cfg.coordinator.delta_block_writes = cfg_.delta_block_writes;
+    cluster_cfg.coordinator.op_deadline = cfg_.op_deadline;
     // Seed-derived retransmission period: varying the timer relative to the
     // (skewed) clocks shifts every retransmission interleaving between
     // campaigns. Kept well above the round trip so failure-free phases
@@ -144,45 +163,109 @@ class CampaignRunner {
   }
 
   void issue(const fab::WorkloadOp& wop) {
+    const StripeId stripe = layout_.stripe_of(wop.lba);
+    const BlockIndex j = layout_.index_of(wop.lba);
+    const bool wide = cfg_.m >= 2 && rng_.chance(cfg_.wide_op_fraction);
+    const bool whole_stripe = wide && rng_.chance(0.5);
+    OpKind kind;
+    if (wop.is_write)
+      kind = whole_stripe ? OpKind::kWriteStripe
+                          : (wide ? OpKind::kWriteBlocks : OpKind::kWriteBlock);
+    else
+      kind = whole_stripe ? OpKind::kReadStripe
+                          : (wide ? OpKind::kReadBlocks : OpKind::kReadBlock);
+    dispatch(kind, stripe, j, cfg_.client_retries, cfg_.retry_backoff);
+  }
+
+  /// Issues one attempt. The retry budget and the backoff it would use on
+  /// the next attempt travel with the record.
+  void dispatch(OpKind kind, StripeId stripe, BlockIndex j,
+                std::uint32_t attempts_left, sim::Duration backoff) {
     const ProcessId coord = pick_coordinator();
     if (coord == kNoProcess) {
       ++result_.ops_skipped;
       return;
     }
     ++result_.ops_issued;
-    const StripeId stripe = layout_.stripe_of(wop.lba);
-    const BlockIndex j = layout_.index_of(wop.lba);
     auto record = std::make_shared<OpRecord>();
     record->coord = coord;
+    record->kind = kind;
+    record->stripe = stripe;
+    record->j = j;
+    record->attempts_left = attempts_left;
+    record->backoff = backoff;
+    record->issued_at = cluster_->simulator().now();
     ops_.push_back(record);
 
-    const bool wide = cfg_.m >= 2 && rng_.chance(cfg_.wide_op_fraction);
-    const bool whole_stripe = wide && rng_.chance(0.5);
-    if (wop.is_write) {
-      if (whole_stripe)
+    switch (kind) {
+      case OpKind::kWriteStripe:
         issue_write_stripe(coord, stripe, record);
-      else if (wide)
+        break;
+      case OpKind::kWriteBlocks:
         issue_write_blocks(coord, stripe, j, record);
-      else
+        break;
+      case OpKind::kWriteBlock:
         issue_write_block(coord, stripe, j, record);
-    } else {
-      if (whole_stripe)
+        break;
+      case OpKind::kReadStripe:
         issue_read_stripe(coord, stripe, record);
-      else if (wide)
+        break;
+      case OpKind::kReadBlocks:
         issue_read_blocks(coord, stripe, j, record);
-      else
+        break;
+      case OpKind::kReadBlock:
         issue_read_block(coord, stripe, j, record);
+        break;
     }
+  }
+
+  void note_latency(const OpRecord& record) {
+    const sim::Duration took = cluster_->simulator().now() - record.issued_at;
+    result_.max_attempt_latency =
+        std::max(result_.max_attempt_latency, took);
+  }
+
+  /// Abort-only (§5.1): the client retries ⊥ with capped, jittered,
+  /// doubling backoff. Each reissue is a fresh history operation against a
+  /// freshly picked coordinator — exactly how a FAB client behaves.
+  void maybe_retry(const OpRecord& record) {
+    if (record.attempts_left == 0) return;
+    ++result_.ops_retried;
+    const sim::Duration b = std::max<sim::Duration>(record.backoff, 2);
+    const sim::Duration delay =
+        b / 2 + static_cast<sim::Duration>(
+                    rng_.next_below(static_cast<std::uint64_t>(b / 2 + 1)));
+    const sim::Duration next =
+        std::min<sim::Duration>(8 * std::max<sim::Duration>(
+                                        cfg_.retry_backoff, 1),
+                                2 * b);
+    cluster_->simulator().schedule_after(
+        delay, [this, kind = record.kind, stripe = record.stripe,
+                j = record.j, attempts = record.attempts_left - 1, next] {
+          dispatch(kind, stripe, j, attempts, next);
+        });
   }
 
   // --- writes -----------------------------------------------------------
 
-  void finish_write(const std::shared_ptr<OpRecord>& record, bool ok) {
+  void finish_write(const std::shared_ptr<OpRecord>& record,
+                    core::Coordinator::WriteOutcome outcome) {
     if (record->done) return;
     record->done = true;
-    ++(ok ? result_.ops_ok : result_.ops_aborted);
+    note_latency(*record);
+    // Both aborts and timeouts enter the history as indeterminate writes
+    // (the oracle lets them take effect or not); they differ only in
+    // accounting and in whether the client retries.
     const std::uint64_t s = seq();
-    for (auto& [h, ref] : record->parts) h->end_write(ref, s, ok);
+    for (auto& [h, ref] : record->parts) h->end_write(ref, s, outcome.ok());
+    if (outcome.ok()) {
+      ++result_.ops_ok;
+    } else if (outcome.error() == core::OpError::kTimeout) {
+      ++result_.ops_timed_out;
+    } else {
+      ++result_.ops_aborted;
+      maybe_retry(*record);
+    }
   }
 
   void issue_write_stripe(ProcessId coord, StripeId stripe,
@@ -200,7 +283,10 @@ class CampaignRunner {
           {&history(stripe, b), history(stripe, b).begin_write(ids[b], s)});
     cluster_->coordinator(coord).write_stripe(
         stripe, std::move(data),
-        [this, record](bool ok) { finish_write(record, ok); });
+        core::Coordinator::WriteOutcomeCb(
+            [this, record](core::Coordinator::WriteOutcome w) {
+              finish_write(record, w);
+            }));
   }
 
   void issue_write_blocks(ProcessId coord, StripeId stripe, BlockIndex j,
@@ -221,7 +307,10 @@ class CampaignRunner {
                                history(stripe, js[i]).begin_write(ids[i], s)});
     cluster_->coordinator(coord).write_blocks(
         stripe, js, std::move(data),
-        [this, record](bool ok) { finish_write(record, ok); });
+        core::Coordinator::WriteOutcomeCb(
+            [this, record](core::Coordinator::WriteOutcome w) {
+              finish_write(record, w);
+            }));
   }
 
   void issue_write_block(ProcessId coord, StripeId stripe, BlockIndex j,
@@ -232,20 +321,31 @@ class CampaignRunner {
         {&history(stripe, j), history(stripe, j).begin_write(id, seq())});
     cluster_->coordinator(coord).write_block(
         stripe, j, std::move(blk),
-        [this, record](bool ok) { finish_write(record, ok); });
+        core::Coordinator::WriteOutcomeCb(
+            [this, record](core::Coordinator::WriteOutcome w) {
+              finish_write(record, w);
+            }));
   }
 
   // --- reads ------------------------------------------------------------
 
   void finish_read(const std::shared_ptr<OpRecord>& record,
-                   const core::Coordinator::StripeResult& result) {
+                   const core::Coordinator::StripeOutcome& result) {
     if (record->done) return;
     record->done = true;
-    ++(result.has_value() ? result_.ops_ok : result_.ops_aborted);
+    note_latency(*record);
+    if (result.ok()) {
+      ++result_.ops_ok;
+    } else if (result.error() == core::OpError::kTimeout) {
+      ++result_.ops_timed_out;
+    } else {
+      ++result_.ops_aborted;
+      maybe_retry(*record);
+    }
     const std::uint64_t s = seq();
     for (std::size_t i = 0; i < record->parts.size(); ++i) {
       auto& [h, ref] = record->parts[i];
-      if (!result.has_value()) {
+      if (!result.ok()) {
         h->end_read(ref, s, std::nullopt);
         continue;
       }
@@ -268,9 +368,10 @@ class CampaignRunner {
       record->parts.push_back(
           {&history(stripe, b), history(stripe, b).begin_read(s)});
     cluster_->coordinator(coord).read_stripe(
-        stripe, [this, record](core::Coordinator::StripeResult r) {
-          finish_read(record, r);
-        });
+        stripe, core::Coordinator::StripeOutcomeCb(
+                    [this, record](core::Coordinator::StripeOutcome r) {
+                      finish_read(record, r);
+                    }));
   }
 
   void issue_read_blocks(ProcessId coord, StripeId stripe, BlockIndex j,
@@ -283,9 +384,10 @@ class CampaignRunner {
       record->parts.push_back(
           {&history(stripe, b), history(stripe, b).begin_read(s)});
     cluster_->coordinator(coord).read_blocks(
-        stripe, js, [this, record](core::Coordinator::StripeResult r) {
-          finish_read(record, r);
-        });
+        stripe, js, core::Coordinator::StripeOutcomeCb(
+                        [this, record](core::Coordinator::StripeOutcome r) {
+                          finish_read(record, r);
+                        }));
   }
 
   void issue_read_block(ProcessId coord, StripeId stripe, BlockIndex j,
@@ -293,11 +395,17 @@ class CampaignRunner {
     record->parts.push_back(
         {&history(stripe, j), history(stripe, j).begin_read(seq())});
     cluster_->coordinator(coord).read_block(
-        stripe, j, [this, record](core::Coordinator::BlockResult r) {
-          core::Coordinator::StripeResult wrapped;
-          if (r.has_value()) wrapped.emplace(1, std::move(*r));
-          finish_read(record, wrapped);
-        });
+        stripe, j, core::Coordinator::BlockOutcomeCb(
+                       [this, record](core::Coordinator::BlockOutcome r) {
+                         if (r.ok()) {
+                           finish_read(record,
+                                       core::Coordinator::StripeOutcome(
+                                           std::vector<Block>{std::move(*r)}));
+                         } else {
+                           finish_read(record, core::Coordinator::StripeOutcome(
+                                                   r.error()));
+                         }
+                       }));
   }
 
   // --- verdict ----------------------------------------------------------
@@ -367,6 +475,12 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
      << config.nemesis.drop_ramps << " --jitter-ramps "
      << config.nemesis.jitter_ramps << " --midphase "
      << config.nemesis.mid_phase_crashes;
+  if (config.nemesis.quorum_blackouts != 0)
+    os << " --blackouts " << config.nemesis.quorum_blackouts;
+  if (config.op_deadline != 0)
+    os << " --deadline-us " << config.op_deadline / 1000;
+  if (config.client_retries != 0)
+    os << " --retries " << config.client_retries;
   if (config.delta_block_writes) os << " --delta-writes";
   os << " --verbose";
   return os.str();

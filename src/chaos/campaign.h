@@ -47,6 +47,19 @@ struct CampaignConfig {
   // Faults. nemesis.window is overridden to `window`.
   NemesisConfig nemesis;
 
+  /// Per-phase coordinator deadline (0 = wait forever, the paper's pure
+  /// asynchronous model). With a deadline every operation completes or
+  /// fails with OpError::kTimeout within bounded time even when the nemesis
+  /// denies a quorum; timeouts are recorded as indeterminate in the
+  /// histories, so the linearizability verdict is unaffected — deadlines
+  /// trade liveness, never safety.
+  sim::Duration op_deadline = 0;
+  /// Client-side retry budget for aborted (⊥, contention) operations; each
+  /// retry is a fresh history operation. Timeouts are never retried.
+  std::uint32_t client_retries = 0;
+  /// Initial retry backoff; doubles per attempt (capped at 8x), jittered.
+  sim::Duration retry_backoff = 2 * sim::kDefaultDelta;
+
   /// Per-brick clock offsets are drawn uniformly in [-skew, +skew]; skews
   /// both timestamp generation (§2.3 stays correct, abort rate changes)
   /// and, via the derived retransmission-period scaling, the quorum()
@@ -66,9 +79,15 @@ struct CampaignResult {
   // Operation outcomes.
   std::uint64_t ops_issued = 0;
   std::uint64_t ops_ok = 0;
-  std::uint64_t ops_aborted = 0;   ///< returned ⊥
+  std::uint64_t ops_aborted = 0;   ///< returned ⊥ (retry budget exhausted)
+  std::uint64_t ops_timed_out = 0; ///< op_deadline expired mid-phase
+  std::uint64_t ops_retried = 0;   ///< aborted attempts reissued by the client
   std::uint64_t ops_crashed = 0;   ///< coordinator crashed mid-operation
   std::uint64_t ops_skipped = 0;   ///< no live coordinator at arrival
+  /// Longest client-observed attempt latency (issue -> outcome). With
+  /// op_deadline set this is the bounded-completion witness: it must stay
+  /// within op_deadline plus scheduling slack.
+  sim::Duration max_attempt_latency = 0;
 
   NemesisStats faults;
   /// Human-readable generated fault schedule (FaultEvent::describe()), for

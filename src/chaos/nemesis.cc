@@ -57,6 +57,13 @@ std::string FaultEvent::describe() const {
       os << "crash brick " << victim
          << " when it starts a recovery (then down " << duration << "ns)";
       break;
+    case FaultKind::kQuorumBlackout: {
+      os << "blackout brick " << victim << " from {";
+      for (std::size_t i = 0; i < group.size(); ++i)
+        os << (i ? "," : "") << group[i];
+      os << "} for " << duration << "ns";
+      break;
+    }
   }
   return os.str();
 }
@@ -157,6 +164,29 @@ void Nemesis::generate(std::uint64_t seed) {
     e.duration =
         draw_duration(rng, sim::kDefaultDelta, config_.max_downtime);
     schedule_.push_back(std::move(e));
+  }
+
+  // Drawn last so that enabling blackouts (default 0) leaves every other
+  // class's draws — and hence pre-existing schedules — bit-identical.
+  {
+    const quorum::Config& qc = cluster_->quorum_config();
+    const std::uint32_t cut = std::min(bricks - 1, qc.n - qc.m + 1);
+    for (std::uint32_t i = 0; i < config_.quorum_blackouts; ++i) {
+      FaultEvent e;
+      e.at = draw_at();
+      e.kind = FaultKind::kQuorumBlackout;
+      e.victim = draw_victim();
+      std::vector<ProcessId> others;
+      others.reserve(bricks - 1);
+      for (ProcessId p = 0; p < bricks; ++p)
+        if (p != e.victim) others.push_back(p);
+      rng.shuffle(others);
+      e.group.assign(others.begin(),
+                     others.begin() + static_cast<std::ptrdiff_t>(cut));
+      e.duration =
+          draw_duration(rng, 2 * sim::kDefaultDelta, config_.max_partition_span);
+      schedule_.push_back(std::move(e));
+    }
   }
 
   std::stable_sort(schedule_.begin(), schedule_.end(),
@@ -294,6 +324,16 @@ void Nemesis::inject(const FaultEvent& e) {
                          [set_jitter, &e] { set_jitter(e.peak_jitter); });
       sim.schedule_after(e.duration, [set_jitter, baseline] {
         set_jitter(baseline);
+      });
+      break;
+    }
+
+    case FaultKind::kQuorumBlackout: {
+      ++stats_.quorum_blackouts;
+      for (ProcessId peer : e.group) net.block_link(e.victim, peer);
+      sim.schedule_after(e.duration, [this, &e] {
+        for (ProcessId peer : e.group)
+          cluster_->network().unblock_link(e.victim, peer);
       });
       break;
     }

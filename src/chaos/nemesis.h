@@ -51,6 +51,8 @@ enum class FaultKind {
   kJitterRamp,         ///< jitter ramps to `peak_jitter`, restores
   kMidPhaseCrash,      ///< crash victim at its `phases`-th phase start
   kRecoveryPhaseCrash, ///< crash victim when it starts a recovery
+  kQuorumBlackout,     ///< victim loses both-way links to `group` (n-m+1
+                       ///< bricks): no quorum can answer it for `duration`
 };
 
 struct FaultEvent {
@@ -77,6 +79,12 @@ struct NemesisConfig {
   std::uint32_t drop_ramps = 1;
   std::uint32_t jitter_ramps = 1;
   std::uint32_t mid_phase_crashes = 1;
+  /// Quorum blackouts: the victim coordinator keeps running but is cut off
+  /// from n-m+1 bricks, so no phase it starts can reach a quorum until the
+  /// links heal. Without an op deadline its operations hang (and retransmit)
+  /// for the whole blackout — the fault class op_deadline exists for.
+  /// Default 0 so pre-existing schedules are unchanged.
+  std::uint32_t quorum_blackouts = 0;
   /// Upper bounds for randomly drawn magnitudes.
   sim::Duration max_downtime = 40 * sim::kDefaultDelta;
   sim::Duration max_partition_span = 30 * sim::kDefaultDelta;
@@ -92,6 +100,7 @@ struct NemesisStats {
   std::uint64_t isolations = 0;
   std::uint64_t net_ramps = 0;
   std::uint64_t mid_phase_crashes = 0;
+  std::uint64_t quorum_blackouts = 0;
   std::uint64_t persistence_checks = 0;
   /// Bricks whose persistent fingerprint changed across a crash. Any
   /// nonzero value is a durability bug (ord-ts/log must survive crashes).

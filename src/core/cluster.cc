@@ -210,7 +210,12 @@ CoordinatorStats Cluster::total_coordinator_stats() const {
     total.slow_block_writes += s.slow_block_writes;
     total.aborts += s.aborts;
     total.gc_messages += s.gc_messages;
+    total.gc_rounds += s.gc_rounds;
     total.retransmit_rounds += s.retransmit_rounds;
+    total.op_timeouts += s.op_timeouts;
+    total.sends_suppressed += s.sends_suppressed;
+    total.suspect_probes += s.suspect_probes;
+    total.mismatched_replies += s.mismatched_replies;
   }
   return total;
 }

@@ -26,12 +26,15 @@ const Rep* as(const std::optional<Message>& msg) {
 }
 
 /// "status in all replies is true" over the replies actually received.
+/// on_reply's expected-kind filter guarantees every stored reply is of the
+/// phase's kind; skipping (rather than aborting the process on) a mismatch
+/// keeps an op-id collision harmless even if a future path stores one.
 template <typename Rep>
 bool all_status_true(const std::vector<std::optional<Message>>& replies) {
   for (const auto& r : replies) {
     if (!r.has_value()) continue;
     const Rep* rep = std::get_if<Rep>(&*r);
-    FABEC_CHECK_MSG(rep != nullptr, "reply of unexpected kind");
+    if (rep == nullptr) continue;
     if (!rep->status) return false;
   }
   return true;
@@ -57,27 +60,41 @@ Coordinator::Coordinator(ProcessId self, quorum::Config config,
               ts_source != nullptr);
   FABEC_CHECK(codec->m() == config.m && codec->n() == config.n);
   FABEC_CHECK(layout->group_size() == config.n);
+  missed_rounds_.assign(layout_->total_bricks(), 0);
+  // Incarnation nonce: every coordinator incarnation starts its op-id
+  // sequence at an independent random point, so a reply addressed to a
+  // pre-crash incarnation practically never matches a post-recovery phase.
+  // Ids stay monotonic within the incarnation; 0 is reserved (op-less Gc).
+  next_op_ = rng_.next_u64() | 1;
 }
 
 // ---------------------------------------------------------------------
 // quorum() machinery
 // ---------------------------------------------------------------------
 
-OpId Coordinator::start_rpc(
+OpId Coordinator::start_rpc_impl(
     std::vector<ProcessId> dests,
     std::function<Message(std::uint32_t, OpId)> make_request,
-    std::function<void(Replies&)> on_complete,
-    std::vector<std::uint32_t> wait_for) {
+    std::function<void(Replies&, bool)> on_complete,
+    std::size_t expected_kind, std::vector<std::uint32_t> wait_for) {
   FABEC_CHECK(dests.size() == config_.n);
   const OpId op = next_op_++;
   Rpc rpc;
   rpc.dests = std::move(dests);
   rpc.make_request = std::move(make_request);
   rpc.replies.resize(config_.n);
+  rpc.next_period = options_.retransmit_period;
+  rpc.expected_kind = expected_kind;
   rpc.wait_for = std::move(wait_for);
   rpc.on_complete = std::move(on_complete);
   pending_.emplace(op, std::move(rpc));
-  transmit_round(op);
+  if (options_.op_deadline > 0) {
+    Rpc& placed = pending_.find(op)->second;
+    placed.deadline_armed = true;
+    placed.deadline_timer = sim_->schedule_event(
+        options_.op_deadline, [this, op] { timeout_rpc(op); });
+  }
+  transmit_round(op, /*retransmit=*/false);
   arm_retransmit(op);
   // After the sends: the phase's first round is on the wire, so a probe
   // crashing us here leaves replicas holding requests whose coordinator is
@@ -87,31 +104,79 @@ OpId Coordinator::start_rpc(
   return op;
 }
 
-void Coordinator::transmit_round(OpId op) {
+void Coordinator::transmit_round(OpId op, bool retransmit) {
   auto it = pending_.find(op);
   if (it == pending_.end()) return;
-  for (std::uint32_t pos = 0; pos < config_.n; ++pos)
-    if (!it->second.replies[pos].has_value())
-      send_(it->second.dests[pos], it->second.make_request(pos, it->first));
+  for (std::uint32_t pos = 0; pos < config_.n; ++pos) {
+    if (it->second.replies[pos].has_value()) continue;
+    const ProcessId dest = it->second.dests[pos];
+    if (retransmit && options_.suspect_after > 0 &&
+        dest < missed_rounds_.size()) {
+      // A brick silent through suspect_after consecutive rounds is probably
+      // down or partitioned away; hammering it wastes bandwidth and, under
+      // backoff, delays nothing. Keep probing at a slower cadence so a
+      // recovered brick is re-admitted within one probe period.
+      const std::uint32_t missed = ++missed_rounds_[dest];
+      if (missed >= options_.suspect_after) {
+        const std::uint32_t probe_every =
+            std::max<std::uint32_t>(1, options_.suspect_probe_period);
+        if ((missed - options_.suspect_after) % probe_every != 0) {
+          ++stats_.sends_suppressed;
+          continue;
+        }
+        ++stats_.suspect_probes;
+      }
+    }
+    send_(dest, it->second.make_request(pos, it->first));
+  }
+}
+
+sim::Duration Coordinator::retransmit_cap() const {
+  return options_.retransmit_max_period > 0 ? options_.retransmit_max_period
+                                            : 4 * options_.retransmit_period;
 }
 
 void Coordinator::arm_retransmit(OpId op) {
   auto it = pending_.find(op);
   if (it == pending_.end()) return;
-  it->second.retransmit_timer =
-      sim_->schedule_event(options_.retransmit_period, [this, op] {
-        auto it2 = pending_.find(op);
-        if (it2 == pending_.end() || it2->second.finalizing) return;
-        ++stats_.retransmit_rounds;
-        transmit_round(op);
-        arm_retransmit(op);
-      });
+  sim::Duration delay = it->second.next_period;
+  if (options_.retransmit_jitter > 0) {
+    // Deterministic jitter from the forked RNG: delay *= 1 + j·u, u in
+    // [-1, 1). Same seed → same schedule; different coordinators → streams
+    // that cannot stay phase-locked.
+    const double u = 2.0 * rng_.next_double() - 1.0;
+    delay += static_cast<sim::Duration>(
+        u * options_.retransmit_jitter * static_cast<double>(delay));
+    if (delay < 1) delay = 1;
+  }
+  it->second.retransmit_timer = sim_->schedule_event(delay, [this, op] {
+    auto it2 = pending_.find(op);
+    if (it2 == pending_.end() || it2->second.finalizing) return;
+    ++stats_.retransmit_rounds;
+    transmit_round(op, /*retransmit=*/true);
+    const double factor = std::max(1.0, options_.retransmit_backoff);
+    const sim::Duration next = static_cast<sim::Duration>(
+        static_cast<double>(it2->second.next_period) * factor);
+    it2->second.next_period =
+        std::min(retransmit_cap(), std::max<sim::Duration>(next, 1));
+    arm_retransmit(op);
+  });
 }
 
 void Coordinator::on_reply(ProcessId from, const Message& reply) {
   auto it = pending_.find(op_of(reply));
   if (it == pending_.end()) return;  // late or pre-crash reply: ignore
   Rpc& rpc = it->second;
+  if (reply.index() != rpc.expected_kind) {
+    // An op-id collision (a reply meant for a previous incarnation of this
+    // coordinator, delayed in flight) answering a different message kind.
+    // Dropping it is always safe: at worst the real reply arrives later or
+    // the round retransmits.
+    ++stats_.mismatched_replies;
+    return;
+  }
+  // Any reply is proof of life: clear the sender's suspicion count.
+  if (from < missed_rounds_.size()) missed_rounds_[from] = 0;
   // Map the sender's global id back to its group position.
   std::uint32_t pos = config_.n;
   for (std::uint32_t candidate = 0; candidate < config_.n; ++candidate)
@@ -157,15 +222,30 @@ void Coordinator::finalize_rpc(OpId op) {
   auto it = pending_.find(op);
   if (it == pending_.end()) return;  // dropped by a crash in the meantime
   sim_->cancel_event(it->second.retransmit_timer);
+  if (it->second.deadline_armed) sim_->cancel_event(it->second.deadline_timer);
   Rpc rpc = std::move(it->second);
   pending_.erase(it);
-  rpc.on_complete(rpc.replies);
+  rpc.on_complete(rpc.replies, /*timed_out=*/false);
+}
+
+void Coordinator::timeout_rpc(OpId op) {
+  auto it = pending_.find(op);
+  // A phase that reached quorum at the same instant its deadline expired is
+  // already finalizing; the operation completed in time, so let it.
+  if (it == pending_.end() || it->second.finalizing) return;
+  ++stats_.op_timeouts;
+  sim_->cancel_event(it->second.retransmit_timer);
+  if (it->second.grace_armed) sim_->cancel_event(it->second.grace_timer);
+  Rpc rpc = std::move(it->second);
+  pending_.erase(it);
+  rpc.on_complete(rpc.replies, /*timed_out=*/true);
 }
 
 void Coordinator::drop_all_pending() {
   for (auto& [op, rpc] : pending_) {
     sim_->cancel_event(rpc.retransmit_timer);
     if (rpc.grace_armed) sim_->cancel_event(rpc.grace_timer);
+    if (rpc.deadline_armed) sim_->cancel_event(rpc.deadline_timer);
   }
   pending_.clear();
 }
@@ -174,42 +254,54 @@ void Coordinator::drop_all_pending() {
 // Algorithm 1 — whole-stripe operations
 // ---------------------------------------------------------------------
 
-void Coordinator::read_stripe(StripeId stripe, StripeCb done) {
+void Coordinator::read_stripe(StripeId stripe, StripeOutcomeCb done) {
   ++stats_.stripe_reads;
-  fast_read_stripe(stripe,
-                   [this, stripe, done = std::move(done)](StripeResult fast) {
-                     if (fast.has_value()) {
-                       ++stats_.fast_read_hits;
-                       done(std::move(fast));
-                       return;
-                     }
-                     recover(stripe, [this, done](StripeResult slow) {
-                       if (!slow.has_value()) ++stats_.aborts;
-                       done(std::move(slow));
-                     });
-                   });
+  fast_read_stripe(
+      stripe, [this, stripe, done = std::move(done)](StripeOutcome fast) {
+        if (fast.ok()) {
+          ++stats_.fast_read_hits;
+          done(std::move(fast));
+          return;
+        }
+        if (fast.error() == OpError::kTimeout) {
+          // The deadline bounds the whole operation: a timed-out fast
+          // round must not buy a second deadline's worth of recovery.
+          done(std::move(fast));
+          return;
+        }
+        recover(stripe, [this, done](StripeOutcome slow) {
+          if (!slow.ok() && slow.error() == OpError::kAborted)
+            ++stats_.aborts;
+          done(std::move(slow));
+        });
+      });
 }
 
-void Coordinator::fast_read_stripe(StripeId stripe, StripeCb done) {
+void Coordinator::fast_read_stripe(StripeId stripe, StripeOutcomeCb done) {
   // Line 6: pick m random processes as block targets.
   std::vector<ProcessId> ids(config_.n);
   std::iota(ids.begin(), ids.end(), 0);
   rng_.shuffle(ids);
   auto targets = std::make_shared<std::vector<ProcessId>>(
       ids.begin(), ids.begin() + config_.m);
-  start_rpc(
+  start_rpc<ReadRep>(
       layout_->group(stripe),
       [stripe, targets](std::uint32_t, OpId op) -> Message {
         return ReadReq{stripe, op, *targets};
       },
-      [this, targets, done = std::move(done)](Replies& replies) {
+      [this, targets, done = std::move(done)](Replies& replies,
+                                              bool timed_out) {
+        if (timed_out) {
+          done(OpError::kTimeout);
+          return;
+        }
         // Line 8: all statuses true, one common val-ts, all targets present.
         std::optional<Timestamp> val_ts;
         for (const auto& r : replies) {
           const ReadRep* rep = as<ReadRep>(r);
           if (rep == nullptr) continue;
           if (!rep->status || (val_ts.has_value() && *val_ts != rep->val_ts)) {
-            done(std::nullopt);
+            done(OpError::kAborted);
             return;
           }
           val_ts = rep->val_ts;
@@ -221,7 +313,7 @@ void Coordinator::fast_read_stripe(StripeId stripe, StripeCb done) {
         for (ProcessId t : *targets) {
           const ReadRep* rep = as<ReadRep>(replies[t]);
           if (rep == nullptr || !rep->block.has_value()) {
-            done(std::nullopt);
+            done(OpError::kAborted);
             return;
           }
           shards.push_back(erasure::ShardView{t, *rep->block});
@@ -235,27 +327,28 @@ struct Coordinator::RecoverState {
   StripeId stripe = 0;
   Timestamp ts;
   Timestamp bound;  ///< the paper's `max`, strictly decreasing per round
-  std::function<void(std::optional<std::vector<Block>>)> done;
+  StripeOutcomeCb done;
 };
 
-void Coordinator::recover(StripeId stripe, StripeCb done) {
+void Coordinator::recover(StripeId stripe, StripeOutcomeCb done) {
   ++stats_.recoveries_started;
   const Timestamp ts = ts_source_->next();
   auto state = std::make_shared<RecoverState>();
   state->stripe = stripe;
   state->ts = ts;
   state->bound = kHighTS;
-  state->done = [this, stripe, ts, done = std::move(done)](
-                    std::optional<std::vector<Block>> prev) {
-    if (!prev.has_value()) {
-      done(std::nullopt);
+  state->done = [this, stripe, ts,
+                 done = std::move(done)](StripeOutcome prev) {
+    if (!prev.ok()) {
+      done(std::move(prev));
       return;
     }
     // Lines 20-21: write the recovered value back under the new timestamp;
     // this is what rolls the partial write forward or back once and for all.
     auto value = std::make_shared<std::vector<Block>>(std::move(*prev));
-    store_stripe(stripe, value, ts, [value, done](bool ok) {
-      done(ok ? StripeResult(*value) : std::nullopt);
+    store_stripe(stripe, value, ts, [value, done](WriteOutcome stored) {
+      done(stored.ok() ? StripeOutcome(*value)
+                       : StripeOutcome(stored.error()));
     });
   };
   read_prev_stripe(std::move(state));
@@ -263,15 +356,19 @@ void Coordinator::recover(StripeId stripe, StripeCb done) {
 
 void Coordinator::read_prev_stripe(std::shared_ptr<RecoverState> state) {
   ++stats_.recovery_iterations;
-  start_rpc(
+  start_rpc<OrderReadRep>(
       layout_->group(state->stripe),
       [state](std::uint32_t, OpId op) -> Message {
         return OrderReadReq{state->stripe, op, kAllBlocks, state->bound,
                             state->ts};
       },
-      [this, state](Replies& replies) {
+      [this, state](Replies& replies, bool timed_out) {
+        if (timed_out) {
+          state->done(OpError::kTimeout);
+          return;
+        }
         if (!all_status_true<OrderReadRep>(replies)) {
-          state->done(std::nullopt);  // line 29: conflicting operation
+          state->done(OpError::kAborted);  // line 29: conflicting operation
           return;
         }
         // Lines 30-31: newest version timestamp among the replies, and the
@@ -294,7 +391,7 @@ void Coordinator::read_prev_stripe(std::shared_ptr<RecoverState> state) {
           // Fewer than m blocks even at LowTS: only possible if garbage
           // collection outpaced us, in which case a complete newer version
           // exists and a retry will find it. Abort rather than loop.
-          state->done(std::nullopt);
+          state->done(OpError::kAborted);
           return;
         }
         state->bound = max;  // descend strictly: max-below is exclusive
@@ -303,35 +400,42 @@ void Coordinator::read_prev_stripe(std::shared_ptr<RecoverState> state) {
 }
 
 void Coordinator::write_stripe(StripeId stripe, std::vector<Block> data,
-                               WriteCb done) {
+                               WriteOutcomeCb done) {
   ++stats_.stripe_writes;
   FABEC_CHECK_MSG(data.size() == config_.m,
                   "write_stripe takes exactly m data blocks");
   const Timestamp ts = ts_source_->next();
   auto shared_data = std::make_shared<std::vector<Block>>(std::move(data));
   // Phase 1 (lines 13-15): place the operation in the total order.
-  start_rpc(
+  start_rpc<OrderRep>(
       layout_->group(stripe),
       [stripe, ts](std::uint32_t, OpId op) -> Message {
         return OrderReq{stripe, op, ts};
       },
       [this, stripe, shared_data, ts, done = std::move(done)](
-          Replies& replies) {
-        if (!all_status_true<OrderRep>(replies)) {
-          ++stats_.aborts;
-          done(false);
+          Replies& replies, bool timed_out) {
+        if (timed_out) {
+          done(OpError::kTimeout);
           return;
         }
-        store_stripe(stripe, shared_data, ts, [this, done](bool ok) {
-          if (!ok) ++stats_.aborts;
-          done(ok);
-        });
+        if (!all_status_true<OrderRep>(replies)) {
+          ++stats_.aborts;
+          done(OpError::kAborted);
+          return;
+        }
+        store_stripe(stripe, shared_data, ts,
+                     [this, done](WriteOutcome stored) {
+                       if (!stored.ok() &&
+                           stored.error() == OpError::kAborted)
+                         ++stats_.aborts;
+                       done(std::move(stored));
+                     });
       });
 }
 
 void Coordinator::store_stripe(StripeId stripe,
                                std::shared_ptr<const std::vector<Block>> data,
-                               Timestamp ts, WriteCb done) {
+                               Timestamp ts, WriteOutcomeCb done) {
   // Lines 34-37. Each destination gets only its own block of the code word,
   // so the phase moves nB of payload (Table 1). Only the k parity blocks
   // are materialized here; the m data blocks ship straight out of `data`
@@ -344,21 +448,26 @@ void Coordinator::store_stripe(StripeId stripe,
   const std::vector<erasure::MutByteSpan> parity_views(parity->begin(),
                                                        parity->end());
   codec_->encode_parity(data_views, parity_views);
-  start_rpc(
+  start_rpc<WriteRep>(
       layout_->group(stripe),
       [stripe, ts, data, parity, m = config_.m](std::uint32_t pos,
                                                 OpId op) -> Message {
         return WriteReq{stripe, op, ts,
                         pos < m ? (*data)[pos] : (*parity)[pos - m]};
       },
-      [this, stripe, ts, done = std::move(done)](Replies& replies) {
+      [this, stripe, ts, done = std::move(done)](Replies& replies,
+                                                 bool timed_out) {
+        if (timed_out) {
+          done(OpError::kTimeout);
+          return;
+        }
         if (!all_status_true<WriteRep>(replies)) {
-          done(false);
+          done(OpError::kAborted);
           return;
         }
         // The write is complete on a full quorum: old versions may go (§5.1).
         maybe_send_gc(stripe, ts);
-        done(true);
+        done(Ack{});
       });
 }
 
@@ -366,15 +475,21 @@ void Coordinator::store_stripe(StripeId stripe,
 // Algorithm 3 — single-block operations
 // ---------------------------------------------------------------------
 
-void Coordinator::read_block(StripeId stripe, BlockIndex j, BlockCb done) {
+void Coordinator::read_block(StripeId stripe, BlockIndex j,
+                             BlockOutcomeCb done) {
   ++stats_.block_reads;
   FABEC_CHECK_MSG(j < config_.m, "read_block takes a data-block index");
-  start_rpc(
+  start_rpc<ReadRep>(
       layout_->group(stripe),
       [stripe, j](std::uint32_t, OpId op) -> Message {
         return ReadReq{stripe, op, {j}};
       },
-      [this, stripe, j, done = std::move(done)](Replies& replies) {
+      [this, stripe, j, done = std::move(done)](Replies& replies,
+                                                bool timed_out) {
+        if (timed_out) {
+          done(OpError::kTimeout);
+          return;
+        }
         // Lines 63-64: single-round success if no partial write is visible
         // anywhere and p_j returned its block.
         std::optional<Timestamp> val_ts;
@@ -395,10 +510,10 @@ void Coordinator::read_block(StripeId stripe, BlockIndex j, BlockCb done) {
           return;
         }
         // Lines 65-69: reconstruct via recovery and project block j.
-        recover(stripe, [this, j, done](StripeResult stripe_value) {
-          if (!stripe_value.has_value()) {
-            ++stats_.aborts;
-            done(std::nullopt);
+        recover(stripe, [this, j, done](StripeOutcome stripe_value) {
+          if (!stripe_value.ok()) {
+            if (stripe_value.error() == OpError::kAborted) ++stats_.aborts;
+            done(stripe_value.error());
             return;
           }
           done(std::move((*stripe_value)[j]));
@@ -408,63 +523,81 @@ void Coordinator::read_block(StripeId stripe, BlockIndex j, BlockCb done) {
 }
 
 void Coordinator::write_block(StripeId stripe, BlockIndex j, Block block,
-                              WriteCb done) {
+                              WriteOutcomeCb done) {
   ++stats_.block_writes;
   FABEC_CHECK_MSG(j < config_.m, "write_block takes a data-block index");
   const Timestamp ts = ts_source_->next();
-  auto shared_block = std::make_shared<Block>(std::move(block));
-  fast_write_block(stripe, j, *shared_block, ts,
+  // The payload is materialized exactly once; the fast and slow paths (and
+  // every per-destination request) serialize straight out of this buffer.
+  auto shared_block = std::make_shared<const Block>(std::move(block));
+  fast_write_block(stripe, j, shared_block, ts,
                    [this, stripe, j, shared_block, ts,
-                    done = std::move(done)](bool fast_ok) {
-                     if (fast_ok) {
+                    done = std::move(done)](WriteOutcome fast) {
+                     if (fast.ok()) {
                        ++stats_.fast_block_write_hits;
-                       done(true);
+                       done(std::move(fast));
                        return;
                      }
-                     slow_write_block(stripe, j, *shared_block, ts, done);
+                     if (fast.error() == OpError::kTimeout) {
+                       // Same deadline discipline as reads: no slow path
+                       // after a timed-out round.
+                       done(std::move(fast));
+                       return;
+                     }
+                     slow_write_block(stripe, j, shared_block, ts,
+                                      std::move(done));
                    });
 }
 
-void Coordinator::fast_write_block(StripeId stripe, BlockIndex j, Block block,
-                                   Timestamp ts, WriteCb done) {
-  auto shared_block = std::make_shared<Block>(std::move(block));
+void Coordinator::fast_write_block(StripeId stripe, BlockIndex j,
+                                   std::shared_ptr<const Block> block,
+                                   Timestamp ts, WriteOutcomeCb done) {
   // Lines 75-79: order the write and fetch p_j's current block + timestamp.
-  start_rpc(
+  start_rpc<OrderReadRep>(
       layout_->group(stripe),
       [stripe, j, ts](std::uint32_t, OpId op) -> Message {
         return OrderReadReq{stripe, op, j, kHighTS, ts};
       },
-      [this, stripe, j, shared_block, ts,
-       done = std::move(done)](Replies& replies) {
+      [this, stripe, j, block, ts, done = std::move(done)](Replies& replies,
+                                                           bool timed_out) {
+        if (timed_out) {
+          done(OpError::kTimeout);
+          return;
+        }
         const OrderReadRep* from_j = as<OrderReadRep>(replies[j]);
         if (!all_status_true<OrderReadRep>(replies) || from_j == nullptr ||
             !from_j->block.has_value()) {
-          done(false);
+          done(OpError::kAborted);
           return;
         }
         auto old_block = std::make_shared<Block>(*from_j->block);
         const Timestamp ts_j = from_j->lts;
-        auto on_modify_complete = [this, stripe, ts,
-                                   done](Replies& modify_replies) {
+        auto on_modify_complete = [this, stripe, ts, done](
+                                      Replies& modify_replies,
+                                      bool modify_timed_out) {
+          if (modify_timed_out) {
+            done(OpError::kTimeout);
+            return;
+          }
           if (!all_status_true<ModifyRep>(modify_replies)) {
-            done(false);
+            done(OpError::kAborted);
             return;
           }
           maybe_send_gc(stripe, ts);
-          done(true);
+          done(Ack{});
         };
         if (options_.delta_block_writes) {
           // §5.2 optimization: ship one delta block instead of (old, new)
           // pairs, and only to the processes that need a payload at all.
           auto delta = std::make_shared<Block>(*old_block);
-          xor_into(*delta, *shared_block);
-          start_rpc(
+          xor_into(*delta, *block);
+          start_rpc<ModifyRep>(
               layout_->group(stripe),
-              [this, stripe, j, delta, shared_block, ts_j,
+              [this, stripe, j, delta, block, ts_j,
                ts](std::uint32_t pos, OpId op) -> Message {
                 ModifyDeltaReq req{stripe, op, j, std::nullopt, ts_j, ts};
                 if (pos == j)
-                  req.block = *shared_block;
+                  req.block = *block;
                 else if (pos >= config_.m)
                   req.block = *delta;
                 return req;
@@ -474,42 +607,43 @@ void Coordinator::fast_write_block(StripeId stripe, BlockIndex j, Block block,
         }
         // Lines 80-82: apply the data write at p_j and the incremental
         // parity update everywhere else.
-        start_rpc(
+        start_rpc<ModifyRep>(
             layout_->group(stripe),
-            [stripe, j, old_block, shared_block, ts_j,
+            [stripe, j, old_block, block, ts_j,
              ts](std::uint32_t, OpId op) -> Message {
-              return ModifyReq{stripe,        op,   j, *old_block,
-                               *shared_block, ts_j, ts};
+              return ModifyReq{stripe, op, j, *old_block, *block, ts_j, ts};
             },
             std::move(on_modify_complete));
       },
       {j});
 }
 
-void Coordinator::slow_write_block(StripeId stripe, BlockIndex j, Block block,
-                                   Timestamp ts, WriteCb done) {
+void Coordinator::slow_write_block(StripeId stripe, BlockIndex j,
+                                   std::shared_ptr<const Block> block,
+                                   Timestamp ts, WriteOutcomeCb done) {
   ++stats_.slow_block_writes;
   ++stats_.recoveries_started;
   auto state = std::make_shared<RecoverState>();
   state->stripe = stripe;
   state->ts = ts;
   state->bound = kHighTS;
-  auto shared_block = std::make_shared<Block>(std::move(block));
   // Lines 84-87: reconstruct the previous stripe, substitute block j, and
   // write the whole stripe back under this operation's timestamp.
-  state->done = [this, stripe, j, shared_block, ts, done = std::move(done)](
-                    std::optional<std::vector<Block>> prev) {
-    if (!prev.has_value()) {
-      ++stats_.aborts;
-      done(false);
+  state->done = [this, stripe, j, block, ts,
+                 done = std::move(done)](StripeOutcome prev) {
+    if (!prev.ok()) {
+      if (prev.error() == OpError::kAborted) ++stats_.aborts;
+      done(prev.error());
       return;
     }
     auto value = std::make_shared<std::vector<Block>>(std::move(*prev));
-    (*value)[j] = *shared_block;
-    store_stripe(stripe, std::move(value), ts, [this, done](bool ok) {
-      if (!ok) ++stats_.aborts;
-      done(ok);
-    });
+    (*value)[j] = *block;
+    store_stripe(stripe, std::move(value), ts,
+                 [this, done](WriteOutcome stored) {
+                   if (!stored.ok() && stored.error() == OpError::kAborted)
+                     ++stats_.aborts;
+                   done(std::move(stored));
+                 });
   };
   read_prev_stripe(std::move(state));
 }
@@ -519,18 +653,23 @@ void Coordinator::slow_write_block(StripeId stripe, BlockIndex j, Block block,
 // ---------------------------------------------------------------------
 
 void Coordinator::read_blocks(StripeId stripe, std::vector<BlockIndex> js,
-                              StripeCb done) {
+                              StripeOutcomeCb done) {
   ++stats_.multi_block_reads;
   FABEC_CHECK(!js.empty());
   for (BlockIndex j : js) FABEC_CHECK_MSG(j < config_.m, "data indices only");
   auto shared_js = std::make_shared<std::vector<BlockIndex>>(std::move(js));
   std::vector<ProcessId> targets(shared_js->begin(), shared_js->end());
-  start_rpc(
+  start_rpc<ReadRep>(
       layout_->group(stripe),
       [stripe, targets](std::uint32_t, OpId op) -> Message {
         return ReadReq{stripe, op, targets};
       },
-      [this, stripe, shared_js, done = std::move(done)](Replies& replies) {
+      [this, stripe, shared_js, done = std::move(done)](Replies& replies,
+                                                        bool timed_out) {
+        if (timed_out) {
+          done(OpError::kTimeout);
+          return;
+        }
         std::optional<Timestamp> val_ts;
         bool consistent = true;
         for (const auto& r : replies) {
@@ -559,10 +698,10 @@ void Coordinator::read_blocks(StripeId stripe, std::vector<BlockIndex> js,
             return;
           }
         }
-        recover(stripe, [this, shared_js, done](StripeResult stripe_value) {
-          if (!stripe_value.has_value()) {
-            ++stats_.aborts;
-            done(std::nullopt);
+        recover(stripe, [this, shared_js, done](StripeOutcome stripe_value) {
+          if (!stripe_value.ok()) {
+            if (stripe_value.error() == OpError::kAborted) ++stats_.aborts;
+            done(stripe_value.error());
             return;
           }
           std::vector<Block> out;
@@ -575,7 +714,7 @@ void Coordinator::read_blocks(StripeId stripe, std::vector<BlockIndex> js,
 }
 
 void Coordinator::write_blocks(StripeId stripe, std::vector<BlockIndex> js,
-                               std::vector<Block> blocks, WriteCb done) {
+                               std::vector<Block> blocks, WriteOutcomeCb done) {
   ++stats_.multi_block_writes;
   FABEC_CHECK(!js.empty() && js.size() == blocks.size());
   for (std::size_t i = 0; i < js.size(); ++i) {
@@ -590,26 +729,36 @@ void Coordinator::write_blocks(StripeId stripe, std::vector<BlockIndex> js,
   fast_write_blocks(
       stripe, shared_js, shared_blocks, ts,
       [this, stripe, shared_js, shared_blocks, ts,
-       done = std::move(done)](bool fast_ok) {
-        if (fast_ok) {
+       done = std::move(done)](WriteOutcome fast) {
+        if (fast.ok()) {
           ++stats_.fast_block_write_hits;
-          done(true);
+          done(std::move(fast));
           return;
         }
-        slow_write_blocks(stripe, shared_js, shared_blocks, ts, done);
+        if (fast.error() == OpError::kTimeout) {
+          done(std::move(fast));
+          return;
+        }
+        slow_write_blocks(stripe, shared_js, shared_blocks, ts,
+                          std::move(done));
       });
 }
 
 void Coordinator::fast_write_blocks(
     StripeId stripe, std::shared_ptr<std::vector<BlockIndex>> js,
-    std::shared_ptr<std::vector<Block>> blocks, Timestamp ts, WriteCb done) {
-  start_rpc(
+    std::shared_ptr<std::vector<Block>> blocks, Timestamp ts,
+    WriteOutcomeCb done) {
+  start_rpc<OrderReadRep>(
       layout_->group(stripe),
       [stripe, js, ts](std::uint32_t, OpId op) -> Message {
         return MultiOrderReadReq{stripe, op, *js, ts};
       },
-      [this, stripe, js, blocks, ts,
-       done = std::move(done)](Replies& replies) {
+      [this, stripe, js, blocks, ts, done = std::move(done)](Replies& replies,
+                                                             bool timed_out) {
+        if (timed_out) {
+          done(OpError::kTimeout);
+          return;
+        }
         // Fast path needs: all statuses true, every updated process
         // answered with its block, and one common version across ALL
         // replicas (so the Modify precondition ts_j = max-ts holds
@@ -619,7 +768,7 @@ void Coordinator::fast_write_blocks(
           const OrderReadRep* rep = as<OrderReadRep>(r);
           if (rep == nullptr) continue;
           if (!rep->status || (common.has_value() && *common != rep->lts)) {
-            done(false);
+            done(OpError::kAborted);
             return;
           }
           common = rep->lts;
@@ -628,7 +777,7 @@ void Coordinator::fast_write_blocks(
         for (BlockIndex j : *js) {
           const OrderReadRep* rep = as<OrderReadRep>(replies[j]);
           if (rep == nullptr || !rep->block.has_value()) {
-            done(false);
+            done(OpError::kAborted);
             return;
           }
           old_blocks.push_back(&*rep->block);
@@ -646,7 +795,7 @@ void Coordinator::fast_write_blocks(
           }
           deltas->push_back(std::move(delta));
         }
-        start_rpc(
+        start_rpc<ModifyRep>(
             layout_->group(stripe),
             [this, stripe, js, blocks, deltas, ts_j,
              ts](std::uint32_t pos, OpId op) -> Message {
@@ -657,13 +806,18 @@ void Coordinator::fast_write_blocks(
                 req.block = (*deltas)[pos - config_.m];
               return req;
             },
-            [this, stripe, ts, done](Replies& modify_replies) {
+            [this, stripe, ts, done](Replies& modify_replies,
+                                     bool modify_timed_out) {
+              if (modify_timed_out) {
+                done(OpError::kTimeout);
+                return;
+              }
               if (!all_status_true<ModifyRep>(modify_replies)) {
-                done(false);
+                done(OpError::kAborted);
                 return;
               }
               maybe_send_gc(stripe, ts);
-              done(true);
+              done(Ack{});
             });
       },
       std::vector<std::uint32_t>(js->begin(), js->end()));
@@ -671,35 +825,42 @@ void Coordinator::fast_write_blocks(
 
 void Coordinator::slow_write_blocks(
     StripeId stripe, std::shared_ptr<std::vector<BlockIndex>> js,
-    std::shared_ptr<std::vector<Block>> blocks, Timestamp ts, WriteCb done) {
+    std::shared_ptr<std::vector<Block>> blocks, Timestamp ts,
+    WriteOutcomeCb done) {
   ++stats_.slow_block_writes;
   ++stats_.recoveries_started;
   auto state = std::make_shared<RecoverState>();
   state->stripe = stripe;
   state->ts = ts;
   state->bound = kHighTS;
-  state->done = [this, stripe, js, blocks, ts, done = std::move(done)](
-                    std::optional<std::vector<Block>> prev) {
-    if (!prev.has_value()) {
-      ++stats_.aborts;
-      done(false);
+  state->done = [this, stripe, js, blocks, ts,
+                 done = std::move(done)](StripeOutcome prev) {
+    if (!prev.ok()) {
+      if (prev.error() == OpError::kAborted) ++stats_.aborts;
+      done(prev.error());
       return;
     }
     auto value = std::make_shared<std::vector<Block>>(std::move(*prev));
     for (std::size_t i = 0; i < js->size(); ++i)
       (*value)[(*js)[i]] = (*blocks)[i];
-    store_stripe(stripe, std::move(value), ts, [this, done](bool ok) {
-      if (!ok) ++stats_.aborts;
-      done(ok);
-    });
+    store_stripe(stripe, std::move(value), ts,
+                 [this, done](WriteOutcome stored) {
+                   if (!stored.ok() && stored.error() == OpError::kAborted)
+                     ++stats_.aborts;
+                   done(std::move(stored));
+                 });
   };
   read_prev_stripe(std::move(state));
 }
 
-void Coordinator::repair_stripe(StripeId stripe, WriteCb done) {
-  recover(stripe, [this, done = std::move(done)](StripeResult result) {
-    if (!result.has_value()) ++stats_.aborts;
-    done(result.has_value());
+void Coordinator::repair_stripe(StripeId stripe, WriteOutcomeCb done) {
+  recover(stripe, [this, done = std::move(done)](StripeOutcome result) {
+    if (result.ok()) {
+      done(Ack{});
+      return;
+    }
+    if (result.error() == OpError::kAborted) ++stats_.aborts;
+    done(result.error());
   });
 }
 
@@ -707,12 +868,18 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
   // All n positions as read targets: every replica returns its newest block.
   std::vector<ProcessId> all(config_.n);
   std::iota(all.begin(), all.end(), 0);
-  start_rpc(
+  start_rpc<ReadRep>(
       layout_->group(stripe),
       [stripe, all](std::uint32_t, OpId op) -> Message {
         return ReadReq{stripe, op, all};
       },
-      [this, done = std::move(done)](Replies& replies) {
+      [this, done = std::move(done)](Replies& replies, bool timed_out) {
+        if (timed_out) {
+          // Could not assemble a full code word before the deadline;
+          // nothing was proven either way.
+          done(ScrubResult::kInconclusive);
+          return;
+        }
         // One common version across every reply, or the scrub is racing a
         // write and proves nothing.
         std::optional<Timestamp> val_ts;
@@ -761,9 +928,68 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
 
 void Coordinator::maybe_send_gc(StripeId stripe, Timestamp complete_ts) {
   if (!options_.auto_gc) return;
-  ++stats_.gc_messages;
-  for (ProcessId brick : layout_->group(stripe))
+  ++stats_.gc_rounds;
+  for (ProcessId brick : layout_->group(stripe)) {
+    ++stats_.gc_messages;
     send_(brick, GcReq{stripe, complete_ts});
+  }
+}
+
+// ---------------------------------------------------------------------
+// Legacy adapters: the seed's optional/bool interface over the typed one.
+// ---------------------------------------------------------------------
+
+void Coordinator::read_stripe(StripeId stripe, StripeCb done) {
+  read_stripe(stripe, StripeOutcomeCb([done = std::move(done)](
+                          StripeOutcome r) {
+    done(r.ok() ? StripeResult(std::move(*r)) : std::nullopt);
+  }));
+}
+
+void Coordinator::write_stripe(StripeId stripe, std::vector<Block> data,
+                               WriteCb done) {
+  write_stripe(stripe, std::move(data),
+               WriteOutcomeCb([done = std::move(done)](WriteOutcome r) {
+                 done(r.ok());
+               }));
+}
+
+void Coordinator::read_block(StripeId stripe, BlockIndex j, BlockCb done) {
+  read_block(stripe, j, BlockOutcomeCb([done = std::move(done)](
+                            BlockOutcome r) {
+    done(r.ok() ? BlockResult(std::move(*r)) : std::nullopt);
+  }));
+}
+
+void Coordinator::write_block(StripeId stripe, BlockIndex j, Block block,
+                              WriteCb done) {
+  write_block(stripe, j, std::move(block),
+              WriteOutcomeCb([done = std::move(done)](WriteOutcome r) {
+                done(r.ok());
+              }));
+}
+
+void Coordinator::read_blocks(StripeId stripe, std::vector<BlockIndex> js,
+                              StripeCb done) {
+  read_blocks(stripe, std::move(js),
+              StripeOutcomeCb([done = std::move(done)](StripeOutcome r) {
+                done(r.ok() ? StripeResult(std::move(*r)) : std::nullopt);
+              }));
+}
+
+void Coordinator::write_blocks(StripeId stripe, std::vector<BlockIndex> js,
+                               std::vector<Block> blocks, WriteCb done) {
+  write_blocks(stripe, std::move(js), std::move(blocks),
+               WriteOutcomeCb([done = std::move(done)](WriteOutcome r) {
+                 done(r.ok());
+               }));
+}
+
+void Coordinator::repair_stripe(StripeId stripe, WriteCb done) {
+  repair_stripe(stripe,
+                WriteOutcomeCb([done = std::move(done)](WriteOutcome r) {
+                  done(r.ok());
+                }));
 }
 
 }  // namespace fabec::core

@@ -8,9 +8,19 @@
 // callbacks. All continuations are volatile — a coordinator crash abandons
 // every in-flight operation, which is precisely how partial writes arise.
 //
-// Operation results use std::optional / bool: nullopt (or false) is the
-// paper's ⊥, meaning the operation aborted and its outcome is
-// non-deterministic until the next read resolves it.
+// Operation results come in two forms. The typed overloads yield an
+// Outcome<T> whose OpError distinguishes the paper's contention abort from
+// a deadline expiry (core/outcome.h, DESIGN.md §9). The legacy overloads
+// keep the seed's std::optional / bool shape — nullopt (or false) is the
+// paper's ⊥ — and are thin adapters over the typed ones.
+//
+// Liveness machinery (DESIGN.md §9): each quorum RPC retransmits with
+// exponential backoff and deterministic jitter instead of a fixed period, a
+// per-brick suspicion map stops hammering bricks that missed several
+// consecutive rounds (they are re-probed at a slower cadence), and an
+// optional per-phase deadline (Options::op_deadline) turns "quorum
+// unreachable" from a silent hang into a prompt OpError::kTimeout with
+// every timer cancelled.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +36,7 @@
 #include "common/types.h"
 #include "core/group_layout.h"
 #include "core/messages.h"
+#include "core/outcome.h"
 #include "erasure/codec.h"
 #include "quorum/quorum.h"
 #include "sim/executor.h"
@@ -47,8 +58,13 @@ struct CoordinatorStats {
   std::uint64_t fast_block_write_hits = 0; ///< block writes via Modify
   std::uint64_t slow_block_writes = 0;     ///< block writes via recovery
   std::uint64_t aborts = 0;                ///< operations that returned ⊥
-  std::uint64_t gc_messages = 0;
+  std::uint64_t gc_messages = 0;           ///< individual GcReq sends
+  std::uint64_t gc_rounds = 0;             ///< complete-write GC broadcasts
   std::uint64_t retransmit_rounds = 0;
+  std::uint64_t op_timeouts = 0;       ///< phases ended by op_deadline
+  std::uint64_t sends_suppressed = 0;  ///< retransmits skipped: suspect dest
+  std::uint64_t suspect_probes = 0;    ///< slow-cadence probes of suspects
+  std::uint64_t mismatched_replies = 0;  ///< dropped: wrong kind for phase
 };
 
 class Coordinator {
@@ -60,10 +76,40 @@ class Coordinator {
   using BlockCb = std::function<void(BlockResult)>;
   using WriteCb = std::function<void(bool)>;
 
+  // Typed outcomes: same ⊥ semantics, but the failure reason is named.
+  using StripeOutcome = Outcome<std::vector<Block>>;
+  using BlockOutcome = Outcome<Block>;
+  using WriteOutcome = Outcome<Ack>;
+  using StripeOutcomeCb = std::function<void(StripeOutcome)>;
+  using BlockOutcomeCb = std::function<void(BlockOutcome)>;
+  using WriteOutcomeCb = std::function<void(WriteOutcome)>;
+
   struct Options {
-    /// Retransmission period for the quorum() primitive. Must exceed the
-    /// round-trip time or failure-free runs retransmit spuriously.
+    /// Initial retransmission period for the quorum() primitive. Must
+    /// exceed the round-trip time or failure-free runs retransmit
+    /// spuriously.
     sim::Duration retransmit_period = sim::milliseconds(10);
+    /// Growth factor applied to the period after every retransmit round
+    /// (values < 1 are treated as 1 = fixed period).
+    double retransmit_backoff = 2.0;
+    /// Ceiling for the backed-off period; 0 means 4 * retransmit_period.
+    sim::Duration retransmit_max_period = 0;
+    /// Deterministic jitter: each round's delay is drawn uniformly from
+    /// period * [1 - j, 1 + j] using the coordinator's forked RNG, so two
+    /// coordinators retransmitting for the same loss never stay phase-
+    /// locked, yet a fixed seed reproduces the exact schedule.
+    double retransmit_jitter = 0.1;
+    /// Per-phase deadline: if a quorum RPC has not completed this long
+    /// after it started, it is abandoned (all timers cancelled) and the
+    /// operation fails with OpError::kTimeout. 0 = wait forever, the
+    /// paper's asynchronous model.
+    sim::Duration op_deadline = 0;
+    /// Suspect a brick after it missed this many consecutive retransmit
+    /// rounds; suspected bricks are skipped except for periodic probes.
+    /// 0 disables suspicion (every round goes to every unreplied brick).
+    std::uint32_t suspect_after = 3;
+    /// Re-probe a suspected brick every this many retransmit rounds.
+    std::uint32_t suspect_probe_period = 4;
     /// Send Gc messages after writes known complete on a full quorum (§5.1).
     bool auto_gc = true;
     /// Use §5.2's bandwidth-optimized block-write path: the Modify round
@@ -91,12 +137,18 @@ class Coordinator {
   // --- Algorithm 1: whole-stripe access -------------------------------
   /// read-stripe: yields the m data blocks, or ⊥ on abort.
   void read_stripe(StripeId stripe, StripeCb done);
+  void read_stripe(StripeId stripe, StripeOutcomeCb done);
   /// write-stripe: `data` must be exactly m blocks of the codec's size.
   void write_stripe(StripeId stripe, std::vector<Block> data, WriteCb done);
+  void write_stripe(StripeId stripe, std::vector<Block> data,
+                    WriteOutcomeCb done);
 
   // --- Algorithm 3: single-block access -------------------------------
   void read_block(StripeId stripe, BlockIndex j, BlockCb done);
+  void read_block(StripeId stripe, BlockIndex j, BlockOutcomeCb done);
   void write_block(StripeId stripe, BlockIndex j, Block block, WriteCb done);
+  void write_block(StripeId stripe, BlockIndex j, Block block,
+                   WriteOutcomeCb done);
 
   // --- Footnote 2: multi-block access ----------------------------------
   // One operation over several data blocks of one stripe: same round count
@@ -105,10 +157,14 @@ class Coordinator {
   // w separate operations' w(2n + 1)B.
   /// Reads the listed data blocks; yields them in `js` order, or ⊥.
   void read_blocks(StripeId stripe, std::vector<BlockIndex> js, StripeCb done);
+  void read_blocks(StripeId stripe, std::vector<BlockIndex> js,
+                   StripeOutcomeCb done);
   /// Atomically writes blocks[i] to data index js[i]. Indices must be
   /// distinct; all blocks take effect under one timestamp (one version).
   void write_blocks(StripeId stripe, std::vector<BlockIndex> js,
                     std::vector<Block> blocks, WriteCb done);
+  void write_blocks(StripeId stripe, std::vector<BlockIndex> js,
+                    std::vector<Block> blocks, WriteOutcomeCb done);
 
   // --- maintenance ------------------------------------------------------
   /// Repairs one stripe: runs the recovery path unconditionally, which
@@ -117,6 +173,7 @@ class Coordinator {
   /// the stripe's group. Used by the rebuild service after brick
   /// replacement; semantically it is a read whose fast path is skipped.
   void repair_stripe(StripeId stripe, WriteCb done);
+  void repair_stripe(StripeId stripe, WriteOutcomeCb done);
 
   /// Scrub verdict: does the stripe's stored parity match its data?
   enum class ScrubResult {
@@ -132,10 +189,13 @@ class Coordinator {
   /// stored parity. Touches no persistent state — concurrent writes make
   /// it inconclusive rather than aborting them. A kCorrupt stripe is
   /// healed by repair_stripe if >= m blocks are still mutually consistent.
+  /// A deadline expiry reads as kInconclusive.
   void scrub_stripe(StripeId stripe, ScrubCb done);
 
   // --- plumbing (called by the enclosing cluster) ----------------------
-  /// Routes a reply message to the pending phase it answers.
+  /// Routes a reply message to the pending phase it answers. Replies whose
+  /// message kind does not match the phase's request (possible only via an
+  /// op-id collision with a previous coordinator incarnation) are dropped.
   void on_reply(ProcessId from, const Message& reply);
   /// Crash: forget all in-flight operations. Their callbacks never run.
   void drop_all_pending();
@@ -165,34 +225,60 @@ class Coordinator {
     std::uint32_t distinct = 0;
     bool finalizing = false;
     sim::EventId retransmit_timer{};
+    /// Delay before the next retransmit round; grows by retransmit_backoff
+    /// up to the cap.
+    sim::Duration next_period = 0;
+    /// Variant index of the reply kind this phase expects; anything else
+    /// with a colliding op id is dropped (see on_reply).
+    std::size_t expected_kind = 0;
+    bool deadline_armed = false;
+    sim::EventId deadline_timer{};
     /// Positions whose replies the phase specifically needs (fast-path
     /// targets); waited for up to Options::target_grace beyond the quorum.
     std::vector<std::uint32_t> wait_for;
     bool grace_armed = false;
     sim::EventId grace_timer{};
-    std::function<void(std::vector<std::optional<Message>>&)> on_complete;
+    /// timed_out=true means the deadline expired: `replies` holds whatever
+    /// arrived (short of quorum) and the phase will make no progress.
+    std::function<void(std::vector<std::optional<Message>>&, bool timed_out)>
+        on_complete;
   };
 
   using Replies = std::vector<std::optional<Message>>;
 
   /// Starts one quorum(msg) round over the stripe's group: sends
-  /// make_request(position) to every member, retransmits periodically, and
+  /// make_request(position) to every member, retransmits with backoff, and
   /// calls on_complete once n - f distinct replies arrived (plus any
   /// further replies delivered at the same virtual instant — co-timed
   /// stragglers are free to include and keep the failure-free fast path
-  /// deterministic). Reply slots are indexed by group position.
+  /// deterministic). Reply slots are indexed by group position. `Rep` is
+  /// the reply kind the phase expects; mismatched replies are dropped.
+  template <typename Rep>
   OpId start_rpc(std::vector<ProcessId> dests,
                  std::function<Message(std::uint32_t, OpId)> make_request,
-                 std::function<void(Replies&)> on_complete,
-                 std::vector<std::uint32_t> wait_for = {});
-  void transmit_round(OpId op);
+                 std::function<void(Replies&, bool)> on_complete,
+                 std::vector<std::uint32_t> wait_for = {}) {
+    return start_rpc_impl(std::move(dests), std::move(make_request),
+                          std::move(on_complete), message_kind_of<Rep>,
+                          std::move(wait_for));
+  }
+  OpId start_rpc_impl(std::vector<ProcessId> dests,
+                      std::function<Message(std::uint32_t, OpId)> make_request,
+                      std::function<void(Replies&, bool)> on_complete,
+                      std::size_t expected_kind,
+                      std::vector<std::uint32_t> wait_for);
+  void transmit_round(OpId op, bool retransmit);
   void arm_retransmit(OpId op);
   void begin_finalize(OpId op);
   void finalize_rpc(OpId op);
+  /// Deadline expiry: cancels the phase's timers, removes it from
+  /// pending_, and reports timed_out to its continuation.
+  void timeout_rpc(OpId op);
+  sim::Duration retransmit_cap() const;
 
   // Algorithm 1 internals.
-  void fast_read_stripe(StripeId stripe, StripeCb done);
-  void recover(StripeId stripe, StripeCb done);
+  void fast_read_stripe(StripeId stripe, StripeOutcomeCb done);
+  void recover(StripeId stripe, StripeOutcomeCb done);
   struct RecoverState;
   void read_prev_stripe(std::shared_ptr<RecoverState> state);
   /// Encodes and writes one complete stripe version. Takes shared ownership
@@ -201,21 +287,24 @@ class Coordinator {
   /// each send serializes its own block.
   void store_stripe(StripeId stripe,
                     std::shared_ptr<const std::vector<Block>> data,
-                    Timestamp ts, WriteCb done);
+                    Timestamp ts, WriteOutcomeCb done);
 
-  // Algorithm 3 internals.
-  void fast_write_block(StripeId stripe, BlockIndex j, Block block,
-                        Timestamp ts, WriteCb done);
-  void slow_write_block(StripeId stripe, BlockIndex j, Block block,
-                        Timestamp ts, WriteCb done);
+  // Algorithm 3 internals. The block payload is materialized exactly once
+  // (in write_block) and shared by the fast and slow paths.
+  void fast_write_block(StripeId stripe, BlockIndex j,
+                        std::shared_ptr<const Block> block, Timestamp ts,
+                        WriteOutcomeCb done);
+  void slow_write_block(StripeId stripe, BlockIndex j,
+                        std::shared_ptr<const Block> block, Timestamp ts,
+                        WriteOutcomeCb done);
   void fast_write_blocks(StripeId stripe,
                          std::shared_ptr<std::vector<BlockIndex>> js,
                          std::shared_ptr<std::vector<Block>> blocks,
-                         Timestamp ts, WriteCb done);
+                         Timestamp ts, WriteOutcomeCb done);
   void slow_write_blocks(StripeId stripe,
                          std::shared_ptr<std::vector<BlockIndex>> js,
                          std::shared_ptr<std::vector<Block>> blocks,
-                         Timestamp ts, WriteCb done);
+                         Timestamp ts, WriteOutcomeCb done);
 
   void maybe_send_gc(StripeId stripe, Timestamp complete_ts);
 
@@ -229,12 +318,16 @@ class Coordinator {
   Options options_;
   Rng rng_;
 
-  /// Monotonic phase-id counter. Deliberately *not* reset on crash so stale
-  /// replies can never be matched against a post-recovery operation (a real
-  /// brick would achieve the same by seeding op ids from its recovery
-  /// time).
+  /// Monotonic phase-id counter, seeded from the forked RNG at construction
+  /// (an incarnation nonce) and deliberately *not* reset on crash, so a
+  /// stale reply can practically never be matched against a post-recovery
+  /// operation — and if an id ever does collide, the expected-kind filter
+  /// in on_reply drops the impostor instead of corrupting the phase.
   OpId next_op_ = 1;
   std::map<OpId, Rpc> pending_;
+  /// Suspicion map: consecutive retransmit rounds each brick has missed
+  /// (reset by any reply from it). Indexed by global brick id.
+  std::vector<std::uint32_t> missed_rounds_;
   CoordinatorStats stats_;
   PhaseProbe phase_probe_;
 };

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -153,6 +154,32 @@ using Message =
     std::variant<ReadReq, ReadRep, OrderReq, OrderRep, OrderReadReq,
                  OrderReadRep, MultiOrderReadReq, WriteReq, WriteRep,
                  ModifyReq, ModifyRep, ModifyDeltaReq, MultiModifyReq, GcReq>;
+
+namespace detail {
+
+template <typename T, typename Variant>
+struct VariantIndex;
+
+template <typename T, typename... Ts>
+struct VariantIndex<T, std::variant<Ts...>> {
+  static constexpr std::size_t value = [] {
+    constexpr bool matches[] = {std::is_same_v<T, Ts>...};
+    for (std::size_t i = 0; i < sizeof...(Ts); ++i)
+      if (matches[i]) return i;
+    return sizeof...(Ts);
+  }();
+  static_assert(value < sizeof...(Ts), "Kind is not a Message alternative");
+};
+
+}  // namespace detail
+
+/// Index of `Kind` within the Message variant. The coordinator records the
+/// expected reply kind of each pending phase and drops replies whose
+/// variant index disagrees — an op id collision across coordinator
+/// incarnations must never feed a WriteRep into an OrderRep phase.
+template <typename Kind>
+inline constexpr std::size_t message_kind_of =
+    detail::VariantIndex<Kind, Message>::value;
 
 /// Block-payload bytes carried by a message (Table 1's b/w unit).
 std::size_t payload_bytes(const Message& msg);

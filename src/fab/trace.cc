@@ -118,26 +118,42 @@ ReplayStats replay_trace(VirtualDisk& disk,
               return a.at < b.at;
             });
   const sim::Time base = sim.now();
+  const ClientStats before = disk.client_stats();
   for (const TraceRecord& r : sorted) {
     sim.schedule_at(base + r.at, [&disk, &s, &sim, &rng, r] {
       const sim::Time start = sim.now();
       if (r.is_write) {
         ++s.writes;
         disk.write(r.lba, random_block(rng, disk.block_size()),
-                   [&s, &sim, start](bool ok) {
-                     s.write_latency.record(sim.now() - start);
-                     s.aborted += ok ? 0 : 1;
-                   });
+                   VirtualDisk::WriteOutcomeCb(
+                       [&s, &sim, start](VirtualDisk::WriteOutcome w) {
+                         s.write_latency.record(sim.now() - start);
+                         if (w.ok())
+                           ++s.ok;
+                         else if (w.error() == core::OpError::kTimeout)
+                           ++s.timed_out;
+                         else
+                           ++s.aborted;
+                       }));
       } else {
         ++s.reads;
-        disk.read(r.lba, [&s, &sim, start](std::optional<Block> value) {
-          s.read_latency.record(sim.now() - start);
-          s.aborted += value.has_value() ? 0 : 1;
-        });
+        disk.read(r.lba, VirtualDisk::BlockOutcomeCb(
+                             [&s, &sim, start](VirtualDisk::BlockOutcome v) {
+                               s.read_latency.record(sim.now() - start);
+                               if (v.ok())
+                                 ++s.ok;
+                               else if (v.error() == core::OpError::kTimeout)
+                                 ++s.timed_out;
+                               else
+                                 ++s.aborted;
+                             }));
       }
     });
   }
   sim.run_until_idle();
+  s.aborted_retried =
+      disk.client_stats().aborted_retried - before.aborted_retried;
+  s.retries = disk.client_stats().retries - before.retries;
   return std::move(*stats);
 }
 

@@ -69,10 +69,17 @@ ConcurrencyReport analyze_stripe_conflicts(std::vector<TraceRecord> trace,
                                            const VolumeLayout& layout);
 
 /// Replays a trace against a virtual disk on its cluster's simulator.
+/// Outcomes are final (after the disk's RetryPolicy): `aborted` is ⊥ with
+/// the retry budget exhausted, `aborted_retried` counts aborts the retry
+/// layer absorbed, `timed_out` counts deadline expiries (never retried).
 struct ReplayStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  std::uint64_t ok = 0;
   std::uint64_t aborted = 0;  ///< operations that returned ⊥
+  std::uint64_t aborted_retried = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t retries = 0;
   LatencyRecorder read_latency;
   LatencyRecorder write_latency;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "common/check.h"
 
@@ -10,8 +11,11 @@ namespace fabec::fab {
 VirtualDisk::VirtualDisk(core::Cluster* cluster, VirtualDiskConfig config)
     : cluster_(cluster),
       layout_(config.num_blocks, cluster->config().m, config.layout),
-      stripe_base_(config.stripe_base) {
+      stripe_base_(config.stripe_base),
+      retry_(config.retry),
+      rng_(cluster->simulator().rng().fork()) {
   FABEC_CHECK(cluster != nullptr);
+  FABEC_CHECK(retry_.max_attempts >= 1);
 }
 
 ProcessId VirtualDisk::pick_coordinator(ProcessId requested) {
@@ -22,37 +26,158 @@ ProcessId VirtualDisk::pick_coordinator(ProcessId requested) {
     next_coord_ = (next_coord_ + 1) % n;
     if (cluster_->processes().alive(candidate)) return candidate;
   }
-  FABEC_CHECK_MSG(false, "no live brick to coordinate the request");
-  return 0;
+  return kNoProcess;  // every brick is down: the op is misrouted, not sent
+}
+
+sim::Duration VirtualDisk::jittered(sim::Duration backoff) {
+  const double j = std::clamp(retry_.jitter, 0.0, 1.0);
+  if (j == 0.0) return std::max<sim::Duration>(backoff, 1);
+  const auto lo = static_cast<sim::Duration>((1.0 - j) *
+                                             static_cast<double>(backoff));
+  const auto span =
+      static_cast<std::uint64_t>(2.0 * j * static_cast<double>(backoff));
+  return std::max<sim::Duration>(
+      lo + static_cast<sim::Duration>(rng_.next_below(span + 1)), 1);
+}
+
+sim::Duration VirtualDisk::grown(sim::Duration backoff) const {
+  const double f = std::max(1.0, retry_.backoff_factor);
+  const auto next =
+      static_cast<sim::Duration>(static_cast<double>(backoff) * f);
+  return std::min(retry_.max_backoff, std::max<sim::Duration>(next, 1));
+}
+
+void VirtualDisk::read(Lba lba, BlockOutcomeCb done, ProcessId coord) {
+  attempt_read(lba, 1, retry_.initial_backoff, std::move(done), coord);
+}
+
+void VirtualDisk::attempt_read(Lba lba, std::uint32_t attempt,
+                               sim::Duration backoff, BlockOutcomeCb done,
+                               ProcessId requested) {
+  const ProcessId coord = pick_coordinator(requested);
+  if (coord == kNoProcess) {
+    ++stats_.misrouted;
+    done(core::OpError::kMisrouted);
+    return;
+  }
+  cluster_->coordinator(coord).read_block(
+      global_stripe(layout_.stripe_of(lba)), layout_.index_of(lba),
+      [this, lba, attempt, backoff, done = std::move(done),
+       requested](BlockOutcome r) mutable {
+        if (r.ok()) {
+          ++stats_.ok;
+          done(std::move(r));
+          return;
+        }
+        if (r.error() == core::OpError::kTimeout) {
+          ++stats_.timed_out;
+          done(std::move(r));
+          return;
+        }
+        if (attempt >= retry_.max_attempts) {
+          ++stats_.aborted;
+          done(std::move(r));
+          return;
+        }
+        ++stats_.aborted_retried;
+        ++stats_.retries;
+        cluster_->simulator().schedule_after(
+            jittered(backoff),
+            [this, lba, attempt, backoff, done = std::move(done),
+             requested]() mutable {
+              attempt_read(lba, attempt + 1, grown(backoff), std::move(done),
+                           requested);
+            });
+      });
+}
+
+void VirtualDisk::write(Lba lba, Block data, WriteOutcomeCb done,
+                        ProcessId coord) {
+  FABEC_CHECK(data.size() == block_size());
+  attempt_write(lba, std::make_shared<const Block>(std::move(data)), 1,
+                retry_.initial_backoff, std::move(done), coord);
+}
+
+void VirtualDisk::attempt_write(Lba lba, std::shared_ptr<const Block> data,
+                                std::uint32_t attempt, sim::Duration backoff,
+                                WriteOutcomeCb done, ProcessId requested) {
+  const ProcessId coord = pick_coordinator(requested);
+  if (coord == kNoProcess) {
+    ++stats_.misrouted;
+    done(core::OpError::kMisrouted);
+    return;
+  }
+  cluster_->coordinator(coord).write_block(
+      global_stripe(layout_.stripe_of(lba)), layout_.index_of(lba),
+      Block(*data),
+      [this, lba, data, attempt, backoff, done = std::move(done),
+       requested](WriteOutcome r) mutable {
+        if (r.ok()) {
+          ++stats_.ok;
+          done(std::move(r));
+          return;
+        }
+        if (r.error() == core::OpError::kTimeout) {
+          ++stats_.timed_out;
+          done(std::move(r));
+          return;
+        }
+        if (attempt >= retry_.max_attempts) {
+          ++stats_.aborted;
+          done(std::move(r));
+          return;
+        }
+        ++stats_.aborted_retried;
+        ++stats_.retries;
+        cluster_->simulator().schedule_after(
+            jittered(backoff),
+            [this, lba, data = std::move(data), attempt, backoff,
+             done = std::move(done), requested]() mutable {
+              attempt_write(lba, std::move(data), attempt + 1, grown(backoff),
+                            std::move(done), requested);
+            });
+      });
 }
 
 void VirtualDisk::read(Lba lba,
                        std::function<void(std::optional<Block>)> done,
                        ProcessId coord) {
-  cluster_->coordinator(pick_coordinator(coord))
-      .read_block(global_stripe(layout_.stripe_of(lba)),
-                  layout_.index_of(lba), std::move(done));
+  read(lba,
+       BlockOutcomeCb([done = std::move(done)](BlockOutcome r) {
+         done(r.ok() ? std::optional<Block>(std::move(*r)) : std::nullopt);
+       }),
+       coord);
 }
 
 void VirtualDisk::write(Lba lba, Block data, std::function<void(bool)> done,
                         ProcessId coord) {
-  FABEC_CHECK(data.size() == block_size());
-  cluster_->coordinator(pick_coordinator(coord))
-      .write_block(global_stripe(layout_.stripe_of(lba)),
-                   layout_.index_of(lba), std::move(data), std::move(done));
+  write(lba, std::move(data),
+        WriteOutcomeCb([done = std::move(done)](WriteOutcome r) {
+          done(r.ok());
+        }),
+        coord);
 }
 
 std::optional<Block> VirtualDisk::read_sync(Lba lba, ProcessId coord) {
-  return cluster_->read_block(pick_coordinator(coord),
-                              global_stripe(layout_.stripe_of(lba)),
-                              layout_.index_of(lba));
+  std::optional<BlockOutcome> result;
+  read(lba,
+       BlockOutcomeCb([&result](BlockOutcome r) { result = std::move(r); }),
+       coord);
+  cluster_->simulator().run_until_pred(
+      [&result] { return result.has_value(); });
+  if (!result.has_value() || !result->ok()) return std::nullopt;
+  return std::move(**result);
 }
 
 bool VirtualDisk::write_sync(Lba lba, Block data, ProcessId coord) {
   FABEC_CHECK(data.size() == block_size());
-  return cluster_->write_block(pick_coordinator(coord),
-                               global_stripe(layout_.stripe_of(lba)),
-                               layout_.index_of(lba), std::move(data));
+  std::optional<WriteOutcome> result;
+  write(lba, std::move(data),
+        WriteOutcomeCb([&result](WriteOutcome r) { result = std::move(r); }),
+        coord);
+  cluster_->simulator().run_until_pred(
+      [&result] { return result.has_value(); });
+  return result.has_value() && result->ok();
 }
 
 std::optional<std::vector<Block>> VirtualDisk::read_range_sync(
@@ -66,10 +191,10 @@ std::optional<std::vector<Block>> VirtualDisk::read_range_sync(
     by_stripe[layout_.stripe_of(lba + i)].push_back(i);
 
   std::vector<Block> out(count);
-  std::map<StripeId, std::vector<Block>> stripe_cache;
   for (const auto& [stripe, offsets] : by_stripe) {
     if (offsets.size() == m) {
       const ProcessId c = pick_coordinator(coord);
+      if (c == kNoProcess) return std::nullopt;
       auto data = cluster_->read_stripe(c, global_stripe(stripe));
       if (!data.has_value()) return std::nullopt;
       for (std::uint64_t off : offsets)
@@ -79,15 +204,14 @@ std::optional<std::vector<Block>> VirtualDisk::read_range_sync(
       std::vector<BlockIndex> js;
       js.reserve(offsets.size());
       for (std::uint64_t off : offsets) js.push_back(layout_.index_of(lba + off));
-      auto blocks =
-          cluster_->read_blocks(pick_coordinator(coord), global_stripe(stripe), js);
+      const ProcessId c = pick_coordinator(coord);
+      if (c == kNoProcess) return std::nullopt;
+      auto blocks = cluster_->read_blocks(c, global_stripe(stripe), js);
       if (!blocks.has_value()) return std::nullopt;
       for (std::size_t i = 0; i < offsets.size(); ++i)
         out[offsets[i]] = std::move((*blocks)[i]);
     } else {
-      const ProcessId c = pick_coordinator(coord);
-      auto block = cluster_->read_block(c, global_stripe(stripe),
-                                        layout_.index_of(lba + offsets[0]));
+      auto block = read_sync(lba + offsets[0], coord);
       if (!block.has_value()) return std::nullopt;
       out[offsets[0]] = std::move(*block);
     }
@@ -110,8 +234,9 @@ bool VirtualDisk::write_range_sync(Lba lba, const std::vector<Block>& data,
       std::vector<Block> stripe_data(m);
       for (std::uint64_t off : offsets)
         stripe_data[layout_.index_of(lba + off)] = data[off];
-      if (!cluster_->write_stripe(pick_coordinator(coord),
-                                  global_stripe(stripe),
+      const ProcessId c = pick_coordinator(coord);
+      if (c == kNoProcess) return false;
+      if (!cluster_->write_stripe(c, global_stripe(stripe),
                                   std::move(stripe_data)))
         return false;
     } else if (offsets.size() > 1) {
@@ -124,15 +249,13 @@ bool VirtualDisk::write_range_sync(Lba lba, const std::vector<Block>& data,
         js.push_back(layout_.index_of(lba + off));
         blocks.push_back(data[off]);
       }
-      if (!cluster_->write_blocks(pick_coordinator(coord),
-                                  global_stripe(stripe), std::move(js),
+      const ProcessId c = pick_coordinator(coord);
+      if (c == kNoProcess) return false;
+      if (!cluster_->write_blocks(c, global_stripe(stripe), std::move(js),
                                   std::move(blocks)))
         return false;
     } else {
-      if (!cluster_->write_block(pick_coordinator(coord),
-                                 global_stripe(stripe),
-                                 layout_.index_of(lba + offsets[0]),
-                                 data[offsets[0]]))
+      if (!write_sync(lba + offsets[0], data[offsets[0]], coord))
         return false;
     }
   }

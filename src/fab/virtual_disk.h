@@ -6,19 +6,53 @@
 // Clients may direct any operation at any brick (Figure 1); by default the
 // disk round-robins coordinators across live bricks, which is both load
 // balancing and what exercises the fully decentralized coordination.
+//
+// The disk is also where the paper's "clients retry the operation" (§5.1)
+// lives: an aborted (⊥) block operation is retried with capped randomized
+// backoff under a RetryPolicy budget. Timeouts (OpError::kTimeout) are
+// never retried here — the deadline already says the quorum is unreachable,
+// and bounded completion is the point of the deadline (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "common/types.h"
 #include "core/cluster.h"
+#include "core/outcome.h"
 #include "fab/layout.h"
 
 namespace fabec::fab {
+
+/// Client-side retry discipline for aborted operations (§5.1's "the client
+/// retries"). Applies per logical operation; attempt k waits roughly
+/// initial_backoff * backoff_factor^(k-1), capped and jittered.
+struct RetryPolicy {
+  /// Total attempts per operation (1 = no retry, the seed behavior).
+  std::uint32_t max_attempts = 1;
+  sim::Duration initial_backoff = sim::kDefaultDelta;
+  double backoff_factor = 2.0;
+  sim::Duration max_backoff = 32 * sim::kDefaultDelta;
+  /// Each wait is drawn uniformly from backoff * [1 - jitter, 1 + jitter]
+  /// using the disk's forked RNG — randomized (two contending clients
+  /// desynchronize) yet reproducible under a fixed seed.
+  double jitter = 0.5;
+};
+
+/// Final outcomes and retry traffic of one disk's operations.
+struct ClientStats {
+  std::uint64_t ok = 0;              ///< completed (possibly after retries)
+  std::uint64_t aborted = 0;         ///< final ⊥ after the retry budget
+  std::uint64_t aborted_retried = 0; ///< aborts absorbed by a retry
+  std::uint64_t timed_out = 0;       ///< OpError::kTimeout (never retried)
+  std::uint64_t misrouted = 0;       ///< no live coordinator to route to
+  std::uint64_t retries = 0;         ///< retry attempts issued
+};
 
 struct VirtualDiskConfig {
   std::uint64_t num_blocks = 0;  ///< logical capacity in blocks
@@ -27,10 +61,16 @@ struct VirtualDiskConfig {
   /// [stripe_base, stripe_base + num_blocks/m). Lets several volumes share
   /// one cluster without colliding (see VolumeManager).
   StripeId stripe_base = 0;
+  RetryPolicy retry;
 };
 
 class VirtualDisk {
  public:
+  using BlockOutcome = core::Coordinator::BlockOutcome;
+  using WriteOutcome = core::Coordinator::WriteOutcome;
+  using BlockOutcomeCb = core::Coordinator::BlockOutcomeCb;
+  using WriteOutcomeCb = core::Coordinator::WriteOutcomeCb;
+
   /// The cluster must outlive the disk. The disk's stripe width is the
   /// cluster's m.
   VirtualDisk(core::Cluster* cluster, VirtualDiskConfig config);
@@ -42,7 +82,13 @@ class VirtualDisk {
 
   // --- asynchronous single-block I/O ------------------------------------
   /// Reads logical block `lba` through coordinator `coord` (kNoProcess =
-  /// pick round-robin among live bricks). nullopt = aborted (⊥).
+  /// pick round-robin among live bricks). Applies the RetryPolicy to
+  /// aborts; the outcome is the final attempt's.
+  void read(Lba lba, BlockOutcomeCb done, ProcessId coord = kNoProcess);
+  void write(Lba lba, Block data, WriteOutcomeCb done,
+             ProcessId coord = kNoProcess);
+
+  /// Legacy shapes: nullopt / false = the final attempt returned ⊥.
   void read(Lba lba, std::function<void(std::optional<Block>)> done,
             ProcessId coord = kNoProcess);
   void write(Lba lba, Block data, std::function<void(bool)> done,
@@ -63,9 +109,21 @@ class VirtualDisk {
                         ProcessId coord = kNoProcess);
 
   core::Cluster& cluster() { return *cluster_; }
+  const ClientStats& client_stats() const { return stats_; }
 
  private:
+  /// kNoProcess when no live brick is available (the op is misrouted).
   ProcessId pick_coordinator(ProcessId requested);
+
+  void attempt_read(Lba lba, std::uint32_t attempt, sim::Duration backoff,
+                    BlockOutcomeCb done, ProcessId requested);
+  void attempt_write(Lba lba, std::shared_ptr<const Block> data,
+                     std::uint32_t attempt, sim::Duration backoff,
+                     WriteOutcomeCb done, ProcessId requested);
+  /// Jittered wait for the current attempt, and the grown cap-bounded
+  /// backoff for the next one.
+  sim::Duration jittered(sim::Duration backoff);
+  sim::Duration grown(sim::Duration backoff) const;
 
   /// Global stripe id for a volume-relative stripe index.
   StripeId global_stripe(StripeId local) const { return stripe_base_ + local; }
@@ -73,6 +131,9 @@ class VirtualDisk {
   core::Cluster* cluster_;
   VolumeLayout layout_;
   StripeId stripe_base_;
+  RetryPolicy retry_;
+  Rng rng_;
+  ClientStats stats_;
   ProcessId next_coord_ = 0;
 };
 

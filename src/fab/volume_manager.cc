@@ -9,7 +9,8 @@ VolumeManager::VolumeManager(core::Cluster* cluster) : cluster_(cluster) {
 }
 
 VirtualDisk* VolumeManager::create(const std::string& name,
-                                   std::uint64_t num_blocks, Layout layout) {
+                                   std::uint64_t num_blocks, Layout layout,
+                                   RetryPolicy retry) {
   if (num_blocks == 0 || volumes_.count(name) > 0) return nullptr;
   const std::uint32_t m = cluster_->config().m;
   const std::uint64_t rounded = (num_blocks + m - 1) / m * m;
@@ -17,6 +18,7 @@ VirtualDisk* VolumeManager::create(const std::string& name,
   config.num_blocks = rounded;
   config.layout = layout;
   config.stripe_base = next_stripe_;
+  config.retry = retry;
   next_stripe_ += rounded / m;
   auto disk = std::make_unique<VirtualDisk>(cluster_, config);
   VirtualDisk* out = disk.get();

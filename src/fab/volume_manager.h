@@ -27,9 +27,11 @@ class VolumeManager {
 
   /// Creates a volume of at least `num_blocks` logical blocks (rounded up
   /// to a whole number of stripes). Returns nullptr if the name is taken
-  /// or num_blocks is zero.
+  /// or num_blocks is zero. `retry` is the volume's client-side
+  /// retry-on-abort discipline (default: no retries, the seed behavior).
   VirtualDisk* create(const std::string& name, std::uint64_t num_blocks,
-                      Layout layout = Layout::kRotating);
+                      Layout layout = Layout::kRotating,
+                      RetryPolicy retry = {});
 
   /// The volume with this name, or nullptr.
   VirtualDisk* find(const std::string& name);

@@ -183,6 +183,27 @@ bool ThreadedCluster::write_block(ProcessId coord, StripeId stripe,
       });
 }
 
+core::Coordinator::BlockOutcome ThreadedCluster::read_block_outcome(
+    ProcessId coord, StripeId stripe, BlockIndex j) {
+  return blocking_op<core::Coordinator::BlockOutcome>(
+      coord, core::Coordinator::BlockOutcome(core::OpError::kMisrouted),
+      [stripe, j](core::Coordinator& c, auto complete) {
+        c.read_block(stripe, j,
+                     core::Coordinator::BlockOutcomeCb(std::move(complete)));
+      });
+}
+
+core::Coordinator::WriteOutcome ThreadedCluster::write_block_outcome(
+    ProcessId coord, StripeId stripe, BlockIndex j, Block block) {
+  return blocking_op<core::Coordinator::WriteOutcome>(
+      coord, core::Coordinator::WriteOutcome(core::OpError::kMisrouted),
+      [stripe, j, b = std::move(block)](core::Coordinator& c,
+                                        auto complete) mutable {
+        c.write_block(stripe, j, std::move(b),
+                      core::Coordinator::WriteOutcomeCb(std::move(complete)));
+      });
+}
+
 core::CoordinatorStats ThreadedCluster::total_coordinator_stats() {
   core::CoordinatorStats total;
   loop_.run_sync([this, &total] {
@@ -196,6 +217,10 @@ core::CoordinatorStats ThreadedCluster::total_coordinator_stats() {
       total.recoveries_started += s.recoveries_started;
       total.aborts += s.aborts;
       total.retransmit_rounds += s.retransmit_rounds;
+      total.op_timeouts += s.op_timeouts;
+      total.sends_suppressed += s.sends_suppressed;
+      total.suspect_probes += s.suspect_probes;
+      total.mismatched_replies += s.mismatched_replies;
     }
   });
   return total;

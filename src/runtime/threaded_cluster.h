@@ -76,6 +76,17 @@ class ThreadedCluster {
   bool write_block(ProcessId coord, StripeId stripe, BlockIndex j,
                    Block block);
 
+  /// Typed variants distinguishing abort from deadline expiry. A dead or
+  /// mid-operation-crashed coordinator yields OpError::kMisrouted — the
+  /// client picked a brick that cannot answer and should retry elsewhere.
+  core::Coordinator::BlockOutcome read_block_outcome(ProcessId coord,
+                                                     StripeId stripe,
+                                                     BlockIndex j);
+  core::Coordinator::WriteOutcome write_block_outcome(ProcessId coord,
+                                                      StripeId stripe,
+                                                      BlockIndex j,
+                                                      Block block);
+
   // --- failure injection (synchronous, any thread) -----------------------
   void crash(ProcessId p);
   void recover_brick(ProcessId p);

@@ -79,7 +79,10 @@ void UdpTransport::start(Handler handler) {
 bool UdpTransport::send(ProcessId from, ProcessId to,
                         const core::Message& msg) {
   const auto peer = peers_.find(to);
-  if (peer == peers_.end()) return false;
+  if (peer == peers_.end()) {
+    ++stats_.send_failures;
+    return false;
+  }
   // Find the sending brick's socket (source-port identifies the sender to
   // observers; the envelope identifies it to the protocol).
   int fd = -1;
@@ -100,7 +103,10 @@ bool UdpTransport::send(ProcessId from, ProcessId to,
   const ssize_t sent =
       ::sendto(fd, datagram.data(), datagram.size(), 0,
                reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
-  if (sent != static_cast<ssize_t>(datagram.size())) return false;
+  if (sent != static_cast<ssize_t>(datagram.size())) {
+    ++stats_.send_failures;
+    return false;
+  }
   ++stats_.datagrams_sent;
   return true;
 }

@@ -32,6 +32,10 @@ struct UdpTransportStats {
   std::atomic<std::uint64_t> datagrams_sent{0};
   std::atomic<std::uint64_t> datagrams_received{0};
   std::atomic<std::uint64_t> rejected{0};  ///< undecodable / misaddressed
+  /// Sends that never left this host (unknown peer or sendto failure).
+  /// Indistinguishable from in-flight loss to the protocol; retransmission
+  /// (and, when configured, the op deadline) bounds the damage.
+  std::atomic<std::uint64_t> send_failures{0};
 };
 
 class UdpTransport {

@@ -47,7 +47,9 @@ void usage(const char* argv0) {
                "  --skew-us U      max per-brick clock skew in microseconds\n"
                "  --crashes K --partitions K --isolations K\n"
                "  --drop-ramps K --jitter-ramps K --midphase K\n"
-               "                   fault counts per campaign\n"
+               "  --blackouts K    fault counts per campaign\n"
+               "  --deadline-us U  per-phase op deadline (0 = wait forever)\n"
+               "  --retries K      client retry budget for aborted ops\n"
                "  --delta-writes   enable the 5.2 delta block-write path\n"
                "  --verbose        per-campaign stats + fault schedules\n",
                argv0);
@@ -100,6 +102,13 @@ bool parse(int argc, char** argv, Options* opt) {
     else if (a == "--drop-ramps") ok = next_u32(&cfg.nemesis.drop_ramps);
     else if (a == "--jitter-ramps") ok = next_u32(&cfg.nemesis.jitter_ramps);
     else if (a == "--midphase") ok = next_u32(&cfg.nemesis.mid_phase_crashes);
+    else if (a == "--blackouts") ok = next_u32(&cfg.nemesis.quorum_blackouts);
+    else if (a == "--deadline-us") {
+      std::uint64_t us;
+      ok = next_u64(&us);
+      cfg.op_deadline = fabec::sim::microseconds(static_cast<std::int64_t>(us));
+    }
+    else if (a == "--retries") ok = next_u32(&cfg.client_retries);
     else if (a == "--delta-writes") cfg.delta_block_writes = true;
     else if (a == "--verbose") opt->verbose = true;
     else if (a == "--help" || a == "-h") { usage(argv[0]); std::exit(0); }
@@ -119,19 +128,24 @@ void print_result(const CampaignResult& r, bool verbose) {
   if (verbose) {
     std::printf(
         "seed %llu: %s  hash=%016llx  ops=%llu ok=%llu abort=%llu "
-        "crashed=%llu skipped=%llu  crashes=%llu midphase=%llu "
-        "partitions=%llu isolations=%llu ramps=%llu  events=%llu\n",
+        "timeout=%llu retried=%llu crashed=%llu skipped=%llu  "
+        "max-latency-us=%lld  crashes=%llu midphase=%llu partitions=%llu "
+        "isolations=%llu blackouts=%llu ramps=%llu  events=%llu\n",
         static_cast<unsigned long long>(r.seed), r.ok ? "PASS" : "FAIL",
         static_cast<unsigned long long>(r.history_hash),
         static_cast<unsigned long long>(r.ops_issued),
         static_cast<unsigned long long>(r.ops_ok),
         static_cast<unsigned long long>(r.ops_aborted),
+        static_cast<unsigned long long>(r.ops_timed_out),
+        static_cast<unsigned long long>(r.ops_retried),
         static_cast<unsigned long long>(r.ops_crashed),
         static_cast<unsigned long long>(r.ops_skipped),
+        static_cast<long long>(r.max_attempt_latency / 1000),
         static_cast<unsigned long long>(r.faults.crashes_injected),
         static_cast<unsigned long long>(r.faults.mid_phase_crashes),
         static_cast<unsigned long long>(r.faults.partitions),
         static_cast<unsigned long long>(r.faults.isolations),
+        static_cast<unsigned long long>(r.faults.quorum_blackouts),
         static_cast<unsigned long long>(r.faults.net_ramps),
         static_cast<unsigned long long>(r.events_run));
     for (const std::string& line : r.fault_schedule)
