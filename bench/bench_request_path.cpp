@@ -1,0 +1,236 @@
+// Request-path throughput: the RequestEngine's batched/coalesced pipeline
+// vs the singleton baseline, across client counts, on the simulated FAB.
+//
+// Each case drives `clients` synthetic clients against one 5-of-8 stripe
+// group. A client owns a private LBA range and issues bursts of m adjacent
+// writes followed (much later in virtual time) by bursts of m adjacent
+// reads — the sequential pattern footnote 2's multi-block ops exist for.
+// Under kLinear layout a burst covers one stripe, so the batched engine
+// merges it into a single MultiModifyReq / MultiOrderReadReq round while
+// the singleton baseline pays one full two-phase op per block; with frame
+// batching on, the tick's messages additionally share wire envelopes.
+//
+// Measured per case (google-benchmark custom counters, distilled into
+// BENCH_request.json by tools/bench2json):
+//   ops_per_sec — client ops completed per wall-clock second of protocol
+//                 execution (virtual idle time costs nothing; the number
+//                 tracks real protocol + simulator work per op).
+//   p50_us/p99_us — per-op latency in *virtual* microseconds, submit to
+//                 callback; the protocol-cost view of the same runs.
+// The recovery-mix variant crashes one brick a quarter of the way through,
+// so late groups fail over, in-flight ops on the victim settle as
+// misrouted, and degraded reads pay the decode path.
+//
+// FABEC_BENCH_OPS overrides ops issued per client (default 40) so the
+// bench-smoke ctest entry stays cheap.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fab/request_engine.h"
+#include "sim/time.h"
+
+namespace {
+
+using namespace fabec;
+
+constexpr std::uint32_t kN = 8;
+constexpr std::uint32_t kM = 5;
+constexpr std::uint32_t kStripesPerClient = 4;
+constexpr std::size_t kBlockSize = 1024;
+
+std::uint64_t ops_per_client() {
+  if (const char* env = std::getenv("FABEC_BENCH_OPS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 40;
+}
+
+struct RunResult {
+  double wall_seconds = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::vector<double> latencies_us;  // virtual time, submit -> callback
+  fab::RequestEngineStats engine;
+  core::BatchStats batch;
+};
+
+RunResult run_once(bool batched, std::uint32_t clients, bool recovery_mix,
+                   std::uint64_t seed) {
+  core::ClusterConfig config;
+  config.n = kN;
+  config.m = kM;
+  config.block_size = kBlockSize;
+  config.net.jitter = sim::microseconds(20);
+  config.batch.enabled = batched;
+  core::Cluster cluster(config, seed);
+  auto& sim = cluster.simulator();
+
+  fab::RequestEngineOptions opts;
+  opts.coalesce = batched;
+  opts.layout = fab::Layout::kLinear;  // adjacent LBAs share a stripe
+  const std::uint64_t num_blocks =
+      static_cast<std::uint64_t>(clients) * kStripesPerClient * kM;
+  fab::RequestEngine engine(&cluster, num_blocks, opts);
+  cluster.set_crash_listener(
+      [&engine](ProcessId p) { engine.notify_crash(p); });
+
+  // pairs bursts of m writes, then the same stripes re-read m at a time.
+  const std::uint64_t pairs =
+      std::max<std::uint64_t>(1, ops_per_client() / (2 * kM));
+  RunResult result;
+  result.total_ops = static_cast<std::uint64_t>(clients) * pairs * 2 * kM;
+  const std::uint64_t crash_at =
+      recovery_mix ? std::max<std::uint64_t>(1, result.total_ops / 4) : 0;
+  const ProcessId victim = kN - 1;
+
+  Rng rng(seed);
+  auto settle = [&](sim::Time start, bool op_ok) {
+    (op_ok ? result.ok : result.failed) += 1;
+    result.latencies_us.push_back(
+        static_cast<double>(sim.now() - start) / 1000.0);
+    if (crash_at != 0 && result.ok + result.failed == crash_at) {
+      // Defer one tick: never crash from inside an engine callback.
+      sim.schedule_at(sim.now() + 1,
+                      [&cluster, victim] { cluster.crash(victim); });
+    }
+  };
+  // Clients retry aborted/misrouted ops with randomized backoff, like a
+  // real volume driver; an op only counts as failed after kMaxAttempts.
+  // Conflict retries are part of what the bench measures — the singleton
+  // baseline's per-block ops on one stripe contend where a coalesced
+  // multi-block op is a single ordered round.
+  constexpr int kMaxAttempts = 100;
+  std::function<void(Lba, bool, Block, sim::Time, int)> issue =
+      [&](Lba lba, bool is_write, Block data, sim::Time start, int attempt) {
+        auto next = [&, lba, is_write, start, attempt](bool op_ok,
+                                                       Block retry_data) {
+          if (op_ok || attempt >= kMaxAttempts) {
+            settle(start, op_ok);
+            return;
+          }
+          const sim::Duration backoff =
+              sim::kDefaultDelta *
+              (1 + static_cast<sim::Duration>(
+                       rng.next_below(4ull << std::min(attempt, 6))));
+          sim.schedule_at(sim.now() + backoff,
+                          [&issue, lba, is_write, start, attempt,
+                           d = std::move(retry_data)]() mutable {
+                            issue(lba, is_write, std::move(d), start,
+                                  attempt + 1);
+                          });
+        };
+        if (is_write) {
+          Block copy = data;
+          engine.write(lba, std::move(copy),
+                       [next, d = std::move(data)](
+                           core::Coordinator::WriteOutcome out) mutable {
+                         next(out.ok(), std::move(d));
+                       });
+        } else {
+          engine.read(lba,
+                      [next](core::Coordinator::BlockOutcome out) mutable {
+                        next(out.ok(), Block{});
+                      });
+        }
+      };
+  // Writes first; reads of the same stripes far enough later in virtual
+  // time that the fast-path variant reads settled data (virtual spacing is
+  // free in wall-clock terms — the simulator skips idle time).
+  const sim::Duration spacing = sim::kDefaultDelta;
+  const sim::Time read_phase = sim::seconds(1);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    for (std::uint64_t b = 0; b < pairs; ++b) {
+      const StripeId stripe =
+          static_cast<StripeId>(c) * kStripesPerClient +
+          static_cast<StripeId>(b % kStripesPerClient);
+      for (std::uint32_t j = 0; j < kM; ++j) {
+        const Lba lba = static_cast<Lba>(stripe) * kM + j;
+        sim.schedule_at(1 + b * spacing, [&, lba] {
+          issue(lba, true, random_block(rng, kBlockSize), sim.now(), 0);
+        });
+        sim.schedule_at(read_phase + b * spacing, [&, lba] {
+          issue(lba, false, Block{}, sim.now(), 0);
+        });
+      }
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run_until_idle();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  result.engine = engine.stats();
+  result.batch = cluster.total_batch_stats();
+  // Accounting must close exactly: every submission settled exactly once,
+  // no record leaked, no timer outlived its op.
+  FABEC_CHECK(result.ok + result.failed == result.total_ops);
+  FABEC_CHECK(engine.live_ops() == 0);
+  FABEC_CHECK(result.engine.stale_timer_fires == 0);
+  if (!recovery_mix) FABEC_CHECK(result.failed == 0);
+  if (batched) {
+    FABEC_CHECK(result.engine.multi_block_groups > 0);
+    // Frame batching must amortize once enough groups share coordinators
+    // in a tick (with few clients each frame may carry one message).
+    FABEC_CHECK(result.batch.frames_flushed <=
+                result.batch.messages_enqueued);
+    if (clients >= 16)
+      FABEC_CHECK(result.batch.frames_flushed <
+                  result.batch.messages_enqueued);
+  }
+  return result;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p / 100.0 *
+                                            static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+void BM_RequestPath(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto clients = static_cast<std::uint32_t>(state.range(1));
+  const bool recovery = state.range(2) != 0;
+  std::uint64_t ops_total = 0;
+  std::uint64_t seed = 1;
+  RunResult last;
+  for (auto _ : state) {
+    last = run_once(batched, clients, recovery, seed++);
+    state.SetIterationTime(last.wall_seconds);
+    ops_total += last.total_ops;
+  }
+  state.counters["ops_per_sec"] =
+      benchmark::Counter(static_cast<double>(ops_total),
+                         benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = percentile(last.latencies_us, 50);
+  state.counters["p99_us"] = percentile(last.latencies_us, 99);
+  state.counters["multi_block_groups"] =
+      static_cast<double>(last.engine.multi_block_groups);
+  state.counters["frames_flushed"] =
+      static_cast<double>(last.batch.frames_flushed);
+  state.counters["failed_ops"] = static_cast<double>(last.failed);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RequestPath)
+    ->ArgNames({"batched", "clients", "recovery"})
+    ->ArgsProduct({{0, 1}, {4, 16, 64}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

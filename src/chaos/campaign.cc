@@ -56,6 +56,7 @@ class CampaignRunner {
     cluster_cfg.block_size = cfg_.block_size;
     cluster_cfg.coordinator.delta_block_writes = cfg_.delta_block_writes;
     cluster_cfg.coordinator.op_deadline = cfg_.op_deadline;
+    cluster_cfg.batch.enabled = cfg_.batch_frames;
     // Seed-derived retransmission period: varying the timer relative to the
     // (skewed) clocks shifts every retransmission interleaving between
     // campaigns. Kept well above the round trip so failure-free phases
@@ -477,6 +478,9 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
      << config.nemesis.mid_phase_crashes;
   if (config.nemesis.quorum_blackouts != 0)
     os << " --blackouts " << config.nemesis.quorum_blackouts;
+  if (config.nemesis.dup_ramps != 0)
+    os << " --dup-ramps " << config.nemesis.dup_ramps;
+  if (config.batch_frames) os << " --batch-frames";
   if (config.op_deadline != 0)
     os << " --deadline-us " << config.op_deadline / 1000;
   if (config.client_retries != 0)

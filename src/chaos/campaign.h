@@ -33,6 +33,11 @@ struct CampaignConfig {
   std::uint32_t num_stripes = 4;
   std::size_t block_size = 16;
   bool delta_block_writes = false;  ///< §5.2 wire optimization on the side
+  /// Route every brick's outgoing messages through per-destination frame
+  /// batching (core/batch.h): the network's drop/duplicate/reorder unit
+  /// becomes a whole multi-op frame, so one lost envelope now loses many
+  /// op payloads at once and one duplicated envelope replays them all.
+  bool batch_frames = false;
 
   // Workload (mapped over the volume rotating-layout, §3).
   std::uint64_t num_ops = 100;

@@ -64,6 +64,10 @@ std::string FaultEvent::describe() const {
       os << "} for " << duration << "ns";
       break;
     }
+    case FaultKind::kDupRamp:
+      os << "duplicate ramp to p=" << peak_dup << " over " << duration
+         << "ns";
+      break;
   }
   return os.str();
 }
@@ -187,6 +191,19 @@ void Nemesis::generate(std::uint64_t seed) {
           draw_duration(rng, 2 * sim::kDefaultDelta, config_.max_partition_span);
       schedule_.push_back(std::move(e));
     }
+  }
+
+  // Also after the blackouts — every new fault class appends its draws so
+  // older schedules never shift.
+  for (std::uint32_t i = 0; i < config_.dup_ramps; ++i) {
+    FaultEvent e;
+    e.at = draw_at();
+    e.kind = FaultKind::kDupRamp;
+    e.peak_dup = 0.05 + rng.next_double() *
+                           std::max(0.0, config_.max_dup_probability - 0.05);
+    e.duration =
+        draw_duration(rng, 2 * sim::kDefaultDelta, config_.max_partition_span);
+    schedule_.push_back(std::move(e));
   }
 
   std::stable_sort(schedule_.begin(), schedule_.end(),
@@ -334,6 +351,23 @@ void Nemesis::inject(const FaultEvent& e) {
       sim.schedule_after(e.duration, [this, &e] {
         for (ProcessId peer : e.group)
           cluster_->network().unblock_link(e.victim, peer);
+      });
+      break;
+    }
+
+    case FaultKind::kDupRamp: {
+      ++stats_.net_ramps;
+      const double baseline = net.config().duplicate_probability;
+      auto set_dup = [this](double p) {
+        auto cfg = cluster_->network().config();
+        cfg.duplicate_probability = p;
+        cluster_->network().set_config(cfg);
+      };
+      set_dup(e.peak_dup / 2);
+      sim.schedule_after(e.duration / 3,
+                         [set_dup, &e] { set_dup(e.peak_dup); });
+      sim.schedule_after(e.duration, [set_dup, baseline] {
+        set_dup(baseline);
       });
       break;
     }

@@ -53,6 +53,9 @@ enum class FaultKind {
   kRecoveryPhaseCrash, ///< crash victim when it starts a recovery
   kQuorumBlackout,     ///< victim loses both-way links to `group` (n-m+1
                        ///< bricks): no quorum can answer it for `duration`
+  kDupRamp,            ///< duplicate probability ramps to `peak_dup`,
+                       ///< restores — with batching on, whole frames (and
+                       ///< every op payload they carry) arrive twice
 };
 
 struct FaultEvent {
@@ -62,6 +65,7 @@ struct FaultEvent {
   std::vector<ProcessId> group;  ///< kPartition: the minority side
   sim::Duration duration = 0;
   double peak_drop = 0.0;
+  double peak_dup = 0.0;
   sim::Duration peak_jitter = 0;
   std::uint32_t phases = 0;  ///< kMidPhaseCrash: phase starts to let pass
 
@@ -85,10 +89,18 @@ struct NemesisConfig {
   /// for the whole blackout — the fault class op_deadline exists for.
   /// Default 0 so pre-existing schedules are unchanged.
   std::uint32_t quorum_blackouts = 0;
+  /// Duplicate ramps: the channel delivers a fraction of envelopes twice
+  /// (independent delay draws, so the copies reorder). When the cluster
+  /// batches, the duplicated unit is a whole multi-op frame — the reply
+  /// caches and at-most-once guards must absorb k duplicated payloads at
+  /// once. Default 0; drawn after every other class so enabling it leaves
+  /// pre-existing schedules bit-identical.
+  std::uint32_t dup_ramps = 0;
   /// Upper bounds for randomly drawn magnitudes.
   sim::Duration max_downtime = 40 * sim::kDefaultDelta;
   sim::Duration max_partition_span = 30 * sim::kDefaultDelta;
   double max_drop_probability = 0.4;
+  double max_dup_probability = 0.3;
   sim::Duration max_extra_jitter = 4 * sim::kDefaultDelta;
 };
 

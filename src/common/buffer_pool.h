@@ -1,0 +1,66 @@
+// Bounded free-list of reusable byte buffers.
+//
+// The request engine's hot path encodes a wire frame, hands it to the
+// transport, and would otherwise allocate (and immediately free) one
+// heap buffer per send. Recycling buffers through a pool keeps the
+// steady-state allocation count at zero: a released buffer keeps its
+// capacity, so after warm-up every acquire is a pointer pop. The pool is
+// deliberately tiny — no thread safety (each executor thread owns its
+// own pool) and no size classes (frames converge on the configured
+// batch size, so capacities stabilize on their own).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace fabec {
+
+struct BufferPoolStats {
+  std::uint64_t acquires = 0;
+  std::uint64_t reuses = 0;      // acquires served from the free list
+  std::uint64_t releases = 0;
+  std::uint64_t discards = 0;    // releases dropped because the pool was full
+};
+
+class BufferPool {
+ public:
+  /// `max_buffers` bounds retained memory; extra releases free normally.
+  explicit BufferPool(std::size_t max_buffers = 64)
+      : max_buffers_(max_buffers) {}
+
+  /// Returns an empty buffer, reusing a previously released one's capacity
+  /// when available.
+  Bytes acquire() {
+    ++stats_.acquires;
+    if (free_.empty()) return Bytes{};
+    ++stats_.reuses;
+    Bytes b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();  // keeps capacity
+    return b;
+  }
+
+  /// Returns a buffer to the pool (or frees it if the pool is full).
+  void release(Bytes b) {
+    ++stats_.releases;
+    if (free_.size() >= max_buffers_) {
+      ++stats_.discards;
+      return;  // b destroyed here
+    }
+    free_.push_back(std::move(b));
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+
+ private:
+  std::size_t max_buffers_;
+  std::vector<Bytes> free_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace fabec

@@ -53,29 +53,33 @@ class ByteWriter {
 
 class ByteReader {
  public:
-  explicit ByteReader(const Bytes& in) : in_(in) {}
+  explicit ByteReader(const Bytes& in) : data_(in.data()), size_(in.size()) {}
+  /// Reads from an arbitrary sub-span — lets a frame decoder hand each
+  /// message body to the message codec without copying it out first.
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   bool get_u8(std::uint8_t* v) {
-    if (pos_ + 1 > in_.size()) return false;
-    *v = in_[pos_++];
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
     return true;
   }
 
   bool get_u32(std::uint32_t* v) {
-    if (pos_ + 4 > in_.size()) return false;
+    if (pos_ + 4 > size_) return false;
     std::uint32_t out = 0;
     for (int i = 0; i < 4; ++i)
-      out |= static_cast<std::uint32_t>(in_[pos_ + i]) << (8 * i);
+      out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
     pos_ += 4;
     *v = out;
     return true;
   }
 
   bool get_u64(std::uint64_t* v) {
-    if (pos_ + 8 > in_.size()) return false;
+    if (pos_ + 8 > size_) return false;
     std::uint64_t out = 0;
     for (int i = 0; i < 8; ++i)
-      out |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+      out |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
     pos_ += 8;
     *v = out;
     return true;
@@ -99,9 +103,8 @@ class ByteReader {
   bool get_bytes(Bytes* b) {
     std::uint32_t len = 0;
     if (!get_u32(&len)) return false;
-    if (pos_ + len > in_.size()) return false;
-    b->assign(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              in_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    if (pos_ + len > size_) return false;
+    b->assign(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return true;
   }
@@ -120,11 +123,12 @@ class ByteReader {
   }
 
   /// All input consumed — rejects trailing garbage.
-  bool exhausted() const { return pos_ == in_.size(); }
+  bool exhausted() const { return pos_ == size_; }
   std::size_t position() const { return pos_; }
 
  private:
-  const Bytes& in_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,104 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fabec::core {
+
+BatchingSender::BatchingSender(sim::Executor* executor,
+                               std::uint32_t num_dests, BatchConfig config,
+                               FlushFn flush)
+    : executor_(executor),
+      config_(config),
+      flush_(std::move(flush)),
+      queues_(num_dests) {
+  FABEC_CHECK(config_.max_batch > 0);
+}
+
+BatchingSender::~BatchingSender() {
+  if (armed_) executor_->cancel_event(tick_event_);
+}
+
+void BatchingSender::send(ProcessId dest, Message msg) {
+  FABEC_CHECK(dest < queues_.size());
+  ++stats_.messages_enqueued;
+  if (!config_.enabled) {
+    std::vector<Message> one;
+    one.push_back(std::move(msg));
+    ++stats_.frames_flushed;
+    stats_.max_frame_messages = std::max(stats_.max_frame_messages,
+                                         std::size_t{1});
+    flush_(dest, std::move(one));
+    return;
+  }
+  std::vector<Message>& q = queues_[dest];
+  if (q.empty()) dirty_.push_back(dest);
+  q.push_back(std::move(msg));
+  if (q.size() >= config_.max_batch) {
+    ++stats_.size_flushes;
+    flush_dest(dest);
+    return;
+  }
+  arm();
+}
+
+void BatchingSender::arm() {
+  if (armed_) return;
+  armed_ = true;
+  tick_event_ = executor_->schedule_event(config_.flush_delay, [this] {
+    armed_ = false;
+    ++stats_.flush_ticks;
+    flush_all();
+  });
+}
+
+void BatchingSender::flush_dest(ProcessId dest) {
+  std::vector<Message>& q = queues_[dest];
+  if (q.empty()) return;
+  std::vector<Message> frame = std::move(q);
+  q.clear();
+  dirty_.erase(std::remove(dirty_.begin(), dirty_.end(), dest), dirty_.end());
+  ++stats_.frames_flushed;
+  stats_.max_frame_messages =
+      std::max(stats_.max_frame_messages, frame.size());
+  flush_(dest, std::move(frame));
+}
+
+void BatchingSender::flush_all() {
+  // flush_ may (in principle) enqueue more; iterate over a snapshot so the
+  // pass terminates, leaving any newly dirtied dests for the next tick.
+  std::vector<ProcessId> dirty = std::move(dirty_);
+  dirty_.clear();
+  for (ProcessId dest : dirty) {
+    std::vector<Message>& q = queues_[dest];
+    if (q.empty()) continue;
+    std::vector<Message> frame = std::move(q);
+    q.clear();
+    ++stats_.frames_flushed;
+    stats_.max_frame_messages =
+        std::max(stats_.max_frame_messages, frame.size());
+    flush_(dest, std::move(frame));
+  }
+}
+
+void BatchingSender::drop_pending() {
+  for (ProcessId dest : dirty_) {
+    stats_.messages_dropped += queues_[dest].size();
+    queues_[dest].clear();
+  }
+  dirty_.clear();
+  if (armed_) {
+    executor_->cancel_event(tick_event_);
+    armed_ = false;
+  }
+}
+
+std::size_t BatchingSender::pending() const {
+  std::size_t total = 0;
+  for (ProcessId dest : dirty_) total += queues_[dest].size();
+  return total;
+}
+
+}  // namespace fabec::core

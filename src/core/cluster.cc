@@ -1,5 +1,6 @@
 #include "core/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -30,9 +31,14 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
     brick->coordinator = std::make_unique<Coordinator>(
         p, qc, &layout_, &codec_, &executor_, brick->ts_source.get(),
         [this, p](ProcessId dest, Message msg) {
-          net_.send(p, dest, Envelope{std::move(msg)});
+          send_from(p, dest, std::move(msg));
         },
         config_.coordinator);
+    brick->batcher = std::make_unique<BatchingSender>(
+        &executor_, bricks, config_.batch,
+        [this, p](ProcessId dest, std::vector<Message> msgs) {
+          net_.send(p, dest, Envelope{std::move(msgs)});
+        });
     bricks_.push_back(std::move(brick));
   }
 
@@ -44,8 +50,13 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
     procs_.set_on_crash(p, [this, p] {
       bricks_[p]->coordinator->drop_all_pending();
       bricks_[p]->reply_cache.clear();
+      bricks_[p]->batcher->drop_pending();
     });
   }
+}
+
+void Cluster::send_from(ProcessId p, ProcessId dest, Message msg) {
+  bricks_[p]->batcher->send(dest, std::move(msg));
 }
 
 void Cluster::crash(ProcessId p) {
@@ -73,13 +84,21 @@ void Cluster::set_phase_probe(std::function<void(ProcessId, OpId)> probe) {
 }
 
 void Cluster::deliver(ProcessId from, ProcessId to, Envelope envelope) {
+  // The frame is the drop/duplicate unit; delivery unpacks it back into
+  // individual messages, so protocol handlers never see batching. Replies
+  // generated while draining a frame queue on `to`'s batcher and leave as
+  // one reply frame — the amortization works in both directions.
+  for (Message& msg : envelope.msgs) deliver_one(from, to, std::move(msg));
+}
+
+void Cluster::deliver_one(ProcessId from, ProcessId to, Message msg) {
   Brick& brick = *bricks_[to];
-  if (!is_request(envelope.msg)) {
-    brick.coordinator->on_reply(from, envelope.msg);
+  if (!is_request(msg)) {
+    brick.coordinator->on_reply(from, msg);
     return;
   }
-  if (std::holds_alternative<GcReq>(envelope.msg)) {
-    brick.replica->handle(envelope.msg);  // fire-and-forget, idempotent
+  if (std::holds_alternative<GcReq>(msg)) {
+    brick.replica->handle(msg);  // fire-and-forget, idempotent
     return;
   }
   const auto key = std::make_pair(
@@ -90,14 +109,14 @@ void Cluster::deliver(ProcessId from, ProcessId to, Envelope envelope) {
                   else
                     return 0;
                 },
-                envelope.msg));
+                msg));
   if (auto cached = brick.reply_cache.find(key);
       cached != brick.reply_cache.end()) {
-    net_.send(to, from, Envelope{cached->second});
+    send_from(to, from, cached->second);
     return;
   }
   const storage::DiskStats io_before = brick.store.io();
-  std::optional<Message> reply = brick.replica->handle(envelope.msg);
+  std::optional<Message> reply = brick.replica->handle(msg);
   FABEC_CHECK(reply.has_value());
   brick.reply_cache.emplace(key, *reply);
   if (config_.disk_service_time > 0) {
@@ -112,12 +131,12 @@ void Cluster::deliver(ProcessId from, ProcessId to, Envelope envelope) {
           static_cast<sim::Duration>(ios) * config_.disk_service_time,
           [this, to, from, epoch, r = std::move(*reply)]() mutable {
             if (procs_.epoch(to) != epoch || !procs_.alive(to)) return;
-            net_.send(to, from, Envelope{std::move(r)});
+            send_from(to, from, std::move(r));
           });
       return;
     }
   }
-  net_.send(to, from, Envelope{std::move(*reply)});
+  send_from(to, from, std::move(*reply));
 }
 
 std::optional<std::vector<Block>> Cluster::read_stripe(ProcessId coord,
@@ -216,6 +235,21 @@ CoordinatorStats Cluster::total_coordinator_stats() const {
     total.sends_suppressed += s.sends_suppressed;
     total.suspect_probes += s.suspect_probes;
     total.mismatched_replies += s.mismatched_replies;
+  }
+  return total;
+}
+
+BatchStats Cluster::total_batch_stats() const {
+  BatchStats total;
+  for (const auto& brick : bricks_) {
+    const BatchStats& s = brick->batcher->stats();
+    total.messages_enqueued += s.messages_enqueued;
+    total.frames_flushed += s.frames_flushed;
+    total.flush_ticks += s.flush_ticks;
+    total.size_flushes += s.size_flushes;
+    total.messages_dropped += s.messages_dropped;
+    total.max_frame_messages =
+        std::max(total.max_frame_messages, s.max_frame_messages);
   }
   return total;
 }

@@ -16,6 +16,7 @@
 #include "common/bytes.h"
 #include "common/timestamp.h"
 #include "common/types.h"
+#include "core/batch.h"
 #include "core/coordinator.h"
 #include "core/group_layout.h"
 #include "core/messages.h"
@@ -46,6 +47,12 @@ struct ClusterConfig {
   sim::Duration disk_service_time = 0;
   sim::NetworkConfig net;
   Coordinator::Options coordinator;
+  /// Per-brick outgoing-message batching (core/batch.h). Disabled by
+  /// default: every message travels as a singleton envelope, the historical
+  /// behavior. Enabled, each brick packs the tick's messages per
+  /// destination into one envelope — the network then drops/duplicates/
+  /// reorders whole frames.
+  BatchConfig batch;
   /// Optional per-process clock offset (size n or empty): models clock skew
   /// for the abort-rate ablation. Timestamps stay correct under any skew
   /// (§3); only the abort rate changes.
@@ -131,6 +138,7 @@ class Cluster {
   storage::DiskStats total_io() const;
   void reset_io_stats();
   CoordinatorStats total_coordinator_stats() const;
+  BatchStats total_batch_stats() const;
   std::size_t total_log_entries() const;
   std::size_t total_log_blocks() const;
 
@@ -148,9 +156,15 @@ class Cluster {
     /// status=false. Cleared by crashes — a post-recovery retransmission
     /// may then report false, which at worst aborts the operation.
     std::map<std::pair<ProcessId, OpId>, Message> reply_cache;
+    /// Outgoing batcher (volatile): unsent frames die with the brick.
+    std::unique_ptr<BatchingSender> batcher;
   };
 
+  /// Routes one outgoing message from brick `p` — through p's batcher when
+  /// batching is enabled, as a singleton envelope otherwise.
+  void send_from(ProcessId p, ProcessId dest, Message msg);
   void deliver(ProcessId from, ProcessId to, Envelope envelope);
+  void deliver_one(ProcessId from, ProcessId to, Message msg);
 
   ClusterConfig config_;
   GroupLayout layout_;

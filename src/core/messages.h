@@ -184,10 +184,23 @@ inline constexpr std::size_t message_kind_of =
 /// Block-payload bytes carried by a message (Table 1's b/w unit).
 std::size_t payload_bytes(const Message& msg);
 
-/// Wrapper giving the variant the wire_size() interface sim::Network needs.
+/// One network transmission unit: a frame of one or more messages.
+/// Singleton sends wrap one message; the batching sender (core/batch.h)
+/// packs many. The simulated network delays/drops/duplicates whole
+/// envelopes, so with batching enabled the frame — not the message — is
+/// the fault unit, exactly as a framed datagram behaves on a real wire.
 struct Envelope {
-  Message msg;
-  std::size_t wire_size() const { return payload_bytes(msg); }
+  std::vector<Message> msgs;
+
+  Envelope() = default;
+  explicit Envelope(Message m) { msgs.push_back(std::move(m)); }
+  explicit Envelope(std::vector<Message> m) : msgs(std::move(m)) {}
+
+  std::size_t wire_size() const {
+    std::size_t total = 0;
+    for (const Message& m : msgs) total += payload_bytes(m);
+    return total;
+  }
 };
 
 /// True for request kinds (handled by replicas), false for replies

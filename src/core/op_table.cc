@@ -1,0 +1,14 @@
+#include "core/op_table.h"
+
+namespace fabec::core {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // SplitMix64 finalizer (public domain constants): consecutive stripe ids
+  // land on unrelated shards, so sequential workloads still spread.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace fabec::core

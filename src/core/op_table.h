@@ -1,0 +1,227 @@
+// Sharded, generation-checked table of in-flight operations.
+//
+// The request engine tracks thousands of concurrent client ops; a single
+// map plus a single lock would serialize submit/complete/timeout across
+// stripes that share nothing. ShardedOpTable partitions records by a
+// caller-supplied key (the stripe id), so independent stripes hit disjoint
+// shards — each with its own mutex, slot slab, and free list — and never
+// contend. Records are addressed by opaque tokens carrying
+// [shard | generation | slot]: a token outlives its record only in the
+// caller's hands, and a stale token (the record completed or timed out and
+// the slot was recycled) is detected by the generation check instead of
+// resurrecting someone else's op — the timeout-vs-completion race collapses
+// to "second erase returns false".
+//
+// Slots live in a std::deque so records never move: a pointer from find()
+// stays valid across concurrent inserts (no reallocation), until its own
+// erase. Thread safety: insert/erase/with() are safe from any thread;
+// find() hands out an unsynchronized pointer and is for single-threaded
+// executors (the engine), while cross-thread users go through with().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fabec::core {
+
+/// SplitMix64 finalizer: spreads consecutive stripe ids across shards.
+std::uint64_t mix64(std::uint64_t x);
+
+template <typename Op>
+class ShardedOpTable {
+ public:
+  using Token = std::uint64_t;
+  static constexpr Token kNoToken = 0;
+
+  struct ShardStats {
+    std::uint64_t inserts = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t stale_lookups = 0;  // find/erase/with on a dead token
+    std::size_t peak_live = 0;
+  };
+
+  explicit ShardedOpTable(std::uint32_t shards = 16)
+      : shards_(shards == 0 ? 1 : shards) {}
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  std::uint32_t shard_of(std::uint64_t key) const {
+    return static_cast<std::uint32_t>(mix64(key) % shards_.size());
+  }
+
+  /// Stores `op` under the shard owning `key`; the token addresses it
+  /// until erase. Never fails; slabs grow on demand and recycle slots.
+  Token insert(std::uint64_t key, Op op) {
+    const std::uint32_t si = shard_of(key);
+    Shard& shard = shards_[si];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::uint32_t slot;
+    if (!shard.free_slots.empty()) {
+      slot = shard.free_slots.back();
+      shard.free_slots.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(shard.slots.size());
+      shard.slots.emplace_back();
+    }
+    Slot& s = shard.slots[slot];
+    FABEC_CHECK(!s.op.has_value());
+    s.op.emplace(std::move(op));
+    ++shard.stats.inserts;
+    ++shard.live;
+    if (shard.live > shard.stats.peak_live) shard.stats.peak_live = shard.live;
+    return pack(si, s.generation, slot);
+  }
+
+  /// Unsynchronized pointer to the record, nullptr if the token is stale.
+  /// Single-threaded use only; the record must not be erased concurrently.
+  Op* find(Token token) {
+    Shard* shard;
+    Slot* slot;
+    if (!resolve(token, &shard, &slot)) return nullptr;
+    return &*slot->op;
+  }
+
+  /// Runs `fn(Op&)` under the shard lock; false if the token is stale.
+  template <typename Fn>
+  bool with(Token token, Fn&& fn) {
+    const std::uint32_t si = shard_index(token);
+    if (si >= shards_.size()) return false;
+    Shard& shard = shards_[si];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Slot* slot = resolve_locked(shard, token);
+    if (slot == nullptr) return false;
+    fn(*slot->op);
+    return true;
+  }
+
+  /// Removes the record, bumping the slot generation so the token (and any
+  /// copy of it held by a racing timeout) goes stale atomically. Returns
+  /// the removed op, or nullopt if someone else erased first.
+  std::optional<Op> erase(Token token) {
+    const std::uint32_t si = shard_index(token);
+    if (si >= shards_.size()) return std::nullopt;
+    Shard& shard = shards_[si];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Slot* slot = resolve_locked(shard, token);
+    if (slot == nullptr) return std::nullopt;
+    std::optional<Op> out = std::move(slot->op);
+    slot->op.reset();
+    ++slot->generation;
+    shard.free_slots.push_back(slot_index(token));
+    ++shard.stats.erases;
+    --shard.live;
+    return out;
+  }
+
+  /// Runs `fn(Token, Op&)` for every live record, shard by shard under
+  /// that shard's lock. For drains/teardown, not hot paths.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::uint32_t si = 0; si < shards_.size(); ++si) {
+      Shard& shard = shards_[si];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (std::uint32_t slot = 0; slot < shard.slots.size(); ++slot) {
+        Slot& s = shard.slots[slot];
+        if (s.op.has_value()) fn(pack(si, s.generation, slot), *s.op);
+      }
+    }
+  }
+
+  std::size_t live() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.live;
+    }
+    return total;
+  }
+
+  ShardStats stats(std::uint32_t shard) const {
+    const Shard& s = shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.stats;
+  }
+
+  ShardStats total_stats() const {
+    ShardStats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.inserts += shard.stats.inserts;
+      total.erases += shard.stats.erases;
+      total.stale_lookups += shard.stats.stale_lookups;
+      total.peak_live += shard.stats.peak_live;  // sum of per-shard peaks
+    }
+    return total;
+  }
+
+ private:
+  // Token layout: [shard:16][generation:16][slot:32]. 2^16 generations per
+  // slot wrap eventually; with 2^32 slots between wraps a stale token
+  // surviving that long is outside any realistic op lifetime.
+  static Token pack(std::uint32_t shard, std::uint16_t gen,
+                    std::uint32_t slot) {
+    return (static_cast<Token>(shard) << 48) |
+           (static_cast<Token>(gen) << 32) | (static_cast<Token>(slot) + 1);
+  }
+  static std::uint32_t shard_index(Token t) {
+    return static_cast<std::uint32_t>(t >> 48);
+  }
+  static std::uint16_t generation(Token t) {
+    return static_cast<std::uint16_t>(t >> 32);
+  }
+  static std::uint32_t slot_index(Token t) {
+    return static_cast<std::uint32_t>(t & 0xffffffffu) - 1;
+  }
+
+  struct Slot {
+    std::uint16_t generation = 0;
+    std::optional<Op> op;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<Slot> slots;  // deque: grows without moving live records
+    std::vector<std::uint32_t> free_slots;
+    std::size_t live = 0;
+    ShardStats stats;
+  };
+
+  Slot* resolve_locked(Shard& shard, Token token) {
+    if (token == kNoToken) return nullptr;
+    const std::uint32_t slot = slot_index(token);
+    if (slot >= shard.slots.size()) {
+      ++shard.stats.stale_lookups;
+      return nullptr;
+    }
+    Slot& s = shard.slots[slot];
+    if (!s.op.has_value() || s.generation != generation(token)) {
+      ++shard.stats.stale_lookups;
+      return nullptr;
+    }
+    return &s;
+  }
+
+  bool resolve(Token token, Shard** shard, Slot** slot) {
+    const std::uint32_t si = shard_index(token);
+    if (si >= shards_.size()) return false;
+    Shard& sh = shards_[si];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    Slot* s = resolve_locked(sh, token);
+    if (s == nullptr) return false;
+    *shard = &sh;
+    *slot = s;
+    return true;
+  }
+
+  std::deque<Shard> shards_;  // deque: Shard holds a mutex (immovable)
+};
+
+}  // namespace fabec::core

@@ -235,30 +235,47 @@ std::optional<Message> decode_body<GcReq>(ByteReader& r) {
 
 }  // namespace
 
-Bytes encode_message(const Message& msg) {
-  Bytes out;
+void encode_message_body(const Message& msg, Bytes& out) {
   ByteWriter w(out);
   w.put_u8(static_cast<std::uint8_t>(msg.index()));
   std::visit(EncodeVisitor{w}, msg);
+}
+
+void encode_message_into(const Message& msg, Bytes& out) {
+  const std::size_t start = out.size();
+  encode_message_body(msg, out);
   // Trailing CRC-32 over tag + body: real transports detect corruption and
   // drop, which retransmission then masks (§2's fair-loss channels).
-  w.put_u32(crc32(out.data(), out.size()));
+  ByteWriter(out).put_u32(crc32(out.data() + start, out.size() - start));
+}
+
+Bytes encode_message(const Message& msg) {
+  Bytes out;
+  encode_message_into(msg, out);
   return out;
 }
 
 std::optional<Message> decode_message(const Bytes& wire) {
-  if (wire.size() < 5) return std::nullopt;  // tag + CRC minimum
-  const std::size_t body_size = wire.size() - 4;
+  return decode_message(wire.data(), wire.size());
+}
+
+std::optional<Message> decode_message(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 5) return std::nullopt;  // tag + CRC minimum
+  const std::size_t body_size = size - 4;
   {
     // Verify the checksum before parsing anything.
     std::uint32_t stored = 0;
     for (int i = 0; i < 4; ++i)
-      stored |= static_cast<std::uint32_t>(wire[body_size + i]) << (8 * i);
-    if (stored != crc32(wire.data(), body_size)) return std::nullopt;
+      stored |= static_cast<std::uint32_t>(data[body_size + i]) << (8 * i);
+    if (stored != crc32(data, body_size)) return std::nullopt;
   }
-  const Bytes body(wire.begin(),
-                   wire.begin() + static_cast<std::ptrdiff_t>(body_size));
-  ByteReader r(body);
+  return decode_message_body(data, body_size);
+}
+
+std::optional<Message> decode_message_body(const std::uint8_t* data,
+                                           std::size_t size) {
+  ByteReader r(data, size);
   std::uint8_t tag = 0;
   if (!r.get_u8(&tag)) return std::nullopt;
   std::optional<Message> out;

@@ -20,8 +20,23 @@ namespace fabec::core {
 /// Serializes any protocol message.
 Bytes encode_message(const Message& msg);
 
+/// Appends a full encoding (tag + body + CRC) to `out` without clearing
+/// it — lets a caller reuse one pooled buffer across sends.
+void encode_message_into(const Message& msg, Bytes& out);
+
 /// Parses a message; nullopt on any malformed input.
 std::optional<Message> decode_message(const Bytes& wire);
+std::optional<Message> decode_message(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// Appends tag + fields only (no CRC) — the unit a batch frame carries;
+/// the frame adds one CRC over all of its bodies (core/frame.h).
+void encode_message_body(const Message& msg, Bytes& out);
+
+/// Parses one tag+body span (no CRC, must consume exactly `size` bytes);
+/// nullopt on any malformed input.
+std::optional<Message> decode_message_body(const std::uint8_t* data,
+                                           std::size_t size);
 
 /// Exact number of bytes encode_message would produce.
 std::size_t encoded_size(const Message& msg);

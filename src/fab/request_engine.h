@@ -1,0 +1,193 @@
+// High-throughput request engine: admission, coalescing, sharded tracking.
+//
+// The volume layer (VirtualDisk) issues one coordinator op per client
+// request; fine for correctness, but each block write is its own two-phase
+// round trip even when a burst of writes lands on one stripe. The engine
+// sits between clients and coordinators and applies the paper's footnote 2
+// at scale:
+//
+//   * Admission — up to max_inflight ops are dispatched concurrently;
+//     excess submissions queue FIFO per shard and drain as ops complete,
+//     so a thousand-client burst degrades to queueing, not livelock.
+//   * Coalescing — ops wait one executor tick (coalesce_window) in a
+//     per-stripe buffer; writes to distinct data blocks of a stripe merge
+//     into one write_blocks (MultiModifyReq: one order phase and one
+//     combined parity delta for the whole group, §5.2), reads merge into
+//     one read_blocks, and duplicate-LBA reads share a single fetch.
+//     Writes to the same block can never share a multi-block op; they
+//     dispatch as separate groups and the timestamp order arbitrates.
+//   * Sharding — op records, coalescing buffers, and tick timers are
+//     partitioned by stripe (ShardedOpTable), so independent stripes never
+//     touch shared state.
+//
+// Fault semantics are inherited, not re-implemented: each *group* is one
+// coordinator op carrying PR 5's retransmit/deadline/suspicion machinery,
+// and the engine's job is bookkeeping discipline — a group that completes,
+// aborts, times out, or dies with its coordinator must settle every
+// constituent exactly once and cancel every constituent's client-side
+// deadline timer (stats().stale_timer_fires stays 0; the mid-batch-crash
+// regression test pins this).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "core/cluster.h"
+#include "core/coordinator.h"
+#include "core/op_table.h"
+#include "fab/layout.h"
+#include "sim/executor.h"
+#include "sim/time.h"
+
+namespace fabec::fab {
+
+struct RequestEngineOptions {
+  /// Shards for op records / coalescing buffers / tick timers.
+  std::uint32_t shards = 16;
+  /// Max ops dispatched to coordinators at once; the rest queue.
+  std::uint32_t max_inflight = 4096;
+  /// Blocks per multi-block group; 0 = the stripe's data width m.
+  std::uint32_t max_coalesce = 0;
+  /// How long an op waits in the coalescing buffer for companions.
+  /// 0 = the current instant's tick (companions submitted at the same
+  /// virtual time still merge).
+  sim::Duration coalesce_window = 0;
+  /// Client-side per-op deadline (0 = none). Independent of (and atop)
+  /// the coordinator's own Options::op_deadline.
+  sim::Duration op_deadline = 0;
+  /// Off = dispatch every op individually (the singleton baseline the
+  /// bench compares against); admission and sharding still apply.
+  bool coalesce = true;
+  Layout layout = Layout::kRotating;
+};
+
+struct RequestEngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t dispatched_groups = 0;
+  std::uint64_t multi_block_groups = 0;  // groups with > 1 distinct block
+  std::uint64_t coalesced_ops = 0;       // ops that shared a group
+  std::uint64_t shared_reads = 0;        // dup-LBA reads served by one fetch
+  std::uint64_t completed_ok = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t timed_out = 0;           // coordinator- or engine-deadline
+  std::uint64_t misrouted = 0;           // no live coordinator / crash
+  std::uint64_t deadline_fired = 0;      // engine deadlines that expired
+  std::uint64_t timers_cancelled = 0;    // engine deadlines settled in time
+  std::uint64_t stale_timer_fires = 0;   // MUST stay 0: timer outlived op
+  std::uint64_t admission_waits = 0;     // submissions past max_inflight
+  std::uint64_t crash_failed_ops = 0;    // settled by notify_crash
+  std::uint32_t inflight_peak = 0;
+  std::size_t admission_queue_peak = 0;
+};
+
+class RequestEngine {
+ public:
+  using ReadCb = core::Coordinator::BlockOutcomeCb;
+  using WriteCb = core::Coordinator::WriteOutcomeCb;
+
+  /// `num_blocks` must be a positive multiple of cluster->config().m.
+  RequestEngine(core::Cluster* cluster, std::uint64_t num_blocks,
+                RequestEngineOptions options = {});
+  ~RequestEngine();
+
+  RequestEngine(const RequestEngine&) = delete;
+  RequestEngine& operator=(const RequestEngine&) = delete;
+
+  void read(Lba lba, ReadCb done);
+  void write(Lba lba, Block data, WriteCb done);
+
+  /// Fails every in-flight group coordinated by `coordinator` (its
+  /// continuations died with it) and cancels the constituents' timers.
+  /// The owner wires this to Cluster::set_crash_listener.
+  void notify_crash(ProcessId coordinator);
+
+  /// Ops anywhere in the engine: queued, coalescing, or dispatched.
+  std::size_t live_ops() const { return table_.live(); }
+  /// Ops past admission (coalescing or dispatched), not yet settled.
+  std::uint32_t inflight() const { return inflight_; }
+  const RequestEngineStats& stats() const { return stats_; }
+  const VolumeLayout& layout() const { return layout_; }
+
+ private:
+  struct ClientOp {
+    StripeId stripe = 0;
+    BlockIndex index = 0;
+    bool is_write = false;
+    Block data;  // writes only
+    ReadCb rcb;
+    WriteCb wcb;
+    bool admitted = false;  // past admission: counted in inflight_
+    bool deadline_armed = false;
+    sim::EventId deadline{};
+  };
+  using Table = core::ShardedOpTable<ClientOp>;
+  using Token = Table::Token;
+
+  struct StripeQueue {
+    std::vector<Token> reads;
+    std::vector<Token> writes;
+  };
+  struct Shard {
+    std::deque<Token> admission;  // beyond max_inflight, FIFO
+    std::map<StripeId, StripeQueue> pending;  // coalescing buffers
+    std::vector<StripeId> dirty;
+    bool tick_armed = false;
+    sim::EventId tick{};
+  };
+  /// One dispatched coordinator op covering >= 1 client ops.
+  struct Group {
+    ProcessId coord = kNoProcess;
+    StripeId stripe = 0;
+    bool is_write = false;
+    std::vector<BlockIndex> js;
+    /// waiters[i] = client ops settled by block js[i] (reads may share;
+    /// writes have exactly one).
+    std::vector<std::vector<Token>> waiters;
+  };
+
+  void submit(Lba lba, bool is_write, Block data, ReadCb rcb, WriteCb wcb);
+  void enqueue_pending(std::uint32_t si, StripeId stripe, Token t);
+  void arm_tick(std::uint32_t si);
+  void tick(std::uint32_t si);
+  void dispatch_stripe(StripeId stripe, StripeQueue queue);
+  void dispatch_group(StripeId stripe, bool is_write,
+                      std::vector<BlockIndex> js,
+                      std::vector<std::vector<Token>> waiters);
+  void finish_read_group(std::uint64_t gid,
+                         core::Coordinator::StripeOutcome outcome);
+  void finish_write_group(std::uint64_t gid,
+                          core::Coordinator::WriteOutcome outcome);
+  void settle_read(Token t, core::Coordinator::BlockOutcome outcome);
+  void settle_write(Token t, core::Coordinator::WriteOutcome outcome);
+  /// Erases the record, cancels its deadline, returns it for callback
+  /// invocation; nullopt if the op already settled (stale token).
+  std::optional<ClientOp> retire(Token t);
+  void count_error(core::OpError e);
+  void arm_deadline(Token t);
+  void on_deadline(Token t);
+  ProcessId pick_coordinator();
+  void admit_more();
+  std::uint32_t coalesce_limit() const;
+
+  core::Cluster* cluster_;
+  sim::SimulatorExecutor executor_;
+  VolumeLayout layout_;
+  RequestEngineOptions options_;
+  Table table_;
+  std::vector<Shard> shards_;
+  std::unordered_map<std::uint64_t, Group> groups_;
+  std::uint64_t next_group_ = 1;
+  std::uint32_t inflight_ = 0;
+  std::size_t admission_queued_ = 0;
+  std::uint32_t admit_cursor_ = 0;  // round-robin over shards
+  ProcessId coord_cursor_ = 0;      // round-robin over live bricks
+  RequestEngineStats stats_;
+};
+
+}  // namespace fabec::fab

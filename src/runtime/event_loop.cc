@@ -9,9 +9,12 @@ namespace fabec::runtime {
 EventLoop::EventLoop(std::uint64_t seed)
     : epoch_(Clock::now()), rng_(seed), worker_([this] { worker_main(); }) {}
 
-EventLoop::~EventLoop() {
+EventLoop::~EventLoop() { stop(); }
+
+void EventLoop::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // already stopped and joined
     stopping_ = true;
   }
   wake_.notify_all();

@@ -48,6 +48,13 @@ class EventLoop final : public sim::Executor {
   /// loop thread (it would deadlock); protocol code never needs it.
   void run_sync(std::function<void()> fn);
 
+  /// Stops and joins the worker; pending events are dropped and further
+  /// scheduling is an error. Idempotent. Owners whose members the loop's
+  /// closures touch call this before destroying those members — the
+  /// destructor alone runs too late when such members are declared after
+  /// the loop (they are destroyed first).
+  void stop();
+
   bool on_loop_thread() const {
     return std::this_thread::get_id() == worker_.get_id();
   }

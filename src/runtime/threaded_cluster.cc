@@ -29,6 +29,11 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig config,
           send(p, dest, std::move(msg));
         },
         config_.coordinator);
+    brick->batcher = std::make_unique<core::BatchingSender>(
+        &loop_, bricks, config_.batch,
+        [this, p](ProcessId dest, std::vector<core::Message> msgs) {
+          ship_frame(p, dest, std::move(msgs));
+        });
     bricks_.push_back(std::move(brick));
   }
   if (config_.use_udp_transport) {
@@ -36,34 +41,56 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig config,
     for (ProcessId p = 0; p < bricks; ++p) all[p] = p;
     udp_ = std::make_unique<UdpTransport>(std::move(all));
     udp_->set_peers(udp_->local_endpoints());
-    // Received datagrams hop from the receive thread onto the loop thread,
-    // where all protocol state lives.
-    udp_->start([this](ProcessId from, ProcessId to, core::Message msg) {
-      loop_.post([this, from, to, m = std::move(msg)]() mutable {
-        deliver(from, to, std::move(m));
-      });
-    });
+    // Received datagrams (one message or a whole frame) hop from the
+    // receive thread onto the loop thread, where all protocol state lives.
+    udp_->start(
+        [this](ProcessId from, ProcessId to,
+               std::vector<core::Message> msgs) {
+          loop_.post([this, from, to, ms = std::move(msgs)]() mutable {
+            for (core::Message& m : ms) deliver(from, to, std::move(m));
+          });
+        });
   }
 }
 
 ThreadedCluster::~ThreadedCluster() {
+  // Join the UDP receive threads first: they post deliver closures onto
+  // the loop, and no new work may arrive once teardown starts.
+  udp_.reset();
   // Quiesce: drop in-flight operations on the loop thread before the loop
   // is torn down, so no continuation outlives the bricks.
   loop_.run_sync([this] {
-    for (auto& brick : bricks_) brick->coordinator->drop_all_pending();
+    for (auto& brick : bricks_) {
+      brick->coordinator->drop_all_pending();
+      brick->batcher->drop_pending();
+    }
   });
+  // Join the loop worker before implicit member destruction: bricks_ is
+  // destroyed before loop_ (declaration order), so a still-running closure
+  // could touch a dead brick.
+  loop_.stop();
 }
 
 void ThreadedCluster::send(ProcessId from, ProcessId to, core::Message msg) {
+  bricks_[from]->batcher->send(to, std::move(msg));
+}
+
+void ThreadedCluster::ship_frame(ProcessId from, ProcessId to,
+                                 std::vector<core::Message> msgs) {
   if (udp_) {
     // Serialize onto the kernel's loopback; a failed send is message loss,
-    // which quorum retransmission masks.
-    udp_->send(from, to, msg);
+    // which quorum retransmission masks. Singleton flushes keep the
+    // historical unframed datagram format.
+    if (msgs.size() == 1)
+      udp_->send(from, to, msgs.front());
+    else
+      udp_->send_frame(from, to, msgs);
     return;
   }
   loop_.schedule_event(config_.link_delay,
-                       [this, from, to, m = std::move(msg)]() mutable {
-                         deliver(from, to, std::move(m));
+                       [this, from, to, ms = std::move(msgs)]() mutable {
+                         for (core::Message& m : ms)
+                           deliver(from, to, std::move(m));
                        });
 }
 
@@ -104,6 +131,7 @@ void ThreadedCluster::crash(ProcessId p) {
     bricks_[p]->alive = false;
     bricks_[p]->coordinator->drop_all_pending();
     bricks_[p]->reply_cache.clear();
+    bricks_[p]->batcher->drop_pending();
     // Fail every blocking client operation this brick was coordinating:
     // their protocol continuations are gone, so their outcome is ⊥.
     auto aborts = std::move(bricks_[p]->client_aborts);

@@ -25,6 +25,7 @@
 #include "common/bytes.h"
 #include "common/timestamp.h"
 #include "common/types.h"
+#include "core/batch.h"
 #include "core/coordinator.h"
 #include "core/group_layout.h"
 #include "core/replica.h"
@@ -49,6 +50,10 @@ struct ThreadedClusterConfig {
   /// retransmission machinery masks.
   bool use_udp_transport = false;
   core::Coordinator::Options coordinator;
+  /// Per-brick outgoing batching (core/batch.h): messages bound for the
+  /// same destination in one loop tick ride one frame datagram (UDP) or
+  /// one delivery event (in-process). Off = historical singleton sends.
+  core::BatchConfig batch;
 };
 
 class ThreadedCluster {
@@ -109,6 +114,8 @@ class ThreadedCluster {
     /// client futures itself or they would block forever.
     std::map<std::uint64_t, std::function<void()>> client_aborts;
     std::uint64_t next_client_op = 0;
+    /// Outgoing batcher (volatile, loop-thread state).
+    std::unique_ptr<core::BatchingSender> batcher;
   };
 
   /// Runs `start(coordinator, complete)` on the loop thread and blocks for
@@ -121,6 +128,9 @@ class ThreadedCluster {
   /// Runs on the loop thread.
   void deliver(ProcessId from, ProcessId to, core::Message msg);
   void send(ProcessId from, ProcessId to, core::Message msg);
+  /// Ships one flushed frame (loop thread).
+  void ship_frame(ProcessId from, ProcessId to,
+                  std::vector<core::Message> msgs);
 
   ThreadedClusterConfig config_;
   core::GroupLayout layout_;

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/serde.h"
+#include "core/frame.h"
 #include "core/wire.h"
 
 namespace fabec::runtime {
@@ -37,6 +38,12 @@ UdpTransport::UdpTransport(std::vector<ProcessId> local_bricks)
   for (std::size_t i = 0; i < local_bricks_.size(); ++i) {
     const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
     FABEC_CHECK_MSG(fd >= 0, "UDP socket creation failed");
+    // The request engine drives thousands of concurrent ops; a burst of
+    // frames can outrun the receive thread, and the default socket buffer
+    // turns that into systematic loss the retransmit layer must repair.
+    // Ask for a few MB (the kernel clamps to rmem_max; best effort).
+    const int rcvbuf = 4 * 1024 * 1024;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
     sockaddr_in addr = loopback_port(0);  // ephemeral
     FABEC_CHECK_MSG(
         ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
@@ -76,29 +83,23 @@ void UdpTransport::start(Handler handler) {
   receiver_ = std::thread([this] { receive_main(); });
 }
 
-bool UdpTransport::send(ProcessId from, ProcessId to,
-                        const core::Message& msg) {
-  const auto peer = peers_.find(to);
-  if (peer == peers_.end()) {
-    ++stats_.send_failures;
-    return false;
-  }
+int UdpTransport::socket_for(ProcessId from) const {
   // Find the sending brick's socket (source-port identifies the sender to
   // observers; the envelope identifies it to the protocol).
   int fd = -1;
   for (std::size_t i = 0; i < local_bricks_.size(); ++i)
     if (local_bricks_[i] == from) fd = sockets_[i];
   FABEC_CHECK_MSG(fd >= 0, "send from a brick not hosted here");
+  return fd;
+}
 
-  Bytes datagram;
-  ByteWriter writer(datagram);
-  writer.put_u32(from);
-  writer.put_u32(to);
-  const Bytes body = core::encode_message(msg);
-  datagram.insert(datagram.end(), body.begin(), body.end());
-  FABEC_CHECK_MSG(datagram.size() <= kMaxDatagram,
-                  "block size too large for the UDP transport");
-
+bool UdpTransport::send_datagram(int fd, ProcessId to,
+                                 const Bytes& datagram) {
+  const auto peer = peers_.find(to);
+  if (peer == peers_.end()) {
+    ++stats_.send_failures;
+    return false;
+  }
   const sockaddr_in addr = loopback_port(peer->second);
   const ssize_t sent =
       ::sendto(fd, datagram.data(), datagram.size(), 0,
@@ -109,6 +110,64 @@ bool UdpTransport::send(ProcessId from, ProcessId to,
   }
   ++stats_.datagrams_sent;
   return true;
+}
+
+bool UdpTransport::send(ProcessId from, ProcessId to,
+                        const core::Message& msg) {
+  const int fd = socket_for(from);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  Bytes datagram = send_buffers_.acquire();
+  ByteWriter writer(datagram);
+  writer.put_u32(from);
+  writer.put_u32(to);
+  core::encode_message_into(msg, datagram);
+  FABEC_CHECK_MSG(datagram.size() <= kMaxDatagram,
+                  "block size too large for the UDP transport");
+  const bool ok = send_datagram(fd, to, datagram);
+  if (ok) ++stats_.messages_sent;
+  send_buffers_.release(std::move(datagram));
+  return ok;
+}
+
+bool UdpTransport::send_frame(ProcessId from, ProcessId to,
+                              const std::vector<core::Message>& msgs) {
+  FABEC_CHECK(!msgs.empty());
+  const int fd = socket_for(from);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  Bytes datagram = send_buffers_.acquire();
+  bool ok = true;
+  std::size_t i = 0;
+  while (i < msgs.size()) {
+    datagram.clear();
+    ByteWriter writer(datagram);
+    writer.put_u32(from);
+    writer.put_u32(to);
+    core::FrameBuilder builder(datagram);  // appends after the envelope
+    // Greedy fill: evict the message that would overflow the datagram and
+    // start the next fragment with it. A message too big even for a frame
+    // of its own would already violate the singleton-send size contract.
+    while (i < msgs.size()) {
+      const std::size_t mark = builder.mark();
+      builder.add(msgs[i]);
+      if (builder.count() > 1 && datagram.size() + 4 > kMaxDatagram) {
+        builder.rewind(mark);
+        break;
+      }
+      ++i;
+    }
+    builder.finish();
+    FABEC_CHECK_MSG(datagram.size() <= kMaxDatagram,
+                    "block size too large for the UDP transport");
+    const std::uint32_t packed = builder.count();
+    if (send_datagram(fd, to, datagram)) {
+      stats_.messages_sent += packed;
+      if (packed > 1) ++stats_.frames_sent;
+    } else {
+      ok = false;
+    }
+  }
+  send_buffers_.release(std::move(datagram));
+  return ok;
 }
 
 void UdpTransport::receive_main() {
@@ -127,22 +186,37 @@ void UdpTransport::receive_main() {
         if (got >= 0) ++stats_.rejected;
         continue;
       }
-      const Bytes envelope(buffer.begin(), buffer.begin() + kEnvelopeBytes);
-      ByteReader reader(envelope);
+      ByteReader reader(buffer.data(), static_cast<std::size_t>(got));
       std::uint32_t from = 0, to = 0;
       FABEC_CHECK(reader.get_u32(&from) && reader.get_u32(&to));
       if (to != local_bricks_[i]) {  // misaddressed datagram
         ++stats_.rejected;
         continue;
       }
-      const Bytes body(buffer.begin() + kEnvelopeBytes, buffer.begin() + got);
-      auto msg = core::decode_message(body);
-      if (!msg.has_value()) {  // corrupt: the CRC turned it into a drop
-        ++stats_.rejected;
-        continue;
+      // Dispatch on the first body byte: the frame magic can never be a
+      // message tag, so frames and singletons share the port.
+      const std::uint8_t* body = buffer.data() + kEnvelopeBytes;
+      const std::size_t body_size =
+          static_cast<std::size_t>(got) - kEnvelopeBytes;
+      std::vector<core::Message> msgs;
+      if (core::looks_like_frame(body, body_size)) {
+        auto frame = core::decode_frame(body, body_size);
+        if (!frame.has_value()) {  // corrupt: the CRC turned it into a drop
+          ++stats_.rejected;
+          continue;
+        }
+        msgs = std::move(*frame);
+      } else {
+        auto msg = core::decode_message(body, body_size);
+        if (!msg.has_value()) {
+          ++stats_.rejected;
+          continue;
+        }
+        msgs.push_back(std::move(*msg));
       }
       ++stats_.datagrams_received;
-      handler_(from, to, std::move(*msg));
+      stats_.messages_received += msgs.size();
+      handler_(from, to, std::move(msgs));
     }
   }
 }

@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/types.h"
 #include "core/messages.h"
 
@@ -31,6 +33,9 @@ namespace fabec::runtime {
 struct UdpTransportStats {
   std::atomic<std::uint64_t> datagrams_sent{0};
   std::atomic<std::uint64_t> datagrams_received{0};
+  std::atomic<std::uint64_t> messages_sent{0};      ///< across all frames
+  std::atomic<std::uint64_t> messages_received{0};  ///< across all frames
+  std::atomic<std::uint64_t> frames_sent{0};  ///< multi-message datagrams
   std::atomic<std::uint64_t> rejected{0};  ///< undecodable / misaddressed
   /// Sends that never left this host (unknown peer or sendto failure).
   /// Indistinguishable from in-flight loss to the protocol; retransmission
@@ -40,8 +45,11 @@ struct UdpTransportStats {
 
 class UdpTransport {
  public:
-  /// from, to, decoded message — called on the receive thread.
-  using Handler = std::function<void(ProcessId, ProcessId, core::Message)>;
+  /// from, to, decoded messages — called on the receive thread. A
+  /// singleton datagram delivers a 1-element vector; a batch frame
+  /// (core/frame.h) delivers every message it carried, in frame order.
+  using Handler =
+      std::function<void(ProcessId, ProcessId, std::vector<core::Message>)>;
 
   /// Binds one loopback UDP socket (ephemeral port) per local brick.
   explicit UdpTransport(std::vector<ProcessId> local_bricks);
@@ -65,9 +73,18 @@ class UdpTransport {
   /// retransmission masks).
   bool send(ProcessId from, ProcessId to, const core::Message& msg);
 
+  /// Sends a whole batch as frame datagrams: one CRC and one sendto per
+  /// frame instead of per message. A batch whose encoding would overflow a
+  /// datagram is split greedily into as few frames as fit. Returns false
+  /// if any fragment failed.
+  bool send_frame(ProcessId from, ProcessId to,
+                  const std::vector<core::Message>& msgs);
+
   const UdpTransportStats& stats() const { return stats_; }
 
  private:
+  int socket_for(ProcessId from) const;
+  bool send_datagram(int fd, ProcessId to, const Bytes& datagram);
   void receive_main();
 
   std::vector<ProcessId> local_bricks_;
@@ -77,6 +94,10 @@ class UdpTransport {
   std::atomic<bool> stopping_{false};
   std::thread receiver_;
   UdpTransportStats stats_;
+  /// Encode buffers recycled across sends (zero steady-state allocation);
+  /// the mutex also serializes concurrent senders.
+  std::mutex send_mu_;
+  BufferPool send_buffers_;
 };
 
 }  // namespace fabec::runtime

@@ -32,12 +32,19 @@ struct NetworkConfig {
   Duration jitter = 0;
   /// Independent per-message drop probability (must be < 1 for fair loss).
   double drop_probability = 0.0;
+  /// Independent probability a message is delivered twice, the second copy
+  /// with its own delay draw (so copies may reorder). Real datagram
+  /// networks duplicate; with frame batching the whole frame duplicates,
+  /// which is exactly the at-least-once ambiguity the reply cache and op-id
+  /// filtering must absorb.
+  double duplicate_probability = 0.0;
 };
 
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;    // random loss
+  std::uint64_t messages_duplicated = 0; // delivered twice
   std::uint64_t messages_blocked = 0;    // partitions / dead destination
   std::uint64_t bytes_sent = 0;
 };
@@ -84,19 +91,33 @@ class Network {
       ++stats_.messages_dropped;
       return;
     }
-    Duration delay = config_.base_delay;
-    if (config_.jitter > 0)
-      delay += static_cast<Duration>(
-          rng_.next_below(static_cast<std::uint64_t>(config_.jitter) + 1));
-    sim_.schedule_after(delay, [this, from, to, m = std::move(msg)]() mutable {
-      if (gate_ && !gate_(to)) {
-        ++stats_.messages_blocked;
-        return;
-      }
-      ++stats_.messages_delivered;
-      FABEC_CHECK_MSG(static_cast<bool>(handler_), "network handler not set");
-      handler_(from, to, std::move(m));
-    });
+    // Duplication draws happen only when enabled, so schedules generated
+    // with duplicate_probability == 0 stay bit-identical to before the
+    // knob existed (the nemesis determinism contract).
+    int copies = 1;
+    if (config_.duplicate_probability > 0.0 &&
+        rng_.chance(config_.duplicate_probability)) {
+      ++stats_.messages_duplicated;
+      copies = 2;
+    }
+    for (int c = 0; c < copies; ++c) {
+      Duration delay = config_.base_delay;
+      if (config_.jitter > 0)
+        delay += static_cast<Duration>(
+            rng_.next_below(static_cast<std::uint64_t>(config_.jitter) + 1));
+      Msg copy = (c + 1 < copies) ? msg : std::move(msg);
+      sim_.schedule_after(
+          delay, [this, from, to, m = std::move(copy)]() mutable {
+            if (gate_ && !gate_(to)) {
+              ++stats_.messages_blocked;
+              return;
+            }
+            ++stats_.messages_delivered;
+            FABEC_CHECK_MSG(static_cast<bool>(handler_),
+                            "network handler not set");
+            handler_(from, to, std::move(m));
+          });
+    }
   }
 
   /// Symmetrically blocks the link between a and b (network partition).

@@ -1,0 +1,271 @@
+// RequestEngine behavior: coalescing, admission, deadlines, and the
+// mid-batch-crash regression — every client op must settle exactly once
+// and every armed deadline must be cancelled with it, no matter whether
+// the group completes, stalls, or dies with its coordinator.
+#include "fab/request_engine.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "sim/time.h"
+
+namespace fabec::fab {
+namespace {
+
+constexpr std::uint32_t kN = 8;
+constexpr std::uint32_t kM = 5;
+constexpr std::size_t kBlockSize = 64;
+
+core::ClusterConfig make_config() {
+  core::ClusterConfig config;
+  config.n = kN;
+  config.m = kM;
+  config.block_size = kBlockSize;
+  return config;
+}
+
+struct Fixture {
+  explicit Fixture(std::uint64_t num_blocks, RequestEngineOptions opts = {},
+                   core::ClusterConfig config = make_config(),
+                   std::uint64_t seed = 1)
+      : cluster(config, seed), engine(&cluster, num_blocks, fix(opts)) {
+    cluster.set_crash_listener(
+        [this](ProcessId p) { engine.notify_crash(p); });
+  }
+
+  static RequestEngineOptions fix(RequestEngineOptions opts) {
+    opts.layout = Layout::kLinear;  // adjacent LBAs share a stripe
+    return opts;
+  }
+
+  // Schedules one write/read at virtual time `at`, recording that the
+  // callback ran exactly once.
+  void write_at(sim::Time at, Lba lba, Block data) {
+    auto& count = settles[next_id];
+    outcomes[next_id] = false;
+    const std::uint64_t id = next_id++;
+    cluster.simulator().schedule_at(at, [this, lba, id, &count,
+                                         d = std::move(data)]() mutable {
+      engine.write(lba, std::move(d),
+                   [this, id, &count](core::Coordinator::WriteOutcome out) {
+                     ++count;
+                     outcomes[id] = out.ok();
+                     if (!out.ok()) errors[id] = out.error();
+                   });
+    });
+  }
+  void read_at(sim::Time at, Lba lba) {
+    auto& count = settles[next_id];
+    outcomes[next_id] = false;
+    const std::uint64_t id = next_id++;
+    cluster.simulator().schedule_at(at, [this, lba, id, &count] {
+      engine.read(lba,
+                  [this, lba, id, &count](core::Coordinator::BlockOutcome out) {
+                    ++count;
+                    outcomes[id] = out.ok();
+                    if (out.ok())
+                      reads[lba] = *out;
+                    else
+                      errors[id] = out.error();
+                  });
+    });
+  }
+
+  // Every scheduled op settled exactly once; nothing leaked.
+  void check_accounting() {
+    for (const auto& [id, count] : settles)
+      EXPECT_EQ(count, 1u) << "op " << id << " settled " << count << " times";
+    EXPECT_EQ(engine.live_ops(), 0u);
+    EXPECT_EQ(engine.inflight(), 0u);
+    EXPECT_EQ(engine.stats().stale_timer_fires, 0u);
+  }
+  std::uint64_t ok_count() const {
+    std::uint64_t n = 0;
+    for (const auto& [id, ok] : outcomes) n += ok ? 1u : 0u;
+    return n;
+  }
+
+  core::Cluster cluster;
+  RequestEngine engine;
+  std::uint64_t next_id = 0;
+  std::map<std::uint64_t, std::uint32_t> settles;
+  std::map<std::uint64_t, bool> outcomes;
+  std::map<std::uint64_t, core::OpError> errors;
+  std::map<Lba, Block> reads;
+};
+
+TEST(RequestEngineTest, WritesThenReadsRoundTrip) {
+  Fixture f(4 * kM);
+  Rng rng(7);
+  std::map<Lba, Block> golden;
+  for (Lba lba = 0; lba < 4 * kM; ++lba) {
+    golden[lba] = random_block(rng, kBlockSize);
+    f.write_at(1, lba, golden[lba]);
+  }
+  for (Lba lba = 0; lba < 4 * kM; ++lba) f.read_at(sim::seconds(1), lba);
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  EXPECT_EQ(f.ok_count(), 8 * kM);
+  for (const auto& [lba, expected] : golden)
+    EXPECT_EQ(f.reads[lba], expected) << "lba " << lba;
+}
+
+TEST(RequestEngineTest, CoalescesAdjacentWritesIntoMultiBlockGroups) {
+  Fixture f(4 * kM);
+  Rng rng(8);
+  // Four same-instant bursts of m adjacent writes: one stripe each under
+  // kLinear, so the engine should merge each burst into one group.
+  for (Lba lba = 0; lba < 4 * kM; ++lba)
+    f.write_at(1, lba, random_block(rng, kBlockSize));
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  const auto& stats = f.engine.stats();
+  EXPECT_EQ(stats.submitted, 4 * kM);
+  EXPECT_EQ(f.ok_count(), 4 * kM);
+  EXPECT_EQ(stats.multi_block_groups, 4u);
+  EXPECT_EQ(stats.dispatched_groups, 4u);
+  EXPECT_EQ(stats.coalesced_ops, 4 * kM);
+}
+
+TEST(RequestEngineTest, DuplicateReadsShareOneFetch) {
+  Fixture f(kM);
+  Rng rng(9);
+  const Block data = random_block(rng, kBlockSize);
+  f.write_at(1, 0, data);
+  constexpr std::uint64_t kDupReads = 6;
+  for (std::uint64_t i = 0; i < kDupReads; ++i)
+    f.read_at(sim::seconds(1), 0);
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  EXPECT_EQ(f.ok_count(), 1 + kDupReads);
+  EXPECT_EQ(f.reads[0], data);
+  EXPECT_EQ(f.engine.stats().shared_reads, kDupReads - 1);
+}
+
+TEST(RequestEngineTest, SingletonModeNeverMerges) {
+  RequestEngineOptions opts;
+  opts.coalesce = false;
+  Fixture f(2 * kM, opts);
+  Rng rng(10);
+  for (Lba lba = 0; lba < 2 * kM; ++lba)
+    // Wide spacing: same-stripe singleton ops would contend if concurrent.
+    f.write_at(1 + static_cast<sim::Time>(lba) * sim::milliseconds(100), lba,
+               random_block(rng, kBlockSize));
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  const auto& stats = f.engine.stats();
+  EXPECT_EQ(f.ok_count(), 2 * kM);
+  EXPECT_EQ(stats.multi_block_groups, 0u);
+  EXPECT_EQ(stats.coalesced_ops, 0u);
+  EXPECT_EQ(stats.dispatched_groups, stats.submitted);
+}
+
+TEST(RequestEngineTest, AdmissionCapQueuesExcessSubmissions) {
+  RequestEngineOptions opts;
+  opts.max_inflight = 4;
+  Fixture f(8 * kM, opts);
+  Rng rng(11);
+  for (Lba lba = 0; lba < 8 * kM; ++lba)
+    f.write_at(1, lba, random_block(rng, kBlockSize));
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  const auto& stats = f.engine.stats();
+  EXPECT_EQ(f.ok_count(), 8 * kM);
+  EXPECT_GT(stats.admission_waits, 0u);
+  EXPECT_LE(stats.inflight_peak, 4u);
+  EXPECT_GT(stats.admission_queue_peak, 0u);
+}
+
+TEST(RequestEngineTest, EngineDeadlineFailsStalledOps) {
+  // Crash enough bricks to deny every quorum (q = n - f = 7, so 6 alive
+  // stalls) without telling the engine: the ops can only end via the
+  // engine's own client-side deadline.
+  RequestEngineOptions opts;
+  opts.op_deadline = sim::milliseconds(5);
+  core::ClusterConfig config = make_config();
+  config.coordinator.op_deadline = sim::milliseconds(50);  // sim must drain
+  Fixture f(kM, opts, config);
+  f.cluster.set_crash_listener({});  // deadline path, not the crash path
+  f.cluster.schedule_crash(0, 6);
+  f.cluster.schedule_crash(0, 7);
+  Rng rng(12);
+  for (Lba lba = 0; lba < kM; ++lba)
+    f.write_at(1, lba, random_block(rng, kBlockSize));
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  const auto& stats = f.engine.stats();
+  EXPECT_EQ(f.ok_count(), 0u);
+  EXPECT_EQ(stats.deadline_fired, kM);
+  EXPECT_EQ(stats.timed_out, kM);
+  EXPECT_EQ(stats.timers_cancelled, 0u);  // nothing settled in time
+  for (const auto& [id, e] : f.errors) EXPECT_EQ(e, core::OpError::kTimeout);
+}
+
+TEST(RequestEngineTest, MidBatchCrashSettlesAndCancelsEveryConstituent) {
+  // The PR 5 cancellation-audit regression: crash a coordinator at the
+  // start of its multi-block group's quorum phase. Every constituent op of
+  // the dead group must fail misrouted exactly once, every armed engine
+  // deadline (of failed AND successful ops) must be cancelled, and no
+  // timer may outlive its op.
+  RequestEngineOptions opts;
+  opts.op_deadline = sim::seconds(10);  // armed, must never fire
+  Fixture f(4 * kM, opts);
+  bool crashed = false;
+  f.cluster.set_phase_probe([&](ProcessId coord, core::OpId) {
+    if (crashed) return;
+    crashed = true;
+    // Defer one tick: never crash from inside the coordinator's own phase.
+    f.cluster.simulator().schedule_at(
+        f.cluster.simulator().now() + 1,
+        [&cluster = f.cluster, coord] { cluster.crash(coord); });
+  });
+  Rng rng(13);
+  for (Lba lba = 0; lba < 4 * kM; ++lba)
+    f.write_at(1, lba, random_block(rng, kBlockSize));
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  const auto& stats = f.engine.stats();
+  ASSERT_TRUE(crashed);
+  EXPECT_EQ(stats.crash_failed_ops, kM);  // exactly the dead group
+  EXPECT_EQ(stats.misrouted, kM);
+  EXPECT_EQ(f.ok_count(), 3 * kM);
+  EXPECT_EQ(stats.deadline_fired, 0u);
+  EXPECT_EQ(stats.timers_cancelled, stats.submitted);
+  for (const auto& [id, e] : f.errors)
+    EXPECT_EQ(e, core::OpError::kMisrouted);
+}
+
+TEST(RequestEngineTest, FrameBatchingAmortizesAcrossSameTickGroups) {
+  // 16 same-instant stripe groups round-robin over 8 coordinators: each
+  // coordinator sends two groups' worth of messages per destination per
+  // tick, so frames must carry more than one message on average.
+  core::ClusterConfig config = make_config();
+  config.batch.enabled = true;
+  Fixture f(16 * kM, {}, config);
+  Rng rng(14);
+  for (Lba lba = 0; lba < 16 * kM; ++lba)
+    f.write_at(1, lba, random_block(rng, kBlockSize));
+  f.cluster.simulator().run_until_idle();
+
+  f.check_accounting();
+  EXPECT_EQ(f.ok_count(), 16 * kM);
+  const core::BatchStats batch = f.cluster.total_batch_stats();
+  EXPECT_GT(batch.messages_enqueued, 0u);
+  EXPECT_LT(batch.frames_flushed, batch.messages_enqueued);
+  EXPECT_GT(batch.max_frame_messages, 1u);
+}
+
+}  // namespace
+}  // namespace fabec::fab

@@ -30,14 +30,16 @@ TEST(UdpTransportTest, MessagesCrossTwoTransports) {
   std::atomic<int> got{0};
   core::Message received;
   std::mutex mu;
-  right.start([&](ProcessId from, ProcessId to, core::Message msg) {
+  right.start([&](ProcessId from, ProcessId to,
+                  std::vector<core::Message> msgs) {
     EXPECT_EQ(from, 0u);
     EXPECT_EQ(to, 1u);
+    ASSERT_EQ(msgs.size(), 1u);
     std::lock_guard<std::mutex> lock(mu);
-    received = std::move(msg);
+    received = std::move(msgs.front());
     ++got;
   });
-  left.start([](ProcessId, ProcessId, core::Message) {});
+  left.start([](ProcessId, ProcessId, std::vector<core::Message>) {});
 
   Rng rng(1);
   core::WriteReq req{7, 42, Timestamp{9, 3}, random_block(rng, kB)};

@@ -47,7 +47,10 @@ void usage(const char* argv0) {
                "  --skew-us U      max per-brick clock skew in microseconds\n"
                "  --crashes K --partitions K --isolations K\n"
                "  --drop-ramps K --jitter-ramps K --midphase K\n"
-               "  --blackouts K    fault counts per campaign\n"
+               "  --blackouts K --dup-ramps K\n"
+               "                   fault counts per campaign\n"
+               "  --batch-frames   per-destination frame batching: the\n"
+               "                   network faults whole multi-op frames\n"
                "  --deadline-us U  per-phase op deadline (0 = wait forever)\n"
                "  --retries K      client retry budget for aborted ops\n"
                "  --delta-writes   enable the 5.2 delta block-write path\n"
@@ -103,6 +106,8 @@ bool parse(int argc, char** argv, Options* opt) {
     else if (a == "--jitter-ramps") ok = next_u32(&cfg.nemesis.jitter_ramps);
     else if (a == "--midphase") ok = next_u32(&cfg.nemesis.mid_phase_crashes);
     else if (a == "--blackouts") ok = next_u32(&cfg.nemesis.quorum_blackouts);
+    else if (a == "--dup-ramps") ok = next_u32(&cfg.nemesis.dup_ramps);
+    else if (a == "--batch-frames") cfg.batch_frames = true;
     else if (a == "--deadline-us") {
       std::uint64_t us;
       ok = next_u64(&us);
