@@ -1,0 +1,85 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/serde.h"
+#include "core/wire.h"
+
+namespace fabec::core {
+
+bool is_mutating_request(const Message& msg) {
+  if (!is_request(msg)) return false;
+  return !std::holds_alternative<ReadReq>(msg);
+}
+
+MessageJournal::~MessageJournal() { close(); }
+
+bool MessageJournal::open(const std::string& path, bool fsync_each) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  fsync_each_ = fsync_each;
+  return fd_ >= 0;
+}
+
+void MessageJournal::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool MessageJournal::append(const Message& msg) {
+  if (fd_ < 0) return false;
+  Bytes record;
+  ByteWriter writer(record);
+  writer.put_u32(0);  // length, patched below
+  encode_message_into(msg, record);
+  const std::uint32_t body = static_cast<std::uint32_t>(record.size() - 4);
+  std::memcpy(record.data(), &body, 4);  // little-endian, as ByteWriter
+  // One write(2) per record: O_APPEND makes it atomic with respect to the
+  // file offset, and a partial last write is exactly the torn tail load()
+  // tolerates.
+  std::size_t off = 0;
+  while (off < record.size()) {
+    const ssize_t n = ::write(fd_, record.data() + off, record.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) return false;
+  ++appended_;
+  return true;
+}
+
+std::optional<std::vector<Message>> MessageJournal::load(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::vector<Message>{};  // no journal yet: empty state
+  Bytes contents;
+  std::uint8_t chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    contents.insert(contents.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  std::vector<Message> records;
+  std::size_t off = 0;
+  while (contents.size() - off >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, contents.data() + off, 4);
+    if (len == 0 || contents.size() - off - 4 < len) break;  // torn tail
+    auto msg = decode_message(contents.data() + off + 4, len);
+    if (!msg.has_value()) break;  // corrupt record: stop at the good prefix
+    records.push_back(std::move(*msg));
+    off += 4 + len;
+  }
+  return records;
+}
+
+}  // namespace fabec::core

@@ -1,0 +1,70 @@
+// Write-ahead message journal: crash persistence for a brick's register
+// state, built on the wire codec.
+//
+// The paper's crash model (§2) assumes a brick's persistent state — ord-ts
+// and the timestamped log — survives the crash; the in-process runtimes get
+// that for free because a "crashed" brick's BrickStore object lives on. A
+// real brickd killed with SIGKILL does not, so it journals every
+// state-mutating request (Order, OrderRead, MultiOrderRead, Write, Modify,
+// ModifyDelta, MultiModify, Gc — everything but the read-only Read) before
+// handling it, and replays the journal through a fresh RegisterReplica on
+// restart. Replica handlers are deterministic functions of (request,
+// state), so replaying the identical request sequence reconstructs the
+// identical store — the same argument behind the chaos suite's
+// persistence-fingerprint assertion.
+//
+// Record format: [u32 length][encode_message bytes] per record, appended
+// with plain write(2). A record's own CRC (from the wire encoding) plus the
+// length prefix make torn tails detectable: load() stops cleanly at the
+// first truncated or corrupt record, which is exactly the prefix the brick
+// had acknowledged. No fsync by default — a SIGKILL loses nothing that
+// reached write(2) (the page cache survives process death); fsync-per-append
+// is available for power-failure durability at an obvious cost.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/messages.h"
+
+namespace fabec::core {
+
+/// True for the request kinds whose handling mutates replica state — the
+/// set a brick must journal. Read requests and all replies are excluded.
+bool is_mutating_request(const Message& msg);
+
+class MessageJournal {
+ public:
+  MessageJournal() = default;
+  ~MessageJournal();
+
+  MessageJournal(const MessageJournal&) = delete;
+  MessageJournal& operator=(const MessageJournal&) = delete;
+
+  /// Opens (creating if absent) the journal at `path` for appending.
+  /// Returns false on I/O failure.
+  bool open(const std::string& path, bool fsync_each = false);
+  bool is_open() const { return fd_ >= 0; }
+  void close();
+
+  /// Appends one record. Returns false on I/O failure (the caller should
+  /// stop acknowledging requests: an unjournaled mutation breaks the
+  /// persistence invariant).
+  bool append(const Message& msg);
+
+  std::uint64_t records_appended() const { return appended_; }
+
+  /// Reads every complete record of the journal at `path`, in append
+  /// order, stopping at the first truncated or undecodable record (a torn
+  /// tail from a crash mid-append). A missing file is an empty journal.
+  /// nullopt only on a read error for an existing file.
+  static std::optional<std::vector<Message>> load(const std::string& path);
+
+ private:
+  int fd_ = -1;
+  bool fsync_each_ = false;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace fabec::core

@@ -1,0 +1,235 @@
+#include "fab/volume_client.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "common/check.h"
+
+namespace fabec::fab {
+
+VolumeClientConfig VolumeClientConfig::from_brick_config(
+    const runtime::BrickConfig& brick) {
+  VolumeClientConfig config;
+  config.n = brick.n;
+  config.m = brick.m;
+  config.total_bricks = brick.total_bricks;
+  config.block_size = brick.block_size;
+  config.bricks = brick.peers;
+  return config;
+}
+
+VolumeClient::VolumeClient(VolumeClientConfig config, std::uint64_t seed)
+    : config_([&config] {
+        if (config.total_bricks == 0) config.total_bricks = config.n;
+        return config;
+      }()),
+      group_layout_(config_.total_bricks, config_.n),
+      codec_(config_.m, config_.n),
+      layout_(config_.num_blocks, config_.m, config_.layout),
+      loop_(seed),
+      rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  FABEC_CHECK_MSG(config_.client_id >= config_.total_bricks,
+                  "client_id must not collide with a brick id");
+  FABEC_CHECK_MSG(config_.bricks.size() == config_.total_bricks,
+                  "config must name every brick in the pool");
+
+  mux_ = std::make_unique<runtime::DatagramMux>(
+      &loop_, config_.client_id, runtime::Endpoint{"0.0.0.0", 0},
+      [this](ProcessId from, std::vector<core::Message> msgs) {
+        for (core::Message& msg : msgs) {
+          // A client serves no stripes: only replies are meaningful.
+          if (!core::is_request(msg)) coordinator_->on_reply(from, msg);
+        }
+      });
+  mux_->set_peers(config_.bricks);
+
+  // Wall-clock timestamps (epoch ns): different client processes'
+  // timestamp clocks must be comparable or a behind-the-clock client would
+  // keep losing the ord-ts race until its first observe() (§2.3 needs only
+  // PROGRESS, but a shared epoch keeps abort rates flat from the start).
+  ts_source_ = std::make_unique<TimestampSource>(config_.client_id, [] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  });
+  coordinator_ = std::make_unique<core::Coordinator>(
+      config_.client_id, quorum::Config{config_.n, config_.m}, &group_layout_,
+      &codec_, &loop_, ts_source_.get(),
+      [this](ProcessId dest, core::Message msg) {
+        mux_->send(dest, std::move(msg));
+      },
+      config_.coordinator);
+
+  loop_.start();
+}
+
+VolumeClient::~VolumeClient() {
+  close();
+  // Loop is stopped; members tear down in reverse declaration order, so
+  // the coordinator dies before the mux and loop it references.
+}
+
+void VolumeClient::close() {
+  std::map<std::uint64_t, std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_.exchange(true)) return;
+    hooks = std::move(aborts_);
+    aborts_.clear();
+  }
+  // Forget in-flight protocol state on the loop thread, then stop the
+  // loop; only then fail the waiting application threads.
+  loop_.run_sync([this] { coordinator_->drop_all_pending(); });
+  loop_.stop();
+  for (auto& [id, fire] : hooks) fire();
+}
+
+template <typename T, typename Start>
+T VolumeClient::blocking_op(T closed_value, Start&& start) {
+  struct Shared {
+    std::promise<T> promise;
+    std::atomic_flag completed = ATOMIC_FLAG_INIT;
+    void complete(T value) {
+      if (!completed.test_and_set()) promise.set_value(std::move(value));
+    }
+  };
+  auto shared = std::make_shared<Shared>();
+  auto future = shared->promise.get_future();
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return closed_value;
+    id = next_abort_id_++;
+    aborts_.emplace(id,
+                    [shared, closed_value] { shared->complete(closed_value); });
+  }
+  // If close() wins the race from here on, the hook above (already
+  // registered) completes the future; a post dropped by a stopped loop
+  // can no longer strand us.
+  loop_.post([this, id, shared, start = std::forward<Start>(start)]() mutable {
+    start(*coordinator_, [this, id, shared](T result) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        aborts_.erase(id);
+      }
+      shared->complete(std::move(result));
+    });
+  });
+  T result = future.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborts_.erase(id);  // no-op when the completion callback got there first
+  return result;
+}
+
+sim::Duration VolumeClient::jittered(sim::Duration backoff) {
+  const double j = config_.retry.jitter;
+  if (j <= 0) return backoff;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double factor = 1.0 - j + 2.0 * j * rng_.next_double();
+  return static_cast<sim::Duration>(static_cast<double>(backoff) * factor);
+}
+
+VolumeClient::BlockOutcome VolumeClient::read(Lba lba) {
+  const StripeId stripe = config_.stripe_base + layout_.stripe_of(lba);
+  const BlockIndex j = layout_.index_of(lba);
+  sim::Duration backoff = config_.retry.initial_backoff;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    BlockOutcome outcome = blocking_op<BlockOutcome>(
+        BlockOutcome(core::OpError::kMisrouted),
+        [stripe, j](core::Coordinator& c, auto complete) {
+          c.read_block(
+              stripe, j,
+              core::Coordinator::BlockOutcomeCb(std::move(complete)));
+        });
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (outcome.ok()) {
+      ++stats_.ok;
+      return outcome;
+    }
+    if (outcome.error() == core::OpError::kAborted &&
+        attempt < config_.retry.max_attempts && !closed_) {
+      ++stats_.retries;
+      ++stats_.aborted_retried;
+      lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(jittered(backoff)));
+      backoff = std::min<sim::Duration>(
+          static_cast<sim::Duration>(static_cast<double>(backoff) *
+                                     config_.retry.backoff_factor),
+          config_.retry.max_backoff);
+      continue;
+    }
+    switch (outcome.error()) {
+      case core::OpError::kAborted: ++stats_.aborted; break;
+      case core::OpError::kTimeout: ++stats_.timed_out; break;
+      case core::OpError::kMisrouted: ++stats_.misrouted; break;
+    }
+    return outcome;
+  }
+}
+
+VolumeClient::WriteOutcome VolumeClient::write(Lba lba, Block data) {
+  const StripeId stripe = config_.stripe_base + layout_.stripe_of(lba);
+  const BlockIndex j = layout_.index_of(lba);
+  auto block = std::make_shared<const Block>(std::move(data));
+  sim::Duration backoff = config_.retry.initial_backoff;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    WriteOutcome outcome = blocking_op<WriteOutcome>(
+        WriteOutcome(core::OpError::kMisrouted),
+        [stripe, j, block](core::Coordinator& c, auto complete) {
+          c.write_block(
+              stripe, j, *block,
+              core::Coordinator::WriteOutcomeCb(std::move(complete)));
+        });
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (outcome.ok()) {
+      ++stats_.ok;
+      return outcome;
+    }
+    if (outcome.error() == core::OpError::kAborted &&
+        attempt < config_.retry.max_attempts && !closed_) {
+      ++stats_.retries;
+      ++stats_.aborted_retried;
+      lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(jittered(backoff)));
+      backoff = std::min<sim::Duration>(
+          static_cast<sim::Duration>(static_cast<double>(backoff) *
+                                     config_.retry.backoff_factor),
+          config_.retry.max_backoff);
+      continue;
+    }
+    switch (outcome.error()) {
+      case core::OpError::kAborted: ++stats_.aborted; break;
+      case core::OpError::kTimeout: ++stats_.timed_out; break;
+      case core::OpError::kMisrouted: ++stats_.misrouted; break;
+    }
+    return outcome;
+  }
+}
+
+std::optional<std::vector<Block>> VolumeClient::read_stripe(StripeId stripe) {
+  const StripeId global = config_.stripe_base + stripe;
+  return blocking_op<core::Coordinator::StripeResult>(
+      std::nullopt, [global](core::Coordinator& c, auto complete) {
+        c.read_stripe(global, std::move(complete));
+      });
+}
+
+bool VolumeClient::write_stripe(StripeId stripe, std::vector<Block> data) {
+  const StripeId global = config_.stripe_base + stripe;
+  return blocking_op<bool>(
+      false, [global, d = std::move(data)](core::Coordinator& c,
+                                           auto complete) mutable {
+        c.write_stripe(global, std::move(d), std::move(complete));
+      });
+}
+
+core::CoordinatorStats VolumeClient::coordinator_stats() {
+  core::CoordinatorStats stats;
+  loop_.run_sync([this, &stats] { stats = coordinator_->stats(); });
+  return stats;
+}
+
+}  // namespace fabec::fab

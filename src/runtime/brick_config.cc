@@ -1,0 +1,187 @@
+#include "runtime/brick_config.h"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace fabec::runtime {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0, end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+    --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string at_line(int line, const std::string& what) {
+  return "line " + std::to_string(line) + ": " + what;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t next = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (next < value) return false;  // overflow
+    value = next;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_bool(const std::string& text, bool* out) {
+  if (text == "on" || text == "true" || text == "1") return *out = true, true;
+  if (text == "off" || text == "false" || text == "0")
+    return *out = false, true;
+  return false;
+}
+
+}  // namespace
+
+BrickConfigResult parse_brick_config(const std::string& text) {
+  BrickConfig config;
+  std::set<std::string> seen;
+  bool saw_store_path = false, saw_brick_id = false;
+  bool saw_n = false, saw_m = false;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto comment = raw.find('#');
+    if (comment != std::string::npos) raw.erase(comment);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      return {std::nullopt, at_line(line_no, "expected `key = value`")};
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      return {std::nullopt, at_line(line_no, "empty key")};
+    if (value.empty())
+      return {std::nullopt, at_line(line_no, "empty value for `" + key + "`")};
+
+    if (key != "peer" && !seen.insert(key).second)
+      return {std::nullopt, at_line(line_no, "duplicate key `" + key + "`")};
+
+    std::uint64_t num = 0;
+    if (key == "brick_id") {
+      if (!parse_u64(value, &num) || num > 0xFFFFFFFFull)
+        return {std::nullopt, at_line(line_no, "bad brick_id")};
+      config.brick_id = static_cast<ProcessId>(num);
+      saw_brick_id = true;
+    } else if (key == "n") {
+      if (!parse_u64(value, &num) || num == 0 || num > 0xFFFFFFFFull)
+        return {std::nullopt, at_line(line_no, "bad n")};
+      config.n = static_cast<std::uint32_t>(num);
+      saw_n = true;
+    } else if (key == "m") {
+      if (!parse_u64(value, &num) || num == 0 || num > 0xFFFFFFFFull)
+        return {std::nullopt, at_line(line_no, "bad m")};
+      config.m = static_cast<std::uint32_t>(num);
+      saw_m = true;
+    } else if (key == "total_bricks") {
+      if (!parse_u64(value, &num) || num == 0 || num > 0xFFFFFFFFull)
+        return {std::nullopt, at_line(line_no, "bad total_bricks")};
+      config.total_bricks = static_cast<std::uint32_t>(num);
+    } else if (key == "block_size") {
+      if (!parse_u64(value, &num) || num == 0 || num > (60ull << 10))
+        return {std::nullopt,
+                at_line(line_no,
+                        "bad block_size (must be 1..61440: a group's "
+                        "messages must fit a UDP datagram)")};
+      config.block_size = static_cast<std::size_t>(num);
+    } else if (key == "listen") {
+      const auto ep = parse_endpoint(value);
+      if (!ep.has_value())
+        return {std::nullopt,
+                at_line(line_no,
+                        "listen must be <ipv4>:<port> (port 0 = ephemeral)")};
+      config.listen = *ep;
+    } else if (key == "port_file") {
+      config.port_file = value;
+    } else if (key == "store_path") {
+      config.store_path = value;
+      saw_store_path = true;
+    } else if (key == "journal_fsync") {
+      if (!parse_bool(value, &config.journal_fsync))
+        return {std::nullopt,
+                at_line(line_no, "journal_fsync must be on or off")};
+    } else if (key == "peer") {
+      const auto space = value.find(' ');
+      if (space == std::string::npos)
+        return {std::nullopt,
+                at_line(line_no, "peer syntax: peer = <id> <ipv4>:<port>")};
+      if (!parse_u64(trim(value.substr(0, space)), &num) ||
+          num > 0xFFFFFFFFull)
+        return {std::nullopt, at_line(line_no, "bad peer id")};
+      const ProcessId id = static_cast<ProcessId>(num);
+      const auto ep = parse_endpoint(trim(value.substr(space + 1)));
+      if (!ep.has_value())
+        return {std::nullopt, at_line(line_no, "bad peer endpoint")};
+      if (!config.peers.emplace(id, *ep).second)
+        return {std::nullopt,
+                at_line(line_no,
+                        "duplicate brick id " + std::to_string(id) +
+                            " in peer list")};
+    } else {
+      return {std::nullopt, at_line(line_no, "unknown key `" + key + "`")};
+    }
+  }
+
+  // Cross-key invariants.
+  if (!saw_n || !saw_m)
+    return {std::nullopt, "n and m are required"};
+  if (config.m > config.n)
+    return {std::nullopt, "m may not exceed n (need an m-of-n code)"};
+  if (config.total_bricks == 0) config.total_bricks = config.n;
+  if (config.total_bricks < config.n)
+    return {std::nullopt, "total_bricks must be at least n"};
+  if (!saw_brick_id) return {std::nullopt, "brick_id is required"};
+  if (config.brick_id >= config.total_bricks)
+    return {std::nullopt, "brick_id must be below total_bricks"};
+  if (!saw_store_path || config.store_path.empty())
+    return {std::nullopt, "store_path is required"};
+  for (const auto& [id, ep] : config.peers) {
+    (void)ep;
+    if (id >= config.total_bricks)
+      return {std::nullopt,
+              "peer id " + std::to_string(id) + " is outside the pool"};
+  }
+  return {config, ""};
+}
+
+BrickConfigResult load_brick_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return {std::nullopt, "cannot read config file " + path};
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return parse_brick_config(contents.str());
+}
+
+std::string BrickConfig::to_text() const {
+  std::ostringstream out;
+  out << "brick_id = " << brick_id << "\n";
+  out << "n = " << n << "\n";
+  out << "m = " << m << "\n";
+  out << "total_bricks = " << total_bricks << "\n";
+  out << "block_size = " << block_size << "\n";
+  out << "listen = " << listen.addr << ":" << listen.port << "\n";
+  if (!port_file.empty()) out << "port_file = " << port_file << "\n";
+  out << "store_path = " << store_path << "\n";
+  out << "journal_fsync = " << (journal_fsync ? "on" : "off") << "\n";
+  for (const auto& [id, ep] : peers)
+    out << "peer = " << id << " " << ep.addr << ":" << ep.port << "\n";
+  return out.str();
+}
+
+}  // namespace fabec::runtime

@@ -1,0 +1,75 @@
+// brickd configuration files.
+//
+// One brick per machine is the paper's deployment unit (§1.1); a brickd
+// instance is configured by a small `key = value` text file naming the
+// brick's identity, the cluster's quorum layout, where to listen, and where
+// persistent state lives. docs/OPERATIONS.md is the operator-facing
+// reference for every key; the n=8/m=5 example there is round-tripped by
+// tests/runtime/brick_config_test.cc, so the documentation cannot drift
+// from the parser.
+//
+// Syntax: one `key = value` per line; `#` starts a comment (whole-line or
+// trailing); blank lines are ignored. Every key appears at most once,
+// except `peer`, which repeats — once per brick in the pool:
+//     peer = <brick id> <ipv4>:<port>
+// Parsing is strict: unknown keys, duplicate keys, duplicate peer ids,
+// malformed values, and violated invariants (m > n, brick_id outside the
+// pool, missing store_path) are errors that name the offending line —
+// a daemon must not limp along on a half-understood config.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "runtime/datagram_mux.h"
+
+namespace fabec::runtime {
+
+struct BrickConfig {
+  /// This brick's global id in the pool: 0 .. total_bricks-1.
+  ProcessId brick_id = 0;
+  /// Quorum layout: groups of n bricks, m data blocks per stripe.
+  std::uint32_t n = 0;
+  std::uint32_t m = 0;
+  /// Pool size N >= n (group_layout rotation); defaults to n.
+  std::uint32_t total_bricks = 0;
+  std::size_t block_size = 4096;
+  /// Where the brick's UDP socket binds. Port 0 = ephemeral (then
+  /// port_file is how anyone learns it).
+  Endpoint listen{"127.0.0.1", 0};
+  /// If set, the daemon writes its bound port (decimal, newline) here once
+  /// listening — the launcher's readiness and discovery signal.
+  std::string port_file;
+  /// Directory for persistent state (the message journal). Required.
+  std::string store_path;
+  /// fsync the journal after every append: power-failure durability at a
+  /// large throughput cost. Off = survives SIGKILL, not power loss.
+  bool journal_fsync = false;
+  /// Cluster membership: brick id -> endpoint, one entry per brick. The
+  /// daemon itself only replies to observed source addresses and may run
+  /// with an empty peer list; clients and the launcher need the full map.
+  std::map<ProcessId, Endpoint> peers;
+
+  bool operator==(const BrickConfig&) const = default;
+
+  /// Serializes back to the config-file syntax; parse(to_text()) == *this.
+  std::string to_text() const;
+};
+
+/// error is empty iff config is set.
+struct BrickConfigResult {
+  std::optional<BrickConfig> config;
+  std::string error;
+
+  explicit operator bool() const { return config.has_value(); }
+};
+
+BrickConfigResult parse_brick_config(const std::string& text);
+/// Reads and parses `path`; unreadable files are an error, not an empty
+/// config.
+BrickConfigResult load_brick_config(const std::string& path);
+
+}  // namespace fabec::runtime

@@ -1,0 +1,180 @@
+#include "runtime/brick_server.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace fabec::runtime {
+namespace {
+
+/// mkdir -p for the store path (relative or absolute).
+bool make_dirs(const std::string& path) {
+  for (std::size_t end = 1; end <= path.size(); ++end) {
+    if (end != path.size() && path[end] != '/') continue;
+    const std::string prefix = path.substr(0, end);
+    if (prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BrickServer::BrickServer(BrickConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      layout_(config_.total_bricks, config_.n),
+      codec_(config_.m, config_.n),
+      loop_(seed) {}
+
+BrickServer::~BrickServer() {
+  stop();
+  // Mux teardown needs the loop stopped (its fd callback must not run
+  // while members die); destruction order below handles the rest.
+  mux_.reset();
+}
+
+bool BrickServer::init(std::string* error) {
+  FABEC_CHECK_MSG(mux_ == nullptr, "init() called twice");
+  if (!make_dirs(config_.store_path)) {
+    *error = "cannot create store_path " + config_.store_path + ": " +
+             std::strerror(errno);
+    return false;
+  }
+  const std::string journal_path = config_.store_path + "/journal";
+
+  // Recover: replay every journaled mutation through a fresh replica. The
+  // handlers are deterministic state transitions, so the store after replay
+  // equals the store at the moment of the crash (minus any torn tail the
+  // brick never acknowledged).
+  store_ = std::make_unique<storage::BrickStore>(config_.block_size);
+  replica_ = std::make_unique<core::RegisterReplica>(
+      config_.brick_id, quorum::Config{config_.n, config_.m}, &layout_,
+      &codec_, store_.get());
+  const auto journaled = core::MessageJournal::load(journal_path);
+  if (!journaled.has_value()) {
+    *error = "cannot read journal " + journal_path;
+    return false;
+  }
+  for (const core::Message& msg : *journaled) {
+    replica_->handle(msg);  // replies (to nobody) discarded
+    ++stats_.journal_replayed;
+  }
+
+  if (!journal_.open(journal_path, config_.journal_fsync)) {
+    *error = "cannot open journal " + journal_path + " for append: " +
+             std::strerror(errno);
+    return false;
+  }
+
+  mux_ = std::make_unique<DatagramMux>(
+      &loop_, config_.brick_id, config_.listen,
+      [this](ProcessId from, std::vector<core::Message> msgs) {
+        on_messages(from, std::move(msgs));
+      });
+
+  if (!config_.port_file.empty()) {
+    // Write-then-rename: the launcher polls for the file's existence and
+    // must never read a half-written port.
+    const std::string tmp = config_.port_file + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        *error = "cannot write port file " + config_.port_file;
+        return false;
+      }
+      out << mux_->local_port() << "\n";
+    }
+    if (::rename(tmp.c_str(), config_.port_file.c_str()) != 0) {
+      *error = "cannot publish port file " + config_.port_file;
+      return false;
+    }
+  }
+  return true;
+}
+
+void BrickServer::run() {
+  FABEC_CHECK_MSG(mux_ != nullptr, "init() before run()");
+  loop_.run();
+}
+
+void BrickServer::start() {
+  FABEC_CHECK_MSG(mux_ != nullptr, "init() before start()");
+  loop_.start();
+}
+
+void BrickServer::stop() { loop_.stop(); }
+
+std::uint16_t BrickServer::port() const {
+  FABEC_CHECK_MSG(mux_ != nullptr, "init() before port()");
+  return mux_->local_port();
+}
+
+void BrickServer::on_messages(ProcessId from,
+                              std::vector<core::Message> msgs) {
+  for (core::Message& msg : msgs) {
+    if (!core::is_request(msg)) {
+      // A reply can only reach a brick via misrouting or a stale envelope:
+      // this server coordinates nothing.
+      ++stats_.dropped;
+      continue;
+    }
+    handle_request(from, std::move(msg));
+  }
+}
+
+void BrickServer::handle_request(ProcessId from, core::Message msg) {
+  ++stats_.requests_handled;
+
+  if (std::holds_alternative<core::GcReq>(msg)) {
+    // Fire-and-forget, no reply, no dedup needed (gc_below is idempotent).
+    const bool journaled = journal_.append(msg);
+    FABEC_CHECK_MSG(journaled, "journal append failed");
+    ++stats_.journal_appends;
+    replica_->handle(msg);
+    return;
+  }
+
+  const core::OpId op = std::visit(
+      [](const auto& m) -> core::OpId {
+        if constexpr (requires { m.op; })
+          return m.op;
+        else
+          return 0;
+      },
+      msg);
+  const auto key = std::make_pair(from, op);
+  if (const auto cached = reply_cache_.find(key);
+      cached != reply_cache_.end()) {
+    ++stats_.replies_from_cache;
+    mux_->send(from, cached->second);
+    return;
+  }
+
+  // Journal BEFORE handling: once the reply leaves, the mutation is
+  // acknowledged and must survive a kill (write-ahead discipline).
+  if (core::is_mutating_request(msg)) {
+    const bool journaled = journal_.append(msg);
+    FABEC_CHECK_MSG(journaled, "journal append failed");
+    ++stats_.journal_appends;
+  }
+
+  std::optional<core::Message> reply = replica_->handle(msg);
+  FABEC_CHECK(reply.has_value());  // every non-Gc request has a reply
+
+  if (reply_cache_.size() >= kReplyCacheCap) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+  reply_cache_.emplace(key, *reply);
+  reply_cache_order_.push_back(key);
+
+  mux_->send(from, *reply);
+}
+
+}  // namespace fabec::runtime

@@ -1,0 +1,97 @@
+// BrickServer: everything a `brickd` process does, as a library class.
+//
+// One brick of the pool, hosted behind an EpollLoop and a DatagramMux:
+// protocol requests arrive as datagrams, are deduplicated against the reply
+// cache, journaled (mutating kinds only — core/journal.h), handled by the
+// RegisterReplica, and answered to the sender's observed source address.
+// The server is replica-side only: in the multi-process deployment the
+// *client* runs the coordinator (any process may coordinate, §4.1 — the
+// volume library exercises exactly that), so a brickd needs no timestamp
+// source, no peer map, and no retransmit machinery of its own.
+//
+// Living in src/runtime rather than tools/ keeps the daemon shell-thin
+// (tools/brickd_main.cc is argv + signals) and lets tests boot whole
+// multi-server clusters in one process against real sockets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/group_layout.h"
+#include "core/journal.h"
+#include "core/replica.h"
+#include "erasure/codec.h"
+#include "runtime/brick_config.h"
+#include "runtime/datagram_mux.h"
+#include "runtime/epoll_loop.h"
+#include "storage/brick_store.h"
+
+namespace fabec::runtime {
+
+struct BrickServerStats {
+  std::uint64_t requests_handled = 0;
+  std::uint64_t replies_from_cache = 0;  ///< duplicate (retransmitted) reqs
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_replayed = 0;  ///< records recovered at startup
+  std::uint64_t dropped = 0;  ///< non-request traffic (we coordinate nothing)
+};
+
+class BrickServer {
+ public:
+  /// Validated config in, no side effects until init().
+  explicit BrickServer(BrickConfig config, std::uint64_t seed = 1);
+  ~BrickServer();
+
+  BrickServer(const BrickServer&) = delete;
+  BrickServer& operator=(const BrickServer&) = delete;
+
+  /// Creates the store directory, replays the journal, binds the socket,
+  /// and writes the port file (if configured). False + error on failure.
+  bool init(std::string* error);
+
+  /// Drives the loop on the calling thread until stop() — the daemon shape.
+  void run();
+  /// Drives the loop on a background thread — the in-process-test shape.
+  void start();
+  /// Stops the loop (any thread; idempotent). After stop() the socket is
+  /// still bound until destruction.
+  void stop();
+
+  ProcessId brick_id() const { return config_.brick_id; }
+  /// Bound UDP port; valid after init().
+  std::uint16_t port() const;
+  const BrickConfig& config() const { return config_; }
+  EpollLoop& loop() { return loop_; }
+  const BrickServerStats& stats() const { return stats_; }
+  /// Test introspection; touch only via loop().run_sync or before run.
+  storage::BrickStore& store() { return *store_; }
+
+ private:
+  void on_messages(ProcessId from, std::vector<core::Message> msgs);
+  void handle_request(ProcessId from, core::Message msg);
+
+  BrickConfig config_;
+  core::GroupLayout layout_;
+  erasure::Codec codec_;
+  EpollLoop loop_;
+  std::unique_ptr<storage::BrickStore> store_;
+  std::unique_ptr<core::RegisterReplica> replica_;
+  core::MessageJournal journal_;
+  std::unique_ptr<DatagramMux> mux_;
+  BrickServerStats stats_;
+
+  /// At-most-once execution of retransmitted requests, as in the
+  /// in-process runtimes — but bounded: a daemon outliving millions of ops
+  /// cannot keep every reply. FIFO eviction is safe because a retransmit
+  /// of an evicted request re-executes an (idempotent) old mutation whose
+  /// effect is already in the log.
+  static constexpr std::size_t kReplyCacheCap = 8192;
+  std::map<std::pair<ProcessId, core::OpId>, core::Message> reply_cache_;
+  std::deque<std::pair<ProcessId, core::OpId>> reply_cache_order_;
+};
+
+}  // namespace fabec::runtime

@@ -1,0 +1,186 @@
+// brickd config parsing: strictness (malformed keys, missing store path,
+// duplicates), round-tripping via to_text(), and — the docs pin — parsing
+// the canonical n=8/m=5 example straight out of docs/OPERATIONS.md.
+#include "runtime/brick_config.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fabec::runtime {
+namespace {
+
+constexpr char kMinimal[] = R"(
+brick_id = 2
+n = 4
+m = 2
+store_path = /tmp/fab/brick2
+)";
+
+TEST(BrickConfigTest, ParsesMinimalConfig) {
+  const auto result = parse_brick_config(kMinimal);
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(result.config->brick_id, 2u);
+  EXPECT_EQ(result.config->n, 4u);
+  EXPECT_EQ(result.config->m, 2u);
+  EXPECT_EQ(result.config->total_bricks, 4u);  // defaults to n
+  EXPECT_EQ(result.config->block_size, 4096u);
+  EXPECT_EQ(result.config->listen, (Endpoint{"127.0.0.1", 0}));
+  EXPECT_EQ(result.config->store_path, "/tmp/fab/brick2");
+  EXPECT_FALSE(result.config->journal_fsync);
+  EXPECT_TRUE(result.config->peers.empty());
+}
+
+TEST(BrickConfigTest, CommentsAndBlankLinesIgnored) {
+  const auto result = parse_brick_config(
+      "# leading comment\n\nbrick_id = 0\nn = 2   # trailing\nm = 1\n"
+      "store_path = /tmp/x\n");
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(result.config->n, 2u);
+}
+
+TEST(BrickConfigTest, UnknownKeyIsErrorWithLineNumber) {
+  const auto result =
+      parse_brick_config("brick_id = 0\nn = 2\nm = 1\nbogus_key = 1\n"
+                         "store_path = /tmp/x\n");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error.find("bogus_key"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("4"), std::string::npos) << result.error;
+}
+
+TEST(BrickConfigTest, MalformedValueIsError) {
+  const auto result = parse_brick_config(
+      "brick_id = 0\nn = twelve\nm = 1\nstore_path = /tmp/x\n");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error.find("n"), std::string::npos) << result.error;
+}
+
+TEST(BrickConfigTest, MissingEqualsIsError) {
+  const auto result = parse_brick_config("brick_id 0\n");
+  ASSERT_FALSE(result);
+}
+
+TEST(BrickConfigTest, MissingStorePathIsError) {
+  const auto result = parse_brick_config("brick_id = 0\nn = 2\nm = 1\n");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error.find("store_path"), std::string::npos)
+      << result.error;
+}
+
+TEST(BrickConfigTest, DuplicateKeyIsError) {
+  const auto result = parse_brick_config(
+      "brick_id = 0\nbrick_id = 1\nn = 2\nm = 1\nstore_path = /tmp/x\n");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error.find("brick_id"), std::string::npos) << result.error;
+}
+
+TEST(BrickConfigTest, DuplicatePeerIdIsError) {
+  const auto result = parse_brick_config(
+      "brick_id = 0\nn = 2\nm = 1\nstore_path = /tmp/x\n"
+      "peer = 0 127.0.0.1:1000\npeer = 0 127.0.0.1:1001\n");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error.find("peer"), std::string::npos) << result.error;
+}
+
+TEST(BrickConfigTest, QuorumInvariantsEnforced) {
+  // m > n
+  EXPECT_FALSE(parse_brick_config(
+      "brick_id = 0\nn = 2\nm = 3\nstore_path = /tmp/x\n"));
+  // brick_id outside the pool
+  EXPECT_FALSE(parse_brick_config(
+      "brick_id = 2\nn = 2\nm = 1\nstore_path = /tmp/x\n"));
+  // total_bricks < n
+  EXPECT_FALSE(parse_brick_config(
+      "brick_id = 0\nn = 4\nm = 2\ntotal_bricks = 3\nstore_path = /tmp/x\n"));
+  // peer id outside the pool
+  EXPECT_FALSE(parse_brick_config(
+      "brick_id = 0\nn = 2\nm = 1\nstore_path = /tmp/x\n"
+      "peer = 5 127.0.0.1:1000\n"));
+  // block_size beyond one datagram
+  EXPECT_FALSE(parse_brick_config(
+      "brick_id = 0\nn = 2\nm = 1\nblock_size = 100000\nstore_path = /tmp/x\n"));
+}
+
+TEST(BrickConfigTest, BadEndpointIsError) {
+  EXPECT_FALSE(parse_brick_config(
+      "brick_id = 0\nn = 2\nm = 1\nlisten = nonsense\nstore_path = /tmp/x\n"));
+  EXPECT_FALSE(parse_brick_config(
+      "brick_id = 0\nn = 2\nm = 1\nstore_path = /tmp/x\n"
+      "peer = 0 127.0.0.1\n"));
+}
+
+TEST(BrickConfigTest, ToTextRoundTrips) {
+  BrickConfig config;
+  config.brick_id = 3;
+  config.n = 4;
+  config.m = 2;
+  config.total_bricks = 6;
+  config.block_size = 1024;
+  config.listen = {"127.0.0.1", 9000};
+  config.port_file = "/tmp/fab/b3.port";
+  config.store_path = "/tmp/fab/b3";
+  config.journal_fsync = true;
+  for (std::uint32_t i = 0; i < 6; ++i)
+    config.peers[i] = {"127.0.0.1", static_cast<std::uint16_t>(9000 + i)};
+
+  const auto result = parse_brick_config(config.to_text());
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(*result.config, config);
+}
+
+TEST(BrickConfigTest, LoadReportsUnreadableFile) {
+  const auto result = load_brick_config("/nonexistent/path/brick.conf");
+  ASSERT_FALSE(result);
+  EXPECT_FALSE(result.error.empty());
+}
+
+/// Extracts the first ```ini fenced block from markdown text.
+std::string first_ini_block(const std::string& markdown) {
+  const auto fence = markdown.find("```ini");
+  if (fence == std::string::npos) return {};
+  const auto start = markdown.find('\n', fence);
+  const auto end = markdown.find("```", start);
+  if (start == std::string::npos || end == std::string::npos) return {};
+  return markdown.substr(start + 1, end - start - 1);
+}
+
+// The operator's guide cannot drift from the parser: its canonical n=8/m=5
+// example must parse, and mean what the document says it means.
+TEST(BrickConfigTest, OperationsGuideExampleParses) {
+  const std::string path = std::string(FABEC_SOURCE_DIR) +
+                           "/docs/OPERATIONS.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string example = first_ini_block(buffer.str());
+  ASSERT_FALSE(example.empty()) << "no ```ini block in docs/OPERATIONS.md";
+
+  const auto result = parse_brick_config(example);
+  ASSERT_TRUE(result) << result.error;
+  const BrickConfig& config = *result.config;
+  EXPECT_EQ(config.brick_id, 0u);
+  EXPECT_EQ(config.n, 8u);
+  EXPECT_EQ(config.m, 5u);
+  EXPECT_EQ(config.total_bricks, 8u);
+  EXPECT_EQ(config.block_size, 4096u);
+  EXPECT_EQ(config.listen, (Endpoint{"127.0.0.1", 47000}));
+  EXPECT_EQ(config.port_file, "/var/run/fab/brick0.port");
+  EXPECT_EQ(config.store_path, "/var/lib/fab/brick0");
+  EXPECT_FALSE(config.journal_fsync);
+  ASSERT_EQ(config.peers.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(config.peers.count(i));
+    EXPECT_EQ(config.peers.at(i),
+              (Endpoint{"127.0.0.1", static_cast<std::uint16_t>(47000 + i)}));
+  }
+  // And it survives a round trip through the serializer.
+  const auto again = parse_brick_config(config.to_text());
+  ASSERT_TRUE(again) << again.error;
+  EXPECT_EQ(*again.config, config);
+}
+
+}  // namespace
+}  // namespace fabec::runtime

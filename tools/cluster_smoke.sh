@@ -1,0 +1,21 @@
+#!/bin/sh
+# Quick socket-level sanity run: boots a 4-process brickd cluster, replays
+# 1k operations with one SIGKILL/restart injection, and checks the recorded
+# histories against the strict-linearizability oracle. Mirrors the ctest
+# `cluster_smoke` case (label: cluster) for running by hand.
+#
+#   tools/cluster_smoke.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build}"
+CLUSTER="$BUILD_DIR/tools/cluster"
+
+if [ ! -x "$CLUSTER" ]; then
+  echo "cluster_smoke: $CLUSTER not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+exec "$CLUSTER" \
+  --bricks 4 --m 2 --clients 2 \
+  --ops 1000 --lbas 64 \
+  --kills 1 --kill-interval-ms 300 --deadline-ms 1500
