@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -89,6 +90,7 @@ class CampaignRunner {
     // Operations orphaned by a crash whose coordinator never re-ran them.
     for (auto& op : ops_)
       if (!op->done) mark_crashed(*op);
+    repair_rotted();
     check();
     result_.faults = nemesis_->stats();
     for (const FaultEvent& e : nemesis_->schedule())
@@ -409,6 +411,63 @@ class CampaignRunner {
                        }));
   }
 
+  // --- end-of-run scrub/repair (disk-fault campaigns) -------------------
+
+  core::Coordinator::ScrubResult run_scrub(StripeId stripe) {
+    auto verdict = core::Coordinator::ScrubResult::kInconclusive;
+    cluster_->coordinator(pick_coordinator())
+        .scrub_stripe(stripe, [&verdict](core::Coordinator::ScrubResult r) {
+          verdict = r;
+        });
+    cluster_->simulator().run_until_idle();
+    return verdict;
+  }
+
+  /// Every stripe the nemesis rotted must end the campaign healed: scrub
+  /// (detect), repair (erasure-decode from the surviving replicas and write
+  /// back), re-scrub (verify). A stripe overwritten or GC'd past the rot
+  /// scrubs clean immediately — the corruption is already gone from the
+  /// protocol-visible state.
+  void repair_rotted() {
+    if (cfg_.nemesis.bit_rots == 0) return;
+    std::set<StripeId> stripes;
+    for (const auto& [brick, stripe] : nemesis_->rotted()) stripes.insert(stripe);
+    for (const StripeId stripe : stripes) {
+      ++result_.stripes_scrubbed;
+      const auto first = run_scrub(stripe);
+      if (first == core::Coordinator::ScrubResult::kClean) {
+        ++result_.scrubs_clean;
+        continue;
+      }
+      if (first == core::Coordinator::ScrubResult::kCorrupt)
+        ++result_.scrubs_corrupt;
+      // Corrupt — or inconclusive from replicas settled at different
+      // versions after a partial write; repair resolves both.
+      bool repaired = false;
+      for (int attempt = 0; attempt < 3 && !repaired; ++attempt) {
+        cluster_->coordinator(pick_coordinator())
+            .repair_stripe(stripe,
+                           core::Coordinator::WriteCb(
+                               [&repaired](bool ok) { repaired = ok; }));
+        cluster_->simulator().run_until_idle();
+      }
+      if (!repaired) {
+        std::ostringstream os;
+        os << "stripe " << stripe << ": repair failed after bit rot";
+        fail(os.str());
+        continue;
+      }
+      ++result_.repairs_run;
+      if (run_scrub(stripe) == core::Coordinator::ScrubResult::kClean) {
+        ++result_.scrubs_clean;
+      } else {
+        std::ostringstream os;
+        os << "stripe " << stripe << ": still corrupt after repair";
+        fail(os.str());
+      }
+    }
+  }
+
   // --- verdict ----------------------------------------------------------
 
   void check() {
@@ -480,6 +539,8 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
     os << " --blackouts " << config.nemesis.quorum_blackouts;
   if (config.nemesis.dup_ramps != 0)
     os << " --dup-ramps " << config.nemesis.dup_ramps;
+  if (config.nemesis.bit_rots != 0)
+    os << " --bit-rots " << config.nemesis.bit_rots;
   if (config.batch_frames) os << " --batch-frames";
   if (config.op_deadline != 0)
     os << " --deadline-us " << config.op_deadline / 1000;

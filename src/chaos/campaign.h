@@ -94,6 +94,15 @@ struct CampaignResult {
   /// within op_deadline plus scheduling slack.
   sim::Duration max_attempt_latency = 0;
 
+  // End-of-run scrub/repair pass (runs only when nemesis.bit_rots > 0):
+  // every rotted stripe is parity-scrubbed, repaired via erasure decode if
+  // the corruption is still protocol-visible, and re-scrubbed — the final
+  // scrub must come back clean or the campaign fails.
+  std::uint64_t stripes_scrubbed = 0;
+  std::uint64_t scrubs_corrupt = 0;   ///< first scrub found the rot
+  std::uint64_t repairs_run = 0;      ///< repair_stripe invocations that ok'd
+  std::uint64_t scrubs_clean = 0;     ///< final verdicts (must equal scrubbed)
+
   NemesisStats faults;
   /// Human-readable generated fault schedule (FaultEvent::describe()), for
   /// replay diagnostics.

@@ -1,0 +1,368 @@
+#include "chaos/disk_campaign.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fnv.h"
+#include "common/rng.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "core/messages.h"
+#include "core/persistence.h"
+#include "core/snapshot.h"
+#include "storage/brick_store.h"
+#include "storage/env.h"
+
+namespace fabec::chaos {
+
+namespace {
+
+constexpr const char* kDir = "store";
+
+/// The campaign's journaled mutations and their deterministic state
+/// transitions — the same apply-on-replay discipline BrickServer uses, so
+/// the recovered store must equal the acked store exactly. The ts guard
+/// makes write replay idempotent (a record may be covered by a snapshot
+/// from the same generation).
+void apply_msg(storage::BrickStore& store, const core::Message& msg) {
+  if (const auto* w = std::get_if<core::WriteReq>(&msg)) {
+    auto& rep = store.replica(w->stripe);
+    if (rep.max_ts() < w->ts) rep.append(w->ts, w->block, store.io());
+  } else if (const auto* g = std::get_if<core::GcReq>(&msg)) {
+    if (store.has_replica(g->stripe))
+      store.replica(g->stripe).gc_below(g->complete_ts);
+  }
+}
+
+std::size_t crc_failures(const storage::BrickStore& store) {
+  std::size_t n = 0;
+  store.for_each_replica([&n](StripeId, const storage::ReplicaStore& rep) {
+    n += rep.count_crc_failures();
+  });
+  return n;
+}
+
+class DiskCampaign {
+ public:
+  DiskCampaign(const DiskCampaignConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {
+    result_.seed = seed;
+  }
+
+  DiskCampaignResult run() {
+    for (std::uint32_t round = 0; round < cfg_.rounds && ok(); ++round)
+      run_round(round);
+
+    // Final lifetime: recover on a clean env (the last round's kill or rot
+    // already happened), check the oracle one last time, and fsck the
+    // surviving files — the offline checker must agree a chain exists.
+    if (ok()) {
+      core::PersistentState persist(mem_, options());
+      auto live = recover(persist, cfg_.rounds, &mem_);
+      if (live) {
+        const auto report = core::PersistentState::fsck(mem_, kDir);
+        if (!report.ok) fail("final fsck found no recoverable chain");
+        finish_hash(live->fingerprint());
+      }
+    }
+
+    result_.ok = result_.violation.empty();
+    return result_;
+  }
+
+ private:
+  bool ok() const { return result_.violation.empty(); }
+
+  void fail(std::string why) {
+    if (result_.violation.empty()) result_.violation = std::move(why);
+  }
+
+  core::PersistentState::Options options() const {
+    core::PersistentState::Options o;
+    o.dir = kDir;
+    o.compact_threshold_bytes = cfg_.compact_threshold_bytes;
+    return o;
+  }
+
+  /// Builds this lifetime's environment. kBitFlip lifetimes run on the
+  /// clean MemEnv (rot lands between lifetimes); the others wrap it in a
+  /// seeded FaultEnv.
+  storage::Env* make_env(std::uint32_t round) {
+    fenv_.reset();
+    switch (cfg_.profile) {
+      case DiskProfile::kBitFlip:
+        return &mem_;
+      case DiskProfile::kTornWrite: {
+        storage::FaultPlan plan;
+        plan.seed = rng_.next_u64();
+        plan.crash_at_append = 1 + rng_.next_below(cfg_.writes_per_round);
+        // Rotate the crash site: any append, a journal record, a snapshot
+        // temp (dying mid-compaction — the stale .tmp recovery must sweep).
+        switch (round % 3) {
+          case 1: plan.crash_path_substr = "journal"; break;
+          case 2: plan.crash_path_substr = "snapshot"; break;
+          default: break;
+        }
+        fenv_ = std::make_unique<storage::FaultEnv>(&mem_, plan);
+        return fenv_.get();
+      }
+      case DiskProfile::kEnospc: {
+        storage::FaultPlan plan;
+        plan.seed = rng_.next_u64();
+        plan.enospc_from = 1 + rng_.next_below(cfg_.writes_per_round);
+        plan.enospc_until =
+            plan.enospc_from + 1 + rng_.next_below(cfg_.writes_per_round / 4 + 1);
+        fenv_ = std::make_unique<storage::FaultEnv>(&mem_, plan);
+        return fenv_.get();
+      }
+    }
+    return &mem_;
+  }
+
+  /// Recovery + the oracle. Returns the live store, or nullptr after a
+  /// violation.
+  std::unique_ptr<storage::BrickStore> recover(core::PersistentState& persist,
+                                               std::uint32_t round,
+                                               storage::Env* /*env*/) {
+    std::unique_ptr<storage::BrickStore> live;
+    std::string err;
+    if (!persist.recover_store(cfg_.block_size, &live, &err)) {
+      // The refusal rule fires only when every snapshot is invalid; the
+      // campaign's rot targets the newest generation only (and only once a
+      // fallback generation exists), so a refusal means the previous
+      // generation was lost too — a durability violation.
+      fail("round " + std::to_string(round) + ": recovery refused: " + err);
+      return nullptr;
+    }
+    if (!persist.replay_journals(
+            [&live](const core::Message& m) { apply_msg(*live, m); }, &err)) {
+      fail("round " + std::to_string(round) + ": replay failed: " + err);
+      return nullptr;
+    }
+    if (!persist.start_appending(&err)) {
+      fail("round " + std::to_string(round) + ": journal open failed: " + err);
+      return nullptr;
+    }
+    ++result_.recoveries;
+
+    const std::uint64_t fp = live->fingerprint();
+    if (round > 0) check_recovered(round, *live, fp);
+    seen_.insert(fp);
+    last_fp_ = fp;
+    crash_pending_fp_.reset();
+    return live;
+  }
+
+  void check_recovered(std::uint32_t round, const storage::BrickStore& live,
+                       std::uint64_t fp) {
+    if (cfg_.profile == DiskProfile::kBitFlip) {
+      // Rot may seal the journal at an earlier acked prefix (any previously
+      // acked state is legal) or land in a snapshot's block region (loads
+      // as detected, quarantined corruption — never as wrong data).
+      if (seen_.count(fp) > 0) return;
+      if (crc_failures(live) > 0) {
+        ++result_.detected_corruptions;
+        return;
+      }
+      fail("round " + std::to_string(round) +
+           ": recovered state matches no acked prefix and carries no "
+           "detected corruption (lost or invented a write)");
+      return;
+    }
+    // Torn writes and ENOSPC never lose an acked write: recovery must land
+    // exactly on the last acked state — or on it plus the one crash-pending
+    // append whose record reached the disk whole before the ack.
+    if (fp == last_fp_) return;
+    if (crash_pending_fp_ && fp == *crash_pending_fp_) return;
+    fail("round " + std::to_string(round) +
+         ": recovered state != last acked state (lost or invented a write)");
+  }
+
+  /// Journals one mutation and, when acked, applies it to the live store
+  /// and fingerprints the new acked state. On a crash-point failure the
+  /// torn prefix may hold the whole record, so the post-apply state is
+  /// computed on a clone and remembered as the one extra legal recovery.
+  bool attempt(core::PersistentState& persist, storage::BrickStore& live,
+               const core::Message& msg) {
+    if (persist.append(msg)) {
+      apply_msg(live, msg);
+      last_fp_ = live.fingerprint();
+      seen_.insert(last_fp_);
+      result_.max_journal_bytes =
+          std::max(result_.max_journal_bytes, persist.active_journal_bytes());
+      return true;
+    }
+    ++result_.appends_refused;
+    if (persist.append_status() == storage::IoStatus::kCrashed) {
+      auto clone = core::snapshot::decode(core::snapshot::encode(live));
+      FABEC_CHECK(clone != nullptr);
+      apply_msg(*clone, msg);
+      crash_pending_fp_ = clone->fingerprint();
+    }
+    return false;
+  }
+
+  void run_round(std::uint32_t round) {
+    storage::Env* env = make_env(round);
+    core::PersistentState persist(*env, options());
+    auto live = recover(persist, round, env);
+    if (!live) return;
+
+    for (std::uint64_t i = 0; i < cfg_.writes_per_round && ok(); ++i) {
+      if (fenv_ && fenv_->crashed()) break;  // the process is gone
+
+      core::WriteReq w;
+      w.stripe = static_cast<StripeId>(rng_.next_below(cfg_.num_stripes));
+      w.op = ++op_counter_;
+      w.ts.time = ++ts_counter_;
+      w.ts.proc = 0;
+      w.block.resize(cfg_.block_size);
+      for (auto& b : w.block) b = static_cast<std::uint8_t>(rng_.next_u64());
+      if (attempt(persist, *live, core::Message(w))) {
+        ++result_.writes_acked;
+        if (cfg_.gc_every != 0 && result_.writes_acked % cfg_.gc_every == 0) {
+          core::GcReq g;
+          g.stripe = w.stripe;
+          g.complete_ts = w.ts;
+          attempt(persist, *live, core::Message(g));
+        }
+      }
+      if ((!fenv_ || !fenv_->crashed()) && persist.should_compact())
+        persist.compact(*live);
+    }
+
+    const auto& ps = persist.stats();
+    result_.compactions += ps.compactions;
+    result_.compaction_failures += ps.compaction_failures;
+    result_.journal_rolls += ps.journal_rolls;
+    result_.journal_tail_dropped_bytes += ps.journal_tail_dropped_bytes;
+    result_.snapshots_rejected += ps.snapshots_rejected;
+    result_.journal_entries_replayed += ps.journal_entries_replayed;
+    if (fenv_) result_.crashes_injected += fenv_->stats().crashes_injected;
+    ++result_.rounds_run;
+
+    if (cfg_.profile == DiskProfile::kBitFlip)
+      inject_rot(1 + round / 2);  // the ramp: later rounds rot harder
+  }
+
+  /// Flips seeded bits directly in the surviving bytes — media rot between
+  /// process lifetimes. Targets are restricted to files whose corruption
+  /// the recovery chain is DESIGNED to absorb: the newest snapshot (only
+  /// once a fallback generation exists — rotting the sole snapshot forces
+  /// the loud refusal rule, which is a different test) and the tail journal
+  /// segment (sealed at its good prefix). Rotting the middle of a non-tail
+  /// segment would tear a hole replay cannot bridge; that class needs
+  /// cross-brick repair, which the cluster-level campaigns exercise.
+  void inject_rot(std::uint32_t flips) {
+    for (std::uint32_t i = 0; i < flips; ++i) {
+      std::optional<std::uint64_t> newest_snap;
+      std::size_t snapshots = 0;
+      std::optional<std::uint64_t> tail_journal;
+      for (const std::string& name : mem_.list_dir(kDir)) {
+        if (auto s = core::snapshot::parse_seq(name, "snapshot")) {
+          ++snapshots;
+          if (!newest_snap || *s > *newest_snap) newest_snap = *s;
+        } else if (auto j = core::snapshot::parse_seq(name, "journal")) {
+          if (!tail_journal || *j > *tail_journal) tail_journal = *j;
+        }
+      }
+      std::vector<std::string> targets;
+      if (snapshots >= 2 && newest_snap)
+        targets.push_back(std::string(kDir) + "/" +
+                          core::snapshot::file_name(*newest_snap));
+      if (tail_journal)
+        targets.push_back(std::string(kDir) + "/journal." +
+                          std::to_string(*tail_journal));
+      std::erase_if(targets, [this](const std::string& path) {
+        const Bytes* f = mem_.mutable_file(path);
+        return f == nullptr || f->empty();
+      });
+      if (targets.empty()) return;
+
+      const std::string& path = targets[rng_.next_below(targets.size())];
+      Bytes* file = mem_.mutable_file(path);
+      const std::size_t byte = rng_.next_below(file->size());
+      (*file)[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+      ++result_.bit_flips_injected;
+    }
+  }
+
+  void finish_hash(std::uint64_t final_fp) {
+    Fnv1a h;
+    h.update_value(final_fp);
+    h.update_value(result_.writes_acked);
+    h.update_value(result_.appends_refused);
+    h.update_value(result_.recoveries);
+    h.update_value(result_.compactions);
+    h.update_value(result_.journal_rolls);
+    h.update_value(result_.snapshots_rejected);
+    h.update_value(result_.journal_entries_replayed);
+    h.update_value(result_.detected_corruptions);
+    h.update_value(result_.bit_flips_injected);
+    h.update_value(result_.crashes_injected);
+    result_.state_hash = h.digest();
+  }
+
+  const DiskCampaignConfig& cfg_;
+  Rng rng_;
+  DiskCampaignResult result_;
+
+  storage::MemEnv mem_;  ///< the "disk"; outlives every process lifetime
+  std::unique_ptr<storage::FaultEnv> fenv_;  ///< this lifetime's fault layer
+
+  /// Fingerprint of the live store after every acked mutation, across all
+  /// lifetimes — the set of states recovery is allowed to land on.
+  std::set<std::uint64_t> seen_;
+  std::uint64_t last_fp_ = 0;
+  /// State including the one append that crashed mid-write: legal iff its
+  /// torn prefix happened to hold the whole record.
+  std::optional<std::uint64_t> crash_pending_fp_;
+
+  std::int64_t ts_counter_ = 0;
+  core::OpId op_counter_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(DiskProfile profile) {
+  switch (profile) {
+    case DiskProfile::kBitFlip: return "bitflip";
+    case DiskProfile::kTornWrite: return "torn";
+    case DiskProfile::kEnospc: return "enospc";
+  }
+  return "?";
+}
+
+DiskCampaignResult run_disk_campaign(const DiskCampaignConfig& config,
+                                     std::uint64_t seed) {
+  return DiskCampaign(config, seed).run();
+}
+
+std::string disk_replay_command(const DiskCampaignConfig& config,
+                                std::uint64_t seed) {
+  std::ostringstream os;
+  os << "torture --disk " << to_string(config.profile);
+  const DiskCampaignConfig defaults;
+  if (config.rounds != defaults.rounds) os << " --rounds " << config.rounds;
+  if (config.writes_per_round != defaults.writes_per_round)
+    os << " --writes-per-round " << config.writes_per_round;
+  if (config.block_size != defaults.block_size)
+    os << " --block-size " << config.block_size;
+  if (config.num_stripes != defaults.num_stripes)
+    os << " --stripes " << config.num_stripes;
+  if (config.compact_threshold_bytes != defaults.compact_threshold_bytes)
+    os << " --compact-threshold " << config.compact_threshold_bytes;
+  if (config.gc_every != defaults.gc_every)
+    os << " --gc-every " << config.gc_every;
+  os << " --replay " << seed;
+  return os.str();
+}
+
+}  // namespace fabec::chaos

@@ -1,0 +1,104 @@
+// Disk-fault campaigns: seeded torture runs of the persistence stack
+// (core::PersistentState over storage::MemEnv + FaultEnv), no network, no
+// simulator — the disk is the adversary.
+//
+// One campaign drives a single brick's on-disk state machine through
+// `rounds` crash/recover cycles. Each round recovers from the surviving
+// bytes, appends a batch of journaled writes (compacting whenever the WAL
+// crosses the threshold), and then dies according to the profile:
+//
+//   * kBitFlip  — the round ends in a clean kill, then `1 + round/2` seeded
+//                 bit flips land in the newest snapshot (only once a fallback
+//                 generation exists) or the tail journal segment — latent
+//                 media rot between process lifetimes;
+//   * kTornWrite — a FaultEnv crash point fires mid-append (journal or
+//                 snapshot temp, rotating by round): a seeded prefix of that
+//                 append reaches the disk, nothing after;
+//   * kEnospc   — a window of appends fails with ENOSPC mid-round (the
+//                 refused ops are not acknowledged), then the disk clears
+//                 and the round continues.
+//
+// Oracle: the campaign fingerprints the live store after every acknowledged
+// append. After each recovery the recovered store must be byte-identical to
+//   * the exact pre-crash acked state (kTornWrite/kEnospc — a lost or torn
+//     unacknowledged append must cost nothing), also accepting the
+//     crash-pending append itself (a write that reached the disk whole but
+//     crashed before the ack is legitimately replayed), or
+//   * some previously acked state (kBitFlip — a flipped journal record
+//     seals the tail at an earlier acked prefix; a rejected snapshot falls
+//     back a generation and replays forward to the full state), or
+//   * a state with detected CRC failures (kBitFlip in a snapshot's block
+//     region — the flip loads as a quarantined erasure, never as data).
+// Any other recovered state means an acked write was lost or an unacked one
+// invented. run_disk_campaign(config, seed) is a pure function; a failing
+// seed is a complete repro recipe (tools/torture --disk).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fabec::chaos {
+
+enum class DiskProfile {
+  kBitFlip,    ///< media rot between process lifetimes
+  kTornWrite,  ///< crash mid-append (torn journal record / snapshot temp)
+  kEnospc,     ///< full-disk window mid-round
+};
+
+const char* to_string(DiskProfile profile);
+
+struct DiskCampaignConfig {
+  DiskProfile profile = DiskProfile::kTornWrite;
+  std::uint32_t rounds = 8;             ///< crash/recover cycles
+  std::uint64_t writes_per_round = 40;  ///< journaled writes attempted
+  std::size_t block_size = 64;
+  std::uint32_t num_stripes = 4;
+  /// Small so several snapshot generations happen per campaign.
+  std::uint64_t compact_threshold_bytes = 2048;
+  /// GcReq every this many acked writes (0 disables) — log trimming must
+  /// survive the same replay discipline as writes.
+  std::uint64_t gc_every = 10;
+};
+
+struct DiskCampaignResult {
+  bool ok = false;
+  std::string violation;  ///< first oracle failure, empty when ok
+  std::uint64_t seed = 0;
+
+  std::uint64_t rounds_run = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t writes_acked = 0;
+  std::uint64_t appends_refused = 0;  ///< typed failures (ENOSPC/EIO/crash)
+  std::uint64_t crashes_injected = 0;
+  std::uint64_t bit_flips_injected = 0;
+
+  // Persistence-layer accumulators (summed over every process lifetime).
+  std::uint64_t compactions = 0;
+  std::uint64_t compaction_failures = 0;
+  std::uint64_t journal_rolls = 0;
+  std::uint64_t journal_tail_dropped_bytes = 0;
+  std::uint64_t snapshots_rejected = 0;
+  std::uint64_t journal_entries_replayed = 0;
+  /// Recoveries whose store carried CRC-failing (quarantined) entries —
+  /// kBitFlip corruption that was detected rather than served.
+  std::uint64_t detected_corruptions = 0;
+
+  /// Largest active-journal size observed right after an append: with
+  /// compaction on, this must stay well below a few multiples of the
+  /// threshold (the WAL-bounded assertion).
+  std::uint64_t max_journal_bytes = 0;
+
+  /// Fingerprint of the final recovered store + counters; same-seed replays
+  /// must reproduce it bit-for-bit.
+  std::uint64_t state_hash = 0;
+};
+
+/// Runs one seeded campaign. Deterministic in (config, seed).
+DiskCampaignResult run_disk_campaign(const DiskCampaignConfig& config,
+                                     std::uint64_t seed);
+
+/// Shell command (tools/torture --disk) reproducing the campaign.
+std::string disk_replay_command(const DiskCampaignConfig& config,
+                                std::uint64_t seed);
+
+}  // namespace fabec::chaos

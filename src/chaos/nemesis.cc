@@ -68,6 +68,10 @@ std::string FaultEvent::describe() const {
       os << "duplicate ramp to p=" << peak_dup << " over " << duration
          << "ns";
       break;
+    case FaultKind::kBitRot:
+      os << "bit-rot newest block at brick " << victim << " (seed "
+         << payload_seed << ")";
+      break;
   }
   return os.str();
 }
@@ -203,6 +207,15 @@ void Nemesis::generate(std::uint64_t seed) {
                            std::max(0.0, config_.max_dup_probability - 0.05);
     e.duration =
         draw_duration(rng, 2 * sim::kDefaultDelta, config_.max_partition_span);
+    schedule_.push_back(std::move(e));
+  }
+
+  for (std::uint32_t i = 0; i < config_.bit_rots; ++i) {
+    FaultEvent e;
+    e.at = draw_at();
+    e.kind = FaultKind::kBitRot;
+    e.victim = draw_victim();
+    e.payload_seed = rng.next_u64();
     schedule_.push_back(std::move(e));
   }
 
@@ -369,6 +382,29 @@ void Nemesis::inject(const FaultEvent& e) {
       sim.schedule_after(e.duration, [set_dup, baseline] {
         set_dup(baseline);
       });
+      break;
+    }
+
+    case FaultKind::kBitRot: {
+      // Rot a stripe the victim actually serves: the pick is made at
+      // injection time (the schedule cannot know which stripes materialize)
+      // but is still a pure function of (config, seed) because the
+      // simulation is deterministic.
+      auto& store = cluster_->store(e.victim);
+      std::vector<StripeId> stripes;
+      store.for_each_replica(
+          [&](StripeId id, const storage::ReplicaStore&) {
+            stripes.push_back(id);
+          });
+      if (stripes.empty()) {
+        ++stats_.bit_rots_suppressed;
+        break;
+      }
+      const StripeId stripe =
+          stripes[e.payload_seed % stripes.size()];
+      store.replica(stripe).rot_newest_block(e.payload_seed);
+      rotted_.emplace_back(e.victim, stripe);
+      ++stats_.bit_rots_injected;
       break;
     }
 

@@ -56,6 +56,10 @@ enum class FaultKind {
   kDupRamp,            ///< duplicate probability ramps to `peak_dup`,
                        ///< restores — with batching on, whole frames (and
                        ///< every op payload they carry) arrive twice
+  kBitRot,             ///< flip a seeded bit of the victim's newest stored
+                       ///< block (CRC left stale): latent disk corruption
+                       ///< that per-entry CRCs must catch and the
+                       ///< scrub/repair loop must heal
 };
 
 struct FaultEvent {
@@ -68,6 +72,9 @@ struct FaultEvent {
   double peak_dup = 0.0;
   sim::Duration peak_jitter = 0;
   std::uint32_t phases = 0;  ///< kMidPhaseCrash: phase starts to let pass
+  /// kBitRot: seeds both the victim-stripe pick (among stripes the victim
+  /// has materialized at injection time) and the flipped byte/bit.
+  std::uint64_t payload_seed = 0;
 
   std::string describe() const;
 };
@@ -96,6 +103,13 @@ struct NemesisConfig {
   /// once. Default 0; drawn after every other class so enabling it leaves
   /// pre-existing schedules bit-identical.
   std::uint32_t dup_ramps = 0;
+  /// Bit-rot events: each flips one seeded bit in the newest stored block
+  /// of one stripe at one victim brick, leaving the entry's CRC stale. The
+  /// replica's checked accessors turn the entry into an erasure (served to
+  /// nobody), so quorum reads route around it; the campaign's end-of-run
+  /// scrub/repair pass then heals it via erasure decode. Default 0; drawn
+  /// last so enabling rot leaves pre-existing schedules bit-identical.
+  std::uint32_t bit_rots = 0;
   /// Upper bounds for randomly drawn magnitudes.
   sim::Duration max_downtime = 40 * sim::kDefaultDelta;
   sim::Duration max_partition_span = 30 * sim::kDefaultDelta;
@@ -113,6 +127,9 @@ struct NemesisStats {
   std::uint64_t net_ramps = 0;
   std::uint64_t mid_phase_crashes = 0;
   std::uint64_t quorum_blackouts = 0;
+  std::uint64_t bit_rots_injected = 0;
+  /// Bit-rot events whose victim had no materialized stripe yet.
+  std::uint64_t bit_rots_suppressed = 0;
   std::uint64_t persistence_checks = 0;
   /// Bricks whose persistent fingerprint changed across a crash. Any
   /// nonzero value is a durability bug (ord-ts/log must survive crashes).
@@ -134,6 +151,11 @@ class Nemesis {
 
   const std::vector<FaultEvent>& schedule() const { return schedule_; }
   const NemesisStats& stats() const { return stats_; }
+  /// (victim, stripe) pairs actually rotted, in injection order — the
+  /// campaign's scrub/repair pass walks these.
+  const std::vector<std::pair<ProcessId, StripeId>>& rotted() const {
+    return rotted_;
+  }
 
  private:
   void generate(std::uint64_t seed);
@@ -159,6 +181,7 @@ class Nemesis {
   NemesisConfig config_;
   std::vector<FaultEvent> schedule_;
   std::vector<Trigger> triggers_;
+  std::vector<std::pair<ProcessId, StripeId>> rotted_;
   NemesisStats stats_;
   bool probe_installed_ = false;
 };

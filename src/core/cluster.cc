@@ -227,6 +227,7 @@ CoordinatorStats Cluster::total_coordinator_stats() const {
     total.recovery_iterations += s.recovery_iterations;
     total.fast_block_write_hits += s.fast_block_write_hits;
     total.slow_block_writes += s.slow_block_writes;
+    total.write_repairs += s.write_repairs;
     total.aborts += s.aborts;
     total.gc_messages += s.gc_messages;
     total.gc_rounds += s.gc_rounds;

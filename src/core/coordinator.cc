@@ -544,8 +544,32 @@ void Coordinator::write_block(StripeId stripe, BlockIndex j, Block block,
                        done(std::move(fast));
                        return;
                      }
-                     slow_write_block(stripe, j, shared_block, ts,
-                                      std::move(done));
+                     slow_write_block(
+                         stripe, j, shared_block, ts,
+                         [this, stripe, done = std::move(done)](
+                             WriteOutcome slow) {
+                           if (slow.ok() ||
+                               slow.error() != OpError::kAborted) {
+                             done(std::move(slow));
+                             return;
+                           }
+                           // The op is ⊥ either way, but an aborted slow
+                           // path can mean the stripe is torn in a shape
+                           // the fast path keeps tripping over (e.g. one
+                           // degraded brick soaked up a partial Modify no
+                           // other replica accepted). A read would heal it
+                           // via recover(); a write-only client would
+                           // livelock its retries. Converge the stripe
+                           // under a fresh recovery ts — rolling the torn
+                           // state forward or back exactly as a read
+                           // would — then report the abort so the retry
+                           // starts from a consistent stripe.
+                           ++stats_.write_repairs;
+                           recover(stripe, [done = std::move(done)](
+                                               StripeOutcome) {
+                             done(OpError::kAborted);
+                           });
+                         });
                    });
 }
 
@@ -623,6 +647,14 @@ void Coordinator::slow_write_block(StripeId stripe, BlockIndex j,
                                    Timestamp ts, WriteOutcomeCb done) {
   ++stats_.slow_block_writes;
   ++stats_.recoveries_started;
+  // The slow path MUST reuse the operation's timestamp: the aborted fast
+  // round may have applied its Modify on a subset of replicas, and if the
+  // store-stripe below ran under a fresh ts the operation would occupy two
+  // places in the version order — a concurrent writer landing between them
+  // makes readers observe A, B, A, which no total order explains. If a
+  // replica holds a version at this very ts (its own partial Modify), its
+  // order-read veto aborts the slow path instead; write_block then repairs
+  // the stripe under a genuinely fresh ts before reporting ⊥.
   auto state = std::make_shared<RecoverState>();
   state->stripe = stripe;
   state->ts = ts;
@@ -739,8 +771,19 @@ void Coordinator::write_blocks(StripeId stripe, std::vector<BlockIndex> js,
           done(std::move(fast));
           return;
         }
-        slow_write_blocks(stripe, shared_js, shared_blocks, ts,
-                          std::move(done));
+        slow_write_blocks(
+            stripe, shared_js, shared_blocks, ts,
+            [this, stripe, done = std::move(done)](WriteOutcome slow) {
+              if (slow.ok() || slow.error() != OpError::kAborted) {
+                done(std::move(slow));
+                return;
+              }
+              // Same retry-livelock breaker as write_block.
+              ++stats_.write_repairs;
+              recover(stripe, [done = std::move(done)](StripeOutcome) {
+                done(OpError::kAborted);
+              });
+            });
       });
 }
 
@@ -829,6 +872,8 @@ void Coordinator::slow_write_blocks(
     WriteOutcomeCb done) {
   ++stats_.slow_block_writes;
   ++stats_.recoveries_started;
+  // Same at-most-once rule as slow_write_block: reuse the operation's ts so
+  // the write occupies a single place in the version order.
   auto state = std::make_shared<RecoverState>();
   state->stripe = stripe;
   state->ts = ts;
@@ -888,9 +933,16 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
         for (std::uint32_t pos = 0; pos < config_.n; ++pos) {
           const ReadRep* rep = as<ReadRep>(replies[pos]);
           if (rep == nullptr) continue;
+          if (rep->status && !rep->block.has_value()) {
+            // A targeted replica with sound timestamps always returns its
+            // block — unless the block failed its CRC, in which case the
+            // replica served it as an erasure. That is a positive
+            // corruption verdict, not an inconclusive race.
+            done(ScrubResult::kCorrupt);
+            return;
+          }
           if (!rep->status ||
-              (val_ts.has_value() && *val_ts != rep->val_ts) ||
-              !rep->block.has_value()) {
+              (val_ts.has_value() && *val_ts != rep->val_ts)) {
             done(ScrubResult::kInconclusive);
             return;
           }

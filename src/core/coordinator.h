@@ -57,6 +57,7 @@ struct CoordinatorStats {
   std::uint64_t recovery_iterations = 0;   ///< read-prev-stripe loop rounds
   std::uint64_t fast_block_write_hits = 0; ///< block writes via Modify
   std::uint64_t slow_block_writes = 0;     ///< block writes via recovery
+  std::uint64_t write_repairs = 0;  ///< stripe repairs after aborted writes
   std::uint64_t aborts = 0;                ///< operations that returned ⊥
   std::uint64_t gc_messages = 0;           ///< individual GcReq sends
   std::uint64_t gc_rounds = 0;             ///< complete-write GC broadcasts

@@ -1,8 +1,5 @@
 #include "core/journal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cstring>
 
 #include "common/serde.h"
@@ -10,65 +7,56 @@
 
 namespace fabec::core {
 
+using storage::Env;
+using storage::IoStatus;
+
 bool is_mutating_request(const Message& msg) {
   if (!is_request(msg)) return false;
   return !std::holds_alternative<ReadReq>(msg);
 }
 
-MessageJournal::~MessageJournal() { close(); }
-
-bool MessageJournal::open(const std::string& path, bool fsync_each) {
+bool MessageJournal::open(Env& env, const std::string& path, bool fsync_each) {
   close();
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  IoStatus status = IoStatus::kOk;
+  file_ = env.open_append(path, &status);
   fsync_each_ = fsync_each;
-  return fd_ >= 0;
+  append_status_ = status;
+  // Counters are per open segment: PersistentState adds bytes_appended() to
+  // the segment's recovered size to track the ACTIVE journal, which must
+  // drop back to zero when compaction rolls onto a fresh segment.
+  appended_ = 0;
+  bytes_appended_ = 0;
+  return file_ != nullptr;
 }
 
-void MessageJournal::close() {
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = -1;
-}
+void MessageJournal::close() { file_.reset(); }
 
 bool MessageJournal::append(const Message& msg) {
-  if (fd_ < 0) return false;
+  if (!file_) {
+    append_status_ = IoStatus::kEio;
+    return false;
+  }
   Bytes record;
   ByteWriter writer(record);
   writer.put_u32(0);  // length, patched below
   encode_message_into(msg, record);
   const std::uint32_t body = static_cast<std::uint32_t>(record.size() - 4);
   std::memcpy(record.data(), &body, 4);  // little-endian, as ByteWriter
-  // One write(2) per record: O_APPEND makes it atomic with respect to the
-  // file offset, and a partial last write is exactly the torn tail load()
-  // tolerates.
-  std::size_t off = 0;
-  while (off < record.size()) {
-    const ssize_t n = ::write(fd_, record.data() + off, record.size() - off);
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
+  // One append per record: a partial last append is exactly the torn tail
+  // loading tolerates.
+  append_status_ = file_->append(record);
+  if (append_status_ != IoStatus::kOk) return false;
+  if (fsync_each_) {
+    append_status_ = file_->sync();
+    if (append_status_ != IoStatus::kOk) return false;
   }
-  if (fsync_each_ && ::fsync(fd_) != 0) return false;
   ++appended_;
+  bytes_appended_ += record.size();
   return true;
 }
 
-std::optional<std::vector<Message>> MessageJournal::load(
-    const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return std::vector<Message>{};  // no journal yet: empty state
-  Bytes contents;
-  std::uint8_t chunk[64 * 1024];
-  while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0) {
-      ::close(fd);
-      return std::nullopt;
-    }
-    if (n == 0) break;
-    contents.insert(contents.end(), chunk, chunk + n);
-  }
-  ::close(fd);
-
-  std::vector<Message> records;
+JournalLoadResult decode_journal(const Bytes& contents) {
+  JournalLoadResult result;
   std::size_t off = 0;
   while (contents.size() - off >= 4) {
     std::uint32_t len = 0;
@@ -76,10 +64,31 @@ std::optional<std::vector<Message>> MessageJournal::load(
     if (len == 0 || contents.size() - off - 4 < len) break;  // torn tail
     auto msg = decode_message(contents.data() + off + 4, len);
     if (!msg.has_value()) break;  // corrupt record: stop at the good prefix
-    records.push_back(std::move(*msg));
+    result.records.push_back(std::move(*msg));
     off += 4 + len;
   }
-  return records;
+  result.tail_dropped_bytes = contents.size() - off;
+  result.tail_dropped = result.tail_dropped_bytes > 0;
+  return result;
+}
+
+JournalLoadResult load_journal(Env& env, const std::string& path) {
+  Bytes contents;
+  const IoStatus status = env.read_file(path, &contents);
+  if (status == IoStatus::kNotFound) return {};  // no journal yet
+  if (status != IoStatus::kOk) {
+    JournalLoadResult result;
+    result.read_error = true;
+    return result;
+  }
+  return decode_journal(contents);
+}
+
+std::optional<std::vector<Message>> MessageJournal::load(
+    const std::string& path) {
+  JournalLoadResult result = load_journal(Env::real(), path);
+  if (result.read_error) return std::nullopt;
+  return std::move(result.records);
 }
 
 }  // namespace fabec::core

@@ -14,12 +14,18 @@
 // persistence-fingerprint assertion.
 //
 // Record format: [u32 length][encode_message bytes] per record, appended
-// with plain write(2). A record's own CRC (from the wire encoding) plus the
-// length prefix make torn tails detectable: load() stops cleanly at the
-// first truncated or corrupt record, which is exactly the prefix the brick
-// had acknowledged. No fsync by default — a SIGKILL loses nothing that
-// reached write(2) (the page cache survives process death); fsync-per-append
-// is available for power-failure durability at an obvious cost.
+// with one write per record. A record's own CRC (from the wire encoding)
+// plus the length prefix make torn tails detectable: loading stops cleanly
+// at the first truncated or corrupt record, which is exactly the prefix the
+// brick had acknowledged. No fsync by default — a SIGKILL loses nothing
+// that reached write(2) (the page cache survives process death);
+// fsync-per-append is available for power-failure durability at an obvious
+// cost.
+//
+// All I/O goes through storage::Env so the disk-fault campaigns can inject
+// torn writes, EIO, and ENOSPC underneath; append failures surface a typed
+// IoStatus the brick turns into read-only degraded mode instead of an
+// abort.
 #pragma once
 
 #include <optional>
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "core/messages.h"
+#include "storage/env.h"
 
 namespace fabec::core {
 
@@ -34,37 +41,64 @@ namespace fabec::core {
 /// set a brick must journal. Read requests and all replies are excluded.
 bool is_mutating_request(const Message& msg);
 
+/// Outcome of loading one journal file.
+struct JournalLoadResult {
+  std::vector<Message> records;  ///< the decodable prefix, in append order
+  /// Bytes dropped past the last good record (torn/corrupt tail).
+  std::uint64_t tail_dropped_bytes = 0;
+  bool tail_dropped = false;
+  /// The file existed but could not be read at all (EIO); `records` empty.
+  bool read_error = false;
+};
+
+/// Reads every complete record of the journal at `path`, stopping at the
+/// first truncated or undecodable record. A missing file is an empty
+/// journal (not an error).
+JournalLoadResult load_journal(storage::Env& env, const std::string& path);
+
+/// Decodes journal records from raw file contents (fsck, tests).
+JournalLoadResult decode_journal(const Bytes& contents);
+
 class MessageJournal {
  public:
   MessageJournal() = default;
-  ~MessageJournal();
 
   MessageJournal(const MessageJournal&) = delete;
   MessageJournal& operator=(const MessageJournal&) = delete;
 
-  /// Opens (creating if absent) the journal at `path` for appending.
-  /// Returns false on I/O failure.
-  bool open(const std::string& path, bool fsync_each = false);
-  bool is_open() const { return fd_ >= 0; }
+  /// Opens (creating if absent) the journal at `path` for appending
+  /// through `env`. Returns false on I/O failure.
+  bool open(storage::Env& env, const std::string& path,
+            bool fsync_each = false);
+  /// Legacy convenience: open through the real filesystem.
+  bool open(const std::string& path, bool fsync_each = false) {
+    return open(storage::Env::real(), path, fsync_each);
+  }
+  bool is_open() const { return file_ != nullptr; }
   void close();
 
-  /// Appends one record. Returns false on I/O failure (the caller should
-  /// stop acknowledging requests: an unjournaled mutation breaks the
+  /// Appends one record. Returns false on I/O failure; append_status()
+  /// then says whether it was ENOSPC, EIO, or a crash point (the caller
+  /// must stop acknowledging mutations: an unjournaled mutation breaks the
   /// persistence invariant).
   bool append(const Message& msg);
+  storage::IoStatus append_status() const { return append_status_; }
 
+  /// Records/bytes appended since the last open() — per segment, so the
+  /// active-journal size resets when compaction rolls to a fresh file.
   std::uint64_t records_appended() const { return appended_; }
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
 
-  /// Reads every complete record of the journal at `path`, in append
-  /// order, stopping at the first truncated or undecodable record (a torn
-  /// tail from a crash mid-append). A missing file is an empty journal.
-  /// nullopt only on a read error for an existing file.
+  /// Legacy load via the real filesystem: the decodable prefix, or nullopt
+  /// on a read error for an existing file.
   static std::optional<std::vector<Message>> load(const std::string& path);
 
  private:
-  int fd_ = -1;
+  std::unique_ptr<storage::WritableFile> file_;
   bool fsync_each_ = false;
   std::uint64_t appended_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  storage::IoStatus append_status_ = storage::IoStatus::kOk;
 };
 
 }  // namespace fabec::core

@@ -1,0 +1,316 @@
+#include "core/persistence.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fabec::core {
+
+using storage::Env;
+using storage::IoStatus;
+
+namespace {
+
+struct DirListing {
+  std::vector<std::uint64_t> snapshots;  // ascending
+  std::vector<std::uint64_t> journals;   // ascending
+  std::vector<std::string> stale_tmp;
+  bool legacy_journal = false;
+};
+
+DirListing list_store_dir(Env& env, const std::string& dir) {
+  DirListing listing;
+  for (const std::string& name : env.list_dir(dir)) {
+    if (auto seq = snapshot::parse_seq(name, "snapshot")) {
+      listing.snapshots.push_back(*seq);
+    } else if (auto jseq = snapshot::parse_seq(name, "journal")) {
+      listing.journals.push_back(*jseq);
+    } else if (name == "journal") {
+      listing.legacy_journal = true;
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      listing.stale_tmp.push_back(name);
+    }
+  }
+  std::sort(listing.snapshots.begin(), listing.snapshots.end());
+  std::sort(listing.journals.begin(), listing.journals.end());
+  return listing;
+}
+
+}  // namespace
+
+PersistentState::PersistentState(Env& env, Options opts)
+    : env_(env), opts_(std::move(opts)) {
+  FABEC_CHECK(!opts_.dir.empty());
+}
+
+bool PersistentState::recover_store(
+    std::size_t block_size, std::unique_ptr<storage::BrickStore>* store,
+    std::string* error) {
+  FABEC_CHECK_MSG(!recovered_, "recover_store() called twice");
+  recovered_ = true;
+
+  DirListing listing = list_store_dir(env_, opts_.dir);
+  // A .tmp is a compaction that died before its rename — never part of the
+  // recovery chain, so sweep it.
+  for (const std::string& name : listing.stale_tmp) env_.remove(path_of(name));
+  // Pre-generation layouts used a bare `journal` file: adopt it as
+  // generation 0 so one recovery rule covers both.
+  if (listing.legacy_journal) {
+    if (env_.rename(path_of("journal"), path_of(journal_file_name(0))) !=
+        IoStatus::kOk) {
+      *error = "cannot migrate legacy journal in " + opts_.dir;
+      return false;
+    }
+    listing.journals.insert(listing.journals.begin(), 0);
+  }
+
+  // Newest decodable snapshot wins; rejects (torn install that somehow got
+  // renamed, bit rot in the meta section) fall back one generation.
+  for (auto it = listing.snapshots.rbegin(); it != listing.snapshots.rend();
+       ++it) {
+    Bytes bytes;
+    const IoStatus st =
+        env_.read_file(path_of(snapshot::file_name(*it)), &bytes);
+    if (st == IoStatus::kOk) {
+      if (auto decoded = snapshot::decode(bytes)) {
+        if (decoded->block_size() != block_size) {
+          *error = "snapshot " + snapshot::file_name(*it) +
+                   " has mismatched block size";
+          return false;
+        }
+        *store = std::move(decoded);
+        valid_snapshot_seq_ = *it;
+        stats_.snapshot_loaded = true;
+        stats_.snapshot_seq = *it;
+        break;
+      }
+    }
+    ++stats_.snapshots_rejected;
+  }
+  if (!valid_snapshot_seq_.has_value()) {
+    if (!listing.snapshots.empty()) {
+      // Older journals were pruned when those snapshots were installed;
+      // starting fresh here would silently drop acknowledged writes.
+      *error = "no valid snapshot in " + opts_.dir + " (" +
+               std::to_string(listing.snapshots.size()) +
+               " present, all torn/corrupt); restore via rebuild";
+      return false;
+    }
+    *store = std::make_unique<storage::BrickStore>(block_size);
+  }
+
+  active_seq_ = valid_snapshot_seq_.value_or(0);
+  if (!listing.journals.empty())
+    active_seq_ = std::max(active_seq_, listing.journals.back());
+  return true;
+}
+
+bool PersistentState::replay_journals(
+    const std::function<void(const Message&)>& apply, std::string* error) {
+  FABEC_CHECK_MSG(recovered_ && !replayed_,
+                  "replay_journals() out of order");
+  replayed_ = true;
+
+  const std::uint64_t base = valid_snapshot_seq_.value_or(0);
+  DirListing listing = list_store_dir(env_, opts_.dir);
+  for (const std::uint64_t seq : listing.journals) {
+    if (seq < base) continue;  // folded into the snapshot
+    JournalLoadResult result =
+        load_journal(env_, path_of(journal_file_name(seq)));
+    if (result.read_error) {
+      *error = "cannot read " + journal_file_name(seq) + " in " + opts_.dir;
+      return false;
+    }
+    for (const Message& msg : result.records) apply(msg);
+    stats_.journal_entries_replayed += result.records.size();
+    stats_.journal_tail_dropped_bytes += result.tail_dropped_bytes;
+    ++stats_.journal_segments_replayed;
+    if (result.tail_dropped && seq == active_seq_) {
+      // Appending past the torn bytes would hide every later record from
+      // the next recovery; seal this segment and roll to a fresh one.
+      roll_before_append_ = true;
+    }
+  }
+  return true;
+}
+
+bool PersistentState::open_segment(std::uint64_t seq, std::string* error) {
+  const std::string path = path_of(journal_file_name(seq));
+  if (!journal_.open(env_, path, opts_.fsync_each)) {
+    if (error != nullptr)
+      *error = "cannot open " + path + " for append (" +
+               to_string(journal_.append_status()) + ")";
+    return false;
+  }
+  active_seq_ = seq;
+  base_journal_bytes_ = env_.file_size(path).value_or(0);
+  return true;
+}
+
+bool PersistentState::start_appending(std::string* error) {
+  FABEC_CHECK_MSG(replayed_ && !appending_, "start_appending() out of order");
+  appending_ = true;
+  if (roll_before_append_) {
+    roll_before_append_ = false;
+    ++stats_.journal_rolls;
+    return open_segment(active_seq_ + 1, error);
+  }
+  return open_segment(active_seq_, error);
+}
+
+bool PersistentState::append(const Message& msg) {
+  FABEC_CHECK_MSG(appending_, "append() before start_appending()");
+  if (roll_before_append_) {
+    // The previous append failed partway; its stray bytes sit at the tail
+    // of the old segment. A fresh segment reopens the WAL cleanly — if
+    // even that fails (disk still full/broken), stay degraded.
+    std::string error;
+    if (!open_segment(active_seq_ + 1, &error)) {
+      append_status_ = journal_.append_status() == IoStatus::kOk
+                           ? IoStatus::kEio
+                           : journal_.append_status();
+      return false;
+    }
+    roll_before_append_ = false;
+    ++stats_.journal_rolls;
+  }
+  if (!journal_.append(msg)) {
+    append_status_ = journal_.append_status();
+    roll_before_append_ = true;
+    return false;
+  }
+  append_status_ = IoStatus::kOk;
+  return true;
+}
+
+bool PersistentState::should_compact() const {
+  if (!appending_ || opts_.compact_threshold_bytes == 0) return false;
+  const std::uint64_t bytes = active_journal_bytes();
+  return bytes >= opts_.compact_threshold_bytes &&
+         bytes >= compact_retry_floor_;
+}
+
+bool PersistentState::compact(const storage::BrickStore& store) {
+  FABEC_CHECK_MSG(appending_, "compact() before start_appending()");
+  const std::uint64_t next = active_seq_ + 1;
+  const Bytes encoded = snapshot::encode(store);
+  if (snapshot::write_atomic(env_, opts_.dir, next, encoded) !=
+      IoStatus::kOk) {
+    ++stats_.compaction_failures;
+    // Back off: don't retry until the journal grows another half threshold,
+    // or a doomed disk eats a full snapshot write per request.
+    compact_retry_floor_ =
+        active_journal_bytes() + opts_.compact_threshold_bytes / 2;
+    return false;
+  }
+  // snapshot.next is durable; roll the WAL into the new generation. Should
+  // the roll fail, the old segment keeps working and recovery still sees a
+  // consistent (snapshot.next + empty suffix) chain.
+  if (!open_segment(next, nullptr)) return false;
+  roll_before_append_ = false;
+  ++stats_.compactions;
+  compact_retry_floor_ = 0;
+  // Generations below the previous valid snapshot can no longer be part of
+  // any fallback chain.
+  if (valid_snapshot_seq_.has_value()) prune_below(*valid_snapshot_seq_);
+  valid_snapshot_seq_ = next;
+  stats_.snapshot_loaded = true;
+  stats_.snapshot_seq = next;
+  return true;
+}
+
+void PersistentState::prune_below(std::uint64_t min_seq) {
+  DirListing listing = list_store_dir(env_, opts_.dir);
+  for (const std::uint64_t seq : listing.snapshots)
+    if (seq < min_seq) env_.remove(path_of(snapshot::file_name(seq)));
+  for (const std::uint64_t seq : listing.journals)
+    if (seq < min_seq) env_.remove(path_of(journal_file_name(seq)));
+}
+
+std::size_t PersistentState::scrub_files() {
+  ++stats_.file_scrub_passes;
+  std::size_t problems = 0;
+  if (valid_snapshot_seq_.has_value()) {
+    Bytes bytes;
+    const std::string path = path_of(snapshot::file_name(*valid_snapshot_seq_));
+    if (env_.read_file(path, &bytes) != IoStatus::kOk ||
+        !snapshot::validate(bytes)) {
+      ++problems;
+    }
+  }
+  // The active journal was written by this process, so every record must
+  // read back intact; a torn or undecodable tail here is on-disk rot.
+  Bytes journal_bytes;
+  const IoStatus st =
+      env_.read_file(path_of(journal_file_name(active_seq_)), &journal_bytes);
+  if (st == IoStatus::kOk) {
+    if (decode_journal(journal_bytes).tail_dropped) ++problems;
+  } else if (st != IoStatus::kNotFound) {
+    ++problems;
+  }
+  stats_.file_scrub_errors += problems;
+  return problems;
+}
+
+PersistentState::FsckReport PersistentState::fsck(Env& env,
+                                                  const std::string& dir) {
+  FsckReport report;
+  DirListing listing = list_store_dir(env, dir);
+  report.stale_tmp_files = listing.stale_tmp.size();
+
+  bool any_valid_snapshot = false;
+  for (const std::uint64_t seq : listing.snapshots) {
+    FsckFile file;
+    file.name = snapshot::file_name(seq);
+    Bytes bytes;
+    const IoStatus st = env.read_file(dir + "/" + file.name, &bytes);
+    if (st != IoStatus::kOk) {
+      file.detail = std::string("read failed: ") + to_string(st);
+    } else if (!snapshot::validate(bytes)) {
+      file.detail = "invalid (torn or corrupt)";
+    } else {
+      file.ok = true;
+      any_valid_snapshot = true;
+    }
+    report.files.push_back(std::move(file));
+  }
+
+  bool journal_read_error = false;
+  for (const std::uint64_t seq : listing.journals) {
+    FsckFile file;
+    file.name = "journal." + std::to_string(seq);
+    JournalLoadResult result = load_journal(env, dir + "/" + file.name);
+    if (result.read_error) {
+      file.detail = "read failed";
+      journal_read_error = true;
+    } else {
+      file.records = result.records.size();
+      file.tail_dropped_bytes = result.tail_dropped_bytes;
+      // A torn tail is legal on any segment: crashes seal segments at their
+      // good prefix and recovery rolls to a fresh one.
+      file.ok = true;
+      if (result.tail_dropped)
+        file.detail = std::to_string(result.tail_dropped_bytes) +
+                      " torn tail bytes (sealed)";
+    }
+    report.files.push_back(std::move(file));
+  }
+  if (listing.legacy_journal) {
+    FsckFile file;
+    file.name = "journal";
+    JournalLoadResult result = load_journal(env, dir + "/journal");
+    file.ok = !result.read_error;
+    file.records = result.records.size();
+    file.tail_dropped_bytes = result.tail_dropped_bytes;
+    file.detail = "legacy (pre-generation) journal";
+    if (result.read_error) journal_read_error = true;
+    report.files.push_back(std::move(file));
+  }
+
+  report.ok = (listing.snapshots.empty() || any_valid_snapshot) &&
+              !journal_read_error;
+  return report;
+}
+
+}  // namespace fabec::core

@@ -1,0 +1,153 @@
+// PersistentState: the brick's on-disk state machine — snapshot generations
+// plus journal segments — with crash-anywhere recovery.
+//
+// On-disk layout (all inside one store directory):
+//
+//   snapshot.<seq>       checksummed BrickStore image (core/snapshot.h)
+//   journal.<seq>        WAL segment opened when generation <seq> began
+//   snapshot.<seq>.tmp   torn install in progress; ignored by recovery
+//
+// Invariant: the state equals (newest valid snapshot S) + replay of every
+// journal segment with seq >= S, in ascending order. Compaction installs
+// snapshot.(N+1) atomically (temp/sync/rename), then rolls the WAL to
+// journal.(N+1); the *previous* generation is retained until the following
+// compaction, so if snapshot.(N+1) turns out torn or rotted, recovery falls
+// back to snapshot.N + journal.N + journal.(N+1) and loses nothing. More
+// than one journal segment may belong to a generation: a segment whose tail
+// was torn (crash mid-append, ENOSPC mid-record) is sealed at its good
+// prefix and a fresh segment opened, because appending past garbage would
+// make every later record unreadable to the next recovery.
+//
+// Refusal rule: if snapshot files exist but none decodes, older journals
+// have already been pruned, so replaying from scratch would silently lose
+// acknowledged writes — recovery fails loudly instead (the operator
+// restores from a peer via rebuild; see docs/OPERATIONS.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+#include "core/snapshot.h"
+#include "storage/brick_store.h"
+#include "storage/env.h"
+
+namespace fabec::core {
+
+class PersistentState {
+ public:
+  struct Options {
+    std::string dir;
+    bool fsync_each = false;
+    /// Compact once the active journal exceeds this many bytes; 0 disables
+    /// automatic compaction (compact() still works on demand).
+    std::uint64_t compact_threshold_bytes = 0;
+  };
+
+  struct Stats {
+    std::uint64_t journal_entries_replayed = 0;
+    std::uint64_t journal_tail_dropped_bytes = 0;
+    std::uint64_t journal_segments_replayed = 0;
+    bool snapshot_loaded = false;
+    std::uint64_t snapshot_seq = 0;
+    std::uint64_t snapshots_rejected = 0;  ///< invalid generations skipped
+    std::uint64_t compactions = 0;
+    std::uint64_t compaction_failures = 0;
+    std::uint64_t journal_rolls = 0;  ///< fresh segments after a torn tail
+    std::uint64_t file_scrub_passes = 0;
+    std::uint64_t file_scrub_errors = 0;
+  };
+
+  PersistentState(storage::Env& env, Options opts);
+
+  // --- recovery (call in order, once) -----------------------------------
+  /// Phase 1: sweeps stale .tmp files, migrates a legacy `journal` file to
+  /// `journal.0`, finds the newest valid snapshot and decodes it into
+  /// *store (a fresh BrickStore of `block_size` when no snapshot exists).
+  bool recover_store(std::size_t block_size,
+                     std::unique_ptr<storage::BrickStore>* store,
+                     std::string* error);
+  /// Phase 2: replays every journal segment of the recovered generation
+  /// onwards through `apply`, ascending.
+  bool replay_journals(const std::function<void(const Message&)>& apply,
+                       std::string* error);
+  /// Phase 3: opens the active journal segment for appending (rolling to a
+  /// fresh segment first if the last one ended in a torn tail).
+  bool start_appending(std::string* error);
+
+  // --- steady state ------------------------------------------------------
+  /// Appends one WAL record. On failure append_status() carries the typed
+  /// cause; a later call retries (rolling to a fresh segment so the failed
+  /// record's partial bytes can never shadow future records).
+  bool append(const Message& msg);
+  storage::IoStatus append_status() const { return append_status_; }
+
+  /// Size of the active journal segment (recovered bytes + appends).
+  std::uint64_t active_journal_bytes() const {
+    return base_journal_bytes_ + journal_.bytes_appended();
+  }
+  std::uint64_t active_seq() const { return active_seq_; }
+
+  /// True once the active journal has outgrown the threshold (with a
+  /// half-threshold backoff after a failed attempt, so a full disk is not
+  /// hammered with doomed snapshot writes).
+  bool should_compact() const;
+  /// Snapshot `store` into the next generation and roll the WAL. False on
+  /// I/O failure — the old generation remains fully intact.
+  bool compact(const storage::BrickStore& store);
+
+  /// Re-reads and validates the recovery chain's files from disk (the
+  /// newest snapshot's structure, the active journal's record CRCs).
+  /// Returns the number of problems found (also added to stats).
+  std::size_t scrub_files();
+
+  const Stats& stats() const { return stats_; }
+
+  // --- offline checking (tools/fsck) -------------------------------------
+  struct FsckFile {
+    std::string name;
+    bool ok = false;
+    std::uint64_t records = 0;            ///< journal segments only
+    std::uint64_t tail_dropped_bytes = 0;  ///< journal segments only
+    std::string detail;
+  };
+  struct FsckReport {
+    bool ok = false;  ///< a recoverable chain exists
+    std::vector<FsckFile> files;
+    std::uint64_t stale_tmp_files = 0;
+  };
+  static FsckReport fsck(storage::Env& env, const std::string& dir);
+
+ private:
+  std::string path_of(const std::string& name) const {
+    return opts_.dir + "/" + name;
+  }
+  std::string journal_file_name(std::uint64_t seq) const {
+    return "journal." + std::to_string(seq);
+  }
+  bool open_segment(std::uint64_t seq, std::string* error);
+  void prune_below(std::uint64_t min_seq);
+
+  storage::Env& env_;
+  Options opts_;
+  MessageJournal journal_;
+  Stats stats_;
+  storage::IoStatus append_status_ = storage::IoStatus::kOk;
+
+  std::uint64_t active_seq_ = 0;
+  std::uint64_t base_journal_bytes_ = 0;
+  /// Newest snapshot generation known valid; previous generations are
+  /// pruned only once a newer snapshot supersedes this one.
+  std::optional<std::uint64_t> valid_snapshot_seq_;
+  bool roll_before_append_ = false;
+  std::uint64_t compact_retry_floor_ = 0;
+  bool recovered_ = false;
+  bool replayed_ = false;
+  bool appending_ = false;
+};
+
+}  // namespace fabec::core

@@ -57,7 +57,11 @@ Message RegisterReplica::on_read(const ReadReq& req) {
   rep.status = rep.val_ts >= replica.ord_ts();
   const bool targeted = std::find(req.targets.begin(), req.targets.end(),
                                   *pos) != req.targets.end();
-  if (rep.status && targeted) rep.block = replica.max_block(store_->io());
+  // A block that fails its CRC is served to no one: the reply keeps
+  // status=true (the timestamps are sound) but omits the block, which the
+  // coordinator treats as an erasure and reads around.
+  if (rep.status && targeted)
+    rep.block = replica.max_block_checked(store_->io());
   return rep;
 }
 
@@ -145,8 +149,15 @@ Message RegisterReplica::on_multi_modify(const MultiModifyReq& req) {
   } else if (*pos >= config_.m) {
     FABEC_CHECK_MSG(req.block.has_value(),
                     "MultiModify to a parity process must carry the delta");
-    Block parity = replica.max_block(store_->io());
-    xor_into(parity, *req.block);
+    // XORing a delta into a rotted parity block would launder the
+    // corruption into a fresh (correctly-checksummed) entry — abort the op
+    // instead; scrub + repair heals this replica and the retry succeeds.
+    auto parity = replica.max_block_checked(store_->io());
+    if (!parity.has_value()) {
+      rep.status = false;
+      return rep;
+    }
+    xor_into(*parity, *req.block);
     to_store = std::move(parity);
   }
   replica.append(req.ts, std::move(to_store), store_->io());
@@ -181,9 +192,16 @@ Message RegisterReplica::on_modify(const ModifyReq& req) {
     to_store = req.new_block;  // the updated data block itself
   } else if (*pos >= config_.m) {
     // Parity process: incremental update from (old data, new data, own
-    // current parity) — the modify_{j,i} primitive.
-    to_store = codec_->modify(req.j, *pos, req.old_block, req.new_block,
-                              replica.max_block(store_->io()));
+    // current parity) — the modify_{j,i} primitive. A rotted current
+    // parity must not seed the update (it would propagate the corruption
+    // under a fresh CRC), so abort and let scrub + repair heal first.
+    auto parity = replica.max_block_checked(store_->io());
+    if (!parity.has_value()) {
+      rep.status = false;
+      return rep;
+    }
+    to_store =
+        codec_->modify(req.j, *pos, req.old_block, req.new_block, *parity);
   }
   // Other data processes store a ⊥ marker: their block is unchanged but the
   // stripe's timestamp must advance uniformly (line 96).
@@ -213,8 +231,12 @@ Message RegisterReplica::on_modify_delta(const ModifyDeltaReq& req) {
   } else if (*pos >= config_.m) {
     FABEC_CHECK_MSG(req.block.has_value(),
                     "ModifyDelta to a parity process must carry the delta");
-    Block parity = replica.max_block(store_->io());
-    codec_->apply_modify_delta(req.j, *pos, *req.block, parity);
+    auto parity = replica.max_block_checked(store_->io());
+    if (!parity.has_value()) {
+      rep.status = false;  // see on_modify: never update through rot
+      return rep;
+    }
+    codec_->apply_modify_delta(req.j, *pos, *req.block, *parity);
     to_store = std::move(parity);
   }
   replica.append(req.ts, std::move(to_store), store_->io());

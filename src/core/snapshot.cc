@@ -1,0 +1,159 @@
+#include "core/snapshot.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/serde.h"
+
+namespace fabec::core::snapshot {
+
+using storage::Env;
+using storage::IoStatus;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504e5346;  // "FSNP" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void put_timestamp(ByteWriter& w, const Timestamp& ts) {
+  w.put_i64(ts.time);
+  w.put_u32(ts.proc);
+}
+
+bool get_timestamp(ByteReader& r, Timestamp* ts) {
+  return r.get_i64(&ts->time) && r.get_u32(&ts->proc);
+}
+
+}  // namespace
+
+Bytes encode(const storage::BrickStore& store) {
+  // Meta section first; block payloads collected alongside.
+  Bytes meta;
+  Bytes blocks;
+  ByteWriter w(meta);
+  w.put_u64(store.block_size());
+  w.put_u64(store.stripes_stored());
+  store.for_each_replica([&](StripeId stripe,
+                             const storage::ReplicaStore& replica) {
+    w.put_u64(stripe);
+    put_timestamp(w, replica.ord_ts());
+    const auto& log = replica.log_for_inspection();
+    w.put_u64(log.size());
+    for (const auto& entry : log) {
+      put_timestamp(w, entry.ts);
+      w.put_bool(entry.block.has_value());
+      w.put_u32(entry.crc);
+      if (entry.block.has_value())
+        blocks.insert(blocks.end(), entry.block->begin(), entry.block->end());
+    }
+  });
+
+  Bytes out;
+  ByteWriter header(out);
+  header.put_u32(kMagic);
+  header.put_u32(kVersion);
+  header.put_u32(static_cast<std::uint32_t>(meta.size()));
+  out.insert(out.end(), meta.begin(), meta.end());
+  header.put_u32(crc32(out.data(), out.size()));  // header + meta
+  out.insert(out.end(), blocks.begin(), blocks.end());
+  return out;
+}
+
+std::unique_ptr<storage::BrickStore> decode(const Bytes& bytes) {
+  ByteReader header(bytes);
+  std::uint32_t magic = 0, version = 0, meta_len = 0;
+  if (!header.get_u32(&magic) || !header.get_u32(&version) ||
+      !header.get_u32(&meta_len)) {
+    return nullptr;
+  }
+  if (magic != kMagic || version != kVersion) return nullptr;
+  const std::size_t meta_end = 12 + static_cast<std::size_t>(meta_len);
+  if (bytes.size() < meta_end + 4) return nullptr;  // truncated meta
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + meta_end, 4);
+  if (crc32(bytes.data(), meta_end) != stored_crc) return nullptr;
+
+  ByteReader meta(bytes.data() + 12, meta_len);
+  std::uint64_t block_size = 0, stripes = 0;
+  if (!meta.get_u64(&block_size) || !meta.get_u64(&stripes)) return nullptr;
+  if (block_size == 0) return nullptr;
+
+  const std::uint8_t* blocks = bytes.data() + meta_end + 4;
+  std::size_t blocks_avail = bytes.size() - meta_end - 4;
+  auto store = std::make_unique<storage::BrickStore>(
+      static_cast<std::size_t>(block_size));
+  for (std::uint64_t s = 0; s < stripes; ++s) {
+    std::uint64_t stripe = 0, entries = 0;
+    Timestamp ord_ts;
+    if (!meta.get_u64(&stripe) || !get_timestamp(meta, &ord_ts) ||
+        !meta.get_u64(&entries) || entries == 0) {
+      return nullptr;
+    }
+    std::vector<storage::LogEntry> log;
+    log.reserve(static_cast<std::size_t>(entries));
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      storage::LogEntry entry;
+      bool has_block = false;
+      if (!get_timestamp(meta, &entry.ts) || !meta.get_bool(&has_block) ||
+          !meta.get_u32(&entry.crc)) {
+        return nullptr;
+      }
+      if (has_block) {
+        if (blocks_avail < block_size) return nullptr;  // torn blocks region
+        entry.block = Block(blocks, blocks + block_size);
+        blocks += block_size;
+        blocks_avail -= block_size;
+      }
+      log.push_back(std::move(entry));
+    }
+    store->install_replica(
+        stripe, std::make_unique<storage::ReplicaStore>(
+                    static_cast<std::size_t>(block_size), ord_ts,
+                    std::move(log)));
+  }
+  if (!meta.exhausted() || blocks_avail != 0) return nullptr;
+  return store;
+}
+
+bool validate(const Bytes& bytes) { return decode(bytes) != nullptr; }
+
+std::string file_name(std::uint64_t seq) {
+  return "snapshot." + std::to_string(seq);
+}
+
+std::string tmp_file_name(std::uint64_t seq) {
+  return file_name(seq) + ".tmp";
+}
+
+std::optional<std::uint64_t> parse_seq(const std::string& name,
+                                       const std::string& prefix) {
+  const std::string full = prefix + ".";
+  if (name.size() <= full.size() || name.compare(0, full.size(), full) != 0)
+    return std::nullopt;
+  std::uint64_t seq = 0;
+  for (std::size_t i = full.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+IoStatus write_atomic(Env& env, const std::string& dir, std::uint64_t seq,
+                      const Bytes& encoded) {
+  const std::string tmp = dir + "/" + tmp_file_name(seq);
+  const std::string final_path = dir + "/" + file_name(seq);
+  IoStatus status = IoStatus::kOk;
+  auto file = env.open_trunc(tmp, &status);
+  if (!file) return status;
+  status = file->append(encoded);
+  if (status == IoStatus::kOk) status = file->sync();
+  file.reset();
+  if (status != IoStatus::kOk) {
+    env.remove(tmp);  // best effort; fsck also sweeps stale .tmp files
+    return status;
+  }
+  return env.rename(tmp, final_path);
+}
+
+}  // namespace fabec::core::snapshot

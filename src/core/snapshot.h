@@ -1,0 +1,70 @@
+// Checksummed, atomically-installed serialization of a brick's persistent
+// state (storage::BrickStore) — the journal-compaction anchor.
+//
+// File layout:
+//
+//   [u32 magic "FSNP"][u32 version]
+//   [u32 meta_len][meta bytes][u32 meta_crc]
+//   [blocks region: block payloads back to back, in meta order]
+//
+// The meta section holds everything structural: block size, every stripe's
+// id + ord-ts, and for every log entry its timestamp, ⊥/block flag and the
+// entry's stored CRC32. meta_crc covers the header and meta bytes.
+//
+// Integrity is two-tier on purpose:
+//   * meta_crc + a blocks-region length check decide whether the snapshot
+//     as a whole is usable. A torn write (crash mid-install without the
+//     rename), a truncation, or a flipped structural byte rejects the file
+//     and recovery falls back to the previous snapshot generation.
+//   * block payload bytes are covered only by their per-entry CRCs, which
+//     are stored verbatim and re-verified lazily by the replica's checked
+//     accessors. A single flipped bit in a block therefore does NOT reject
+//     the snapshot: it loads as one CRC-failing entry — an erasure the
+//     scrub/repair loop re-decodes from the surviving replicas — instead
+//     of throwing away gigabytes of good state.
+//
+// Installation is write-temp / sync / rename, so a snapshot path either
+// holds a complete previous generation or a complete new one; the torn
+// intermediate only ever exists under the .tmp name, which recovery
+// ignores (and fsck deletes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "storage/brick_store.h"
+#include "storage/env.h"
+
+namespace fabec::core {
+
+namespace snapshot {
+
+/// Serializes the full persistent state of `store`.
+Bytes encode(const storage::BrickStore& store);
+
+/// Rebuilds a BrickStore from snapshot bytes. nullptr if the snapshot is
+/// structurally invalid (bad magic/version, meta CRC mismatch, truncated
+/// blocks region) — per-entry block corruption does NOT fail the decode.
+std::unique_ptr<storage::BrickStore> decode(const Bytes& bytes);
+
+/// True if `bytes` would decode (fsck's cheap validity probe).
+bool validate(const Bytes& bytes);
+
+/// Writes `encoded` to `dir`/snapshot.`seq` atomically: temp file, sync,
+/// rename. On failure the temp file is removed (best effort) and no
+/// `snapshot.seq` appears.
+storage::IoStatus write_atomic(storage::Env& env, const std::string& dir,
+                               std::uint64_t seq, const Bytes& encoded);
+
+std::string file_name(std::uint64_t seq);
+std::string tmp_file_name(std::uint64_t seq);
+
+/// Parses "snapshot.<seq>" / "journal.<seq>" names; nullopt otherwise.
+std::optional<std::uint64_t> parse_seq(const std::string& name,
+                                       const std::string& prefix);
+
+}  // namespace snapshot
+
+}  // namespace fabec::core

@@ -226,6 +226,23 @@ bool VolumeClient::write_stripe(StripeId stripe, std::vector<Block> data) {
       });
 }
 
+core::Coordinator::ScrubResult VolumeClient::scrub_stripe(StripeId stripe) {
+  const StripeId global = config_.stripe_base + stripe;
+  return blocking_op<core::Coordinator::ScrubResult>(
+      core::Coordinator::ScrubResult::kInconclusive,
+      [global](core::Coordinator& c, auto complete) {
+        c.scrub_stripe(global, std::move(complete));
+      });
+}
+
+bool VolumeClient::repair_stripe(StripeId stripe) {
+  const StripeId global = config_.stripe_base + stripe;
+  return blocking_op<bool>(
+      false, [global](core::Coordinator& c, auto complete) {
+        c.repair_stripe(global, std::move(complete));
+      });
+}
+
 core::CoordinatorStats VolumeClient::coordinator_stats() {
   core::CoordinatorStats stats;
   loop_.run_sync([this, &stats] { stats = coordinator_->stats(); });

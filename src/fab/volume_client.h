@@ -101,6 +101,13 @@ class VolumeClient {
   std::optional<std::vector<Block>> read_stripe(StripeId stripe);
   bool write_stripe(StripeId stripe, std::vector<Block> data);
 
+  /// Maintenance: parity-compare one stripe / rewrite it from its decoded
+  /// content (volume-relative ids; no retry). Together they are the
+  /// erasure-decode repair loop for brick-side corruption: scrub detects,
+  /// repair re-encodes from the surviving >= m good blocks.
+  core::Coordinator::ScrubResult scrub_stripe(StripeId stripe);
+  bool repair_stripe(StripeId stripe);
+
   /// Fails outstanding operations with kMisrouted and stops the loop.
   /// Idempotent; the destructor calls it.
   void close();

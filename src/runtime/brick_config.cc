@@ -115,6 +115,18 @@ BrickConfigResult parse_brick_config(const std::string& text) {
       if (!parse_bool(value, &config.journal_fsync))
         return {std::nullopt,
                 at_line(line_no, "journal_fsync must be on or off")};
+    } else if (key == "compact_threshold_bytes") {
+      if (!parse_u64(value, &num))
+        return {std::nullopt,
+                at_line(line_no,
+                        "bad compact_threshold_bytes (0 disables compaction)")};
+      config.compact_threshold_bytes = num;
+    } else if (key == "scrub_interval_ms") {
+      if (!parse_u64(value, &num))
+        return {std::nullopt,
+                at_line(line_no,
+                        "bad scrub_interval_ms (0 disables scrubbing)")};
+      config.scrub_interval_ms = num;
     } else if (key == "peer") {
       const auto space = value.find(' ');
       if (space == std::string::npos)
@@ -179,6 +191,8 @@ std::string BrickConfig::to_text() const {
   if (!port_file.empty()) out << "port_file = " << port_file << "\n";
   out << "store_path = " << store_path << "\n";
   out << "journal_fsync = " << (journal_fsync ? "on" : "off") << "\n";
+  out << "compact_threshold_bytes = " << compact_threshold_bytes << "\n";
+  out << "scrub_interval_ms = " << scrub_interval_ms << "\n";
   for (const auto& [id, ep] : peers)
     out << "peer = " << id << " " << ep.addr << ":" << ep.port << "\n";
   return out.str();

@@ -48,6 +48,12 @@ struct BrickConfig {
   /// fsync the journal after every append: power-failure durability at a
   /// large throughput cost. Off = survives SIGKILL, not power loss.
   bool journal_fsync = false;
+  /// Compact (snapshot + roll the WAL) once the active journal segment
+  /// exceeds this many bytes; 0 disables automatic compaction.
+  std::uint64_t compact_threshold_bytes = 64ull << 20;
+  /// Milliseconds between background scrub passes (CRC verification of
+  /// replica blocks and the snapshot/journal files); 0 disables scrubbing.
+  std::uint64_t scrub_interval_ms = 0;
   /// Cluster membership: brick id -> endpoint, one entry per brick. The
   /// daemon itself only replies to observed source addresses and may run
   /// with an empty peer list; clients and the launcher need the full map.

@@ -1,9 +1,7 @@
 #include "runtime/brick_server.h"
 
-#include <sys/stat.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,24 +11,38 @@
 namespace fabec::runtime {
 namespace {
 
-/// mkdir -p for the store path (relative or absolute).
-bool make_dirs(const std::string& path) {
-  for (std::size_t end = 1; end <= path.size(); ++end) {
-    if (end != path.size() && path[end] != '/') continue;
-    const std::string prefix = path.substr(0, end);
-    if (prefix == "/") continue;
-    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
-  }
-  return true;
+/// The status=false reply matching a mutating request — what a degraded
+/// (WAL-unwritable) brick sends instead of executing the mutation. The
+/// client's quorum logic turns it into a typed kAborted and retries; no
+/// wire-format change needed.
+std::optional<core::Message> refusal_reply(const core::Message& msg) {
+  using namespace core;
+  if (const auto* r = std::get_if<OrderReq>(&msg))
+    return OrderRep{r->op, false};
+  if (const auto* r = std::get_if<OrderReadReq>(&msg))
+    return OrderReadRep{r->op, false, kLowTS, std::nullopt};
+  if (const auto* r = std::get_if<MultiOrderReadReq>(&msg))
+    return OrderReadRep{r->op, false, kLowTS, std::nullopt};
+  if (const auto* r = std::get_if<WriteReq>(&msg))
+    return WriteRep{r->op, false};
+  if (const auto* r = std::get_if<ModifyReq>(&msg))
+    return ModifyRep{r->op, false};
+  if (const auto* r = std::get_if<ModifyDeltaReq>(&msg))
+    return ModifyRep{r->op, false};
+  if (const auto* r = std::get_if<MultiModifyReq>(&msg))
+    return ModifyRep{r->op, false};
+  return std::nullopt;
 }
 
 }  // namespace
 
-BrickServer::BrickServer(BrickConfig config, std::uint64_t seed)
+BrickServer::BrickServer(BrickConfig config, std::uint64_t seed,
+                         storage::Env* env)
     : config_(std::move(config)),
       layout_(config_.total_bricks, config_.n),
       codec_(config_.m, config_.n),
-      loop_(seed) {}
+      loop_(seed),
+      env_(env != nullptr ? *env : storage::Env::real()) {}
 
 BrickServer::~BrickServer() {
   stop();
@@ -41,36 +53,36 @@ BrickServer::~BrickServer() {
 
 bool BrickServer::init(std::string* error) {
   FABEC_CHECK_MSG(mux_ == nullptr, "init() called twice");
-  if (!make_dirs(config_.store_path)) {
-    *error = "cannot create store_path " + config_.store_path + ": " +
-             std::strerror(errno);
+  if (env_.make_dirs(config_.store_path) != storage::IoStatus::kOk) {
+    *error = "cannot create store_path " + config_.store_path;
     return false;
   }
-  const std::string journal_path = config_.store_path + "/journal";
 
-  // Recover: replay every journaled mutation through a fresh replica. The
-  // handlers are deterministic state transitions, so the store after replay
-  // equals the store at the moment of the crash (minus any torn tail the
-  // brick never acknowledged).
-  store_ = std::make_unique<storage::BrickStore>(config_.block_size);
+  // Recover: newest valid snapshot, then replay every journaled mutation of
+  // its generation onwards through a fresh replica. The handlers are
+  // deterministic state transitions, so the store after replay equals the
+  // store at the moment of the crash (minus any torn tail the brick never
+  // acknowledged).
+  core::PersistentState::Options popts;
+  popts.dir = config_.store_path;
+  popts.fsync_each = config_.journal_fsync;
+  popts.compact_threshold_bytes = config_.compact_threshold_bytes;
+  persist_ = std::make_unique<core::PersistentState>(env_, popts);
+  if (!persist_->recover_store(config_.block_size, &store_, error))
+    return false;
   replica_ = std::make_unique<core::RegisterReplica>(
       config_.brick_id, quorum::Config{config_.n, config_.m}, &layout_,
       &codec_, store_.get());
-  const auto journaled = core::MessageJournal::load(journal_path);
-  if (!journaled.has_value()) {
-    *error = "cannot read journal " + journal_path;
+  if (!persist_->replay_journals(
+          [this](const core::Message& msg) {
+            replica_->handle(msg);  // replies (to nobody) discarded
+          },
+          error)) {
     return false;
   }
-  for (const core::Message& msg : *journaled) {
-    replica_->handle(msg);  // replies (to nobody) discarded
-    ++stats_.journal_replayed;
-  }
-
-  if (!journal_.open(journal_path, config_.journal_fsync)) {
-    *error = "cannot open journal " + journal_path + " for append: " +
-             std::strerror(errno);
-    return false;
-  }
+  if (!persist_->start_appending(error)) return false;
+  stats_.journal_replayed = persist_->stats().journal_entries_replayed;
+  stats_.journal_tail_dropped = persist_->stats().journal_tail_dropped_bytes;
 
   mux_ = std::make_unique<DatagramMux>(
       &loop_, config_.brick_id, config_.listen,
@@ -95,6 +107,8 @@ bool BrickServer::init(std::string* error) {
       return false;
     }
   }
+
+  if (config_.scrub_interval_ms > 0) schedule_scrub();
   return true;
 }
 
@@ -133,10 +147,18 @@ void BrickServer::handle_request(ProcessId from, core::Message msg) {
 
   if (std::holds_alternative<core::GcReq>(msg)) {
     // Fire-and-forget, no reply, no dedup needed (gc_below is idempotent).
-    const bool journaled = journal_.append(msg);
-    FABEC_CHECK_MSG(journaled, "journal append failed");
+    // An unjournaled GC must not execute (replay would resurrect the
+    // trimmed entries) — but it is also fine to just drop: the coordinator
+    // re-issues GC after later writes.
+    if (!persist_->append(msg)) {
+      ++stats_.journal_append_errors;
+      read_only_ = true;
+      return;
+    }
+    read_only_ = false;
     ++stats_.journal_appends;
     replica_->handle(msg);
+    maybe_compact();
     return;
   }
 
@@ -157,10 +179,19 @@ void BrickServer::handle_request(ProcessId from, core::Message msg) {
   }
 
   // Journal BEFORE handling: once the reply leaves, the mutation is
-  // acknowledged and must survive a kill (write-ahead discipline).
+  // acknowledged and must survive a kill (write-ahead discipline). If the
+  // append fails (ENOSPC, EIO) the op is refused instead — status=false,
+  // never cached, so the identical retransmit retries the append and the
+  // brick leaves degraded mode by itself once the disk recovers.
   if (core::is_mutating_request(msg)) {
-    const bool journaled = journal_.append(msg);
-    FABEC_CHECK_MSG(journaled, "journal append failed");
+    if (!persist_->append(msg)) {
+      ++stats_.journal_append_errors;
+      ++stats_.refused_read_only;
+      read_only_ = true;
+      if (const auto refusal = refusal_reply(msg)) mux_->send(from, *refusal);
+      return;
+    }
+    read_only_ = false;
     ++stats_.journal_appends;
   }
 
@@ -175,6 +206,52 @@ void BrickServer::handle_request(ProcessId from, core::Message msg) {
   reply_cache_order_.push_back(key);
 
   mux_->send(from, *reply);
+  maybe_compact();
+}
+
+void BrickServer::maybe_compact() {
+  // Inline on the loop thread: a snapshot of an in-memory store is
+  // milliseconds at brick scale, and doing it between requests means no
+  // mutation can slip between the image and the WAL roll.
+  if (persist_->should_compact()) persist_->compact(*store_);
+}
+
+bool BrickServer::compact_now() {
+  FABEC_CHECK_MSG(persist_ != nullptr, "init() before compact_now()");
+  return persist_->compact(*store_);
+}
+
+std::size_t BrickServer::scrub_once() {
+  std::size_t corrupt = 0;
+  std::set<StripeId> bad;
+  store_->for_each_replica(
+      [&](StripeId stripe, const storage::ReplicaStore& replica) {
+        const std::size_t failures = replica.count_crc_failures();
+        if (failures > 0) {
+          bad.insert(stripe);
+          corrupt += failures;
+        }
+      });
+  quarantined_ = std::move(bad);
+  persist_->scrub_files();
+  ++stats_.scrub_passes;
+  stats_.scrub_corrupt_entries = corrupt;
+  if (corrupt > 0) {
+    std::fprintf(stderr,
+                 "brickd[%u]: scrub found %zu corrupt log entries across %zu "
+                 "stripes (quarantined; awaiting repair)\n",
+                 config_.brick_id, corrupt, quarantined_.size());
+  }
+  return corrupt;
+}
+
+void BrickServer::schedule_scrub() {
+  loop_.schedule_event(
+      static_cast<sim::Duration>(config_.scrub_interval_ms) * 1'000'000,
+      [this] {
+        scrub_once();
+        schedule_scrub();
+      });
 }
 
 }  // namespace fabec::runtime

@@ -243,6 +243,7 @@ core::CoordinatorStats ThreadedCluster::total_coordinator_stats() {
       total.block_writes += s.block_writes;
       total.fast_read_hits += s.fast_read_hits;
       total.recoveries_started += s.recoveries_started;
+      total.write_repairs += s.write_repairs;
       total.aborts += s.aborts;
       total.retransmit_rounds += s.retransmit_rounds;
       total.op_timeouts += s.op_timeouts;

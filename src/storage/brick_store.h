@@ -31,6 +31,19 @@ class BrickStore {
 
   bool has_replica(StripeId stripe) const { return stores_.count(stripe) > 0; }
 
+  /// Visits every materialized replica in stripe order (snapshot encode,
+  /// scrub sweeps).
+  template <typename Fn>
+  void for_each_replica(Fn&& fn) const {
+    for (const auto& [id, store] : stores_) fn(id, *store);
+  }
+
+  /// Installs recovered state for `stripe`, replacing any existing replica
+  /// (snapshot load).
+  void install_replica(StripeId stripe, std::unique_ptr<ReplicaStore> store) {
+    stores_[stripe] = std::move(store);
+  }
+
   /// Wipes all persistent state — models swapping in a REPLACEMENT brick
   /// after a terminal hardware failure. Unlike a crash (which preserves
   /// this store), a wiped brick re-enters in the initial all-nil state and

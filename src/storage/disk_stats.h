@@ -12,11 +12,14 @@ struct DiskStats {
   std::uint64_t disk_reads = 0;
   std::uint64_t disk_writes = 0;
   std::uint64_t nvram_writes = 0;
+  /// Block reads whose contents failed their stored CRC (served as erasure).
+  std::uint64_t crc_failures = 0;
 
   DiskStats& operator+=(const DiskStats& other) {
     disk_reads += other.disk_reads;
     disk_writes += other.disk_writes;
     nvram_writes += other.nvram_writes;
+    crc_failures += other.crc_failures;
     return *this;
   }
 };

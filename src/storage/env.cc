@@ -1,0 +1,381 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace fabec::storage {
+
+const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kNotFound:
+      return "not_found";
+    case IoStatus::kEio:
+      return "eio";
+    case IoStatus::kEnospc:
+      return "enospc";
+    case IoStatus::kCrashed:
+      return "crashed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+IoStatus status_from_errno(int err) {
+  if (err == ENOSPC || err == EDQUOT) return IoStatus::kEnospc;
+  if (err == ENOENT) return IoStatus::kNotFound;
+  return IoStatus::kEio;
+}
+
+// ---------------------------------------------------------------------------
+// RealEnv
+// ---------------------------------------------------------------------------
+
+class RealFile : public WritableFile {
+ public:
+  explicit RealFile(int fd) : fd_(fd) {}
+  ~RealFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  IoStatus append(const std::uint8_t* data, std::size_t size) override {
+    std::size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::write(fd_, data + done, size - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return status_from_errno(errno);
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return IoStatus::kOk;
+  }
+
+  IoStatus sync() override {
+    if (::fsync(fd_) != 0) return status_from_errno(errno);
+    return IoStatus::kOk;
+  }
+
+ private:
+  int fd_;
+};
+
+class RealEnv : public Env {
+ public:
+  std::unique_ptr<WritableFile> open_append(const std::string& path,
+                                            IoStatus* status) override {
+    return open_with(path, O_WRONLY | O_CREAT | O_APPEND, status);
+  }
+
+  std::unique_ptr<WritableFile> open_trunc(const std::string& path,
+                                           IoStatus* status) override {
+    return open_with(path, O_WRONLY | O_CREAT | O_TRUNC, status);
+  }
+
+  IoStatus read_file(const std::string& path, Bytes* out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return status_from_errno(errno);
+    out->clear();
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const IoStatus st = status_from_errno(errno);
+        ::close(fd);
+        return st;
+      }
+      if (n == 0) break;
+      out->insert(out->end(), buf, buf + n);
+    }
+    ::close(fd);
+    return IoStatus::kOk;
+  }
+
+  IoStatus rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return status_from_errno(errno);
+    }
+    return IoStatus::kOk;
+  }
+
+  IoStatus remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return status_from_errno(errno);
+    return IoStatus::kOk;
+  }
+
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  std::optional<std::uint64_t> file_size(const std::string& path) override {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  IoStatus make_dirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return IoStatus::kEio;
+    return IoStatus::kOk;
+  }
+
+ private:
+  std::unique_ptr<WritableFile> open_with(const std::string& path, int flags,
+                                          IoStatus* status) {
+    const int fd = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      *status = status_from_errno(errno);
+      return nullptr;
+    }
+    *status = IoStatus::kOk;
+    return std::make_unique<RealFile>(fd);
+  }
+};
+
+}  // namespace
+
+Env& Env::real() {
+  static RealEnv env;
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+class MemEnv::MemFile : public WritableFile {
+ public:
+  MemFile(MemEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  IoStatus append(const std::uint8_t* data, std::size_t size) override {
+    // Re-resolve on each append so a rename/remove of the path behaves like
+    // the POSIX fd-based reality closely enough for our single-writer use.
+    Bytes& f = env_->files_[path_];
+    f.insert(f.end(), data, data + size);
+    return IoStatus::kOk;
+  }
+
+  IoStatus sync() override { return IoStatus::kOk; }
+
+ private:
+  MemEnv* env_;
+  std::string path_;
+};
+
+std::unique_ptr<WritableFile> MemEnv::open_append(const std::string& path,
+                                                  IoStatus* status) {
+  files_.try_emplace(path);
+  *status = IoStatus::kOk;
+  return std::make_unique<MemFile>(this, path);
+}
+
+std::unique_ptr<WritableFile> MemEnv::open_trunc(const std::string& path,
+                                                 IoStatus* status) {
+  files_[path].clear();
+  *status = IoStatus::kOk;
+  return std::make_unique<MemFile>(this, path);
+}
+
+IoStatus MemEnv::read_file(const std::string& path, Bytes* out) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return IoStatus::kNotFound;
+  *out = it->second;
+  return IoStatus::kOk;
+}
+
+IoStatus MemEnv::rename(const std::string& from, const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) return IoStatus::kNotFound;
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return IoStatus::kOk;
+}
+
+IoStatus MemEnv::remove(const std::string& path) {
+  return files_.erase(path) > 0 ? IoStatus::kOk : IoStatus::kNotFound;
+}
+
+std::vector<std::string> MemEnv::list_dir(const std::string& dir) {
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, bytes] : files_) {
+    (void)bytes;
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix))
+      continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') != std::string::npos) continue;  // nested dir
+    names.push_back(rest);
+  }
+  return names;
+}
+
+std::optional<std::uint64_t> MemEnv::file_size(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.size();
+}
+
+IoStatus MemEnv::make_dirs(const std::string&) { return IoStatus::kOk; }
+
+Bytes* MemEnv::mutable_file(const std::string& path) {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void MemEnv::truncate_file(const std::string& path, std::size_t size) {
+  const auto it = files_.find(path);
+  if (it != files_.end() && it->second.size() > size) {
+    it->second.resize(size);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultEnv
+// ---------------------------------------------------------------------------
+
+class FaultEnv::FaultFile : public WritableFile {
+ public:
+  FaultFile(FaultEnv* env, std::unique_ptr<WritableFile> base,
+            std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  IoStatus append(const std::uint8_t* data, std::size_t size) override {
+    std::size_t torn_bytes = 0;
+    const IoStatus fault = env_->next_append_fault(path_, size, &torn_bytes);
+    if (fault == IoStatus::kCrashed) {
+      // The torn prefix of this append reaches the disk; nothing after.
+      if (torn_bytes > 0) base_->append(data, torn_bytes);
+      return IoStatus::kCrashed;
+    }
+    if (fault != IoStatus::kOk) return fault;
+    return base_->append(data, size);
+  }
+
+  IoStatus sync() override {
+    if (env_->crashed_) return IoStatus::kCrashed;
+    return base_->sync();
+  }
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+FaultEnv::FaultEnv(Env* base, FaultPlan plan)
+    : base_(base), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+IoStatus FaultEnv::next_append_fault(const std::string& path,
+                                     std::size_t size,
+                                     std::size_t* torn_bytes) {
+  *torn_bytes = 0;
+  if (crashed_) return IoStatus::kCrashed;
+  ++stats_.appends;
+  const std::uint64_t index = stats_.appends;  // 1-based
+  if (plan_.crash_at_append != 0 && index >= plan_.crash_at_append &&
+      (plan_.crash_path_substr.empty() ||
+       path.find(plan_.crash_path_substr) != std::string::npos)) {
+    crashed_ = true;
+    stats_.crashes_injected = 1;
+    if (size > 0) {
+      *torn_bytes = static_cast<std::size_t>(rng_.next_below(size + 1));
+    }
+    return IoStatus::kCrashed;
+  }
+  if (plan_.enospc_from != 0 && index >= plan_.enospc_from &&
+      index < plan_.enospc_until) {
+    ++stats_.enospc_injected;
+    return IoStatus::kEnospc;
+  }
+  if (rng_.chance(plan_.write_eio_prob)) {
+    ++stats_.eio_injected;
+    return IoStatus::kEio;
+  }
+  return IoStatus::kOk;
+}
+
+std::unique_ptr<WritableFile> FaultEnv::open_append(const std::string& path,
+                                                    IoStatus* status) {
+  if (crashed_) {
+    *status = IoStatus::kCrashed;
+    return nullptr;
+  }
+  auto base = base_->open_append(path, status);
+  if (!base) return nullptr;
+  return std::make_unique<FaultFile>(this, std::move(base), path);
+}
+
+std::unique_ptr<WritableFile> FaultEnv::open_trunc(const std::string& path,
+                                                   IoStatus* status) {
+  if (crashed_) {
+    *status = IoStatus::kCrashed;
+    return nullptr;
+  }
+  auto base = base_->open_trunc(path, status);
+  if (!base) return nullptr;
+  return std::make_unique<FaultFile>(this, std::move(base), path);
+}
+
+IoStatus FaultEnv::read_file(const std::string& path, Bytes* out) {
+  if (crashed_) return IoStatus::kCrashed;
+  ++stats_.reads;
+  if (rng_.chance(plan_.read_eio_prob)) {
+    ++stats_.eio_injected;
+    return IoStatus::kEio;
+  }
+  const IoStatus st = base_->read_file(path, out);
+  if (st != IoStatus::kOk) return st;
+  if (!out->empty() && rng_.chance(plan_.short_read_prob)) {
+    ++stats_.short_reads_injected;
+    out->resize(static_cast<std::size_t>(rng_.next_below(out->size())));
+  }
+  if (!out->empty() && rng_.chance(plan_.read_bit_flip_prob)) {
+    ++stats_.bit_flips_injected;
+    const auto byte = static_cast<std::size_t>(rng_.next_below(out->size()));
+    (*out)[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus FaultEnv::rename(const std::string& from, const std::string& to) {
+  if (crashed_) return IoStatus::kCrashed;
+  return base_->rename(from, to);
+}
+
+IoStatus FaultEnv::remove(const std::string& path) {
+  if (crashed_) return IoStatus::kCrashed;
+  return base_->remove(path);
+}
+
+std::vector<std::string> FaultEnv::list_dir(const std::string& dir) {
+  return base_->list_dir(dir);
+}
+
+std::optional<std::uint64_t> FaultEnv::file_size(const std::string& path) {
+  return base_->file_size(path);
+}
+
+IoStatus FaultEnv::make_dirs(const std::string& path) {
+  if (crashed_) return IoStatus::kCrashed;
+  return base_->make_dirs(path);
+}
+
+}  // namespace fabec::storage

@@ -1,0 +1,201 @@
+// File-system environment behind the brick's durable state.
+//
+// The journal and snapshot code write through this interface instead of raw
+// POSIX so that the fault model of real disks — torn writes, bit rot, short
+// reads, EIO, ENOSPC, crash-before-sync — can be injected deterministically.
+// Three implementations:
+//
+//   * RealEnv  — POSIX passthrough; what brickd runs in production.
+//   * MemEnv   — an in-memory file map; fast, hermetic, and trivially
+//                copyable, which is what the crash-at-every-offset tests
+//                and the seeded disk campaigns want (copy the "disk",
+//                truncate/flip it, recover, compare).
+//   * FaultEnv — wraps another Env and injects faults from a seeded
+//                FaultPlan: every run of (plan, seed) misbehaves
+//                identically, so a failing disk campaign is a repro recipe.
+//
+// Error taxonomy is deliberately small: kEio covers every "the device said
+// no" case, kEnospc is separate because the brick's reaction differs (EIO on
+// the WAL is suspicious, ENOSPC is an operational state the brick must ride
+// out read-only), and kCrashed marks the point after which a FaultEnv
+// schedule considers the process dead — nothing after it reaches the disk.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace fabec::storage {
+
+enum class IoStatus {
+  kOk,
+  kNotFound,  ///< open/read of a path that does not exist
+  kEio,       ///< device-level I/O failure
+  kEnospc,    ///< no space left on device
+  kCrashed,   ///< a FaultEnv crash point has fired; the "process" is gone
+};
+
+const char* to_string(IoStatus s);
+
+/// An open file being appended to (journal segment or snapshot temp file).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual IoStatus append(const std::uint8_t* data, std::size_t size) = 0;
+  IoStatus append(const Bytes& data) {
+    return append(data.data(), data.size());
+  }
+  /// Durability barrier (fsync). A crash after a successful sync never
+  /// loses previously appended bytes.
+  virtual IoStatus sync() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if absent.
+  virtual std::unique_ptr<WritableFile> open_append(const std::string& path,
+                                                    IoStatus* status) = 0;
+  /// Opens `path` truncated to empty, creating it if absent.
+  virtual std::unique_ptr<WritableFile> open_trunc(const std::string& path,
+                                                   IoStatus* status) = 0;
+  /// Reads the whole file. kNotFound if it does not exist.
+  virtual IoStatus read_file(const std::string& path, Bytes* out) = 0;
+  /// Atomic replace (POSIX rename semantics).
+  virtual IoStatus rename(const std::string& from, const std::string& to) = 0;
+  virtual IoStatus remove(const std::string& path) = 0;
+  /// Entry names (not paths) in `dir`; empty for a missing directory.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+  virtual std::optional<std::uint64_t> file_size(const std::string& path) = 0;
+  /// mkdir -p.
+  virtual IoStatus make_dirs(const std::string& path) = 0;
+
+  /// The POSIX passthrough environment (process-wide singleton).
+  static Env& real();
+};
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+/// In-memory environment: a map from path to contents. Directories are
+/// implicit. Tests mutate the "disk" directly via mutable_file/truncate.
+class MemEnv : public Env {
+ public:
+  std::unique_ptr<WritableFile> open_append(const std::string& path,
+                                            IoStatus* status) override;
+  std::unique_ptr<WritableFile> open_trunc(const std::string& path,
+                                           IoStatus* status) override;
+  IoStatus read_file(const std::string& path, Bytes* out) override;
+  IoStatus rename(const std::string& from, const std::string& to) override;
+  IoStatus remove(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  std::optional<std::uint64_t> file_size(const std::string& path) override;
+  IoStatus make_dirs(const std::string& path) override;
+
+  // --- test access --------------------------------------------------------
+  bool exists(const std::string& path) const { return files_.count(path) > 0; }
+  /// Direct handle on a file's bytes (crash-at-offset tests truncate and
+  /// flip through this); nullptr if absent.
+  Bytes* mutable_file(const std::string& path);
+  void truncate_file(const std::string& path, std::size_t size);
+  /// Deep copy of the whole "disk" — snapshot the state before a simulated
+  /// crash, restore after.
+  std::map<std::string, Bytes> dump() const { return files_; }
+  void restore(std::map<std::string, Bytes> files) {
+    files_ = std::move(files);
+  }
+
+ private:
+  class MemFile;
+  std::map<std::string, Bytes> files_;
+};
+
+// ---------------------------------------------------------------------------
+// FaultEnv
+// ---------------------------------------------------------------------------
+
+/// Deterministic fault schedule for a FaultEnv. All probabilities are drawn
+/// from one Rng(seed), so a (plan, seed) pair always misbehaves identically.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // --- write-path faults --------------------------------------------------
+  /// Probability that any single append fails with kEio (data not written).
+  double write_eio_prob = 0.0;
+  /// Appends with 1-based global index in [enospc_from, enospc_until) fail
+  /// with kEnospc; 0 disables. Models a full-disk window that later clears.
+  std::uint64_t enospc_from = 0;
+  std::uint64_t enospc_until = 0;
+  /// 1-based global append index at which the process "crashes": a seeded
+  /// prefix of that append reaches the file (a torn write) and every later
+  /// operation fails with kCrashed. 0 disables.
+  std::uint64_t crash_at_append = 0;
+  /// Restrict crash_at_append to appends whose path contains this substring
+  /// (e.g. "snapshot" to die mid-compaction). Empty = any file.
+  std::string crash_path_substr;
+
+  // --- read-path faults ---------------------------------------------------
+  /// Probability that a read_file returns contents with one bit flipped
+  /// (the read succeeds; the corruption is silent — CRCs must catch it).
+  double read_bit_flip_prob = 0.0;
+  /// Probability that a read_file returns a truncated prefix.
+  double short_read_prob = 0.0;
+  /// Probability that a read_file fails with kEio.
+  double read_eio_prob = 0.0;
+};
+
+struct FaultEnvStats {
+  std::uint64_t appends = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t eio_injected = 0;
+  std::uint64_t enospc_injected = 0;
+  std::uint64_t bit_flips_injected = 0;
+  std::uint64_t short_reads_injected = 0;
+  std::uint64_t crashes_injected = 0;  ///< 0 or 1: the crash point fired
+};
+
+/// Wraps a base environment and injects the plan's faults. After the crash
+/// point fires every mutation fails with kCrashed — recovery code must open
+/// a fresh (non-crashed) env over the same base to model a process restart.
+class FaultEnv : public Env {
+ public:
+  FaultEnv(Env* base, FaultPlan plan);
+
+  std::unique_ptr<WritableFile> open_append(const std::string& path,
+                                            IoStatus* status) override;
+  std::unique_ptr<WritableFile> open_trunc(const std::string& path,
+                                           IoStatus* status) override;
+  IoStatus read_file(const std::string& path, Bytes* out) override;
+  IoStatus rename(const std::string& from, const std::string& to) override;
+  IoStatus remove(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  std::optional<std::uint64_t> file_size(const std::string& path) override;
+  IoStatus make_dirs(const std::string& path) override;
+
+  bool crashed() const { return crashed_; }
+  const FaultEnvStats& stats() const { return stats_; }
+
+ private:
+  class FaultFile;
+  friend class FaultFile;
+
+  /// Per-append fault decision shared by every FaultFile of this env.
+  IoStatus next_append_fault(const std::string& path, std::size_t size,
+                             std::size_t* torn_bytes);
+
+  Env* base_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool crashed_ = false;
+  FaultEnvStats stats_;
+};
+
+}  // namespace fabec::storage

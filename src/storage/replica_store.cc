@@ -3,13 +3,29 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/fnv.h"
+#include "common/rng.h"
 
 namespace fabec::storage {
 
+bool LogEntry::crc_ok() const {
+  if (!block.has_value()) return true;
+  return crc32(block->data(), block->size()) == crc;
+}
+
 ReplicaStore::ReplicaStore(std::size_t block_size) : block_size_(block_size) {
   FABEC_CHECK(block_size > 0);
-  log_.push_back(LogEntry{kLowTS, zero_block(block_size)});
+  Block nil = zero_block(block_size);
+  const std::uint32_t crc = crc32(nil.data(), nil.size());
+  log_.push_back(LogEntry{kLowTS, std::move(nil), crc});
+}
+
+ReplicaStore::ReplicaStore(std::size_t block_size, Timestamp ord_ts,
+                           std::vector<LogEntry> log)
+    : block_size_(block_size), ord_ts_(ord_ts), log_(std::move(log)) {
+  FABEC_CHECK(block_size > 0);
+  FABEC_CHECK(!log_.empty());
 }
 
 void ReplicaStore::store_ord_ts(const Timestamp& ts, DiskStats& io) {
@@ -40,6 +56,21 @@ Block ReplicaStore::max_block(DiskStats& io) const {
   return {};
 }
 
+std::optional<Block> ReplicaStore::max_block_checked(DiskStats& io) const {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->block.has_value()) {
+      ++io.disk_reads;
+      if (!it->crc_ok()) {
+        ++io.crc_failures;
+        return std::nullopt;
+      }
+      return *it->block;
+    }
+  }
+  FABEC_CHECK_MSG(false, "log lost all block entries");
+  return std::nullopt;
+}
+
 std::optional<Version> ReplicaStore::max_below(const Timestamp& bound,
                                                DiskStats& io) const {
   std::optional<Timestamp> version_ts;
@@ -48,6 +79,14 @@ std::optional<Version> ReplicaStore::max_below(const Timestamp& bound,
     if (!version_ts.has_value()) version_ts = it->ts;
     if (it->block.has_value()) {
       ++io.disk_reads;
+      if (!it->crc_ok()) {
+        // A rotted block certifies nothing: vouching for version_ts with
+        // garbage (or an even older block) would let recovery read back a
+        // value this replica never durably held. Reply as if the replica
+        // missed the write — the quorum's surviving copies carry it.
+        ++io.crc_failures;
+        return std::nullopt;
+      }
       return Version{*version_ts, *it->block};
     }
   }
@@ -58,13 +97,15 @@ void ReplicaStore::append(const Timestamp& ts, std::optional<Block> block,
                           DiskStats& io) {
   FABEC_CHECK_MSG(ts > max_ts(),
                   "append must use a timestamp above max-ts(log)");
+  std::uint32_t crc = 0;
   if (block.has_value()) {
     FABEC_CHECK(block->size() == block_size_);
+    crc = crc32(block->data(), block->size());
     ++io.disk_writes;
   } else {
     ++io.nvram_writes;
   }
-  log_.push_back(LogEntry{ts, std::move(block)});
+  log_.push_back(LogEntry{ts, std::move(block), crc});
 }
 
 void ReplicaStore::gc_below(const Timestamp& complete_ts) {
@@ -94,11 +135,36 @@ void ReplicaStore::corrupt_newest_block(Block garbage) {
   FABEC_CHECK(garbage.size() == block_size_);
   for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
     if (it->block.has_value()) {
+      // CRC recomputed: this models corruption below the checksum layer
+      // (e.g. a firmware bug writing the wrong — but well-formed — data),
+      // invisible to local integrity checks by construction.
+      it->crc = crc32(garbage.data(), garbage.size());
       it->block = std::move(garbage);
       return;
     }
   }
   FABEC_CHECK_MSG(false, "log lost all block entries");
+}
+
+void ReplicaStore::rot_newest_block(std::uint64_t seed) {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->block.has_value()) {
+      Rng rng(seed);
+      Block& b = *it->block;
+      const auto byte = static_cast<std::size_t>(rng.next_below(b.size()));
+      b[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      // The stored CRC is deliberately left stale — that mismatch IS the
+      // rot signal the scrubber looks for.
+      return;
+    }
+  }
+  FABEC_CHECK_MSG(false, "log lost all block entries");
+}
+
+std::size_t ReplicaStore::count_crc_failures() const {
+  return static_cast<std::size_t>(
+      std::count_if(log_.begin(), log_.end(),
+                    [](const LogEntry& e) { return !e.crc_ok(); }));
 }
 
 std::uint64_t ReplicaStore::fingerprint() const {

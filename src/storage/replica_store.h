@@ -12,6 +12,17 @@
 // stripe is a valid codeword (parity of zeros is zero), so a fresh system is
 // consistent by construction.
 //
+// Every block entry carries a CRC32 of its contents, recorded at append
+// time. A stored block whose bytes no longer match its CRC (bit rot, a
+// corrupted snapshot region) is treated as an ERASURE, never as data: the
+// checked accessors report it as absent, exactly as if this replica had
+// missed the write, and the erasure code repairs it from the surviving m
+// replicas (cf. Konwar et al.'s erasures-and-errors model in PAPERS.md).
+// Crucially a corrupt entry is NOT downgraded to a ⊥ marker — ⊥ certifies
+// "block unchanged as of this timestamp", and a corrupt real write
+// certifies nothing — so a replica never serves an older block under the
+// corrupt entry's newer version timestamp.
+//
 // In a real brick this state lives in NVRAM (timestamps) and on disk
 // (blocks) and survives crashes; here it survives because ProcessSet crash
 // hooks only clear volatile protocol state, never the ReplicaStore. The
@@ -32,6 +43,9 @@ namespace fabec::storage {
 struct LogEntry {
   Timestamp ts;
   std::optional<Block> block;  ///< nullopt is the paper's ⊥ marker
+  std::uint32_t crc = 0;       ///< crc32 of *block; 0 for ⊥ entries
+
+  bool crc_ok() const;
 };
 
 /// A decoded (timestamp, block) pair returned by log queries.
@@ -44,6 +58,12 @@ class ReplicaStore {
  public:
   /// Creates the initial state {ord-ts = LowTS, log = {[LowTS, nil]}}.
   explicit ReplicaStore(std::size_t block_size);
+
+  /// Restores a replica from recovered state (snapshot load). The entries'
+  /// stored CRCs are kept verbatim — a block that was corrupted on disk
+  /// arrives here with a mismatched CRC and stays an erasure.
+  ReplicaStore(std::size_t block_size, Timestamp ord_ts,
+               std::vector<LogEntry> log);
 
   std::size_t block_size() const { return block_size_; }
 
@@ -61,8 +81,16 @@ class ReplicaStore {
   Timestamp max_block_ts() const;
 
   /// max-block(log): the non-⊥ block with the highest timestamp. Always
-  /// exists (the initial nil entry is non-⊥). One disk read.
+  /// exists (the initial nil entry is non-⊥). One disk read. Does NOT
+  /// check the CRC — maintenance/scrub use, where the corrupt bytes are
+  /// the point.
   Block max_block(DiskStats& io) const;
+
+  /// CRC-checked max-block: nullopt if the newest non-⊥ block fails its
+  /// CRC. Protocol handlers use this so a rotted block is served to no
+  /// one — the reply simply omits the block, which every coordinator path
+  /// already treats as "this replica cannot help" (an erasure).
+  std::optional<Block> max_block_checked(DiskStats& io) const;
 
   /// max-below(log, bound): the replica's view of the newest stripe version
   /// strictly below `bound`. Returns
@@ -74,7 +102,9 @@ class ReplicaStore {
   ///           timestamp, which is why an older block may be served under a
   ///           newer version timestamp.
   /// nullopt if no non-⊥ entry exists below the bound (possible only after
-  /// garbage collection). One disk read when found.
+  /// garbage collection), or if that entry fails its CRC — a corrupt block
+  /// certifies nothing, so the reply must not vouch for any version.
+  /// One disk read when found.
   std::optional<Version> max_below(const Timestamp& bound,
                                    DiskStats& io) const;
 
@@ -93,10 +123,19 @@ class ReplicaStore {
   void gc_below(const Timestamp& complete_ts);
 
   // --- fault injection ---------------------------------------------------
-  /// Overwrites the newest non-⊥ block in place, leaving timestamps
-  /// untouched — models a latent sector error (bit rot) that the protocol
-  /// cannot see but a scrub must detect. Test/maintenance use only.
+  /// Overwrites the newest non-⊥ block in place (CRC updated to match),
+  /// leaving timestamps untouched — models corruption the brick itself
+  /// cannot detect; only a coordinator-side parity compare catches it.
+  /// Test/maintenance use only.
   void corrupt_newest_block(Block garbage);
+
+  /// Flips a seeded byte of the newest non-⊥ block WITHOUT updating its
+  /// CRC — models latent bit rot that the local scrub must detect.
+  void rot_newest_block(std::uint64_t seed);
+
+  // --- integrity -------------------------------------------------------
+  /// Number of block entries whose bytes no longer match their CRC.
+  std::size_t count_crc_failures() const;
 
   // --- introspection ---------------------------------------------------
   /// Stable 64-bit fingerprint of the full persistent state (ord-ts + every

@@ -1,0 +1,224 @@
+// BrickServer persistence behavior over injected storage environments
+// (MemEnv / FaultEnv): WAL bounded by inline compaction across restarts,
+// ENOSPC degrading a brick to read-only without killing it (and healing
+// when the disk clears), and the scrub pass quarantining rotted stripes
+// while the cluster reads on via erasure decode.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fab/volume_client.h"
+#include "runtime/brick_config.h"
+#include "runtime/brick_server.h"
+#include "storage/env.h"
+
+namespace fabec::runtime {
+namespace {
+
+constexpr std::uint32_t kBricks = 4;
+constexpr std::uint32_t kM = 2;
+constexpr std::size_t kBlockSize = 128;
+constexpr std::uint64_t kNumBlocks = 16;
+
+class BrickPersistenceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint32_t i = 0; i < kBricks; ++i) envs_.push_back(
+        std::make_unique<storage::MemEnv>());
+  }
+
+  void TearDown() override { servers_.clear(); }
+
+  BrickConfig config_for(std::uint32_t id, std::uint16_t port) {
+    BrickConfig config;
+    config.brick_id = id;
+    config.n = kBricks;
+    config.m = kM;
+    config.total_bricks = kBricks;
+    config.block_size = kBlockSize;
+    config.listen = {"127.0.0.1", port};
+    config.store_path = "brick" + std::to_string(id);
+    config.compact_threshold_bytes = compact_threshold_;
+    return config;
+  }
+
+  /// Boots brick `id` over `env` (defaults to its MemEnv — restarting on
+  /// the same MemEnv is a process kill that keeps the "disk").
+  void boot_brick(std::uint32_t id, std::uint16_t port,
+                  storage::Env* env = nullptr) {
+    if (servers_.size() <= id) servers_.resize(id + 1);
+    servers_[id] = std::make_unique<BrickServer>(
+        config_for(id, port), /*seed=*/id + 1,
+        env != nullptr ? env : envs_[id].get());
+    std::string error;
+    ASSERT_TRUE(servers_[id]->init(&error)) << error;
+    servers_[id]->start();
+  }
+
+  void boot_all() {
+    for (std::uint32_t i = 0; i < kBricks; ++i) {
+      boot_brick(i, /*port=*/0);
+      ports_.push_back(servers_[i]->port());
+    }
+  }
+
+  std::unique_ptr<fab::VolumeClient> make_client(ProcessId id) {
+    fab::VolumeClientConfig config;
+    config.client_id = id;
+    config.n = kBricks;
+    config.m = kM;
+    config.total_bricks = kBricks;
+    config.block_size = kBlockSize;
+    config.num_blocks = kNumBlocks;
+    for (std::uint32_t i = 0; i < kBricks; ++i)
+      config.bricks[i] = {"127.0.0.1", ports_[i]};
+    config.coordinator.op_deadline = sim::milliseconds(5000);
+    // Generous: a refusal from a degraded brick can abort an attempt, and
+    // the ENOSPC tests need the retry budget to outlast the fault window.
+    config.retry.max_attempts = 16;
+    config.retry.initial_backoff = sim::milliseconds(1);
+    config.retry.max_backoff = sim::milliseconds(20);
+    return std::make_unique<fab::VolumeClient>(std::move(config), /*seed=*/id);
+  }
+
+  /// Reads server state from the loop thread (no racy cross-thread peeks).
+  template <typename Fn>
+  auto on_loop(std::uint32_t id, Fn&& fn) {
+    using R = decltype(fn(*servers_[id]));
+    R out{};
+    servers_[id]->loop().run_sync([&] { out = fn(*servers_[id]); });
+    return out;
+  }
+
+  static Block pattern(std::uint8_t fill) { return Block(kBlockSize, fill); }
+
+  std::uint64_t compact_threshold_ = 64ull << 20;
+  std::vector<std::unique_ptr<storage::MemEnv>> envs_;
+  std::vector<std::unique_ptr<BrickServer>> servers_;
+  std::vector<std::uint16_t> ports_;
+};
+
+TEST_F(BrickPersistenceTest, CompactionBoundsWalAndRestartLosesNothing) {
+  compact_threshold_ = 4096;  // many compactions over this workload
+  boot_all();
+  {
+    auto client = make_client(kBricks);
+    for (int round = 0; round < 6; ++round)
+      for (Lba lba = 0; lba < kNumBlocks; ++lba)
+        ASSERT_TRUE(
+            client->write(lba, pattern(static_cast<std::uint8_t>(round * 16 +
+                                                                 lba + 1)))
+                .ok());
+    client->close();
+  }
+
+  for (std::uint32_t i = 0; i < kBricks; ++i) {
+    const auto stats = on_loop(
+        i, [](BrickServer& s) { return s.persistence_stats(); });
+    EXPECT_GT(stats.compactions, 0u) << "brick " << i;
+    const auto wal = on_loop(i, [](BrickServer& s) {
+      return s.persistence().active_journal_bytes();
+    });
+    // Bounded: threshold plus one record of slack, not 96 writes of WAL.
+    EXPECT_LT(wal, compact_threshold_ + 1024) << "brick " << i;
+  }
+
+  // Kill the whole quorum; restart each brick on the same MemEnv "disk".
+  // Recovery = newest snapshot + journal suffix; nothing acked may vanish.
+  for (auto& server : servers_) {
+    server->stop();
+    server.reset();
+  }
+  for (std::uint32_t i = 0; i < kBricks; ++i) {
+    boot_brick(i, ports_[i]);
+    const auto stats = on_loop(
+        i, [](BrickServer& s) { return s.persistence_stats(); });
+    EXPECT_TRUE(stats.snapshot_loaded) << "brick " << i;
+  }
+  auto client = make_client(kBricks + 7);
+  for (Lba lba = 0; lba < kNumBlocks; ++lba) {
+    const auto read = client->read(lba);
+    ASSERT_TRUE(read.ok()) << "lba " << lba;
+    EXPECT_EQ(read.value(), pattern(static_cast<std::uint8_t>(5 * 16 + lba + 1)))
+        << "lba " << lba;
+  }
+  client->close();
+}
+
+TEST_F(BrickPersistenceTest, EnospcDegradesToReadOnlyThenHeals) {
+  // Brick 0's disk refuses appends 2..9 (1-based FaultEnv indices) with
+  // ENOSPC, then clears. The brick must refuse mutations typed — not
+  // crash — and n=4, m=2 rides over the one degraded brick.
+  storage::FaultPlan plan;
+  plan.seed = 3;
+  plan.enospc_from = 2;
+  plan.enospc_until = 10;
+  storage::FaultEnv fenv(envs_[0].get(), plan);
+
+  for (std::uint32_t i = 0; i < kBricks; ++i) {
+    boot_brick(i, /*port=*/0, i == 0 ? &fenv : nullptr);
+    ports_.push_back(servers_[i]->port());
+  }
+
+  auto client = make_client(kBricks);
+  for (Lba lba = 0; lba < kNumBlocks; ++lba) {
+    ASSERT_TRUE(client->write(lba, pattern(static_cast<std::uint8_t>(lba + 1)))
+                    .ok())
+        << "cluster write must survive one full disk (lba " << lba << ")";
+  }
+  // Degraded mode is transient (it ends at the first post-window append),
+  // so the evidence is in the counters: appends failed typed, mutations
+  // were refused with status=false, and the process never died.
+  const auto stats = on_loop(0, [](BrickServer& s) { return s.stats(); });
+  EXPECT_GT(stats.journal_append_errors, 0u);
+  EXPECT_GT(stats.refused_read_only, 0u);
+  // The window has long passed: the WAL is writable again and the brick
+  // healed itself without a restart.
+  EXPECT_FALSE(on_loop(0, [](BrickServer& s) { return s.read_only(); }));
+  EXPECT_GT(stats.journal_appends, stats.journal_append_errors);
+  client->close();
+}
+
+TEST_F(BrickPersistenceTest, ScrubQuarantinesRottedStripeClusterReadsOn) {
+  boot_all();
+  auto client = make_client(kBricks);
+  for (Lba lba = 0; lba < kNumBlocks; ++lba)
+    ASSERT_TRUE(
+        client->write(lba, pattern(static_cast<std::uint8_t>(0x30 + lba))).ok());
+
+  // Rot one stored block on brick 0 (flip bits under the stored CRC) and
+  // scrub: the stripe must land in quarantine, visibly corrupt.
+  const StripeId victim = on_loop(0, [](BrickServer& s) {
+    StripeId id = 0;
+    s.store().for_each_replica(
+        [&id](StripeId stripe, const storage::ReplicaStore&) { id = stripe; });
+    s.store().replica(id).rot_newest_block(/*seed=*/7);
+    return id;
+  });
+  const auto corrupt =
+      on_loop(0, [](BrickServer& s) { return s.scrub_once(); });
+  EXPECT_GT(corrupt, 0u);
+  EXPECT_TRUE(on_loop(0, [victim](BrickServer& s) {
+    return s.quarantined().count(victim) > 0;
+  }));
+  EXPECT_GT(on_loop(0, [](BrickServer& s) {
+              return s.stats().scrub_corrupt_entries;
+            }),
+            0u);
+
+  // The rotted replica serves its corrupt bytes to no one; every block is
+  // still readable via the surviving m-of-n quorum.
+  for (Lba lba = 0; lba < kNumBlocks; ++lba) {
+    const auto read = client->read(lba);
+    ASSERT_TRUE(read.ok()) << "lba " << lba;
+    EXPECT_EQ(read.value(), pattern(static_cast<std::uint8_t>(0x30 + lba)))
+        << "lba " << lba << " served rotted bytes";
+  }
+  client->close();
+}
+
+}  // namespace
+}  // namespace fabec::runtime

@@ -1,0 +1,241 @@
+// MemEnv semantics and FaultEnv's deterministic fault schedule — the
+// foundation the crash-at-every-offset tests and disk campaigns stand on.
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace fabec::storage {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(MemEnvTest, AppendTruncReadRoundTrip) {
+  MemEnv env;
+  IoStatus st = IoStatus::kEio;
+  auto f = env.open_append("d/a", &st);
+  ASSERT_EQ(st, IoStatus::kOk);
+  EXPECT_EQ(f->append(bytes_of("hello ")), IoStatus::kOk);
+  EXPECT_EQ(f->append(bytes_of("world")), IoStatus::kOk);
+  EXPECT_EQ(f->sync(), IoStatus::kOk);
+
+  Bytes out;
+  ASSERT_EQ(env.read_file("d/a", &out), IoStatus::kOk);
+  EXPECT_EQ(out, bytes_of("hello world"));
+  EXPECT_EQ(env.file_size("d/a"), 11u);
+
+  // Reopening for append keeps contents; trunc clears them.
+  f = env.open_append("d/a", &st);
+  EXPECT_EQ(env.file_size("d/a"), 11u);
+  f = env.open_trunc("d/a", &st);
+  EXPECT_EQ(env.file_size("d/a"), 0u);
+}
+
+TEST(MemEnvTest, MissingFilesAndRename) {
+  MemEnv env;
+  Bytes out;
+  EXPECT_EQ(env.read_file("nope", &out), IoStatus::kNotFound);
+  EXPECT_EQ(env.remove("nope"), IoStatus::kNotFound);
+  EXPECT_EQ(env.rename("nope", "x"), IoStatus::kNotFound);
+  EXPECT_FALSE(env.file_size("nope").has_value());
+
+  IoStatus st;
+  env.open_append("d/a.tmp", &st)->append(bytes_of("v1"));
+  ASSERT_EQ(env.rename("d/a.tmp", "d/a"), IoStatus::kOk);
+  EXPECT_FALSE(env.exists("d/a.tmp"));
+  ASSERT_EQ(env.read_file("d/a", &out), IoStatus::kOk);
+  EXPECT_EQ(out, bytes_of("v1"));
+}
+
+TEST(MemEnvTest, ListDirIsDirectChildrenOnly) {
+  MemEnv env;
+  IoStatus st;
+  env.open_append("store/journal.0", &st);
+  env.open_append("store/snapshot.1", &st);
+  env.open_append("store/nested/deep", &st);
+  env.open_append("other/file", &st);
+  auto names = env.list_dir("store");
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"journal.0", "snapshot.1"}));
+  EXPECT_TRUE(env.list_dir("missing").empty());
+}
+
+TEST(MemEnvTest, DumpRestoreSnapshotsTheDisk) {
+  MemEnv env;
+  IoStatus st;
+  env.open_append("a", &st)->append(bytes_of("before"));
+  const auto disk = env.dump();
+  env.open_append("a", &st)->append(bytes_of("-after"));
+  env.open_append("b", &st)->append(bytes_of("new"));
+  env.restore(disk);
+  Bytes out;
+  ASSERT_EQ(env.read_file("a", &out), IoStatus::kOk);
+  EXPECT_EQ(out, bytes_of("before"));
+  EXPECT_FALSE(env.exists("b"));
+}
+
+TEST(MemEnvTest, TruncateAndMutableFile) {
+  MemEnv env;
+  IoStatus st;
+  env.open_append("a", &st)->append(bytes_of("0123456789"));
+  env.truncate_file("a", 4);
+  EXPECT_EQ(env.file_size("a"), 4u);
+  env.truncate_file("a", 100);  // never grows
+  EXPECT_EQ(env.file_size("a"), 4u);
+  Bytes* f = env.mutable_file("a");
+  ASSERT_NE(f, nullptr);
+  (*f)[0] ^= 0xFF;
+  Bytes out;
+  env.read_file("a", &out);
+  EXPECT_NE(out[0], '0');
+  EXPECT_EQ(env.mutable_file("gone"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// FaultEnv
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvTest, CrashWritesATornPrefixThenEverythingFails) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crash_at_append = 3;
+  FaultEnv env(&mem, plan);
+
+  IoStatus st;
+  auto f = env.open_append("d/journal.0", &st);
+  const Bytes rec = bytes_of("0123456789");
+  EXPECT_EQ(f->append(rec), IoStatus::kOk);
+  EXPECT_EQ(f->append(rec), IoStatus::kOk);
+  EXPECT_EQ(f->append(rec), IoStatus::kCrashed);  // the crash point
+  EXPECT_TRUE(env.crashed());
+  EXPECT_EQ(env.stats().crashes_injected, 1u);
+
+  // A seeded prefix of the crashing append (possibly none, possibly all of
+  // it) reached the base file; everything before it is intact.
+  const std::uint64_t size = *mem.file_size("d/journal.0");
+  EXPECT_GE(size, 20u);
+  EXPECT_LE(size, 30u);
+
+  // The process is gone: every later mutation fails with kCrashed and no
+  // bytes move.
+  EXPECT_EQ(f->append(rec), IoStatus::kCrashed);
+  EXPECT_EQ(env.open_append("d/other", &st).get(), nullptr);
+  EXPECT_EQ(st, IoStatus::kCrashed);
+  EXPECT_EQ(env.rename("d/journal.0", "d/x"), IoStatus::kCrashed);
+  EXPECT_EQ(env.remove("d/journal.0"), IoStatus::kCrashed);
+  Bytes out;
+  EXPECT_EQ(env.read_file("d/journal.0", &out), IoStatus::kCrashed);
+  EXPECT_EQ(*mem.file_size("d/journal.0"), size);
+}
+
+TEST(FaultEnvTest, CrashRestrictedToPathSubstring) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crash_at_append = 1;
+  plan.crash_path_substr = "snapshot";
+  FaultEnv env(&mem, plan);
+
+  IoStatus st;
+  auto journal = env.open_append("d/journal.0", &st);
+  const Bytes rec = bytes_of("record");
+  // Journal appends sail past the crash index — wrong path.
+  EXPECT_EQ(journal->append(rec), IoStatus::kOk);
+  EXPECT_EQ(journal->append(rec), IoStatus::kOk);
+  auto snap = env.open_append("d/snapshot.1.tmp", &st);
+  EXPECT_EQ(snap->append(rec), IoStatus::kCrashed);
+  EXPECT_TRUE(env.crashed());
+}
+
+TEST(FaultEnvTest, EnospcWindowIsExactAppendIndices) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.enospc_from = 2;   // 1-based, inclusive
+  plan.enospc_until = 4;  // exclusive
+  FaultEnv env(&mem, plan);
+
+  IoStatus st;
+  auto f = env.open_append("d/journal.0", &st);
+  const Bytes rec = bytes_of("xx");
+  EXPECT_EQ(f->append(rec), IoStatus::kOk);      // index 1
+  EXPECT_EQ(f->append(rec), IoStatus::kEnospc);  // index 2
+  EXPECT_EQ(f->append(rec), IoStatus::kEnospc);  // index 3
+  EXPECT_EQ(f->append(rec), IoStatus::kOk);      // index 4: disk cleared
+  EXPECT_EQ(env.stats().enospc_injected, 2u);
+  // Refused appends wrote NOTHING — ENOSPC is all-or-nothing here.
+  EXPECT_EQ(*mem.file_size("d/journal.0"), 4u);
+}
+
+TEST(FaultEnvTest, ReadBitFlipIsTransientAndSingleBit) {
+  MemEnv mem;
+  IoStatus st;
+  const Bytes contents = bytes_of("abcdefghij");
+  mem.open_append("d/a", &st)->append(contents);
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.read_bit_flip_prob = 1.0;
+  FaultEnv env(&mem, plan);
+
+  Bytes out;
+  ASSERT_EQ(env.read_file("d/a", &out), IoStatus::kOk);
+  ASSERT_EQ(out.size(), contents.size());
+  int bits_changed = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    bits_changed += __builtin_popcount(out[i] ^ contents[i]);
+  EXPECT_EQ(bits_changed, 1);
+
+  // The corruption lives in the returned copy, not on the "media".
+  Bytes base;
+  ASSERT_EQ(mem.read_file("d/a", &base), IoStatus::kOk);
+  EXPECT_EQ(base, contents);
+}
+
+TEST(FaultEnvTest, ShortReadReturnsAProperPrefix) {
+  MemEnv mem;
+  IoStatus st;
+  const Bytes contents = bytes_of("abcdefghij");
+  mem.open_append("d/a", &st)->append(contents);
+
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.short_read_prob = 1.0;
+  FaultEnv env(&mem, plan);
+
+  Bytes out;
+  ASSERT_EQ(env.read_file("d/a", &out), IoStatus::kOk);
+  EXPECT_LT(out.size(), contents.size());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), contents.begin()));
+  EXPECT_EQ(env.stats().short_reads_injected, 1u);
+}
+
+TEST(FaultEnvTest, SamePlanSameSeedMisbehavesIdentically) {
+  const auto run = [] {
+    MemEnv mem;
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.write_eio_prob = 0.3;
+    plan.crash_at_append = 25;
+    FaultEnv env(&mem, plan);
+    IoStatus st;
+    auto f = env.open_append("d/journal.0", &st);
+    const Bytes rec = bytes_of("payload-bytes");
+    std::vector<IoStatus> outcomes;
+    for (int i = 0; i < 30; ++i) outcomes.push_back(f->append(rec));
+    Bytes final_bytes;
+    mem.read_file("d/journal.0", &final_bytes);
+    return std::make_pair(outcomes, final_bytes);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);    // identical fault sequence
+  EXPECT_EQ(a.second, b.second);  // identical surviving bytes (torn prefix)
+}
+
+}  // namespace
+}  // namespace fabec::storage

@@ -15,6 +15,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "runtime/brick_config.h"
 #include "runtime/brick_server.h"
@@ -58,27 +59,41 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
 
+  const auto& pstats = server.persistence_stats();
   std::fprintf(stderr,
                "brickd: brick %u listening on %s:%u (n=%u m=%u pool=%u), "
-               "store %s, %llu journal records replayed\n",
+               "store %s, recovered snapshot %s + %llu journal records "
+               "(%llu torn tail bytes dropped, %llu snapshots rejected)\n",
                server.brick_id(), server.config().listen.addr.c_str(),
                server.port(), server.config().n, server.config().m,
                server.config().total_bricks,
                server.config().store_path.c_str(),
+               pstats.snapshot_loaded
+                   ? std::to_string(pstats.snapshot_seq).c_str()
+                   : "none",
                static_cast<unsigned long long>(
-                   server.stats().journal_replayed));
+                   pstats.journal_entries_replayed),
+               static_cast<unsigned long long>(
+                   pstats.journal_tail_dropped_bytes),
+               static_cast<unsigned long long>(pstats.snapshots_rejected));
 
   server.run();
 
   std::fprintf(stderr,
                "brickd: brick %u shut down cleanly (%llu requests, %llu "
-               "journal appends, %llu duplicate replies)\n",
+               "journal appends, %llu duplicate replies, %llu compactions, "
+               "%llu append errors, %llu scrub passes)\n",
                server.brick_id(),
                static_cast<unsigned long long>(
                    server.stats().requests_handled),
                static_cast<unsigned long long>(
                    server.stats().journal_appends),
                static_cast<unsigned long long>(
-                   server.stats().replies_from_cache));
+                   server.stats().replies_from_cache),
+               static_cast<unsigned long long>(
+                   server.persistence_stats().compactions),
+               static_cast<unsigned long long>(
+                   server.stats().journal_append_errors),
+               static_cast<unsigned long long>(server.stats().scrub_passes));
   return 0;
 }

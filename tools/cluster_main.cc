@@ -31,6 +31,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -48,6 +49,8 @@
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "core/persistence.h"
+#include "core/snapshot.h"
 #include "fab/layout.h"
 #include "fab/volume_client.h"
 #include "fab/workload.h"
@@ -71,6 +74,11 @@ struct Flags {
   std::size_t block_size = 4096;
   std::uint32_t kills = 3;
   std::uint64_t kill_interval_ms = 600;
+  /// SIGKILL timing: wait (bounded) for a snapshot.*.tmp to appear in the
+  /// victim's store before killing, so the kill lands mid-compaction.
+  bool kill_during_compaction = false;
+  std::uint64_t compact_threshold = 0;  ///< bytes; 0 = brickd default
+  std::uint64_t scrub_interval_ms = 0;  ///< 0 = scrubbing off
   std::uint64_t seed = 1;
   std::uint64_t deadline_ms = 2000;
   std::uint32_t retries = 8;
@@ -97,6 +105,11 @@ void usage(const char* argv0) {
       "  --block-size B        bytes per block (default 4096)\n"
       "  --kills K             SIGKILL/restart injections (default 3)\n"
       "  --kill-interval-ms T  gap between injections (default 600)\n"
+      "  --kill-during-compaction  time kills to land while the victim is\n"
+      "                        installing a snapshot (waits for its .tmp)\n"
+      "  --compact-threshold B WAL bytes triggering brick compaction; also\n"
+      "                        enables the post-run WAL-bound check\n"
+      "  --scrub-interval-ms T background scrub cadence on the bricks\n"
       "  --write-fraction F    write mix (default 0.5)\n"
       "  --deadline-ms T       per-phase op deadline (default 2000)\n"
       "  --retries N           client attempts per op on abort (default 8)\n"
@@ -129,6 +142,12 @@ bool parse_flags(int argc, char** argv, Flags* flags) {
     else if (a == "--kills" && (v = need(i))) flags->kills = std::atoi(v);
     else if (a == "--kill-interval-ms" && (v = need(i)))
       flags->kill_interval_ms = std::atoll(v);
+    else if (a == "--kill-during-compaction")
+      flags->kill_during_compaction = true;
+    else if (a == "--compact-threshold" && (v = need(i)))
+      flags->compact_threshold = std::atoll(v);
+    else if (a == "--scrub-interval-ms" && (v = need(i)))
+      flags->scrub_interval_ms = std::atoll(v);
     else if (a == "--write-fraction" && (v = need(i)))
       flags->write_fraction = std::atof(v);
     else if (a == "--deadline-ms" && (v = need(i)))
@@ -323,6 +342,71 @@ void reap_all(std::vector<BrickProc>& bricks, bool quiet) {
 }
 
 // ---------------------------------------------------------------------------
+// Post-run disk verification.
+// ---------------------------------------------------------------------------
+
+/// After the bricks are down: every store directory must hold a recoverable
+/// chain (the same offline check tools/fsck runs), and with compaction
+/// enabled the active WAL segment must have stayed bounded near the
+/// threshold — the witness that compaction actually reclaimed the journal
+/// across all those kills and restarts.
+bool check_disks(const Flags& flags, const std::string& dir) {
+  auto& env = fabec::storage::Env::real();
+  bool ok = true;
+  std::uint64_t snapshots = 0;
+  std::uint64_t max_wal = 0;
+  for (std::uint32_t i = 0; i < flags.bricks; ++i) {
+    const std::string store = dir + "/brick" + std::to_string(i);
+    const auto report = fabec::core::PersistentState::fsck(env, store);
+    if (!report.ok) {
+      ok = false;
+      std::fprintf(stderr, "cluster: fsck DAMAGED %s\n", store.c_str());
+      for (const auto& file : report.files)
+        if (!file.ok)
+          std::fprintf(stderr, "cluster:   %s: %s\n", file.name.c_str(),
+                       file.detail.c_str());
+    }
+    std::optional<std::uint64_t> tail_seq;
+    for (const auto& file : report.files) {
+      if (fabec::core::snapshot::parse_seq(file.name, "snapshot")) {
+        ++snapshots;
+      } else if (const auto seq =
+                     fabec::core::snapshot::parse_seq(file.name, "journal")) {
+        if (!tail_seq || *seq > *tail_seq) tail_seq = *seq;
+      }
+    }
+    if (tail_seq) {
+      const std::string tail =
+          store + "/journal." + std::to_string(*tail_seq);
+      max_wal = std::max(max_wal, env.file_size(tail).value_or(0));
+    }
+  }
+  if (flags.compact_threshold != 0) {
+    // Slack: the brick checks the threshold after each request, so the WAL
+    // may overshoot by the in-flight records of one batch window.
+    const std::uint64_t bound =
+        flags.compact_threshold * 2 + 16 * flags.block_size;
+    if (max_wal > bound) {
+      ok = false;
+      std::fprintf(stderr,
+                   "cluster: WAL unbounded: active journal %llu bytes "
+                   "exceeds %llu (threshold %llu)\n",
+                   static_cast<unsigned long long>(max_wal),
+                   static_cast<unsigned long long>(bound),
+                   static_cast<unsigned long long>(flags.compact_threshold));
+    }
+  }
+  if (!flags.quiet)
+    std::fprintf(stderr,
+                 "cluster: disk check %s  (%llu snapshot generations, "
+                 "max WAL %llu bytes)\n",
+                 ok ? "OK" : "FAILED",
+                 static_cast<unsigned long long>(snapshots),
+                 static_cast<unsigned long long>(max_wal));
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Summary output.
 // ---------------------------------------------------------------------------
 
@@ -501,6 +585,9 @@ int main(int argc, char** argv) {
     config.listen = {"127.0.0.1", port};
     config.port_file = brick.port_file;
     config.store_path = dir + "/brick" + std::to_string(brick.id);
+    if (flags.compact_threshold != 0)
+      config.compact_threshold_bytes = flags.compact_threshold;
+    config.scrub_interval_ms = flags.scrub_interval_ms;
     return config.to_text();
   };
   for (std::uint32_t i = 0; i < flags.bricks; ++i) {
@@ -626,6 +713,31 @@ int main(int argc, char** argv) {
       if (workload_done && k > 0) return;  // at least one kill always lands
       BrickProc& victim =
           bricks[chaos_rng.next_u64() % bricks.size()];
+      if (flags.kill_during_compaction) {
+        // A compaction's only externally visible window is its snapshot
+        // temp file (written, synced, then renamed away). Poll the victim's
+        // store for one so the SIGKILL lands mid-install; the bounded wait
+        // falls back to an untimed kill — the schedule stays opportunistic,
+        // never blocks the run.
+        const std::string store = dir + "/brick" + std::to_string(victim.id);
+        const std::int64_t give_up = now_ns() + 1'000'000'000LL;
+        bool tmp_seen = false;
+        while (!tmp_seen && now_ns() < give_up && !workload_done) {
+          for (const auto& name :
+               fabec::storage::Env::real().list_dir(store)) {
+            if (name.size() > 4 &&
+                name.compare(name.size() - 4, 4, ".tmp") == 0) {
+              tmp_seen = true;
+              break;
+            }
+          }
+          if (!tmp_seen)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (!flags.quiet && tmp_seen)
+          std::fprintf(stderr,
+                       "cluster: caught brick %u mid-compaction\n", victim.id);
+      }
       if (!flags.quiet)
         std::fprintf(stderr, "cluster: SIGKILL brick %u (pid %d)\n",
                      victim.id, victim.pid);
@@ -652,11 +764,13 @@ int main(int argc, char** argv) {
   for (auto& client : clients) client->close();
   reap_all(bricks, flags.quiet);
 
-  // --- oracle and summary ---------------------------------------------------
+  // --- disk verification, oracle and summary --------------------------------
+  const bool disks_ok = check_disks(flags, dir);
   const std::size_t violations = recorder.check();
   print_summary(flags, recorder, tally, kills_done.load(), seconds,
                 violations);
-  if (!flags.keep && violations == 0) {
+  const bool passed = violations == 0 && disks_ok;
+  if (!flags.keep && passed) {
     // Best-effort cleanup of the run directory.
     const std::string cmd = "rm -rf '" + dir + "'";
     if (std::system(cmd.c_str()) != 0 && !flags.quiet)
@@ -664,5 +778,5 @@ int main(int argc, char** argv) {
   } else if (!flags.quiet) {
     std::fprintf(stderr, "cluster: run directory kept at %s\n", dir.c_str());
   }
-  return violations == 0 ? 0 : 1;
+  return passed ? 0 : 1;
 }

@@ -1,21 +1,35 @@
 #!/bin/sh
 # Quick socket-level sanity run: boots a 4-process brickd cluster, replays
-# 1k operations with one SIGKILL/restart injection, and checks the recorded
-# histories against the strict-linearizability oracle. Mirrors the ctest
-# `cluster_smoke` case (label: cluster) for running by hand.
+# 1k operations with one SIGKILL/restart injection (compaction enabled so
+# the WAL-bound check has teeth), verifies the recorded histories against
+# the strict-linearizability oracle, then runs the offline fsck tool over
+# every surviving brick store. Mirrors the ctest `cluster_smoke` case
+# (label: cluster) for running by hand.
 #
 #   tools/cluster_smoke.sh [build-dir]
 set -eu
 
 BUILD_DIR="${1:-build}"
 CLUSTER="$BUILD_DIR/tools/cluster"
+FSCK="$BUILD_DIR/tools/fsck"
 
-if [ ! -x "$CLUSTER" ]; then
-  echo "cluster_smoke: $CLUSTER not built (cmake --build $BUILD_DIR)" >&2
+if [ ! -x "$CLUSTER" ] || [ ! -x "$FSCK" ]; then
+  echo "cluster_smoke: $CLUSTER / $FSCK not built (cmake --build $BUILD_DIR)" >&2
   exit 1
 fi
 
-exec "$CLUSTER" \
+DIR="${TMPDIR:-/tmp}/fab-smoke-$$"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLUSTER" \
   --bricks 4 --m 2 --clients 2 \
   --ops 1000 --lbas 64 \
-  --kills 1 --kill-interval-ms 300 --deadline-ms 1500
+  --kills 1 --kill-interval-ms 300 --deadline-ms 1500 \
+  --compact-threshold 65536 \
+  --dir "$DIR" --keep
+
+# The bricks are down; fsck each store offline — every chain must be
+# recoverable (torn journal tails are sealed prefixes, not damage).
+"$FSCK" "$DIR/brick0" "$DIR/brick1" "$DIR/brick2" "$DIR/brick3"
+
+echo "cluster_smoke: OK"

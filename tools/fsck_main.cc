@@ -1,0 +1,53 @@
+// fsck — offline integrity checker for a brick's store directory.
+//
+//   fsck <store-dir>...
+//
+// For each directory, validates every snapshot generation (header, meta
+// CRC, blocks-region length) and every journal segment (per-record wire
+// CRCs), and prints a per-file summary. Exit 0 if every directory has a
+// recoverable chain (no snapshots at all, or at least one valid snapshot,
+// and no unreadable journal), exit 1 otherwise. Torn journal tails are
+// reported but are NOT an error: recovery seals them and rolls to a fresh
+// segment. Stale snapshot .tmp files (a compaction that died before its
+// rename) are counted; they are inert and recovery removes them.
+//
+// Run it only on a stopped brick (or a copy of its directory): the active
+// journal is mid-append on a live one.
+#include <cstdio>
+#include <string>
+
+#include "core/persistence.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <store-dir>...\n", argv[0]);
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string dir = argv[i];
+    const auto report = fabec::core::PersistentState::fsck(
+        fabec::storage::Env::real(), dir);
+    std::printf("%s: %s\n", dir.c_str(), report.ok ? "OK" : "DAMAGED");
+    for (const auto& file : report.files) {
+      if (file.name.rfind("journal", 0) == 0) {
+        std::printf("  %-20s %-7s %6llu records%s%s\n", file.name.c_str(),
+                    file.ok ? "ok" : "BAD",
+                    static_cast<unsigned long long>(file.records),
+                    file.detail.empty() ? "" : "  -- ",
+                    file.detail.c_str());
+      } else {
+        std::printf("  %-20s %-7s%s%s\n", file.name.c_str(),
+                    file.ok ? "ok" : "BAD",
+                    file.detail.empty() ? "" : "  -- ",
+                    file.detail.c_str());
+      }
+    }
+    if (report.stale_tmp_files > 0) {
+      std::printf("  %llu stale .tmp file(s) (torn install; inert)\n",
+                  static_cast<unsigned long long>(report.stale_tmp_files));
+    }
+    if (!report.ok) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

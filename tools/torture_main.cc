@@ -17,14 +17,20 @@
 #include <string>
 
 #include "chaos/campaign.h"
+#include "chaos/disk_campaign.h"
 
 namespace {
 
 using fabec::chaos::CampaignConfig;
 using fabec::chaos::CampaignResult;
+using fabec::chaos::DiskCampaignConfig;
+using fabec::chaos::DiskCampaignResult;
+using fabec::chaos::DiskProfile;
 
 struct Options {
   CampaignConfig config;
+  DiskCampaignConfig disk;
+  bool disk_mode = false;          ///< --disk: persistence campaigns instead
   std::uint64_t seeds = 100;       ///< sweep size
   std::uint64_t start_seed = 1;
   std::uint64_t replay = 0;        ///< nonzero: run exactly this seed
@@ -54,7 +60,15 @@ void usage(const char* argv0) {
                "  --deadline-us U  per-phase op deadline (0 = wait forever)\n"
                "  --retries K      client retry budget for aborted ops\n"
                "  --delta-writes   enable the 5.2 delta block-write path\n"
-               "  --verbose        per-campaign stats + fault schedules\n",
+               "  --verbose        per-campaign stats + fault schedules\n"
+               "\n"
+               "disk-fault campaigns (single-brick persistence torture):\n"
+               "  --disk PROFILE   bitflip | torn | enospc\n"
+               "  --rounds K       crash/recover cycles (default 8)\n"
+               "  --writes-per-round K   journaled writes per round\n"
+               "  --block-size B --stripes S\n"
+               "  --compact-threshold BYTES  WAL size triggering compaction\n"
+               "  --gc-every K     GcReq cadence in acked writes (0 = off)\n",
                argv0);
 }
 
@@ -85,8 +99,36 @@ bool parse(int argc, char** argv, Options* opt) {
     else if (a == "--n") ok = next_u32(&cfg.n);
     else if (a == "--m") ok = next_u32(&cfg.m);
     else if (a == "--bricks") ok = next_u32(&cfg.total_bricks);
-    else if (a == "--stripes") ok = next_u32(&cfg.num_stripes);
+    else if (a == "--stripes") {
+      ok = next_u32(&cfg.num_stripes);
+      opt->disk.num_stripes = cfg.num_stripes;
+    }
     else if (a == "--ops") ok = next_u64(&cfg.num_ops);
+    else if (a == "--disk") {
+      if (i + 1 >= argc) { ok = false; }
+      else {
+        const std::string p = argv[++i];
+        opt->disk_mode = true;
+        if (p == "bitflip") opt->disk.profile = DiskProfile::kBitFlip;
+        else if (p == "torn") opt->disk.profile = DiskProfile::kTornWrite;
+        else if (p == "enospc") opt->disk.profile = DiskProfile::kEnospc;
+        else {
+          std::fprintf(stderr, "unknown disk profile: %s\n", p.c_str());
+          return false;
+        }
+      }
+    }
+    else if (a == "--rounds") ok = next_u32(&opt->disk.rounds);
+    else if (a == "--writes-per-round")
+      ok = next_u64(&opt->disk.writes_per_round);
+    else if (a == "--block-size") {
+      std::uint64_t bs;
+      ok = next_u64(&bs);
+      opt->disk.block_size = static_cast<std::size_t>(bs);
+    }
+    else if (a == "--compact-threshold")
+      ok = next_u64(&opt->disk.compact_threshold_bytes);
+    else if (a == "--gc-every") ok = next_u64(&opt->disk.gc_every);
     else if (a == "--write-frac") ok = next_double(&cfg.write_fraction);
     else if (a == "--wide-frac") ok = next_double(&cfg.wide_op_fraction);
     else if (a == "--window-us") {
@@ -107,6 +149,7 @@ bool parse(int argc, char** argv, Options* opt) {
     else if (a == "--midphase") ok = next_u32(&cfg.nemesis.mid_phase_crashes);
     else if (a == "--blackouts") ok = next_u32(&cfg.nemesis.quorum_blackouts);
     else if (a == "--dup-ramps") ok = next_u32(&cfg.nemesis.dup_ramps);
+    else if (a == "--bit-rots") ok = next_u32(&cfg.nemesis.bit_rots);
     else if (a == "--batch-frames") cfg.batch_frames = true;
     else if (a == "--deadline-us") {
       std::uint64_t us;
@@ -158,6 +201,59 @@ void print_result(const CampaignResult& r, bool verbose) {
   }
 }
 
+void print_disk_result(const DiskCampaignResult& r, bool verbose) {
+  if (!verbose) return;
+  std::printf(
+      "seed %llu: %s  hash=%016llx  rounds=%llu recoveries=%llu "
+      "acked=%llu refused=%llu crashes=%llu flips=%llu  compactions=%llu "
+      "(failed %llu) rolls=%llu tail-dropped=%lluB snap-rejected=%llu "
+      "replayed=%llu corrupt-detected=%llu max-wal=%lluB\n",
+      static_cast<unsigned long long>(r.seed), r.ok ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(r.state_hash),
+      static_cast<unsigned long long>(r.rounds_run),
+      static_cast<unsigned long long>(r.recoveries),
+      static_cast<unsigned long long>(r.writes_acked),
+      static_cast<unsigned long long>(r.appends_refused),
+      static_cast<unsigned long long>(r.crashes_injected),
+      static_cast<unsigned long long>(r.bit_flips_injected),
+      static_cast<unsigned long long>(r.compactions),
+      static_cast<unsigned long long>(r.compaction_failures),
+      static_cast<unsigned long long>(r.journal_rolls),
+      static_cast<unsigned long long>(r.journal_tail_dropped_bytes),
+      static_cast<unsigned long long>(r.snapshots_rejected),
+      static_cast<unsigned long long>(r.journal_entries_replayed),
+      static_cast<unsigned long long>(r.detected_corruptions),
+      static_cast<unsigned long long>(r.max_journal_bytes));
+}
+
+/// Sweeps seeds through the single-brick disk-fault campaign.
+int run_disk_sweep(const Options& opt, std::uint64_t first,
+                   std::uint64_t count) {
+  std::uint64_t failures = 0;
+  for (std::uint64_t s = first; s < first + count; ++s) {
+    const DiskCampaignResult r =
+        fabec::chaos::run_disk_campaign(opt.disk, s);
+    print_disk_result(r, opt.verbose);
+    if (!r.ok) {
+      ++failures;
+      std::printf("seed %llu FAILED: %s\n",
+                  static_cast<unsigned long long>(s), r.violation.c_str());
+      std::printf("replay: %s\n",
+                  fabec::chaos::disk_replay_command(opt.disk, s).c_str());
+    }
+    if ((s - first + 1) % 50 == 0 && !opt.verbose)
+      std::printf("... %llu/%llu campaigns, %llu failures\n",
+                  static_cast<unsigned long long>(s - first + 1),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(failures));
+  }
+  std::printf("%llu disk campaigns (%s), %llu failures\n",
+              static_cast<unsigned long long>(count),
+              fabec::chaos::to_string(opt.disk.profile),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +270,8 @@ int main(int argc, char** argv) {
     count = 1;
     opt.verbose = true;
   }
+
+  if (opt.disk_mode) return run_disk_sweep(opt, first, count);
 
   std::uint64_t failures = 0;
   for (std::uint64_t s = first; s < first + count; ++s) {
