@@ -144,6 +144,14 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  // The system benchmark library's own library_build_type says nothing
+  // about how THIS binary was compiled; tools/bench2json gates committed
+  // records on this context key instead.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("fabec_build_type", "release");
+#else
+  benchmark::AddCustomContext("fabec_build_type", "debug");
+#endif
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

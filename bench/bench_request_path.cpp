@@ -17,9 +17,19 @@
 //                 tracks real protocol + simulator work per op).
 //   p50_us/p99_us — per-op latency in *virtual* microseconds, submit to
 //                 callback; the protocol-cost view of the same runs.
-// The recovery-mix variant crashes one brick a quarter of the way through,
-// so late groups fail over, in-flight ops on the victim settle as
-// misrouted, and degraded reads pay the decode path.
+//   read_p50_us/read_p99_us — the same, reads only: the read phase runs
+//                 long after the writes settle, so these isolate the read
+//                 path the §13 timestamp cache shortens.
+//   read_messages_per_op — network messages sent during the read phase
+//                 divided by reads issued (the 2t-vs-2n wire saving).
+//   cached_read_* — the coordinator cache counters for the cached arm.
+// The read_cache arm enables the coordinators' per-stripe timestamp cache
+// AND the engine's stripe-affinity routing — the cache is coordinator-
+// local, so reads must revisit the coordinator whose write populated it;
+// round-robin routing would scatter them. The recovery-mix variant crashes
+// one brick a quarter of the way through, so late groups fail over,
+// in-flight ops on the victim settle as misrouted, and degraded reads pay
+// the decode path.
 //
 // FABEC_BENCH_OPS overrides ops issued per client (default 40) so the
 // bench-smoke ctest entry stays cheap.
@@ -60,23 +70,29 @@ struct RunResult {
   std::uint64_t ok = 0;
   std::uint64_t failed = 0;
   std::vector<double> latencies_us;  // virtual time, submit -> callback
+  std::vector<double> read_latencies_us;  // reads only (the cached path)
+  std::uint64_t reads_issued = 0;
+  std::uint64_t read_phase_messages = 0;  // network msgs after writes settle
   fab::RequestEngineStats engine;
   core::BatchStats batch;
+  core::CoordinatorStats coord;
 };
 
 RunResult run_once(bool batched, std::uint32_t clients, bool recovery_mix,
-                   std::uint64_t seed) {
+                   bool read_cache, std::uint64_t seed) {
   core::ClusterConfig config;
   config.n = kN;
   config.m = kM;
   config.block_size = kBlockSize;
   config.net.jitter = sim::microseconds(20);
   config.batch.enabled = batched;
+  config.coordinator.read_cache = read_cache;
   core::Cluster cluster(config, seed);
   auto& sim = cluster.simulator();
 
   fab::RequestEngineOptions opts;
   opts.coalesce = batched;
+  opts.stripe_affinity = read_cache;  // revisit the populating coordinator
   opts.layout = fab::Layout::kLinear;  // adjacent LBAs share a stripe
   const std::uint64_t num_blocks =
       static_cast<std::uint64_t>(clients) * kStripesPerClient * kM;
@@ -94,10 +110,11 @@ RunResult run_once(bool batched, std::uint32_t clients, bool recovery_mix,
   const ProcessId victim = kN - 1;
 
   Rng rng(seed);
-  auto settle = [&](sim::Time start, bool op_ok) {
+  auto settle = [&](sim::Time start, bool op_ok, bool was_write) {
     (op_ok ? result.ok : result.failed) += 1;
-    result.latencies_us.push_back(
-        static_cast<double>(sim.now() - start) / 1000.0);
+    const double us = static_cast<double>(sim.now() - start) / 1000.0;
+    result.latencies_us.push_back(us);
+    if (!was_write) result.read_latencies_us.push_back(us);
     if (crash_at != 0 && result.ok + result.failed == crash_at) {
       // Defer one tick: never crash from inside an engine callback.
       sim.schedule_at(sim.now() + 1,
@@ -115,7 +132,7 @@ RunResult run_once(bool batched, std::uint32_t clients, bool recovery_mix,
         auto next = [&, lba, is_write, start, attempt](bool op_ok,
                                                        Block retry_data) {
           if (op_ok || attempt >= kMaxAttempts) {
-            settle(start, op_ok);
+            settle(start, op_ok, is_write);
             return;
           }
           const sim::Duration backoff =
@@ -148,6 +165,13 @@ RunResult run_once(bool batched, std::uint32_t clients, bool recovery_mix,
   // free in wall-clock terms — the simulator skips idle time).
   const sim::Duration spacing = sim::kDefaultDelta;
   const sim::Time read_phase = sim::seconds(1);
+  // Snapshot the message count on the eve of the read phase: every write
+  // (scheduled near t=1) settled long ago, so the remaining delta is the
+  // read phase's wire traffic.
+  std::uint64_t messages_before_reads = 0;
+  sim.schedule_at(read_phase - 1, [&] {
+    messages_before_reads = cluster.network().stats().messages_sent;
+  });
   for (std::uint32_t c = 0; c < clients; ++c) {
     for (std::uint64_t b = 0; b < pairs; ++b) {
       const StripeId stripe =
@@ -174,6 +198,10 @@ RunResult run_once(bool batched, std::uint32_t clients, bool recovery_mix,
 
   result.engine = engine.stats();
   result.batch = cluster.total_batch_stats();
+  result.coord = cluster.total_coordinator_stats();
+  result.reads_issued = result.total_ops / 2;
+  result.read_phase_messages =
+      cluster.network().stats().messages_sent - messages_before_reads;
   // Accounting must close exactly: every submission settled exactly once,
   // no record leaked, no timer outlived its op.
   FABEC_CHECK(result.ok + result.failed == result.total_ops);
@@ -205,11 +233,12 @@ void BM_RequestPath(benchmark::State& state) {
   const bool batched = state.range(0) != 0;
   const auto clients = static_cast<std::uint32_t>(state.range(1));
   const bool recovery = state.range(2) != 0;
+  const bool read_cache = state.range(3) != 0;
   std::uint64_t ops_total = 0;
   std::uint64_t seed = 1;
   RunResult last;
   for (auto _ : state) {
-    last = run_once(batched, clients, recovery, seed++);
+    last = run_once(batched, clients, recovery, read_cache, seed++);
     state.SetIterationTime(last.wall_seconds);
     ops_total += last.total_ops;
   }
@@ -218,6 +247,21 @@ void BM_RequestPath(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
   state.counters["p50_us"] = percentile(last.latencies_us, 50);
   state.counters["p99_us"] = percentile(last.latencies_us, 99);
+  state.counters["read_p50_us"] = percentile(last.read_latencies_us, 50);
+  state.counters["read_p99_us"] = percentile(last.read_latencies_us, 99);
+  state.counters["read_messages_per_op"] =
+      last.reads_issued == 0
+          ? 0.0
+          : static_cast<double>(last.read_phase_messages) /
+                static_cast<double>(last.reads_issued);
+  state.counters["cached_read_hits"] =
+      static_cast<double>(last.coord.cached_read_hits);
+  state.counters["cached_read_misses"] =
+      static_cast<double>(last.coord.cached_read_misses);
+  state.counters["cached_read_fallbacks"] =
+      static_cast<double>(last.coord.cached_read_fallbacks);
+  state.counters["cache_invalidations"] =
+      static_cast<double>(last.coord.cache_invalidations);
   state.counters["multi_block_groups"] =
       static_cast<double>(last.engine.multi_block_groups);
   state.counters["frames_flushed"] =
@@ -228,9 +272,23 @@ void BM_RequestPath(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_RequestPath)
-    ->ArgNames({"batched", "clients", "recovery"})
-    ->ArgsProduct({{0, 1}, {4, 16, 64}, {0, 1}})
+    ->ArgNames({"batched", "clients", "recovery", "read_cache"})
+    ->ArgsProduct({{0, 1}, {4, 16, 64}, {0, 1}, {0, 1}})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The system benchmark library's own library_build_type says nothing
+  // about how THIS binary was compiled; tools/bench2json gates committed
+  // records on this context key instead.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("fabec_build_type", "release");
+#else
+  benchmark::AddCustomContext("fabec_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -57,6 +57,7 @@ class CampaignRunner {
     cluster_cfg.block_size = cfg_.block_size;
     cluster_cfg.coordinator.delta_block_writes = cfg_.delta_block_writes;
     cluster_cfg.coordinator.op_deadline = cfg_.op_deadline;
+    cluster_cfg.coordinator.read_cache = cfg_.read_cache;
     cluster_cfg.batch.enabled = cfg_.batch_frames;
     // Seed-derived retransmission period: varying the timer relative to the
     // (skewed) clocks shifts every retransmission interleaving between
@@ -97,6 +98,11 @@ class CampaignRunner {
       result_.fault_schedule.push_back(e.describe());
     result_.events_run = cluster_->simulator().events_run();
     result_.end_time = cluster_->simulator().now();
+    const core::CoordinatorStats coord = cluster_->total_coordinator_stats();
+    result_.cached_read_hits = coord.cached_read_hits;
+    result_.cached_read_fallbacks = coord.cached_read_fallbacks;
+    result_.cached_read_misses = coord.cached_read_misses;
+    result_.cache_invalidations = coord.cache_invalidations;
     result_.history_hash = hash_run();
     return std::move(result_);
   }
@@ -547,6 +553,7 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
   if (config.client_retries != 0)
     os << " --retries " << config.client_retries;
   if (config.delta_block_writes) os << " --delta-writes";
+  if (!config.read_cache) os << " --no-read-cache";
   os << " --verbose";
   return os.str();
 }

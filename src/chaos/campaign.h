@@ -38,6 +38,13 @@ struct CampaignConfig {
   /// becomes a whole multi-op frame, so one lost envelope now loses many
   /// op payloads at once and one duplicated envelope replays them all.
   bool batch_frames = false;
+  /// Coordinator-side per-stripe timestamp cache (DESIGN.md §13): reads of
+  /// a cached stripe go to a sub-quorum contact set in one round, falling
+  /// back to the quorum path on any validation failure. On by default here
+  /// (unlike the library) so every chaos interleaving — crashes, partitions,
+  /// bit-rot, clock skew — exercises the cache coherence argument against
+  /// the linearizability oracle.
+  bool read_cache = true;
 
   // Workload (mapped over the volume rotating-layout, §3).
   std::uint64_t num_ops = 100;
@@ -102,6 +109,14 @@ struct CampaignResult {
   std::uint64_t scrubs_corrupt = 0;   ///< first scrub found the rot
   std::uint64_t repairs_run = 0;      ///< repair_stripe invocations that ok'd
   std::uint64_t scrubs_clean = 0;     ///< final verdicts (must equal scrubbed)
+
+  // Cached single-round reads (DESIGN.md §13), summed over every
+  // coordinator the workload touched. hits + fallbacks counts the probes
+  // actually sent; the oracle verdict above is what proves the hits safe.
+  std::uint64_t cached_read_hits = 0;
+  std::uint64_t cached_read_fallbacks = 0;
+  std::uint64_t cached_read_misses = 0;
+  std::uint64_t cache_invalidations = 0;
 
   NemesisStats faults;
   /// Human-readable generated fault schedule (FaultEvent::describe()), for

@@ -236,6 +236,11 @@ CoordinatorStats Cluster::total_coordinator_stats() const {
     total.sends_suppressed += s.sends_suppressed;
     total.suspect_probes += s.suspect_probes;
     total.mismatched_replies += s.mismatched_replies;
+    total.cached_read_hits += s.cached_read_hits;
+    total.cached_read_misses += s.cached_read_misses;
+    total.cached_read_fallbacks += s.cached_read_fallbacks;
+    total.cache_invalidations += s.cache_invalidations;
+    total.cache_evictions += s.cache_evictions;
   }
   return total;
 }

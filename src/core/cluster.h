@@ -74,6 +74,9 @@ class Cluster {
   sim::Network<Envelope>& network() { return net_; }
   sim::ProcessSet& processes() { return procs_; }
   Coordinator& coordinator(ProcessId p) { return *bricks_[p]->coordinator; }
+  const RegisterReplica& replica(ProcessId p) const {
+    return *bricks_[p]->replica;
+  }
   storage::BrickStore& store(ProcessId p) { return bricks_[p]->store; }
   const erasure::Codec& codec() const { return codec_; }
   const ClusterConfig& config() const { return config_; }

@@ -76,7 +76,8 @@ OpId Coordinator::start_rpc_impl(
     std::vector<ProcessId> dests,
     std::function<Message(std::uint32_t, OpId)> make_request,
     std::function<void(Replies&, bool)> on_complete,
-    std::size_t expected_kind, std::vector<std::uint32_t> wait_for) {
+    std::size_t expected_kind, std::vector<std::uint32_t> wait_for,
+    std::vector<std::uint32_t> contacts) {
   FABEC_CHECK(dests.size() == config_.n);
   const OpId op = next_op_++;
   Rpc rpc;
@@ -86,10 +87,25 @@ OpId Coordinator::start_rpc_impl(
   rpc.next_period = options_.retransmit_period;
   rpc.expected_kind = expected_kind;
   rpc.wait_for = std::move(wait_for);
+  rpc.contacts = std::move(contacts);
   rpc.on_complete = std::move(on_complete);
   pending_.emplace(op, std::move(rpc));
-  if (options_.op_deadline > 0) {
-    Rpc& placed = pending_.find(op)->second;
+  Rpc& placed = pending_.find(op)->second;
+  if (!placed.contacts.empty()) {
+    // Sub-quorum probe: it can never satisfy the quorum counter, so a
+    // fallback timer finalizes it with whatever replies arrived — the
+    // continuation sees the missing/unconfirmed contacts and falls back to
+    // the quorum path. Probes therefore never time out; op_deadline only
+    // caps the fallback delay so the quorum path keeps its full budget.
+    sim::Duration delay = options_.read_cache_fallback > 0
+                              ? options_.read_cache_fallback
+                              : options_.retransmit_period;
+    if (options_.op_deadline > 0)
+      delay = std::min(delay, options_.op_deadline);
+    placed.grace_armed = true;
+    placed.grace_timer =
+        sim_->schedule_event(delay, [this, op] { begin_finalize(op); });
+  } else if (options_.op_deadline > 0) {
     placed.deadline_armed = true;
     placed.deadline_timer = sim_->schedule_event(
         options_.op_deadline, [this, op] { timeout_rpc(op); });
@@ -107,7 +123,11 @@ OpId Coordinator::start_rpc_impl(
 void Coordinator::transmit_round(OpId op, bool retransmit) {
   auto it = pending_.find(op);
   if (it == pending_.end()) return;
+  const std::vector<std::uint32_t>& contacts = it->second.contacts;
   for (std::uint32_t pos = 0; pos < config_.n; ++pos) {
+    if (!contacts.empty() &&
+        std::find(contacts.begin(), contacts.end(), pos) == contacts.end())
+      continue;  // sub-quorum probe: only the contact set is addressed
     if (it->second.replies[pos].has_value()) continue;
     const ProcessId dest = it->second.dests[pos];
     if (retransmit && options_.suspect_after > 0 &&
@@ -188,7 +208,13 @@ void Coordinator::on_reply(ProcessId from, const Message& reply) {
   if (rpc.replies[pos].has_value()) return;  // duplicate (retransmission)
   rpc.replies[pos] = reply;
   ++rpc.distinct;
-  if (rpc.finalizing || rpc.distinct < config_.quorum()) return;
+  if (rpc.finalizing) return;
+  if (!rpc.contacts.empty()) {
+    // Sub-quorum probe: complete as soon as the whole contact set answered.
+    if (rpc.distinct >= rpc.contacts.size()) begin_finalize(it->first);
+    return;
+  }
+  if (rpc.distinct < config_.quorum()) return;
   const OpId op = it->first;
   // Quorum met. If the phase named specific positions it wants answers
   // from, optionally hold the door open for them a little longer.
@@ -248,6 +274,147 @@ void Coordinator::drop_all_pending() {
     if (rpc.deadline_armed) sim_->cancel_event(rpc.deadline_timer);
   }
   pending_.clear();
+  // A restarted coordinator trusts nothing it cached before the crash.
+  cache_clear();
+}
+
+// ---------------------------------------------------------------------
+// Single-round cached reads (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+void Coordinator::cache_put(StripeId stripe, const Timestamp& ts) {
+  if (!options_.read_cache) return;
+  auto it = cache_map_.find(stripe);
+  if (it != cache_map_.end()) {
+    it->second->second = ts;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.emplace_front(stripe, ts);
+  cache_map_.emplace(stripe, cache_lru_.begin());
+  const std::size_t cap = std::max<std::size_t>(1, options_.read_cache_capacity);
+  while (cache_map_.size() > cap) {
+    ++stats_.cache_evictions;
+    cache_map_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
+void Coordinator::cache_invalidate(StripeId stripe) {
+  auto it = cache_map_.find(stripe);
+  if (it == cache_map_.end()) return;
+  ++stats_.cache_invalidations;
+  cache_lru_.erase(it->second);
+  cache_map_.erase(it);
+}
+
+void Coordinator::cache_clear() {
+  stats_.cache_invalidations += cache_map_.size();
+  cache_lru_.clear();
+  cache_map_.clear();
+}
+
+std::optional<Timestamp> Coordinator::cache_usable_ts(
+    StripeId stripe, const std::vector<BlockIndex>& required,
+    std::vector<std::uint32_t>* contacts) {
+  if (!options_.read_cache) return std::nullopt;
+  auto it = cache_map_.find(stripe);
+  if (it == cache_map_.end()) {
+    ++stats_.cached_read_misses;
+    return std::nullopt;
+  }
+  // Contact set size t = max(m, f+1): >= m so every requested data block can
+  // be served from a contact, >= f+1 so any completed operation's quorum
+  // (n - f members) intersects the contacts in at least one position — the
+  // witness whose val_ts mismatch forces the fallback (§13's coherence
+  // argument).
+  const std::uint32_t f = config_.n - config_.quorum();
+  const std::uint32_t t = std::max<std::uint32_t>(config_.m, f + 1);
+  const std::vector<ProcessId> group = layout_->group(stripe);
+  const auto suspected = [this, &group](std::uint32_t pos) {
+    if (options_.suspect_after == 0) return false;
+    const ProcessId dest = group[pos];
+    return dest < missed_rounds_.size() &&
+           missed_rounds_[dest] >= options_.suspect_after;
+  };
+  contacts->clear();
+  for (BlockIndex j : required) {
+    if (suspected(j)) {
+      // A required data position is suspected: the probe would stall until
+      // the fallback timer anyway, so skip straight to the quorum path.
+      ++stats_.cached_read_misses;
+      return std::nullopt;
+    }
+    if (std::find(contacts->begin(), contacts->end(), j) == contacts->end())
+      contacts->push_back(j);
+  }
+  for (std::uint32_t pos = 0; pos < config_.n && contacts->size() < t; ++pos) {
+    if (suspected(pos)) continue;
+    if (std::find(contacts->begin(), contacts->end(), pos) != contacts->end())
+      continue;
+    contacts->push_back(pos);
+  }
+  if (contacts->size() < t) {
+    ++stats_.cached_read_misses;
+    return std::nullopt;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  return it->second->second;
+}
+
+void Coordinator::cached_probe(StripeId stripe, Timestamp ts,
+                               std::vector<BlockIndex> js,
+                               std::vector<std::uint32_t> contacts,
+                               CachedProbeCb done) {
+  auto shared_js = std::make_shared<std::vector<BlockIndex>>(std::move(js));
+  auto shared_contacts =
+      std::make_shared<std::vector<std::uint32_t>>(contacts);
+  start_rpc_impl(
+      layout_->group(stripe),
+      [stripe, shared_js, ts](std::uint32_t, OpId op) -> Message {
+        ReadReq req{stripe, op, *shared_js};
+        req.validate_ts = ts;
+        return req;
+      },
+      [this, stripe, shared_js, shared_contacts, done = std::move(done)](
+          Replies& replies, bool timed_out) {
+        // Confirm rule: every contact answered and validated the cached
+        // timestamp, and every requested block arrived. Anything less —
+        // silence until the fallback timer, a degraded replica
+        // (status=false), a different version, an omitted block — means the
+        // entry cannot be trusted and the quorum path decides.
+        bool confirmed = !timed_out;
+        if (confirmed) {
+          for (std::uint32_t pos : *shared_contacts) {
+            const ReadRep* rep = as<ReadRep>(replies[pos]);
+            if (rep == nullptr || !rep->validated) {
+              confirmed = false;
+              break;
+            }
+          }
+        }
+        std::vector<Block> out;
+        if (confirmed) {
+          out.reserve(shared_js->size());
+          for (BlockIndex j : *shared_js) {
+            const ReadRep* rep = as<ReadRep>(replies[j]);
+            if (rep == nullptr || !rep->block.has_value()) {
+              confirmed = false;
+              break;
+            }
+            out.push_back(*rep->block);
+          }
+        }
+        if (!confirmed) {
+          ++stats_.cached_read_fallbacks;
+          cache_invalidate(stripe);
+          done(std::nullopt);
+          return;
+        }
+        ++stats_.cached_read_hits;
+        done(StripeOutcome(std::move(out)));
+      },
+      message_kind_of<ReadRep>, /*wait_for=*/{}, std::move(contacts));
 }
 
 // ---------------------------------------------------------------------
@@ -256,6 +423,27 @@ void Coordinator::drop_all_pending() {
 
 void Coordinator::read_stripe(StripeId stripe, StripeOutcomeCb done) {
   ++stats_.stripe_reads;
+  std::vector<BlockIndex> all_data(config_.m);
+  std::iota(all_data.begin(), all_data.end(), 0);
+  std::vector<std::uint32_t> contacts;
+  if (const auto cached = cache_usable_ts(stripe, all_data, &contacts)) {
+    // One round to t contacts; the blocks come back raw (the code is
+    // systematic and the contacts cover all data positions), so no decode.
+    cached_probe(stripe, *cached, std::move(all_data), std::move(contacts),
+                 [this, stripe, done = std::move(done)](
+                     std::optional<StripeOutcome> probe) mutable {
+                   if (!probe.has_value()) {
+                     read_stripe_quorum(stripe, std::move(done));
+                     return;
+                   }
+                   done(std::move(*probe));
+                 });
+    return;
+  }
+  read_stripe_quorum(stripe, std::move(done));
+}
+
+void Coordinator::read_stripe_quorum(StripeId stripe, StripeOutcomeCb done) {
   fast_read_stripe(
       stripe, [this, stripe, done = std::move(done)](StripeOutcome fast) {
         if (fast.ok()) {
@@ -289,8 +477,8 @@ void Coordinator::fast_read_stripe(StripeId stripe, StripeOutcomeCb done) {
       [stripe, targets](std::uint32_t, OpId op) -> Message {
         return ReadReq{stripe, op, *targets};
       },
-      [this, targets, done = std::move(done)](Replies& replies,
-                                              bool timed_out) {
+      [this, stripe, targets, done = std::move(done)](Replies& replies,
+                                                      bool timed_out) {
         if (timed_out) {
           done(OpError::kTimeout);
           return;
@@ -318,6 +506,9 @@ void Coordinator::fast_read_stripe(StripeId stripe, StripeOutcomeCb done) {
           }
           shards.push_back(erasure::ShardView{t, *rep->block});
         }
+        // A fast read's success proves val_ts complete on a quorum (all
+        // statuses true across n - f replies): cacheable evidence.
+        if (val_ts.has_value()) cache_put(stripe, *val_ts);
         done(codec_->decode_blocks(shards));
       },
       std::vector<std::uint32_t>(targets->begin(), targets->end()));
@@ -332,6 +523,10 @@ struct Coordinator::RecoverState {
 
 void Coordinator::recover(StripeId stripe, StripeOutcomeCb done) {
   ++stats_.recoveries_started;
+  // Recovery is about to rewrite the stripe's newest version; whatever the
+  // cache says is stale the moment the write-back lands. (The write-back's
+  // store_stripe re-populates on success.)
+  cache_invalidate(stripe);
   const Timestamp ts = ts_source_->next();
   auto state = std::make_shared<RecoverState>();
   state->stripe = stripe;
@@ -420,6 +615,9 @@ void Coordinator::write_stripe(StripeId stripe, std::vector<Block> data,
         }
         if (!all_status_true<OrderRep>(replies)) {
           ++stats_.aborts;
+          // The order phase reached some replicas: their ord-ts advanced, so
+          // a cached probe would see status=false anyway. Drop the entry.
+          cache_invalidate(stripe);
           done(OpError::kAborted);
           return;
         }
@@ -458,14 +656,22 @@ void Coordinator::store_stripe(StripeId stripe,
       [this, stripe, ts, done = std::move(done)](Replies& replies,
                                                  bool timed_out) {
         if (timed_out) {
+          // Unknown outcome: some replicas may hold the new version. The
+          // entry (if any) is certainly stale — drop it.
+          cache_invalidate(stripe);
           done(OpError::kTimeout);
           return;
         }
         if (!all_status_true<WriteRep>(replies)) {
+          cache_invalidate(stripe);
           done(OpError::kAborted);
           return;
         }
-        // The write is complete on a full quorum: old versions may go (§5.1).
+        // The write is complete on a full quorum: old versions may go
+        // (§5.1), and ts is exactly the quorum-proven evidence the read
+        // cache wants. This one hook covers client stripe writes, recovery
+        // write-backs, and the slow block-write paths alike.
+        cache_put(stripe, ts);
         maybe_send_gc(stripe, ts);
         done(Ack{});
       });
@@ -479,6 +685,27 @@ void Coordinator::read_block(StripeId stripe, BlockIndex j,
                              BlockOutcomeCb done) {
   ++stats_.block_reads;
   FABEC_CHECK_MSG(j < config_.m, "read_block takes a data-block index");
+  std::vector<std::uint32_t> contacts;
+  if (const auto cached = cache_usable_ts(stripe, {j}, &contacts)) {
+    cached_probe(stripe, *cached, {j}, std::move(contacts),
+                 [this, stripe, j, done = std::move(done)](
+                     std::optional<StripeOutcome> probe) mutable {
+                   if (!probe.has_value()) {
+                     read_block_quorum(stripe, j, std::move(done));
+                     return;
+                   }
+                   if (probe->ok())
+                     done(std::move((**probe)[0]));
+                   else
+                     done(probe->error());
+                 });
+    return;
+  }
+  read_block_quorum(stripe, j, std::move(done));
+}
+
+void Coordinator::read_block_quorum(StripeId stripe, BlockIndex j,
+                                    BlockOutcomeCb done) {
   start_rpc<ReadRep>(
       layout_->group(stripe),
       [stripe, j](std::uint32_t, OpId op) -> Message {
@@ -506,6 +733,7 @@ void Coordinator::read_block(StripeId stripe, BlockIndex j,
         const ReadRep* from_j = as<ReadRep>(replies[j]);
         if (consistent && from_j != nullptr && from_j->block.has_value()) {
           ++stats_.fast_read_hits;
+          if (val_ts.has_value()) cache_put(stripe, *val_ts);
           done(*from_j->block);
           return;
         }
@@ -591,6 +819,9 @@ void Coordinator::fast_write_block(StripeId stripe, BlockIndex j,
         const OrderReadRep* from_j = as<OrderReadRep>(replies[j]);
         if (!all_status_true<OrderReadRep>(replies) || from_j == nullptr ||
             !from_j->block.has_value()) {
+          // The order-read advanced ord-ts wherever it landed; any cached
+          // probe would see status=false there. Drop the entry now.
+          cache_invalidate(stripe);
           done(OpError::kAborted);
           return;
         }
@@ -600,13 +831,17 @@ void Coordinator::fast_write_block(StripeId stripe, BlockIndex j,
                                       Replies& modify_replies,
                                       bool modify_timed_out) {
           if (modify_timed_out) {
+            cache_invalidate(stripe);
             done(OpError::kTimeout);
             return;
           }
           if (!all_status_true<ModifyRep>(modify_replies)) {
+            cache_invalidate(stripe);
             done(OpError::kAborted);
             return;
           }
+          // Full-quorum Modify: the stripe is uniformly at ts — cacheable.
+          cache_put(stripe, ts);
           maybe_send_gc(stripe, ts);
           done(Ack{});
         };
@@ -647,6 +882,7 @@ void Coordinator::slow_write_block(StripeId stripe, BlockIndex j,
                                    Timestamp ts, WriteOutcomeCb done) {
   ++stats_.slow_block_writes;
   ++stats_.recoveries_started;
+  cache_invalidate(stripe);  // the aborted fast round already moved ord-ts
   // The slow path MUST reuse the operation's timestamp: the aborted fast
   // round may have applied its Modify on a subset of replicas, and if the
   // store-stripe below ran under a fresh ts the operation would occupy two
@@ -690,6 +926,25 @@ void Coordinator::read_blocks(StripeId stripe, std::vector<BlockIndex> js,
   FABEC_CHECK(!js.empty());
   for (BlockIndex j : js) FABEC_CHECK_MSG(j < config_.m, "data indices only");
   auto shared_js = std::make_shared<std::vector<BlockIndex>>(std::move(js));
+  std::vector<std::uint32_t> contacts;
+  if (const auto cached = cache_usable_ts(stripe, *shared_js, &contacts)) {
+    cached_probe(stripe, *cached, *shared_js, std::move(contacts),
+                 [this, stripe, shared_js, done = std::move(done)](
+                     std::optional<StripeOutcome> probe) mutable {
+                   if (!probe.has_value()) {
+                     read_blocks_quorum(stripe, shared_js, std::move(done));
+                     return;
+                   }
+                   done(std::move(*probe));
+                 });
+    return;
+  }
+  read_blocks_quorum(stripe, shared_js, std::move(done));
+}
+
+void Coordinator::read_blocks_quorum(
+    StripeId stripe, std::shared_ptr<std::vector<BlockIndex>> shared_js,
+    StripeOutcomeCb done) {
   std::vector<ProcessId> targets(shared_js->begin(), shared_js->end());
   start_rpc<ReadRep>(
       layout_->group(stripe),
@@ -726,6 +981,7 @@ void Coordinator::read_blocks(StripeId stripe, std::vector<BlockIndex> js,
           }
           if (consistent) {
             ++stats_.fast_read_hits;
+            if (val_ts.has_value()) cache_put(stripe, *val_ts);
             done(std::move(out));
             return;
           }
@@ -811,6 +1067,7 @@ void Coordinator::fast_write_blocks(
           const OrderReadRep* rep = as<OrderReadRep>(r);
           if (rep == nullptr) continue;
           if (!rep->status || (common.has_value() && *common != rep->lts)) {
+            cache_invalidate(stripe);  // ord-ts moved on some replicas
             done(OpError::kAborted);
             return;
           }
@@ -820,6 +1077,7 @@ void Coordinator::fast_write_blocks(
         for (BlockIndex j : *js) {
           const OrderReadRep* rep = as<OrderReadRep>(replies[j]);
           if (rep == nullptr || !rep->block.has_value()) {
+            cache_invalidate(stripe);
             done(OpError::kAborted);
             return;
           }
@@ -852,13 +1110,17 @@ void Coordinator::fast_write_blocks(
             [this, stripe, ts, done](Replies& modify_replies,
                                      bool modify_timed_out) {
               if (modify_timed_out) {
+                cache_invalidate(stripe);
                 done(OpError::kTimeout);
                 return;
               }
               if (!all_status_true<ModifyRep>(modify_replies)) {
+                cache_invalidate(stripe);
                 done(OpError::kAborted);
                 return;
               }
+              // Full-quorum MultiModify: stripe uniformly at ts.
+              cache_put(stripe, ts);
               maybe_send_gc(stripe, ts);
               done(Ack{});
             });
@@ -872,6 +1134,7 @@ void Coordinator::slow_write_blocks(
     WriteOutcomeCb done) {
   ++stats_.slow_block_writes;
   ++stats_.recoveries_started;
+  cache_invalidate(stripe);  // the aborted fast round already moved ord-ts
   // Same at-most-once rule as slow_write_block: reuse the operation's ts so
   // the write occupies a single place in the version order.
   auto state = std::make_shared<RecoverState>();
@@ -918,7 +1181,8 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
       [stripe, all](std::uint32_t, OpId op) -> Message {
         return ReadReq{stripe, op, all};
       },
-      [this, done = std::move(done)](Replies& replies, bool timed_out) {
+      [this, stripe, done = std::move(done)](Replies& replies,
+                                             bool timed_out) {
         if (timed_out) {
           // Could not assemble a full code word before the deadline;
           // nothing was proven either way.
@@ -937,7 +1201,9 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
             // A targeted replica with sound timestamps always returns its
             // block — unless the block failed its CRC, in which case the
             // replica served it as an erasure. That is a positive
-            // corruption verdict, not an inconclusive race.
+            // corruption verdict, not an inconclusive race. A quarantined
+            // stripe must not serve cached reads until repaired.
+            cache_invalidate(stripe);
             done(ScrubResult::kCorrupt);
             return;
           }
@@ -969,6 +1235,7 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
         codec_->encode_parity(data_views, parity_views);
         for (std::uint32_t pos = config_.m; pos < config_.n; ++pos) {
           if (reencoded[pos - config_.m] != *blocks[pos]) {
+            cache_invalidate(stripe);
             done(ScrubResult::kCorrupt);
             return;
           }

@@ -25,9 +25,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -66,6 +69,12 @@ struct CoordinatorStats {
   std::uint64_t sends_suppressed = 0;  ///< retransmits skipped: suspect dest
   std::uint64_t suspect_probes = 0;    ///< slow-cadence probes of suspects
   std::uint64_t mismatched_replies = 0;  ///< dropped: wrong kind for phase
+  // Cached single-round reads (DESIGN.md §13).
+  std::uint64_t cached_read_hits = 0;   ///< reads served by a confirmed probe
+  std::uint64_t cached_read_misses = 0; ///< no usable entry / suspected contact
+  std::uint64_t cached_read_fallbacks = 0;  ///< probe sent but not confirmed
+  std::uint64_t cache_invalidations = 0;    ///< entries dropped (incl. clear)
+  std::uint64_t cache_evictions = 0;        ///< entries dropped by LRU bound
 };
 
 class Coordinator {
@@ -128,6 +137,22 @@ class Coordinator {
     /// grace of a few δ restores the fast path; if the target is down, the
     /// operation pays the grace once and proceeds without it.
     sim::Duration target_grace = 0;
+    /// Single-round cached reads (DESIGN.md §13): keep a per-stripe cache of
+    /// the last timestamp proven complete on a quorum, and serve reads of a
+    /// cached stripe with one round to t = max(m, f+1) contacts that each
+    /// validate the cached timestamp against their own state. Any contact
+    /// that is silent, degraded, or at a different version sends the read
+    /// down the unoptimized quorum path and invalidates the entry. Off by
+    /// default: the paper's message counts (Table 1 tests) assume the
+    /// uncached read.
+    bool read_cache = false;
+    /// LRU bound on cached stripes (minimum 1).
+    std::size_t read_cache_capacity = 1024;
+    /// How long a cached-read probe waits for its contacts before giving up
+    /// and falling back to the quorum path. 0 = retransmit_period. Probes
+    /// are never deadline-bounded themselves — they always end in a confirm
+    /// or a fallback, and the quorum path carries op_deadline as usual.
+    sim::Duration read_cache_fallback = 0;
   };
 
   Coordinator(ProcessId self, quorum::Config config,
@@ -214,6 +239,12 @@ class Coordinator {
   void reset_stats() { stats_ = CoordinatorStats{}; }
   ProcessId self() const { return self_; }
 
+  /// Cached-read introspection (tests, stats surfaces).
+  std::size_t read_cache_size() const { return cache_map_.size(); }
+  bool read_cache_contains(StripeId stripe) const {
+    return cache_map_.count(stripe) != 0;
+  }
+
  private:
   struct Rpc {
     /// Global brick ids of the stripe's group, ordered by position; the
@@ -239,6 +270,12 @@ class Coordinator {
     std::vector<std::uint32_t> wait_for;
     bool grace_armed = false;
     sim::EventId grace_timer{};
+    /// Non-empty = sub-quorum cached-read probe: requests go only to these
+    /// positions, the phase completes when EVERY contact replied (it can
+    /// never reach the quorum counter, |contacts| < n - f in general), and
+    /// the grace timer doubles as the fallback timer that finalizes early
+    /// with partial replies.
+    std::vector<std::uint32_t> contacts;
     /// timed_out=true means the deadline expired: `replies` holds whatever
     /// arrived (short of quorum) and the phase will make no progress.
     std::function<void(std::vector<std::optional<Message>>&, bool timed_out)>
@@ -267,7 +304,8 @@ class Coordinator {
                       std::function<Message(std::uint32_t, OpId)> make_request,
                       std::function<void(Replies&, bool)> on_complete,
                       std::size_t expected_kind,
-                      std::vector<std::uint32_t> wait_for);
+                      std::vector<std::uint32_t> wait_for,
+                      std::vector<std::uint32_t> contacts = {});
   void transmit_round(OpId op, bool retransmit);
   void arm_retransmit(OpId op);
   void begin_finalize(OpId op);
@@ -276,6 +314,29 @@ class Coordinator {
   /// pending_, and reports timed_out to its continuation.
   void timeout_rpc(OpId op);
   sim::Duration retransmit_cap() const;
+
+  // Single-round cached reads (DESIGN.md §13). cache_usable_ts returns the
+  // cached timestamp iff the cache is on, holds the stripe, and a full
+  // contact set (the required data positions padded to t = max(m, f+1) with
+  // unsuspected extras) can be assembled; cached_probe runs the one-round
+  // validation RPC and reports nullopt when the read must fall back.
+  using CachedProbeCb = std::function<void(std::optional<StripeOutcome>)>;
+  std::optional<Timestamp> cache_usable_ts(
+      StripeId stripe, const std::vector<BlockIndex>& required,
+      std::vector<std::uint32_t>* contacts);
+  void cached_probe(StripeId stripe, Timestamp ts, std::vector<BlockIndex> js,
+                    std::vector<std::uint32_t> contacts, CachedProbeCb done);
+  /// Records `ts` as complete-on-a-quorum for the stripe (LRU front).
+  void cache_put(StripeId stripe, const Timestamp& ts);
+  void cache_invalidate(StripeId stripe);
+  void cache_clear();
+
+  // Unoptimized quorum read paths (the pre-cache public entry points).
+  void read_stripe_quorum(StripeId stripe, StripeOutcomeCb done);
+  void read_block_quorum(StripeId stripe, BlockIndex j, BlockOutcomeCb done);
+  void read_blocks_quorum(StripeId stripe,
+                          std::shared_ptr<std::vector<BlockIndex>> js,
+                          StripeOutcomeCb done);
 
   // Algorithm 1 internals.
   void fast_read_stripe(StripeId stripe, StripeOutcomeCb done);
@@ -329,6 +390,13 @@ class Coordinator {
   /// Suspicion map: consecutive retransmit rounds each brick has missed
   /// (reset by any reply from it). Indexed by global brick id.
   std::vector<std::uint32_t> missed_rounds_;
+  /// Per-stripe timestamp cache, LRU-ordered (front = most recent). Each
+  /// entry is a timestamp proven complete on a quorum; drop_all_pending
+  /// (crash/restart) clears it wholesale — a new incarnation trusts nothing.
+  std::list<std::pair<StripeId, Timestamp>> cache_lru_;
+  std::unordered_map<StripeId,
+                     std::list<std::pair<StripeId, Timestamp>>::iterator>
+      cache_map_;
   CoordinatorStats stats_;
   PhaseProbe phase_probe_;
 };

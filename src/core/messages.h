@@ -45,6 +45,13 @@ struct ReadReq {
   StripeId stripe = 0;
   OpId op = 0;
   std::vector<ProcessId> targets;  ///< processes asked to return their block
+  /// Cached-read validation (DESIGN.md §13): when set, the coordinator
+  /// believes the stripe's newest version is exactly this timestamp and is
+  /// probing a sub-quorum contact set. The replica answers with
+  /// `validated = status && val_ts == *validate_ts` and only ships its
+  /// block when the validation holds — a mismatch means the cache entry is
+  /// stale and the payload would be wasted.
+  std::optional<Timestamp> validate_ts;
 };
 
 struct ReadRep {
@@ -52,6 +59,9 @@ struct ReadRep {
   bool status = false;
   Timestamp val_ts;              ///< max-ts(log)
   std::optional<Block> block;    ///< max-block(log) if self ∈ targets
+  /// True iff the request carried validate_ts, the replica's timestamps are
+  /// sound (status), and val_ts equals the cached timestamp exactly.
+  bool validated = false;
 };
 
 struct OrderReq {

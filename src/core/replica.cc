@@ -44,7 +44,7 @@ std::optional<Message> RegisterReplica::handle(const Message& request) {
   return std::nullopt;
 }
 
-// Algorithm 2, lines 38-44.
+// Algorithm 2, lines 38-44; DESIGN.md §13 for the validate_ts handshake.
 Message RegisterReplica::on_read(const ReadReq& req) {
   ReadRep rep;
   rep.op = req.op;
@@ -55,12 +55,26 @@ Message RegisterReplica::on_read(const ReadReq& req) {
   // status false means a write has ordered itself (ord-ts) but its value has
   // not reached this replica yet — a write in progress or a partial write.
   rep.status = rep.val_ts >= replica.ord_ts();
+  if (req.validate_ts.has_value()) {
+    // Cached-read probe: confirm only if the timestamps are sound AND the
+    // newest version here is exactly the coordinator's cached one. A newer
+    // version, an ordered-but-unwritten op (status=false), or a stale cache
+    // all answer validated=false — the coordinator must fall back to the
+    // quorum path and invalidate its entry.
+    ++stats_.read_validations;
+    rep.validated = rep.status && rep.val_ts == *req.validate_ts;
+    if (rep.validated)
+      ++stats_.read_validation_hits;
+    else
+      ++stats_.read_validation_misses;
+  }
   const bool targeted = std::find(req.targets.begin(), req.targets.end(),
                                   *pos) != req.targets.end();
   // A block that fails its CRC is served to no one: the reply keeps
   // status=true (the timestamps are sound) but omits the block, which the
-  // coordinator treats as an erasure and reads around.
-  if (rep.status && targeted)
+  // coordinator treats as an erasure and reads around. A failed validation
+  // also omits the block — the probe is doomed and the payload wasted.
+  if (rep.status && targeted && (!req.validate_ts.has_value() || rep.validated))
     rep.block = replica.max_block_checked(store_->io());
   return rep;
 }

@@ -25,6 +25,14 @@
 
 namespace fabec::core {
 
+/// Counters for the cached-read validation handshake (DESIGN.md §13);
+/// surfaced through brickd's stats line next to the journal/scrub counters.
+struct ReplicaStats {
+  std::uint64_t read_validations = 0;  ///< ReadReqs carrying validate_ts
+  std::uint64_t read_validation_hits = 0;    ///< confirmed: val_ts matched
+  std::uint64_t read_validation_misses = 0;  ///< stale ts or degraded state
+};
+
 class RegisterReplica {
  public:
   /// `brick` is this brick's global id in the pool; layout, codec, and
@@ -37,6 +45,8 @@ class RegisterReplica {
   /// Handles one request; returns the reply to send back to the
   /// coordinator, or nullopt for fire-and-forget requests (Gc).
   std::optional<Message> handle(const Message& request);
+
+  const ReplicaStats& stats() const { return stats_; }
 
  private:
   /// This brick's position in the stripe's group. Requests for stripes the
@@ -61,6 +71,7 @@ class RegisterReplica {
   const GroupLayout* layout_;
   const erasure::Codec* codec_;
   storage::BrickStore* store_;
+  ReplicaStats stats_;
 };
 
 }  // namespace fabec::core

@@ -18,6 +18,24 @@ bool get_ts(ByteReader& r, Timestamp* ts) {
   return r.get_i64(&ts->time) && r.get_u32(&ts->proc);
 }
 
+void put_optional_ts(ByteWriter& w, const std::optional<Timestamp>& ts) {
+  w.put_bool(ts.has_value());
+  if (ts.has_value()) put_ts(w, *ts);
+}
+
+bool get_optional_ts(ByteReader& r, std::optional<Timestamp>* ts) {
+  bool has = false;
+  if (!r.get_bool(&has)) return false;
+  if (!has) {
+    ts->reset();
+    return true;
+  }
+  Timestamp value;
+  if (!get_ts(r, &value)) return false;
+  *ts = value;
+  return true;
+}
+
 void put_indices(ByteWriter& w, const std::vector<std::uint32_t>& v) {
   w.put_u32(static_cast<std::uint32_t>(v.size()));
   for (std::uint32_t x : v) w.put_u32(x);
@@ -42,12 +60,14 @@ struct EncodeVisitor {
     w.put_u64(m.stripe);
     w.put_u64(m.op);
     put_indices(w, m.targets);
+    put_optional_ts(w, m.validate_ts);
   }
   void operator()(const ReadRep& m) {
     w.put_u64(m.op);
     w.put_bool(m.status);
     put_ts(w, m.val_ts);
     w.put_optional_bytes(m.block);
+    w.put_bool(m.validated);
   }
   void operator()(const OrderReq& m) {
     w.put_u64(m.stripe);
@@ -129,7 +149,7 @@ template <>
 std::optional<Message> decode_body<ReadReq>(ByteReader& r) {
   ReadReq m;
   if (!r.get_u64(&m.stripe) || !r.get_u64(&m.op) ||
-      !get_indices(r, &m.targets))
+      !get_indices(r, &m.targets) || !get_optional_ts(r, &m.validate_ts))
     return std::nullopt;
   return m;
 }
@@ -137,7 +157,7 @@ template <>
 std::optional<Message> decode_body<ReadRep>(ByteReader& r) {
   ReadRep m;
   if (!r.get_u64(&m.op) || !r.get_bool(&m.status) || !get_ts(r, &m.val_ts) ||
-      !r.get_optional_bytes(&m.block))
+      !r.get_optional_bytes(&m.block) || !r.get_bool(&m.validated))
     return std::nullopt;
   return m;
 }

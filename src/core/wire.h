@@ -17,6 +17,16 @@
 
 namespace fabec::core {
 
+/// Wire-format revision. Bumped whenever a message gains or loses fields —
+/// the encoding carries no per-message version, so mixed-revision processes
+/// must not share a wire (decode() rejects the other side's frames as
+/// malformed rather than misparsing them; the CRC still matches, the body
+/// length does not).
+///   rev 1: PR 6 framed codec, tags 0–13.
+///   rev 2: ReadReq gained optional validate_ts, ReadRep gained the
+///          validated bit (single-round cached reads, DESIGN.md §13).
+inline constexpr std::uint32_t kWireRevision = 2;
+
 /// Serializes any protocol message.
 Bytes encode_message(const Message& msg);
 

@@ -151,8 +151,21 @@ void RequestEngine::dispatch_stripe(StripeId stripe, StripeQueue queue) {
     dispatch_group(stripe, false, std::move(js), std::move(waiters));
 }
 
-ProcessId RequestEngine::pick_coordinator() {
+ProcessId RequestEngine::pick_coordinator(StripeId stripe) {
   const std::uint32_t bricks = cluster_->brick_count();
+  if (options_.stripe_affinity) {
+    // splitmix64 finalizer: uncorrelated home bricks for adjacent stripes.
+    std::uint64_t h = stripe + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    const ProcessId home = static_cast<ProcessId>(h % bricks);
+    for (std::uint32_t i = 0; i < bricks; ++i) {
+      const ProcessId p = (home + i) % bricks;
+      if (cluster_->processes().alive(p)) return p;
+    }
+    return kNoProcess;
+  }
   for (std::uint32_t i = 0; i < bricks; ++i) {
     const ProcessId p = (coord_cursor_ + i) % bricks;
     if (cluster_->processes().alive(p)) {
@@ -169,7 +182,7 @@ void RequestEngine::dispatch_group(StripeId stripe, bool is_write,
   std::uint32_t total = 0;
   for (const auto& w : waiters) total += static_cast<std::uint32_t>(w.size());
   if (total == 0) return;
-  const ProcessId coord = pick_coordinator();
+  const ProcessId coord = pick_coordinator(stripe);
   if (coord == kNoProcess) {
     for (auto& w : waiters)
       for (Token t : w) {

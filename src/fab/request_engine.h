@@ -64,6 +64,13 @@ struct RequestEngineOptions {
   /// Off = dispatch every op individually (the singleton baseline the
   /// bench compares against); admission and sharding still apply.
   bool coalesce = true;
+  /// Route every op of a stripe to the same coordinator (hash(stripe) mod
+  /// bricks, skipping dead bricks) instead of round-robin. With the
+  /// coordinator read cache (DESIGN.md §13) this makes a stripe's writes
+  /// populate the cache its reads probe — round-robin scatters ops across
+  /// coordinators and starves the cache of repeat visits. Off by default:
+  /// round-robin spreads load evenly and existing tests pin its schedule.
+  bool stripe_affinity = false;
   Layout layout = Layout::kRotating;
 };
 
@@ -171,7 +178,7 @@ class RequestEngine {
   void count_error(core::OpError e);
   void arm_deadline(Token t);
   void on_deadline(Token t);
-  ProcessId pick_coordinator();
+  ProcessId pick_coordinator(StripeId stripe);
   void admit_more();
   std::uint32_t coalesce_limit() const;
 

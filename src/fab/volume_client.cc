@@ -249,4 +249,15 @@ core::CoordinatorStats VolumeClient::coordinator_stats() {
   return stats;
 }
 
+VolumeClient::CachedReadStats VolumeClient::cached_read_stats() {
+  const core::CoordinatorStats s = coordinator_stats();
+  CachedReadStats out;
+  out.hits = s.cached_read_hits;
+  out.misses = s.cached_read_misses;
+  out.fallbacks = s.cached_read_fallbacks;
+  out.invalidations = s.cache_invalidations;
+  out.evictions = s.cache_evictions;
+  return out;
+}
+
 }  // namespace fabec::fab

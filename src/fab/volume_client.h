@@ -115,6 +115,17 @@ class VolumeClient {
   const ClientStats& stats() const { return stats_; }
   /// Runs on the loop; do not call after close().
   core::CoordinatorStats coordinator_stats();
+  /// The coordinator read-cache counters (DESIGN.md §13) as one small
+  /// struct — what tools/cluster prints for its --read-cache
+  /// differential. Runs on the loop; do not call after close().
+  struct CachedReadStats {
+    std::uint64_t hits = 0;         ///< single-round probe confirms
+    std::uint64_t misses = 0;       ///< no usable entry; quorum path
+    std::uint64_t fallbacks = 0;    ///< probe sent, not confirmed
+    std::uint64_t invalidations = 0;
+    std::uint64_t evictions = 0;    ///< LRU capacity displacements
+  };
+  CachedReadStats cached_read_stats();
   const runtime::DatagramMuxStats& mux_stats() const { return mux_->stats(); }
 
  private:

@@ -94,6 +94,11 @@ class BrickServer {
   const BrickConfig& config() const { return config_; }
   EpollLoop& loop() { return loop_; }
   const BrickServerStats& stats() const { return stats_; }
+  /// Replica-side protocol counters, including the read-validation verdicts
+  /// this brick issued for coordinators' cached-read probes (DESIGN.md §13).
+  const core::ReplicaStats& replica_stats() const {
+    return replica_->stats();
+  }
   const core::PersistentState::Stats& persistence_stats() const {
     return persist_->stats();
   }

@@ -1,0 +1,232 @@
+// Single-round cached reads (DESIGN.md §13): deterministic behavior tests
+// of the per-stripe timestamp cache — population, hit/miss/fallback
+// accounting, message-count savings, LRU bounds, and the invalidation
+// hooks (foreign writes, crashes, degraded validity).
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace fabec::core {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+ClusterConfig cached_config(std::uint32_t n = 8, std::uint32_t m = 5) {
+  ClusterConfig config;
+  config.n = n;
+  config.m = m;
+  config.block_size = kBlockSize;
+  config.coordinator.read_cache = true;
+  return config;
+}
+
+std::vector<Block> random_stripe(std::uint32_t m, Rng& rng) {
+  std::vector<Block> stripe;
+  for (std::uint32_t i = 0; i < m; ++i)
+    stripe.push_back(random_block(rng, kBlockSize));
+  return stripe;
+}
+
+TEST(ReadCacheTest, DisabledByDefaultAndCountsNothing) {
+  ClusterConfig config = cached_config();
+  config.coordinator.read_cache = false;  // the library default
+  ASSERT_FALSE(Coordinator::Options{}.read_cache);
+  Cluster cluster(config);
+  Rng rng(1);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  EXPECT_EQ(cluster.read_stripe(0, 0), stripe);
+  const auto stats = cluster.total_coordinator_stats();
+  EXPECT_EQ(stats.cached_read_hits, 0u);
+  EXPECT_EQ(stats.cached_read_misses, 0u);
+  EXPECT_EQ(stats.cached_read_fallbacks, 0u);
+  EXPECT_EQ(cluster.coordinator(0).read_cache_size(), 0u);
+}
+
+TEST(ReadCacheTest, WritePopulatesAndReadHitsInOneRound) {
+  Cluster cluster(cached_config());
+  Rng rng(2);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  EXPECT_TRUE(cluster.coordinator(0).read_cache_contains(0));
+
+  // Cached read: one round to t = max(m, f+1) = 5 contacts -> 10 messages,
+  // versus the quorum read's 2n = 16.
+  const std::uint64_t before = cluster.network().stats().messages_sent;
+  EXPECT_EQ(cluster.read_stripe(0, 0), stripe);
+  const std::uint64_t cached_msgs =
+      cluster.network().stats().messages_sent - before;
+  EXPECT_EQ(cached_msgs, 10u);
+
+  const auto stats = cluster.total_coordinator_stats();
+  EXPECT_EQ(stats.cached_read_hits, 1u);
+  EXPECT_EQ(stats.cached_read_fallbacks, 0u);
+  // The probe bypassed the quorum read entirely: no fast-read hit recorded.
+  EXPECT_EQ(stats.fast_read_hits, 0u);
+}
+
+TEST(ReadCacheTest, FirstReadMissesThenPopulates) {
+  Cluster cluster(cached_config());
+  Rng rng(3);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  // Coordinator 1 never wrote: its first read misses (quorum path), which
+  // itself populates; the second read probes and hits.
+  EXPECT_EQ(cluster.read_stripe(1, 0), stripe);
+  EXPECT_EQ(cluster.read_stripe(1, 0), stripe);
+  const auto& s1 = cluster.coordinator(1).stats();
+  EXPECT_EQ(s1.cached_read_misses, 1u);
+  EXPECT_EQ(s1.cached_read_hits, 1u);
+}
+
+TEST(ReadCacheTest, ForeignWriteForcesFallbackThenRepopulates) {
+  Cluster cluster(cached_config());
+  Rng rng(4);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(5, rng)));
+  // Coordinator 1 writes behind coordinator 0's back: 0's entry is stale.
+  const auto newer = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(1, 0, newer));
+  // 0's probe must detect the mismatch, fall back, and still read `newer`.
+  EXPECT_EQ(cluster.read_stripe(0, 0), newer);
+  const auto& s0 = cluster.coordinator(0).stats();
+  EXPECT_EQ(s0.cached_read_fallbacks, 1u);
+  EXPECT_GE(s0.cache_invalidations, 1u);
+  // The fallback's fast read re-proved the new version: next read hits.
+  EXPECT_EQ(cluster.read_stripe(0, 0), newer);
+  EXPECT_EQ(cluster.coordinator(0).stats().cached_read_hits, 1u);
+}
+
+TEST(ReadCacheTest, BlockAndMultiBlockReadsUseTheCache) {
+  Cluster cluster(cached_config());
+  Rng rng(5);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  EXPECT_EQ(cluster.read_block(0, 0, 2), stripe[2]);
+  const auto pair = cluster.read_blocks(0, 0, {1, 4});
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ((*pair)[0], stripe[1]);
+  EXPECT_EQ((*pair)[1], stripe[4]);
+  EXPECT_EQ(cluster.coordinator(0).stats().cached_read_hits, 2u);
+  EXPECT_EQ(cluster.coordinator(0).stats().cached_read_fallbacks, 0u);
+}
+
+TEST(ReadCacheTest, BlockWritePopulatesViaModify) {
+  Cluster cluster(cached_config());
+  Rng rng(6);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(5, rng)));
+  const Block b = random_block(rng, kBlockSize);
+  ASSERT_TRUE(cluster.write_block(0, 0, 1, b));
+  // The full-quorum Modify refreshed the entry; the read probes and hits.
+  EXPECT_EQ(cluster.read_block(0, 0, 1), b);
+  EXPECT_EQ(cluster.coordinator(0).stats().cached_read_hits, 1u);
+}
+
+TEST(ReadCacheTest, CrashClearsTheCache) {
+  Cluster cluster(cached_config());
+  Rng rng(7);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  ASSERT_TRUE(cluster.coordinator(0).read_cache_contains(0));
+  cluster.crash(0);
+  cluster.recover_brick(0);
+  // A restarted incarnation trusts nothing: size 0, first read misses.
+  EXPECT_EQ(cluster.coordinator(0).read_cache_size(), 0u);
+  EXPECT_EQ(cluster.read_stripe(0, 0), stripe);
+  EXPECT_EQ(cluster.coordinator(0).stats().cached_read_misses, 1u);
+}
+
+TEST(ReadCacheTest, LruBoundEvictsOldStripes) {
+  ClusterConfig config = cached_config();
+  config.coordinator.read_cache_capacity = 2;
+  Cluster cluster(config);
+  Rng rng(8);
+  std::vector<std::vector<Block>> stripes;
+  for (StripeId s = 0; s < 4; ++s) {
+    stripes.push_back(random_stripe(5, rng));
+    ASSERT_TRUE(cluster.write_stripe(0, s, stripes.back()));
+  }
+  EXPECT_EQ(cluster.coordinator(0).read_cache_size(), 2u);
+  EXPECT_EQ(cluster.coordinator(0).stats().cache_evictions, 2u);
+  // Evicted stripes still read correctly (quorum path) and re-enter the
+  // cache, displacing the least-recently-used survivors.
+  for (StripeId s = 0; s < 4; ++s)
+    EXPECT_EQ(cluster.read_stripe(0, s), stripes[s]) << "stripe " << s;
+  EXPECT_EQ(cluster.coordinator(0).read_cache_size(), 2u);
+}
+
+TEST(ReadCacheTest, ProbeFallsBackWhenContactsStaySilent) {
+  // Crash a brick the probe will contact (position 0 serves data block 0 in
+  // the identity layout). The probe's fallback timer fires, the quorum path
+  // completes among the n-1 live bricks, and the answer is still right.
+  Cluster cluster(cached_config());
+  Rng rng(9);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(7, 0, stripe));  // coordinator survives
+  cluster.crash(1);                                 // a data contact
+  EXPECT_EQ(cluster.read_stripe(7, 0), stripe);
+  const auto& s = cluster.coordinator(7).stats();
+  EXPECT_EQ(s.cached_read_fallbacks, 1u);
+  EXPECT_EQ(s.cached_read_hits, 0u);
+}
+
+TEST(ReadCacheTest, SuspectedContactSkipsStraightToQuorumPath) {
+  // After enough silent retransmit rounds the suspicion map marks the
+  // crashed brick; subsequent cached reads of stripes needing it miss
+  // without probing (no fallback-timer wait).
+  ClusterConfig config = cached_config();
+  config.coordinator.suspect_after = 2;
+  config.coordinator.retransmit_period = sim::milliseconds(2);
+  // A long probe fallback so the first read's probe retransmits several
+  // times into the dead brick's silence before giving up.
+  config.coordinator.read_cache_fallback = sim::milliseconds(20);
+  Cluster cluster(config);
+  Rng rng(10);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(7, 0, stripe));
+  cluster.crash(1);
+  EXPECT_EQ(cluster.read_stripe(7, 0), stripe);  // probe, silence, fallback
+  const auto before = cluster.coordinator(7).stats();
+  ASSERT_GE(before.retransmit_rounds, 2u);  // suspicion had time to build
+  EXPECT_EQ(cluster.read_stripe(7, 0), stripe);
+  const auto after = cluster.coordinator(7).stats();
+  EXPECT_EQ(after.cached_read_misses, before.cached_read_misses + 1);
+  EXPECT_EQ(after.cached_read_fallbacks, before.cached_read_fallbacks);
+}
+
+TEST(ReadCacheTest, ReplicaCountsValidationVerdicts) {
+  Cluster cluster(cached_config());
+  Rng rng(11);
+  const auto stripe = random_stripe(5, rng);
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  EXPECT_EQ(cluster.read_stripe(0, 0), stripe);  // cached hit: 5 validations
+  // The replica-side mirror of the handshake (surfaced through brickd).
+  std::uint64_t validations = 0, hits = 0, misses = 0;
+  for (ProcessId p = 0; p < 8; ++p) {
+    const ReplicaStats& rs = cluster.replica(p).stats();
+    validations += rs.read_validations;
+    hits += rs.read_validation_hits;
+    misses += rs.read_validation_misses;
+  }
+  EXPECT_EQ(validations, 5u);  // t contacts, one probe each
+  EXPECT_EQ(hits, 5u);
+  EXPECT_EQ(misses, 0u);
+}
+
+TEST(ReadCacheTest, ReplicationSpecialCaseUsesFPlusOneContacts) {
+  // n=3, m=1 replication: t = max(1, f+1) = 2 contacts, 4 messages versus
+  // the quorum read's 6.
+  Cluster cluster(cached_config(3, 1));
+  Rng rng(12);
+  const std::vector<Block> stripe{random_block(rng, kBlockSize)};
+  ASSERT_TRUE(cluster.write_stripe(0, 0, stripe));
+  const std::uint64_t before = cluster.network().stats().messages_sent;
+  EXPECT_EQ(cluster.read_stripe(0, 0), stripe);
+  EXPECT_EQ(cluster.network().stats().messages_sent - before, 4u);
+  EXPECT_EQ(cluster.coordinator(0).stats().cached_read_hits, 1u);
+}
+
+}  // namespace
+}  // namespace fabec::core

@@ -51,9 +51,13 @@ Message fuzz_message(Rng& rng, std::size_t kind) {
   const std::uint64_t stripe = rng.next_u64();
   const OpId op = rng.next_u64();
   switch (kind) {
-    case 0: return ReadReq{stripe, op, fuzz_indices(rng)};
+    case 0: {
+      ReadReq req{stripe, op, fuzz_indices(rng)};
+      if (rng.chance(0.5)) req.validate_ts = fuzz_ts(rng);
+      return req;
+    }
     case 1: return ReadRep{op, rng.chance(0.5), fuzz_ts(rng),
-                           fuzz_opt_block(rng)};
+                           fuzz_opt_block(rng), rng.chance(0.5)};
     case 2: return OrderReq{stripe, op, fuzz_ts(rng)};
     case 3: return OrderRep{op, rng.chance(0.5)};
     case 4:

@@ -35,10 +35,14 @@ Message random_message(Rng& rng) {
   const std::uint64_t stripe = rng.next_u64();
   const OpId op = rng.next_u64();
   switch (rng.next_below(14)) {
-    case 0: return ReadReq{stripe, op, random_indices(rng)};
+    case 0: {
+      ReadReq req{stripe, op, random_indices(rng)};
+      if (rng.chance(0.5)) req.validate_ts = random_ts(rng);
+      return req;
+    }
     case 1:
       return ReadRep{op, rng.chance(0.5), random_ts(rng),
-                     random_opt_block(rng)};
+                     random_opt_block(rng), rng.chance(0.5)};
     case 2: return OrderReq{stripe, op, random_ts(rng)};
     case 3: return OrderRep{op, rng.chance(0.5)};
     case 4:
@@ -174,6 +178,31 @@ TEST(WireTest, AnySingleByteCorruptionRejected) {
     Bytes corrupted = wire;
     corrupted[i] ^= 0x5A;
     EXPECT_FALSE(decode_message(corrupted).has_value()) << "byte " << i;
+  }
+}
+
+TEST(WireTest, ValidateTsRoundTripsBothWays) {
+  // Wire revision 2 (DESIGN.md §13): the cached-read validation fields.
+  static_assert(kWireRevision == 2);
+  ReadReq plain{7, 9, {0, 2}};
+  ReadReq probing = plain;
+  probing.validate_ts = Timestamp{42, 3};
+  // The optional costs one presence byte when absent, 13 bytes when present.
+  const Bytes plain_wire = encode_message(Message{plain});
+  const Bytes probe_wire = encode_message(Message{probing});
+  EXPECT_EQ(probe_wire.size(), plain_wire.size() + 12);
+  const auto plain_rt = decode_message(plain_wire);
+  const auto probe_rt = decode_message(probe_wire);
+  ASSERT_TRUE(plain_rt.has_value() && probe_rt.has_value());
+  EXPECT_FALSE(std::get<ReadReq>(*plain_rt).validate_ts.has_value());
+  ASSERT_TRUE(std::get<ReadReq>(*probe_rt).validate_ts.has_value());
+  EXPECT_EQ(*std::get<ReadReq>(*probe_rt).validate_ts, (Timestamp{42, 3}));
+
+  for (bool validated : {false, true}) {
+    const ReadRep rep{9, true, Timestamp{42, 3}, std::nullopt, validated};
+    const auto rt = decode_message(encode_message(Message{rep}));
+    ASSERT_TRUE(rt.has_value());
+    EXPECT_EQ(std::get<ReadRep>(*rt).validated, validated);
   }
 }
 

@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "brickd: brick %u shut down cleanly (%llu requests, %llu "
                "journal appends, %llu duplicate replies, %llu compactions, "
-               "%llu append errors, %llu scrub passes)\n",
+               "%llu append errors, %llu scrub passes, %llu read "
+               "validations: %llu ok / %llu stale)\n",
                server.brick_id(),
                static_cast<unsigned long long>(
                    server.stats().requests_handled),
@@ -94,6 +95,12 @@ int main(int argc, char** argv) {
                    server.persistence_stats().compactions),
                static_cast<unsigned long long>(
                    server.stats().journal_append_errors),
-               static_cast<unsigned long long>(server.stats().scrub_passes));
+               static_cast<unsigned long long>(server.stats().scrub_passes),
+               static_cast<unsigned long long>(
+                   server.replica_stats().read_validations),
+               static_cast<unsigned long long>(
+                   server.replica_stats().read_validation_hits),
+               static_cast<unsigned long long>(
+                   server.replica_stats().read_validation_misses));
   return 0;
 }

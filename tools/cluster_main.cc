@@ -83,6 +83,9 @@ struct Flags {
   std::uint64_t deadline_ms = 2000;
   std::uint32_t retries = 8;
   double write_fraction = 0.5;
+  /// Client-coordinator per-stripe timestamp cache (DESIGN.md §13). Off by
+  /// default so the smoke script can run the same trace both ways.
+  bool read_cache = false;
   std::string brickd;  // default: <dir of argv[0]>/brickd
   std::string dir;     // default: mkdtemp under TMPDIR
   bool keep = false;
@@ -111,6 +114,7 @@ void usage(const char* argv0) {
       "                        enables the post-run WAL-bound check\n"
       "  --scrub-interval-ms T background scrub cadence on the bricks\n"
       "  --write-fraction F    write mix (default 0.5)\n"
+      "  --read-cache          enable the clients' single-round cached reads\n"
       "  --deadline-ms T       per-phase op deadline (default 2000)\n"
       "  --retries N           client attempts per op on abort (default 8)\n"
       "  --seed S              RNG seed (default 1)\n"
@@ -152,6 +156,7 @@ bool parse_flags(int argc, char** argv, Flags* flags) {
       flags->write_fraction = std::atof(v);
     else if (a == "--deadline-ms" && (v = need(i)))
       flags->deadline_ms = std::atoll(v);
+    else if (a == "--read-cache") flags->read_cache = true;
     else if (a == "--retries" && (v = need(i))) flags->retries = std::atoi(v);
     else if (a == "--seed" && (v = need(i))) flags->seed = std::atoll(v);
     else if (a == "--brickd" && (v = need(i))) flags->brickd = v;
@@ -410,9 +415,19 @@ bool check_disks(const Flags& flags, const std::string& dir) {
 // Summary output.
 // ---------------------------------------------------------------------------
 
+/// Read-cache counters summed over every client coordinator; zeros (and no
+/// output line) when --read-cache was off.
+struct CacheTally {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t invalidations = 0;
+};
+
 void print_summary(const Flags& flags, const Recorder& recorder,
                    const Tally& tally, std::uint32_t kills_done,
-                   double seconds, std::size_t violations) {
+                   double seconds, std::size_t violations,
+                   const CacheTally& cache) {
   const auto& r = recorder.read_latency();
   const auto& w = recorder.write_latency();
   const double us = 1e3;  // ns -> us divisor
@@ -425,6 +440,9 @@ void print_summary(const Flags& flags, const Recorder& recorder,
         "\"seconds\":%.3f,\"throughput_ops_per_sec\":%.1f,"
         "\"read_p50_us\":%.1f,\"read_p99_us\":%.1f,"
         "\"write_p50_us\":%.1f,\"write_p99_us\":%.1f,"
+        "\"read_cache\":%s,\"cached_read_hits\":%llu,"
+        "\"cached_read_misses\":%llu,\"cached_read_fallbacks\":%llu,"
+        "\"cache_invalidations\":%llu,"
         "\"violations\":%zu}\n",
         flags.inproc ? "inproc" : "processes", flags.bricks, flags.m,
         flags.clients, static_cast<unsigned long long>(flags.ops),
@@ -433,7 +451,12 @@ void print_summary(const Flags& flags, const Recorder& recorder,
         seconds, throughput, r.count() ? r.percentile(50.0) / us : 0.0,
         r.count() ? r.percentile(99.0) / us : 0.0,
         w.count() ? w.percentile(50.0) / us : 0.0,
-        w.count() ? w.percentile(99.0) / us : 0.0, violations);
+        w.count() ? w.percentile(99.0) / us : 0.0,
+        flags.read_cache ? "true" : "false",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.fallbacks),
+        static_cast<unsigned long long>(cache.invalidations), violations);
   } else {
     std::printf(
         "cluster %s: n=%u m=%u, %u clients, %llu ops "
@@ -451,6 +474,14 @@ void print_summary(const Flags& flags, const Recorder& recorder,
         w.count() ? w.percentile(50.0) / us : 0.0,
         w.count() ? w.percentile(99.0) / us : 0.0, w.count(),
         violations == 0 ? "OK" : "VIOLATED");
+    if (flags.read_cache)
+      std::printf(
+          "  read cache: %llu hits, %llu misses, %llu fallbacks, "
+          "%llu invalidations\n",
+          static_cast<unsigned long long>(cache.hits),
+          static_cast<unsigned long long>(cache.misses),
+          static_cast<unsigned long long>(cache.fallbacks),
+          static_cast<unsigned long long>(cache.invalidations));
   }
 }
 
@@ -468,6 +499,7 @@ int run_inproc(const Flags& flags,
   config.block_size = flags.block_size;
   config.use_udp_transport = true;
   config.coordinator.op_deadline = fabec::sim::milliseconds(flags.deadline_ms);
+  config.coordinator.read_cache = flags.read_cache;
   fabec::runtime::ThreadedCluster cluster(config, flags.seed);
   fabec::fab::VolumeLayout layout(num_blocks, flags.m,
                                   fabec::fab::Layout::kRotating);
@@ -508,8 +540,15 @@ int run_inproc(const Flags& flags,
   for (auto& t : threads) t.join();
   const double seconds = static_cast<double>(now_ns() - t0) / 1e9;
 
+  CacheTally cache;
+  const auto cstats = cluster.total_coordinator_stats();
+  cache.hits = cstats.cached_read_hits;
+  cache.misses = cstats.cached_read_misses;
+  cache.fallbacks = cstats.cached_read_fallbacks;
+  cache.invalidations = cstats.cache_invalidations;
+
   const std::size_t violations = recorder.check();
-  print_summary(flags, recorder, tally, 0, seconds, violations);
+  print_summary(flags, recorder, tally, 0, seconds, violations, cache);
   return violations == 0 ? 0 : 1;
 }
 
@@ -664,6 +703,7 @@ int main(int argc, char** argv) {
     config.bricks = peer_map;
     config.coordinator.op_deadline =
         fabec::sim::milliseconds(flags.deadline_ms);
+    config.coordinator.read_cache = flags.read_cache;
     config.retry.max_attempts = flags.retries;
     config.retry.initial_backoff = fabec::sim::milliseconds(2);
     config.retry.max_backoff = fabec::sim::milliseconds(50);
@@ -761,6 +801,15 @@ int main(int argc, char** argv) {
   chaos.join();
   const double seconds = static_cast<double>(now_ns() - t0) / 1e9;
 
+  // Cache counters must be read before close() stops the client loops.
+  CacheTally cache;
+  for (auto& client : clients) {
+    const auto s = client->cached_read_stats();
+    cache.hits += s.hits;
+    cache.misses += s.misses;
+    cache.fallbacks += s.fallbacks;
+    cache.invalidations += s.invalidations;
+  }
   for (auto& client : clients) client->close();
   reap_all(bricks, flags.quiet);
 
@@ -768,7 +817,7 @@ int main(int argc, char** argv) {
   const bool disks_ok = check_disks(flags, dir);
   const std::size_t violations = recorder.check();
   print_summary(flags, recorder, tally, kills_done.load(), seconds,
-                violations);
+                violations, cache);
   const bool passed = violations == 0 && disks_ok;
   if (!flags.keep && passed) {
     // Best-effort cleanup of the run directory.

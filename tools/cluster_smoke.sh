@@ -32,4 +32,23 @@ trap 'rm -rf "$DIR"' EXIT
 # recoverable (torn journal tails are sealed prefixes, not damage).
 "$FSCK" "$DIR/brick0" "$DIR/brick1" "$DIR/brick2" "$DIR/brick3"
 
+# Read-cache differential: the same seeded trace with the clients'
+# single-round cached reads off and then on (fresh stores each way). Both
+# runs must pass the oracle; the cached run's counters land in its summary.
+DIR_OFF="$DIR-nocache"
+DIR_ON="$DIR-cache"
+trap 'rm -rf "$DIR" "$DIR_OFF" "$DIR_ON"' EXIT
+for mode in off on; do
+  case "$mode" in
+    off) extra=""; rundir="$DIR_OFF" ;;
+    on)  extra="--read-cache"; rundir="$DIR_ON" ;;
+  esac
+  "$CLUSTER" \
+    --bricks 4 --m 2 --clients 2 \
+    --ops 600 --lbas 64 --seed 7 \
+    --kills 0 --deadline-ms 1500 --write-fraction 0.3 \
+    $extra --dir "$rundir"
+  echo "cluster_smoke: read-cache $mode pass OK"
+done
+
 echo "cluster_smoke: OK"

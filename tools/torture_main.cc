@@ -60,6 +60,8 @@ void usage(const char* argv0) {
                "  --deadline-us U  per-phase op deadline (0 = wait forever)\n"
                "  --retries K      client retry budget for aborted ops\n"
                "  --delta-writes   enable the 5.2 delta block-write path\n"
+               "  --read-cache     cached single-round reads (default on)\n"
+               "  --no-read-cache  force every read down the quorum path\n"
                "  --verbose        per-campaign stats + fault schedules\n"
                "\n"
                "disk-fault campaigns (single-brick persistence torture):\n"
@@ -158,6 +160,8 @@ bool parse(int argc, char** argv, Options* opt) {
     }
     else if (a == "--retries") ok = next_u32(&cfg.client_retries);
     else if (a == "--delta-writes") cfg.delta_block_writes = true;
+    else if (a == "--read-cache") cfg.read_cache = true;
+    else if (a == "--no-read-cache") cfg.read_cache = false;
     else if (a == "--verbose") opt->verbose = true;
     else if (a == "--help" || a == "-h") { usage(argv[0]); std::exit(0); }
     else {
