@@ -42,6 +42,18 @@ int main() {
   SchemeConfig ec_r5 = ec_r0;
   ec_r5.brick = BrickKind::kRaid5;
 
+  // Beyond the paper: the LRC(4,2,2) point (DESIGN.md §14). Same n = 8
+  // group shape as EC but pattern-dependent tolerance — the census-based
+  // chain puts it between the 3-failure and 4-failure MDS curves.
+  SchemeConfig lrc_r0;
+  lrc_r0.kind = SchemeConfig::Kind::kErasureCode;
+  lrc_r0.m = 4;
+  lrc_r0.n = 8;
+  lrc_r0.code.family = fabec::erasure::CodeSpec::Family::kLrc;
+  lrc_r0.code.local_groups = 2;
+  lrc_r0.code.global_parities = 2;
+  lrc_r0.brick = BrickKind::kRaid0;
+
   struct Curve {
     const char* label;
     const SchemeConfig* scheme;
@@ -51,6 +63,7 @@ int main() {
       {"E.C.(5,8) / R5 bricks", &ec_r5},
       {"4-way replication / R0 bricks", &rep_r0},
       {"E.C.(5,8) / R0 bricks", &ec_r0},
+      {"LRC(4,2,2) / R0 bricks", &lrc_r0},
       {"Striping / reliable R5 bricks", &striping},
   };
 
@@ -86,5 +99,14 @@ int main() {
               (r0 > e0 && r0 / e0 < 1e4) ? "yes" : "NO", r0 / e0);
   std::printf("  R5 bricks beat R0 bricks:          %s\n",
               (r5 > r0 && e5 > e0) ? "yes" : "NO");
+  const double lrc = evaluate(lrc_r0, tb, params).mttdl_years;
+  const double ec44_lo = [&] {
+    SchemeConfig c = ec_r0;  // MDS with the LRC's guaranteed tolerance
+    c.m = 5;                 // n - m = 3 -> survives 3 failures
+    return evaluate(c, tb, params).mttdl_years;
+  }();
+  std::printf("  LRC(4,2,2) above its 3-failure guarantee: %s "
+              "(%.1e vs %.1e)\n",
+              lrc > ec44_lo ? "yes" : "NO", lrc, ec44_lo);
   return 0;
 }

@@ -1,0 +1,175 @@
+// Rebuild traffic and degraded-read latency, RS vs. LRC (DESIGN.md §14).
+//
+// Both arms run the same 4-data-block stripe shape over n = 8 bricks:
+//   rs       — Cauchy Reed–Solomon EC(4, 8): any repair decodes from m = 4.
+//   lrc      — Azure-style LRC(4, 2, 2): 4 data + 2 local XOR parities +
+//              2 global parities. A single loss inside an intact local
+//              group repairs from the group's 2 survivors.
+//
+// Measured per arm (distilled into BENCH_rebuild.json by tools/bench2json):
+//   rebuild_bytes_on_wire  — network bytes sent while rebuilding a replaced
+//                            data brick across the whole volume (the number
+//                            locality exists to shrink).
+//   blocks_fetched_per_stripe — source blocks pulled per repaired stripe:
+//                            m = 4 for RS, 2 (the local group) for LRC.
+//   rebuild_fallbacks      — plan repairs that fell back to full recovery
+//                            (must be 0 in this failure-free rebuild).
+//   degraded_p50_us/degraded_p99_us — virtual-time latency of block reads
+//                            whose home brick is crashed: round 1 proves a
+//                            common complete version, round 2 probes the
+//                            plan's sources.
+//
+// THE acceptance assertion lives here as a hard FABEC_CHECK, not just a
+// counter: the LRC arm must fetch at most local-group-size (< m) source
+// blocks per single-strip repair. If a plan regression quietly re-widens
+// the fetch set, the bench aborts rather than record the regression as a
+// data point.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fab/rebuild.h"
+#include "sim/time.h"
+
+namespace {
+
+using namespace fabec;
+
+constexpr std::uint32_t kN = 8;
+constexpr std::uint32_t kM = 4;
+constexpr std::size_t kBlockSize = 4096;
+// LRC(4,2,2) local group = {2 data blocks, 1 local parity}; a member loss
+// fetches the other 2.
+constexpr std::uint64_t kLrcGroupFetch = 2;
+
+std::uint64_t num_stripes() {
+  if (const char* env = std::getenv("FABEC_BENCH_STRIPES")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 32;
+}
+
+core::ClusterConfig make_config(bool lrc) {
+  core::ClusterConfig config;
+  config.n = kN;
+  config.m = kM;
+  config.block_size = kBlockSize;
+  if (lrc) {
+    config.code.family = erasure::CodeSpec::Family::kLrc;
+    config.code.local_groups = 2;
+    config.code.global_parities = 2;
+  }
+  return config;
+}
+
+std::vector<Block> random_stripe(Rng& rng) {
+  std::vector<Block> stripe;
+  for (std::uint32_t i = 0; i < kM; ++i)
+    stripe.push_back(random_block(rng, kBlockSize));
+  return stripe;
+}
+
+void BM_RebuildTraffic(benchmark::State& state) {
+  const bool lrc = state.range(0) != 0;
+  const std::uint64_t stripes = num_stripes();
+  std::uint64_t seed = 1;
+  std::uint64_t bytes = 0, fetched = 0, fallbacks = 0, rebuilt = 0;
+  for (auto _ : state) {
+    core::Cluster cluster(make_config(lrc), seed++);
+    Rng rng(seed);
+    for (StripeId s = 0; s < stripes; ++s)
+      FABEC_CHECK(cluster.write_stripe(0, s, random_stripe(rng)));
+    cluster.simulator().run_until_idle();
+    cluster.replace_brick(1);  // data position inside a local group
+    cluster.network().reset_stats();
+    const auto report = fab::rebuild_brick(cluster, 1, stripes);
+    FABEC_CHECK(report.stripes_repaired == stripes);
+    FABEC_CHECK(report.rebuild_fallbacks == 0);
+    // Locality acceptance: a single-strip loss inside an intact LRC group
+    // fetches exactly the group's survivors — strictly fewer than m.
+    const std::uint64_t per_stripe = report.source_blocks_fetched / stripes;
+    FABEC_CHECK(per_stripe == (lrc ? kLrcGroupFetch : kM));
+    if (lrc) FABEC_CHECK(per_stripe < kM);
+    bytes += cluster.network().stats().bytes_sent;
+    fetched += report.source_blocks_fetched;
+    fallbacks += report.rebuild_fallbacks;
+    rebuilt += report.blocks_rebuilt;
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["rebuild_bytes_on_wire"] =
+      static_cast<double>(bytes) / iters;
+  state.counters["blocks_fetched_per_stripe"] =
+      static_cast<double>(fetched) / (iters * static_cast<double>(stripes));
+  state.counters["rebuild_fallbacks"] =
+      static_cast<double>(fallbacks) / iters;
+  state.counters["blocks_rebuilt"] = static_cast<double>(rebuilt) / iters;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p / 100.0 *
+                                            static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+void BM_DegradedRead(benchmark::State& state) {
+  const bool lrc = state.range(0) != 0;
+  const std::uint64_t stripes = num_stripes();
+  std::uint64_t seed = 100;
+  std::vector<double> latencies_us;
+  std::uint64_t degraded = 0, recoveries = 0;
+  for (auto _ : state) {
+    core::Cluster cluster(make_config(lrc), seed++);
+    Rng rng(seed);
+    for (StripeId s = 0; s < stripes; ++s)
+      FABEC_CHECK(cluster.write_stripe(0, s, random_stripe(rng)));
+    cluster.simulator().run_until_idle();
+    cluster.crash(1);  // every read of block 1 below is degraded
+    for (StripeId s = 0; s < stripes; ++s) {
+      const sim::Time start = cluster.simulator().now();
+      FABEC_CHECK(cluster.read_block(2, s, 1).has_value());
+      latencies_us.push_back(
+          static_cast<double>(cluster.simulator().now() - start) / 1000.0);
+    }
+    const auto stats = cluster.total_coordinator_stats();
+    degraded += stats.degraded_reads;
+    recoveries += stats.recoveries_started;
+  }
+  state.counters["degraded_p50_us"] = percentile(latencies_us, 50);
+  state.counters["degraded_p99_us"] = percentile(latencies_us, 99);
+  state.counters["degraded_reads"] = static_cast<double>(degraded);
+  state.counters["recoveries_started"] = static_cast<double>(recoveries);
+}
+
+BENCHMARK(BM_RebuildTraffic)
+    ->ArgName("lrc")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DegradedRead)
+    ->ArgName("lrc")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("fabec_build_type", "release");
+#else
+  benchmark::AddCustomContext("fabec_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

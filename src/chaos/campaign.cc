@@ -53,6 +53,7 @@ class CampaignRunner {
     core::ClusterConfig cluster_cfg;
     cluster_cfg.n = cfg_.n;
     cluster_cfg.m = cfg_.m;
+    cluster_cfg.code = cfg_.code;
     cluster_cfg.total_bricks = cfg_.total_bricks;
     cluster_cfg.block_size = cfg_.block_size;
     cluster_cfg.coordinator.delta_block_writes = cfg_.delta_block_writes;
@@ -530,6 +531,8 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
   std::ostringstream os;
   os << "torture --replay " << seed << " --n " << config.n << " --m "
      << config.m;
+  if (config.code.family != erasure::CodeSpec::Family::kRs)
+    os << " --code " << erasure::to_string(config.code);
   if (config.total_bricks != 0) os << " --bricks " << config.total_bricks;
   os << " --stripes " << config.num_stripes << " --ops " << config.num_ops
      << " --write-frac " << config.write_fraction << " --wide-frac "

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "chaos/nemesis.h"
+#include "erasure/code_family.h"
 #include "fab/workload.h"
 #include "sim/time.h"
 
@@ -29,6 +30,10 @@ struct CampaignConfig {
   // Cluster shape.
   std::uint32_t n = 8;             ///< bricks per stripe group
   std::uint32_t m = 5;             ///< data blocks per stripe
+  /// Erasure-code family of the stripe groups ("rs" or "lrc:<l>,<g>").
+  /// LRC campaigns exercise the locality-aware repair paths — degraded
+  /// reads and plan-driven rebuilds — against the linearizability oracle.
+  erasure::CodeSpec code;
   std::uint32_t total_bricks = 0;  ///< 0 = single group
   std::uint32_t num_stripes = 4;
   std::size_t block_size = 16;

@@ -11,7 +11,7 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
     : config_(config),
       layout_(config.total_bricks == 0 ? config.n : config.total_bricks,
               config.n),
-      codec_(config.m, config.n),
+      codec_(erasure::make_code_family(config.code, config.m, config.n)),
       sim_(seed),
       net_(sim_, layout_.total_bricks(), config.net),
       procs_(layout_.total_bricks()) {
@@ -23,13 +23,13 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
   for (ProcessId p = 0; p < bricks; ++p) {
     auto brick = std::make_unique<Brick>(config_.block_size);
     brick->replica = std::make_unique<RegisterReplica>(p, qc, &layout_,
-                                                       &codec_, &brick->store);
+                                                       codec_.get(), &brick->store);
     const sim::Duration offset =
         config_.clock_offsets.empty() ? 0 : config_.clock_offsets[p];
     brick->ts_source = std::make_unique<TimestampSource>(
         p, [this, offset]() { return sim_.now() + offset; });
     brick->coordinator = std::make_unique<Coordinator>(
-        p, qc, &layout_, &codec_, &executor_, brick->ts_source.get(),
+        p, qc, &layout_, codec_.get(), &executor_, brick->ts_source.get(),
         [this, p](ProcessId dest, Message msg) {
           send_from(p, dest, std::move(msg));
         },
@@ -241,6 +241,11 @@ CoordinatorStats Cluster::total_coordinator_stats() const {
     total.cached_read_fallbacks += s.cached_read_fallbacks;
     total.cache_invalidations += s.cache_invalidations;
     total.cache_evictions += s.cache_evictions;
+    total.block_rebuilds += s.block_rebuilds;
+    total.block_rebuild_fallbacks += s.block_rebuild_fallbacks;
+    total.rebuild_source_blocks += s.rebuild_source_blocks;
+    total.degraded_reads += s.degraded_reads;
+    total.degraded_read_fallbacks += s.degraded_read_fallbacks;
   }
   return total;
 }

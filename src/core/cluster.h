@@ -21,7 +21,7 @@
 #include "core/group_layout.h"
 #include "core/messages.h"
 #include "core/replica.h"
-#include "erasure/codec.h"
+#include "erasure/code_family.h"
 #include "quorum/quorum.h"
 #include "sim/executor.h"
 #include "sim/network.h"
@@ -34,6 +34,11 @@ namespace fabec::core {
 struct ClusterConfig {
   std::uint32_t n = 8;  ///< bricks per stripe group
   std::uint32_t m = 5;  ///< data blocks per stripe
+  /// Erasure-code family of every stripe group: Reed–Solomon (any m of n
+  /// decode) by default, or Azure-style LRC ("lrc:<l>,<g>", which requires
+  /// n == m + l + g) for locality-aware repair. Non-MDS families shrink the
+  /// per-group fault budget to floor(tolerance / 2) — see quorum::Config.
+  erasure::CodeSpec code;
   /// Bricks in the whole pool; 0 means n (a single group, identity
   /// placement). When total_bricks > n, stripes rotate over the pool in
   /// n-brick segment groups (see GroupLayout).
@@ -78,9 +83,11 @@ class Cluster {
     return *bricks_[p]->replica;
   }
   storage::BrickStore& store(ProcessId p) { return bricks_[p]->store; }
-  const erasure::Codec& codec() const { return codec_; }
+  const erasure::CodeFamily& codec() const { return *codec_; }
   const ClusterConfig& config() const { return config_; }
-  quorum::Config quorum_config() const { return {config_.n, config_.m}; }
+  quorum::Config quorum_config() const {
+    return {config_.n, config_.m, codec_->max_erasures_any()};
+  }
 
   // --- failure injection --------------------------------------------------
   /// Crashes brick p: volatile state (in-flight coordinator operations,
@@ -171,7 +178,7 @@ class Cluster {
 
   ClusterConfig config_;
   GroupLayout layout_;
-  erasure::Codec codec_;
+  std::unique_ptr<const erasure::CodeFamily> codec_;
   sim::Simulator sim_;
   sim::SimulatorExecutor executor_{&sim_};
   sim::Network<Envelope> net_;

@@ -44,9 +44,9 @@ bool all_status_true(const std::vector<std::optional<Message>>& replies) {
 
 Coordinator::Coordinator(ProcessId self, quorum::Config config,
                          const GroupLayout* layout,
-                         const erasure::Codec* codec, sim::Executor* executor,
-                         TimestampSource* ts_source, SendFn send,
-                         Options options)
+                         const erasure::CodeFamily* codec,
+                         sim::Executor* executor, TimestampSource* ts_source,
+                         SendFn send, Options options)
     : self_(self),
       config_(config),
       layout_(layout),
@@ -466,12 +466,19 @@ void Coordinator::read_stripe_quorum(StripeId stripe, StripeOutcomeCb done) {
 }
 
 void Coordinator::fast_read_stripe(StripeId stripe, StripeOutcomeCb done) {
-  // Line 6: pick m random processes as block targets.
-  std::vector<ProcessId> ids(config_.n);
+  // Line 6: pick m random processes as block targets — except that for a
+  // non-MDS family a random m-subset need not decode, so the family itself
+  // picks a decodable set out of the shuffled candidate order (for RS this
+  // degenerates to "the first m", the paper's random choice).
+  std::vector<BlockIndex> ids(config_.n);
   std::iota(ids.begin(), ids.end(), 0);
   rng_.shuffle(ids);
-  auto targets = std::make_shared<std::vector<ProcessId>>(
-      ids.begin(), ids.begin() + config_.m);
+  auto sources = codec_->decode_sources(ids);
+  FABEC_CHECK_MSG(sources.has_value(),
+                  "code family cannot decode from all n positions");
+  auto targets =
+      std::make_shared<std::vector<ProcessId>>(sources->begin(),
+                                               sources->end());
   start_rpc<ReadRep>(
       layout_->group(stripe),
       [stripe, targets](std::uint32_t, OpId op) -> Message {
@@ -573,12 +580,18 @@ void Coordinator::read_prev_stripe(std::shared_ptr<RecoverState> state) {
           if (const OrderReadRep* rep = as<OrderReadRep>(r))
             max = std::max(max, rep->lts);
         std::vector<erasure::ShardView> shards;
+        std::vector<BlockIndex> positions;
         for (ProcessId p = 0; p < config_.n; ++p) {
           const OrderReadRep* rep = as<OrderReadRep>(replies[p]);
-          if (rep != nullptr && rep->lts == max && rep->block.has_value())
+          if (rep != nullptr && rep->lts == max && rep->block.has_value()) {
             shards.push_back(erasure::ShardView{p, *rep->block});
+            positions.push_back(p);
+          }
         }
-        if (shards.size() >= config_.m) {
+        // "At least m shards" is the MDS criterion; a pattern-dependent
+        // family (LRC) must ask decodable() — some supersets of m blocks
+        // still cannot reconstruct, and some can only with > m of them.
+        if (codec_->decodable(positions)) {
           state->done(codec_->decode_blocks(shards));
           return;
         }
@@ -737,17 +750,88 @@ void Coordinator::read_block_quorum(StripeId stripe, BlockIndex j,
           done(*from_j->block);
           return;
         }
+        if (consistent && val_ts.has_value()) {
+          // Every reply is clean at ONE common complete version; only p_j's
+          // block is missing (silent brick or a CRC-failed block served as
+          // an erasure). Reconstruct block j at exactly that version from
+          // the repair plan's sources — for LRC, the lost block's local
+          // group — instead of paying a full recovery write-back.
+          std::vector<BlockIndex> alive;
+          for (std::uint32_t pos = 0; pos < config_.n; ++pos)
+            if (pos != j && as<ReadRep>(replies[pos]) != nullptr)
+              alive.push_back(pos);
+          degraded_read_block(stripe, j, *val_ts, std::move(alive),
+                              std::move(done));
+          return;
+        }
         // Lines 65-69: reconstruct via recovery and project block j.
-        recover(stripe, [this, j, done](StripeOutcome stripe_value) {
-          if (!stripe_value.ok()) {
-            if (stripe_value.error() == OpError::kAborted) ++stats_.aborts;
-            done(stripe_value.error());
-            return;
-          }
-          done(std::move((*stripe_value)[j]));
-        });
+        recover_read_block(stripe, j, std::move(done));
       },
       {j});
+}
+
+void Coordinator::recover_read_block(StripeId stripe, BlockIndex j,
+                                     BlockOutcomeCb done) {
+  recover(stripe,
+          [this, j, done = std::move(done)](StripeOutcome stripe_value) {
+            if (!stripe_value.ok()) {
+              if (stripe_value.error() == OpError::kAborted) ++stats_.aborts;
+              done(stripe_value.error());
+              return;
+            }
+            done(std::move((*stripe_value)[j]));
+          });
+}
+
+void Coordinator::degraded_read_block(StripeId stripe, BlockIndex j,
+                                      Timestamp val_ts,
+                                      std::vector<BlockIndex> alive,
+                                      BlockOutcomeCb done) {
+  auto plan = std::make_shared<const std::optional<erasure::RepairPlan>>(
+      codec_->repair_plan(j, alive));
+  if (!plan->has_value()) {
+    recover_read_block(stripe, j, std::move(done));
+    return;
+  }
+  // One validated round to the plan's sources only (the sub-quorum contact
+  // mechanism): each source ships its block iff val_ts is still exactly its
+  // newest sound version. All sources confirming pins every fetched block
+  // to the same code word, so the reconstruction is the value the fast read
+  // would have returned — no write-back needed. Anything less (a source
+  // moved on, went silent, or is itself degraded) and recovery decides.
+  auto sources = std::make_shared<const std::vector<ProcessId>>(
+      (*plan)->sources.begin(), (*plan)->sources.end());
+  start_rpc_impl(
+      layout_->group(stripe),
+      [stripe, sources, val_ts](std::uint32_t, OpId op) -> Message {
+        ReadReq req{stripe, op, *sources};
+        req.validate_ts = val_ts;
+        return req;
+      },
+      [this, stripe, j, plan, sources, done = std::move(done)](
+          Replies& replies, bool timed_out) mutable {
+        bool confirmed = !timed_out;
+        std::vector<erasure::ShardView> shards;
+        if (confirmed) {
+          for (ProcessId p : *sources) {
+            const ReadRep* rep = as<ReadRep>(replies[p]);
+            if (rep == nullptr || !rep->validated || !rep->block.has_value()) {
+              confirmed = false;
+              break;
+            }
+            shards.push_back(erasure::ShardView{p, *rep->block});
+          }
+        }
+        if (!confirmed) {
+          ++stats_.degraded_read_fallbacks;
+          recover_read_block(stripe, j, std::move(done));
+          return;
+        }
+        ++stats_.degraded_reads;
+        done(codec_->reconstruct(**plan, shards));
+      },
+      message_kind_of<ReadRep>, /*wait_for=*/{},
+      std::vector<std::uint32_t>(sources->begin(), sources->end()));
 }
 
 void Coordinator::write_block(StripeId stripe, BlockIndex j, Block block,
@@ -1172,7 +1256,113 @@ void Coordinator::repair_stripe(StripeId stripe, WriteOutcomeCb done) {
   });
 }
 
+void Coordinator::rebuild_block(StripeId stripe, BlockIndex lost,
+                                WriteOutcomeCb done) {
+  FABEC_CHECK_MSG(lost < config_.n, "rebuild_block takes a group position");
+  std::vector<BlockIndex> alive;
+  for (std::uint32_t pos = 0; pos < config_.n; ++pos)
+    if (pos != lost) alive.push_back(pos);
+  auto plan = std::make_shared<const std::optional<erasure::RepairPlan>>(
+      codec_->repair_plan(lost, alive));
+  if (!plan->has_value()) {
+    ++stats_.block_rebuild_fallbacks;
+    repair_stripe(stripe, std::move(done));
+    return;
+  }
+  auto targets = std::make_shared<const std::vector<ProcessId>>(
+      (*plan)->sources.begin(), (*plan)->sources.end());
+  start_rpc<ReadRep>(
+      layout_->group(stripe),
+      [stripe, targets](std::uint32_t, OpId op) -> Message {
+        return ReadReq{stripe, op, *targets};
+      },
+      [this, stripe, lost, plan, targets, done = std::move(done)](
+          Replies& replies, bool timed_out) mutable {
+        // Evidence required: every plan source replies clean (status=true:
+        // no write ordered-but-unwritten there) with a block at ONE common
+        // newest version. A timestamp names one unique code word, so m
+        // source blocks at one val_ts are coordinates of the same word and
+        // the reconstruction below is byte-identical to the block the lost
+        // brick missed at val_ts. Other bricks' replies are ignored — the
+        // blank replacement itself answers with val_ts = LowTS, and the
+        // catch-up write is guarded replica-side regardless (it lands only
+        // if val_ts is still above the lost brick's max-ts and ord-ts,
+        // i.e. exactly the write it would have accepted originally).
+        std::optional<Timestamp> val_ts;
+        bool clean = !timed_out;
+        std::vector<erasure::ShardView> shards;
+        if (clean) {
+          for (ProcessId p : *targets) {
+            const ReadRep* rep = as<ReadRep>(replies[p]);
+            if (rep == nullptr || !rep->status || !rep->block.has_value() ||
+                (val_ts.has_value() && *val_ts != rep->val_ts)) {
+              clean = false;
+              break;
+            }
+            val_ts = rep->val_ts;
+            shards.push_back(erasure::ShardView{p, *rep->block});
+          }
+        }
+        clean = clean && val_ts.has_value();
+        if (!clean) {
+          ++stats_.block_rebuild_fallbacks;
+          repair_stripe(stripe, std::move(done));
+          return;
+        }
+        auto block = std::make_shared<const Block>(
+            codec_->reconstruct(**plan, shards));
+        write_rebuilt_block(stripe, lost, *val_ts, std::move(block),
+                            targets->size(), std::move(done));
+      },
+      std::vector<std::uint32_t>(targets->begin(), targets->end()));
+}
+
+void Coordinator::write_rebuilt_block(StripeId stripe, BlockIndex lost,
+                                      Timestamp ts,
+                                      std::shared_ptr<const Block> block,
+                                      std::size_t fetched,
+                                      WriteOutcomeCb done) {
+  start_rpc_impl(
+      layout_->group(stripe),
+      [stripe, ts, block](std::uint32_t, OpId op) -> Message {
+        return WriteReq{stripe, op, ts, *block};
+      },
+      [this, stripe, lost, fetched, done = std::move(done)](Replies& replies,
+                                                            bool) mutable {
+        const WriteRep* rep = as<WriteRep>(replies[lost]);
+        if (rep == nullptr || !rep->status) {
+          // Silence, or the lost brick already holds/ordered something newer
+          // than this version — its state is beyond a single-block catch-up,
+          // so the full recovery write-back decides.
+          ++stats_.block_rebuild_fallbacks;
+          repair_stripe(stripe, std::move(done));
+          return;
+        }
+        ++stats_.block_rebuilds;
+        stats_.rebuild_source_blocks += fetched;
+        done(Ack{});
+      },
+      message_kind_of<WriteRep>, /*wait_for=*/{},
+      /*contacts=*/{static_cast<std::uint32_t>(lost)});
+}
+
+void Coordinator::rebuild_block(StripeId stripe, BlockIndex lost,
+                                WriteCb done) {
+  rebuild_block(stripe, lost,
+                WriteOutcomeCb([done = std::move(done)](WriteOutcome r) {
+                  done(r.ok());
+                }));
+}
+
 void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
+  scrub_stripe(stripe,
+               ScrubExCb([done = std::move(done)](
+                             ScrubResult r, std::optional<BlockIndex>) {
+                 done(r);
+               }));
+}
+
+void Coordinator::scrub_stripe(StripeId stripe, ScrubExCb done) {
   // All n positions as read targets: every replica returns its newest block.
   std::vector<ProcessId> all(config_.n);
   std::iota(all.begin(), all.end(), 0);
@@ -1186,7 +1376,7 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
         if (timed_out) {
           // Could not assemble a full code word before the deadline;
           // nothing was proven either way.
-          done(ScrubResult::kInconclusive);
+          done(ScrubResult::kInconclusive, std::nullopt);
           return;
         }
         // One common version across every reply, or the scrub is racing a
@@ -1201,15 +1391,17 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
             // A targeted replica with sound timestamps always returns its
             // block — unless the block failed its CRC, in which case the
             // replica served it as an erasure. That is a positive
-            // corruption verdict, not an inconclusive race. A quarantined
-            // stripe must not serve cached reads until repaired.
+            // corruption verdict, not an inconclusive race — and the brick
+            // itself has named the position, so the repair consumer can run
+            // a plan-based single-block rebuild. A quarantined stripe must
+            // not serve cached reads until repaired.
             cache_invalidate(stripe);
-            done(ScrubResult::kCorrupt);
+            done(ScrubResult::kCorrupt, pos);
             return;
           }
           if (!rep->status ||
               (val_ts.has_value() && *val_ts != rep->val_ts)) {
-            done(ScrubResult::kInconclusive);
+            done(ScrubResult::kInconclusive, std::nullopt);
             return;
           }
           val_ts = rep->val_ts;
@@ -1218,7 +1410,7 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
         }
         if (present < config_.n) {
           // A silent member leaves part of the code word unverified.
-          done(ScrubResult::kInconclusive);
+          done(ScrubResult::kInconclusive, std::nullopt);
           return;
         }
         // Recompute the parity from views of the data replies — no data
@@ -1236,11 +1428,21 @@ void Coordinator::scrub_stripe(StripeId stripe, ScrubCb done) {
         for (std::uint32_t pos = config_.m; pos < config_.n; ++pos) {
           if (reencoded[pos - config_.m] != *blocks[pos]) {
             cache_invalidate(stripe);
-            done(ScrubResult::kCorrupt);
+            // Silent corruption: the mismatching parity position is NOT
+            // necessarily the corrupted block (a rotted data block shows up
+            // as a parity mismatch too). Consistency voting attributes it
+            // when the family's distance allows (single corruption,
+            // distance >= 3); otherwise the verdict stays un-localized and
+            // the repair consumer must recover the whole stripe.
+            std::vector<erasure::Shard> shards;
+            shards.reserve(config_.n);
+            for (std::uint32_t i = 0; i < config_.n; ++i)
+              shards.push_back(erasure::Shard{i, *blocks[i]});
+            done(ScrubResult::kCorrupt, codec_->find_corrupted(shards));
             return;
           }
         }
-        done(ScrubResult::kClean);
+        done(ScrubResult::kClean, std::nullopt);
       },
       std::vector<std::uint32_t>(all.begin(), all.end()));
 }

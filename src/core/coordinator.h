@@ -40,7 +40,7 @@
 #include "core/group_layout.h"
 #include "core/messages.h"
 #include "core/outcome.h"
-#include "erasure/codec.h"
+#include "erasure/code_family.h"
 #include "quorum/quorum.h"
 #include "sim/executor.h"
 
@@ -75,6 +75,13 @@ struct CoordinatorStats {
   std::uint64_t cached_read_fallbacks = 0;  ///< probe sent but not confirmed
   std::uint64_t cache_invalidations = 0;    ///< entries dropped (incl. clear)
   std::uint64_t cache_evictions = 0;        ///< entries dropped by LRU bound
+  // Plan-driven repair (DESIGN.md §14): single-block rebuild and degraded
+  // reads that fetch only the repair plan's sources (< m for LRC locality).
+  std::uint64_t block_rebuilds = 0;          ///< rebuild_block successes
+  std::uint64_t block_rebuild_fallbacks = 0; ///< fell back to repair_stripe
+  std::uint64_t rebuild_source_blocks = 0;   ///< source blocks fetched by them
+  std::uint64_t degraded_reads = 0;          ///< plan-served block reads
+  std::uint64_t degraded_read_fallbacks = 0; ///< plan probe failed -> recover
 };
 
 class Coordinator {
@@ -156,7 +163,7 @@ class Coordinator {
   };
 
   Coordinator(ProcessId self, quorum::Config config,
-              const GroupLayout* layout, const erasure::Codec* codec,
+              const GroupLayout* layout, const erasure::CodeFamily* codec,
               sim::Executor* executor, TimestampSource* ts_source,
               SendFn send, Options options);
 
@@ -201,6 +208,19 @@ class Coordinator {
   void repair_stripe(StripeId stripe, WriteCb done);
   void repair_stripe(StripeId stripe, WriteOutcomeCb done);
 
+  /// Repairs ONE lost block via the code family's repair plan instead of a
+  /// full stripe recovery (DESIGN.md §14). One read round fetches only the
+  /// plan's sources (for an LRC local plan, the lost block's group — fewer
+  /// than m blocks on the wire); if every reply is clean at one common
+  /// version, the reconstructed block is written to the lost position alone
+  /// under that same version timestamp — safe because a timestamp names one
+  /// unique code word, so the write is byte-identical to the one the lost
+  /// brick missed. Any wrinkle (no plan, partial write visible, version
+  /// skew, missing source block, write rejected) falls back to
+  /// repair_stripe, which is always sufficient.
+  void rebuild_block(StripeId stripe, BlockIndex lost, WriteCb done);
+  void rebuild_block(StripeId stripe, BlockIndex lost, WriteOutcomeCb done);
+
   /// Scrub verdict: does the stripe's stored parity match its data?
   enum class ScrubResult {
     kClean,         ///< all n blocks agree with a re-encode of the data
@@ -208,6 +228,12 @@ class Coordinator {
     kInconclusive,  ///< replicas answered at different versions; retry
   };
   using ScrubCb = std::function<void(ScrubResult)>;
+  /// Extended scrub verdict: on kCorrupt, also the corrupted position when
+  /// the family could localize it (single corruption, distance >= 3) —
+  /// which lets the repair consumer run rebuild_block on that position
+  /// instead of a full stripe recovery. nullopt = corrupt but not
+  /// attributable to one block.
+  using ScrubExCb = std::function<void(ScrubResult, std::optional<BlockIndex>)>;
 
   /// Read-only parity scrub (latent-error detection, the maintenance task
   /// every disk system runs in the background): collects all n blocks at
@@ -217,6 +243,7 @@ class Coordinator {
   /// healed by repair_stripe if >= m blocks are still mutually consistent.
   /// A deadline expiry reads as kInconclusive.
   void scrub_stripe(StripeId stripe, ScrubCb done);
+  void scrub_stripe(StripeId stripe, ScrubExCb done);
 
   // --- plumbing (called by the enclosing cluster) ----------------------
   /// Routes a reply message to the pending phase it answers. Replies whose
@@ -334,6 +361,21 @@ class Coordinator {
   // Unoptimized quorum read paths (the pre-cache public entry points).
   void read_stripe_quorum(StripeId stripe, StripeOutcomeCb done);
   void read_block_quorum(StripeId stripe, BlockIndex j, BlockOutcomeCb done);
+  /// Degraded block read (DESIGN.md §14): the fast round proved one common
+  /// complete version val_ts but p_j could not serve its block. One more
+  /// validated round to the repair plan's sources reconstructs block j at
+  /// val_ts without the recovery write-back; any wrinkle falls to recover.
+  void degraded_read_block(StripeId stripe, BlockIndex j, Timestamp val_ts,
+                           std::vector<BlockIndex> alive, BlockOutcomeCb done);
+  /// recover() + project block j, counting aborts (the shared slow tail of
+  /// read_block_quorum and degraded_read_block).
+  void recover_read_block(StripeId stripe, BlockIndex j, BlockOutcomeCb done);
+  /// rebuild_block's write leg: one WriteReq carrying the reconstructed
+  /// block to the lost position alone (the sub-quorum contact mechanism);
+  /// a rejection or silence falls back to repair_stripe.
+  void write_rebuilt_block(StripeId stripe, BlockIndex lost, Timestamp ts,
+                           std::shared_ptr<const Block> block,
+                           std::size_t fetched, WriteOutcomeCb done);
   void read_blocks_quorum(StripeId stripe,
                           std::shared_ptr<std::vector<BlockIndex>> js,
                           StripeOutcomeCb done);
@@ -373,7 +415,7 @@ class Coordinator {
   ProcessId self_;
   quorum::Config config_;
   const GroupLayout* layout_;
-  const erasure::Codec* codec_;
+  const erasure::CodeFamily* codec_;
   sim::Executor* sim_;
   TimestampSource* ts_source_;
   SendFn send_;

@@ -8,7 +8,7 @@ namespace fabec::core {
 
 RegisterReplica::RegisterReplica(ProcessId brick, quorum::Config config,
                                  const GroupLayout* layout,
-                                 const erasure::Codec* codec,
+                                 const erasure::CodeFamily* codec,
                                  storage::BrickStore* store)
     : brick_(brick),
       config_(config),
@@ -178,14 +178,26 @@ Message RegisterReplica::on_multi_modify(const MultiModifyReq& req) {
   return rep;
 }
 
-// Algorithm 2, lines 57-60.
+// Algorithm 2, lines 57-60, plus the scrub-heal extension (DESIGN.md §14):
+// a write at EXACTLY max-ts is accepted when the newest entry holds a
+// CRC-failed block at that timestamp. A timestamp names one unique code
+// word, so the incoming bytes are the bytes this replica already accepted
+// once and then lost to rot — replacing garbage in place re-executes the
+// original write, not a new one, and no reader can observe a change of
+// committed state (the rotted entry was already served as an erasure).
 Message RegisterReplica::on_write(const WriteReq& req) {
   WriteRep rep;
   rep.op = req.op;
   if (!position(req.stripe).has_value()) return rep;
   auto& replica = store_->replica(req.stripe);
-  rep.status = req.ts > replica.max_ts() && req.ts >= replica.ord_ts();
-  if (rep.status) replica.append(req.ts, req.block, store_->io());
+  const bool heal = replica.newest_is_corrupt_at(req.ts) &&
+                    req.ts >= replica.ord_ts() && req.block.size() > 0;
+  rep.status =
+      (req.ts > replica.max_ts() && req.ts >= replica.ord_ts()) || heal;
+  if (heal)
+    replica.heal_newest(req.ts, req.block, store_->io());
+  else if (rep.status)
+    replica.append(req.ts, req.block, store_->io());
   return rep;
 }
 

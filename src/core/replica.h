@@ -19,7 +19,7 @@
 
 #include "core/group_layout.h"
 #include "core/messages.h"
-#include "erasure/codec.h"
+#include "erasure/code_family.h"
 #include "quorum/quorum.h"
 #include "storage/brick_store.h"
 
@@ -39,7 +39,7 @@ class RegisterReplica {
   /// store are owned by the enclosing brick/cluster and must outlive the
   /// replica.
   RegisterReplica(ProcessId brick, quorum::Config config,
-                  const GroupLayout* layout, const erasure::Codec* codec,
+                  const GroupLayout* layout, const erasure::CodeFamily* codec,
                   storage::BrickStore* store);
 
   /// Handles one request; returns the reply to send back to the
@@ -69,7 +69,7 @@ class RegisterReplica {
   ProcessId brick_;
   quorum::Config config_;
   const GroupLayout* layout_;
-  const erasure::Codec* codec_;
+  const erasure::CodeFamily* codec_;
   storage::BrickStore* store_;
   ReplicaStats stats_;
 };

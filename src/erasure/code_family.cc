@@ -1,0 +1,473 @@
+#include "erasure/code_family.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+#include "erasure/codec.h"
+#include "erasure/lrc.h"
+#include "gf/gf256.h"
+#include "gf/kernels.h"
+
+namespace fabec::erasure {
+
+// ---------------------------------------------------------------------
+// CodeSpec spelling.
+// ---------------------------------------------------------------------
+
+std::string to_string(const CodeSpec& spec) {
+  switch (spec.family) {
+    case CodeSpec::Family::kRs:
+      return "rs";
+    case CodeSpec::Family::kLrc:
+      return "lrc:" + std::to_string(spec.local_groups) + "," +
+             std::to_string(spec.global_parities);
+  }
+  FABEC_CHECK_MSG(false, "unknown code family");
+  return {};
+}
+
+namespace {
+
+std::optional<std::uint32_t> parse_u32(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<CodeSpec> parse_code_spec(std::string_view text) {
+  if (text == "rs") return CodeSpec{CodeSpec::Family::kRs, 0, 0};
+  constexpr std::string_view kLrcPrefix = "lrc:";
+  if (text.substr(0, kLrcPrefix.size()) != kLrcPrefix) return std::nullopt;
+  const std::string_view params = text.substr(kLrcPrefix.size());
+  const std::size_t comma = params.find(',');
+  if (comma == std::string_view::npos) return std::nullopt;
+  const auto l = parse_u32(params.substr(0, comma));
+  const auto g = parse_u32(params.substr(comma + 1));
+  if (!l || !g) return std::nullopt;
+  return CodeSpec{CodeSpec::Family::kLrc, *l, *g};
+}
+
+std::unique_ptr<const CodeFamily> make_code_family(const CodeSpec& spec,
+                                                   std::uint32_t m,
+                                                   std::uint32_t n) {
+  switch (spec.family) {
+    case CodeSpec::Family::kRs:
+      return std::make_unique<Codec>(m, n);
+    case CodeSpec::Family::kLrc:
+      FABEC_CHECK_MSG(
+          m + spec.local_groups + spec.global_parities == n,
+          "lrc requires n == m + l + g");
+      return std::make_unique<LrcCodec>(m, spec.local_groups,
+                                        spec.global_parities);
+  }
+  FABEC_CHECK_MSG(false, "unknown code family");
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Construction & structural queries.
+// ---------------------------------------------------------------------
+
+CodeFamily::CodeFamily(std::uint32_t m, std::uint32_t n)
+    : m_(m), n_(n), generator_(n, m) {
+  FABEC_CHECK_MSG(m >= 1 && m <= n && n <= 256, "codec requires 1<=m<=n<=256");
+}
+
+std::optional<std::vector<BlockIndex>> CodeFamily::decode_sources(
+    std::span<const BlockIndex> candidates) const {
+  // Greedy rank test: accept a candidate iff its generator row is linearly
+  // independent of the rows accepted so far. The basis rows are kept
+  // reduced with a unit pivot, so each new row costs O(m^2) field ops.
+  std::vector<std::vector<std::uint8_t>> basis;
+  std::vector<std::uint32_t> pivot_col;
+  std::vector<BlockIndex> chosen;
+  chosen.reserve(m_);
+  bool seen[256] = {};
+  for (const BlockIndex idx : candidates) {
+    if (chosen.size() == m_) break;
+    if (idx >= n_ || seen[idx]) continue;
+    seen[idx] = true;
+    std::vector<std::uint8_t> row(generator_.row(idx),
+                                  generator_.row(idx) + m_);
+    for (std::size_t b = 0; b < basis.size(); ++b) {
+      const std::uint8_t factor = row[pivot_col[b]];
+      if (factor == 0) continue;
+      for (std::uint32_t c = 0; c < m_; ++c)
+        row[c] ^= gf::mul(factor, basis[b][c]);
+    }
+    std::uint32_t pivot = m_;
+    for (std::uint32_t c = 0; c < m_; ++c)
+      if (row[c] != 0) {
+        pivot = c;
+        break;
+      }
+    if (pivot == m_) continue;  // dependent on the rows already chosen
+    const std::uint8_t scale = gf::inv(row[pivot]);
+    for (std::uint32_t c = 0; c < m_; ++c) row[c] = gf::mul(row[c], scale);
+    basis.push_back(std::move(row));
+    pivot_col.push_back(pivot);
+    chosen.push_back(idx);
+  }
+  if (chosen.size() < m_) return std::nullopt;
+  return chosen;
+}
+
+bool CodeFamily::decodable(std::span<const BlockIndex> alive) const {
+  return decode_sources(alive).has_value();
+}
+
+std::optional<RepairPlan> CodeFamily::repair_plan(
+    BlockIndex lost, std::span<const BlockIndex> alive) const {
+  FABEC_CHECK_MSG(lost < n_, "repair_plan: lost index out of range");
+  bool present[256] = {};
+  for (const BlockIndex idx : alive)
+    if (idx < n_ && idx != lost) present[idx] = true;
+  std::vector<BlockIndex> candidates;
+  candidates.reserve(n_);
+  for (BlockIndex i = 0; i < n_; ++i)
+    if (present[i]) candidates.push_back(i);
+
+  const auto sources = decode_sources(candidates);
+  if (!sources) return std::nullopt;
+  const std::shared_ptr<const Matrix> inverse = cached_inverse(*sources);
+  // block(lost) = G[lost] * data = (G[lost] * inv(G[S])) * blocks(S); the
+  // row vector G[lost] * inv is the per-source coefficient list. Zero
+  // coefficients drop out — for a family with locality that is what shrinks
+  // a lost-parity plan to its covered group.
+  RepairPlan plan;
+  plan.lost = lost;
+  for (std::uint32_t j = 0; j < m_; ++j) {
+    std::uint8_t c = 0;
+    for (std::uint32_t t = 0; t < m_; ++t)
+      c ^= gf::mul(generator_.at(lost, t), inverse->at(t, j));
+    if (c != 0) {
+      plan.sources.push_back((*sources)[j]);
+      plan.coefficients.push_back(c);
+    }
+  }
+  plan.local = false;
+  return plan;
+}
+
+Block CodeFamily::reconstruct(const RepairPlan& plan,
+                              std::span<const ShardView> sources) const {
+  FABEC_CHECK_MSG(!sources.empty(), "reconstruct requires source shards");
+  const std::size_t block_size = sources[0].block.size();
+  const ShardView* by_pos[256] = {};
+  for (const ShardView& s : sources) {
+    FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
+    FABEC_CHECK(s.block.size() == block_size);
+    if (by_pos[s.index] == nullptr) by_pos[s.index] = &s;
+  }
+  const std::uint8_t* srcs[256];
+  for (std::size_t i = 0; i < plan.sources.size(); ++i) {
+    const ShardView* s = by_pos[plan.sources[i]];
+    FABEC_CHECK_MSG(s != nullptr, "reconstruct: plan source block missing");
+    srcs[i] = s->block.data();
+  }
+  Block out(block_size);
+  gf::kernels().mul_add_multi(plan.coefficients.data(), srcs,
+                              plan.sources.size(), out.data(), block_size,
+                              /*accumulate=*/false);
+  return out;
+}
+
+std::uint32_t CodeFamily::enumerate_erasure_tolerance() const {
+  if (k() == 0) return 0;
+  // Check every erasure pattern of weight t for growing t; the first t with
+  // an undecodable pattern bounds the tolerance at t - 1. Monotone: a
+  // superset of an undecodable pattern is undecodable, so stopping early is
+  // exact. Pattern counts are capped so a pathological shape cannot stall
+  // construction; the cap only ever *under*-reports (safe).
+  constexpr std::uint64_t kMaxPatternsPerWeight = 200000;
+  std::vector<BlockIndex> alive;
+  alive.reserve(n_);
+  for (std::uint32_t t = 1; t <= k(); ++t) {
+    // C(n, t) with overflow-free early exit.
+    std::uint64_t patterns = 1;
+    for (std::uint32_t i = 0; i < t && patterns <= kMaxPatternsPerWeight; ++i)
+      patterns = patterns * (n_ - i) / (i + 1);
+    if (patterns > kMaxPatternsPerWeight) return t - 1;
+    // Enumerate t-subsets of {0..n-1} as the erased set.
+    std::vector<std::uint32_t> erased(t);
+    for (std::uint32_t i = 0; i < t; ++i) erased[i] = i;
+    while (true) {
+      alive.clear();
+      std::size_t e = 0;
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (e < t && erased[e] == i) {
+          ++e;
+          continue;
+        }
+        alive.push_back(static_cast<BlockIndex>(i));
+      }
+      if (!decodable(alive)) return t - 1;
+      // Next combination.
+      std::int64_t j = t - 1;
+      while (j >= 0 && erased[j] == n_ - t + j) --j;
+      if (j < 0) break;
+      ++erased[j];
+      for (std::uint32_t i = j + 1; i < t; ++i) erased[i] = erased[i - 1] + 1;
+    }
+  }
+  return k();
+}
+
+// ---------------------------------------------------------------------
+// Decode-matrix LRU cache.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const Matrix> CodeFamily::cached_inverse(
+    std::span<const BlockIndex> sources) const {
+  FABEC_CHECK(sources.size() == m_);
+  // n <= 256, so the source row pattern packs into one byte per row. The
+  // decode_sources order is deterministic for a given alive set, so equal
+  // failure patterns always map to equal keys.
+  std::string key(m_, '\0');
+  for (std::uint32_t i = 0; i < m_; ++i)
+    key[i] = static_cast<char>(sources[i]);
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  std::vector<std::size_t> rows;
+  rows.reserve(m_);
+  for (const BlockIndex idx : sources) rows.push_back(idx);
+  auto inverse = generator_.select_rows(rows).inverted();
+  FABEC_CHECK_MSG(inverse.has_value(),
+                  "decode: selected generator rows are singular");
+  auto entry = std::make_shared<const Matrix>(std::move(*inverse));
+  lru_.emplace_front(key, entry);
+  cache_index_.emplace(std::move(key), lru_.begin());
+  if (lru_.size() > kInverseCacheCapacity) {
+    cache_index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++cache_evictions_;
+  }
+  return entry;
+}
+
+std::size_t CodeFamily::cached_inversions() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return lru_.size();
+}
+
+std::uint64_t CodeFamily::cached_inversion_evictions() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_evictions_;
+}
+
+// ---------------------------------------------------------------------
+// Allocation-free span API.
+// ---------------------------------------------------------------------
+
+void CodeFamily::encode_parity(std::span<const ConstByteSpan> data,
+                               std::span<const MutByteSpan> parity) const {
+  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
+  FABEC_CHECK_MSG(parity.size() == k(), "encode requires exactly k parity "
+                                        "buffers");
+  const std::size_t block_size = data[0].size();
+  for (const ConstByteSpan& b : data) FABEC_CHECK(b.size() == block_size);
+  for (const MutByteSpan& p : parity) FABEC_CHECK(p.size() == block_size);
+
+  // The generator is stored row-major with m columns, so row r's parity
+  // coefficients are exactly the coefficient vector mul_add_multi wants.
+  const std::uint8_t* srcs[256];
+  for (std::uint32_t j = 0; j < m_; ++j) srcs[j] = data[j].data();
+  const gf::Kernels& kern = gf::kernels();
+  for (std::uint32_t r = 0; r < k(); ++r)
+    kern.mul_add_multi(generator_.row(m_ + r), srcs, m_, parity[r].data(),
+                       block_size, /*accumulate=*/false);
+}
+
+bool CodeFamily::try_data_views(std::span<const ShardView> shards,
+                                std::span<ConstByteSpan> out) const {
+  FABEC_CHECK_MSG(out.size() == m_, "try_data_views requires m output slots");
+  bool seen[256] = {};
+  std::size_t found = 0;
+  for (const ShardView& s : shards) {
+    FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
+    if (is_parity(s.index) || seen[s.index]) continue;
+    seen[s.index] = true;
+    out[s.index] = s.block;
+    if (++found == m_) return true;
+  }
+  return false;
+}
+
+void CodeFamily::decode_into(std::span<const ShardView> shards,
+                             std::span<const MutByteSpan> out) const {
+  FABEC_CHECK_MSG(out.size() == m_, "decode requires m output buffers");
+  FABEC_CHECK_MSG(!shards.empty(), "decode requires shards");
+  // First occurrence per position; duplicates are ignored.
+  const ShardView* by_pos[256] = {};
+  for (const ShardView& s : shards) {
+    FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
+    if (by_pos[s.index] == nullptr) by_pos[s.index] = &s;
+  }
+  const std::size_t block_size = shards[0].block.size();
+  for (const ShardView& s : shards) FABEC_CHECK(s.block.size() == block_size);
+  for (const MutByteSpan& o : out) FABEC_CHECK(o.size() == block_size);
+
+  // Fast path: all m data shards present — copy them out, no field math.
+  bool all_data = true;
+  for (std::uint32_t i = 0; i < m_ && all_data; ++i)
+    all_data = by_pos[i] != nullptr;
+  if (all_data) {
+    for (std::uint32_t i = 0; i < m_; ++i)
+      std::memcpy(out[i].data(), by_pos[i]->block.data(), block_size);
+    return;
+  }
+
+  // Candidates in ascending position order: data rows first (cheap identity
+  // pivots), then parities — the same canonical order repair planning uses,
+  // so one failure pattern maps to one cached inversion.
+  BlockIndex candidates[256];
+  std::size_t num_candidates = 0;
+  for (std::uint32_t i = 0; i < n_; ++i)
+    if (by_pos[i] != nullptr)
+      candidates[num_candidates++] = static_cast<BlockIndex>(i);
+  const auto sources = decode_sources(
+      std::span<const BlockIndex>(candidates, num_candidates));
+  FABEC_CHECK_MSG(sources.has_value(),
+                  "decode: available shards cannot reconstruct the data "
+                  "(undecodable erasure pattern)");
+
+  const std::shared_ptr<const Matrix> inverse = cached_inverse(*sources);
+  const std::uint8_t* srcs[256];
+  for (std::uint32_t j = 0; j < m_; ++j)
+    srcs[j] = by_pos[(*sources)[j]]->block.data();
+  const gf::Kernels& kern = gf::kernels();
+  for (std::uint32_t i = 0; i < m_; ++i)
+    kern.mul_add_multi(inverse->row(i), srcs, m_, out[i].data(), block_size,
+                       /*accumulate=*/false);
+}
+
+std::vector<Block> CodeFamily::decode_blocks(
+    std::span<const ShardView> shards) const {
+  FABEC_CHECK_MSG(!shards.empty(), "decode requires at least m shards");
+  const std::size_t block_size = shards[0].block.size();
+  std::vector<Block> data(m_, Block(block_size));
+  MutByteSpan out[256];
+  for (std::uint32_t i = 0; i < m_; ++i) out[i] = MutByteSpan(data[i]);
+  decode_into(shards, std::span<const MutByteSpan>(out, m_));
+  return data;
+}
+
+// ---------------------------------------------------------------------
+// Owning convenience API, layered on the span entry points.
+// ---------------------------------------------------------------------
+
+std::vector<Block> CodeFamily::encode(const std::vector<Block>& data) const {
+  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
+  const std::size_t block_size = data[0].size();
+
+  std::vector<Block> out;
+  out.reserve(n_);
+  for (std::uint32_t i = 0; i < m_; ++i) out.push_back(data[i]);
+  for (std::uint32_t r = m_; r < n_; ++r) out.emplace_back(block_size);
+
+  ConstByteSpan views[256];
+  MutByteSpan parity[256];
+  for (std::uint32_t i = 0; i < m_; ++i) views[i] = ConstByteSpan(data[i]);
+  for (std::uint32_t r = 0; r < k(); ++r) parity[r] = MutByteSpan(out[m_ + r]);
+  encode_parity(std::span<const ConstByteSpan>(views, m_),
+                std::span<const MutByteSpan>(parity, k()));
+  return out;
+}
+
+std::vector<Block> CodeFamily::decode(const std::vector<Shard>& shards) const {
+  std::vector<ShardView> views;
+  views.reserve(shards.size());
+  for (const Shard& s : shards) views.push_back(view_of(s));
+  return decode_blocks(views);
+}
+
+std::optional<BlockIndex> CodeFamily::find_corrupted(
+    const std::vector<Shard>& shards) const {
+  // Families with distance < 3 cannot attribute a single silent error to
+  // one shard: report "no localization" instead of risking a blamed
+  // innocent (the scrub then falls back to whole-stripe repair).
+  if (!supports_localization()) return std::nullopt;
+  FABEC_CHECK_MSG(shards.size() == n_, "localization needs all n shards");
+  // Index the shards by position.
+  std::vector<const Block*> by_pos(n_, nullptr);
+  for (const Shard& s : shards) {
+    FABEC_CHECK(s.index < n_ && by_pos[s.index] == nullptr);
+    by_pos[s.index] = &s.block;
+  }
+
+  // Decode avoiding `suspect`, then re-encode. nullopt when the remaining
+  // shards cannot decode (possible for a non-MDS family).
+  auto word_excluding =
+      [&](BlockIndex suspect) -> std::optional<std::vector<Block>> {
+    std::vector<Shard> trusted;
+    std::vector<BlockIndex> avail;
+    trusted.reserve(n_);
+    avail.reserve(n_);
+    for (BlockIndex i = 0; i < n_; ++i) {
+      if (i == suspect) continue;
+      trusted.push_back(Shard{i, *by_pos[i]});
+      avail.push_back(i);
+    }
+    if (!decodable(avail)) return std::nullopt;
+    return encode(decode(trusted));
+  };
+  auto consistent_except = [&](const std::vector<Block>& word,
+                               BlockIndex allowed_mismatch) {
+    for (BlockIndex i = 0; i < n_; ++i)
+      if (i != allowed_mismatch && word[i] != *by_pos[i]) return false;
+    return true;
+  };
+
+  const auto as_stored = word_excluding(n_);  // excludes nothing < n
+  if (as_stored && consistent_except(*as_stored, n_)) return std::nullopt;
+
+  // One position at a time: rebuild the word without it and see whether
+  // everything else agrees. With <= 1 corruption exactly one position can
+  // pass (the corrupted one); report the first that does.
+  for (BlockIndex suspect = 0; suspect < n_; ++suspect) {
+    const auto word = word_excluding(suspect);
+    if (!word) continue;
+    if (consistent_except(*word, suspect) &&
+        (*word)[suspect] != *by_pos[suspect])
+      return suspect;
+  }
+  // Inconsistent but not attributable to one shard: more than one error.
+  return std::nullopt;
+}
+
+Block CodeFamily::modify(BlockIndex data_index, BlockIndex parity_index,
+                         const Block& old_data, const Block& new_data,
+                         const Block& old_parity) const {
+  FABEC_CHECK_MSG(data_index < m_, "modify: data index must be < m");
+  FABEC_CHECK_MSG(parity_index >= m_ && parity_index < n_,
+                  "modify: parity index must be in [m, n)");
+  FABEC_CHECK(old_data.size() == new_data.size() &&
+              old_data.size() == old_parity.size());
+  Block delta = old_data;
+  xor_into(delta, new_data);
+  Block parity = old_parity;
+  apply_modify_delta(data_index, parity_index, delta, parity);
+  return parity;
+}
+
+void CodeFamily::apply_modify_delta(BlockIndex data_index,
+                                    BlockIndex parity_index,
+                                    const Block& data_delta,
+                                    Block& parity) const {
+  FABEC_CHECK(data_delta.size() == parity.size());
+  gf::mul_add_slice(generator_.at(parity_index, data_index), data_delta.data(),
+                    parity.data(), data_delta.size());
+}
+
+}  // namespace fabec::erasure

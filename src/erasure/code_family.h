@@ -1,0 +1,304 @@
+// The code-family seam: every linear systematic erasure code the system can
+// run is a CodeFamily — an n x m generator matrix [ I_m ; P ] plus
+// family-specific structure (which erasure patterns decode, which small
+// source sets repair a single lost block).
+//
+// The base class implements everything a *generic* linear systematic code
+// supports straight off the generator matrix: parity generation, decode via
+// Gaussian selection of m independent rows, incremental parity update
+// (Modify), single-corruption localization, and matrix-solve repair plans.
+// Families override the structural queries:
+//
+//   * decode_sources — which candidate positions to read for a full decode
+//     (Reed–Solomon: any m; the generic fallback runs a greedy rank test).
+//   * repair_plan    — minimal {sources, coefficients} reconstructing ONE
+//     lost position (LRC answers with the lost block's local group, which
+//     is what makes rebuild traffic < m blocks).
+//   * max_erasures_any — the code's any-pattern erasure tolerance t (= min
+//     distance - 1): every pattern of <= t erasures is decodable. Quorum
+//     sizing and the reliability models consume this, so a non-MDS family
+//     must report its true t, not k.
+//
+// Concrete families: Codec (Cauchy Reed–Solomon, erasure/codec.h) and
+// LrcCodec (Azure-style locally repairable code, erasure/lrc.h).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "erasure/matrix.h"
+
+namespace fabec::erasure {
+
+/// Read-only / writable views of one block's bytes. The span-based entry
+/// points below are the hot-path API: callers provide every output buffer,
+/// and the codec never allocates or copies a Block.
+using ConstByteSpan = std::span<const std::uint8_t>;
+using MutByteSpan = std::span<std::uint8_t>;
+
+/// A block tagged with its position in the code word (0..n-1). Positions
+/// 0..m-1 are data blocks, m..n-1 parity blocks.
+struct Shard {
+  BlockIndex index = 0;
+  Block block;
+};
+
+/// View form of Shard: a code-word position plus a borrowed byte range.
+/// The bytes must outlive any codec call the view is passed to.
+struct ShardView {
+  BlockIndex index = 0;
+  ConstByteSpan block;
+};
+
+/// View of a Shard's bytes.
+inline ShardView view_of(const Shard& s) {
+  return ShardView{s.index, ConstByteSpan(s.block)};
+}
+
+/// Recipe for reconstructing one lost block from surviving blocks:
+///     block(lost) = sum_i coefficients[i] * block(sources[i])
+/// (sum and product in GF(2^8)). A repair consumer fetches exactly
+/// `sources` and applies one fused multiply-accumulate per source — for a
+/// locality-aware family that is fewer than m fetches.
+struct RepairPlan {
+  BlockIndex lost = 0;
+  std::vector<BlockIndex> sources;         ///< positions to fetch, ascending
+  std::vector<std::uint8_t> coefficients;  ///< parallel to `sources`, nonzero
+  /// True when the plan is served entirely by the lost block's locality
+  /// group (LRC local repair); false for matrix-solve plans.
+  bool local = false;
+};
+
+/// Identifies a code family plus its family-specific shape parameters.
+/// (m and n travel separately — they are cluster-level configuration.)
+struct CodeSpec {
+  enum class Family : std::uint8_t { kRs, kLrc };
+  Family family = Family::kRs;
+  std::uint32_t local_groups = 0;     ///< l (LRC only)
+  std::uint32_t global_parities = 0;  ///< g (LRC only)
+
+  bool operator==(const CodeSpec&) const = default;
+};
+
+/// Canonical spelling: "rs" or "lrc:<l>,<g>". Round-trips parse_code_spec.
+std::string to_string(const CodeSpec& spec);
+
+/// Parses "rs" | "lrc:<l>,<g>" (e.g. "lrc:2,2"). nullopt on malformed input.
+std::optional<CodeSpec> parse_code_spec(std::string_view text);
+
+class CodeFamily {
+ public:
+  virtual ~CodeFamily() = default;
+
+  CodeFamily(const CodeFamily&) = delete;
+  CodeFamily& operator=(const CodeFamily&) = delete;
+
+  std::uint32_t m() const { return m_; }
+  std::uint32_t n() const { return n_; }
+  /// Number of parity blocks k = n - m.
+  std::uint32_t k() const { return n_ - m_; }
+
+  bool is_parity(BlockIndex index) const { return index >= m_; }
+
+  /// The family's shape (parse/print via to_string / parse_code_spec).
+  virtual CodeSpec spec() const = 0;
+  /// Canonical config-file spelling of spec(), e.g. "rs" or "lrc:2,2".
+  std::string name() const { return to_string(spec()); }
+  /// True iff ANY m of the n blocks decode (every k-erasure pattern is
+  /// tolerable). Non-MDS families trade this for repair locality.
+  virtual bool is_mds() const = 0;
+  /// Any-pattern erasure tolerance t: every pattern of <= t lost blocks is
+  /// decodable (t = min distance - 1; t = k exactly for MDS codes). Quorum
+  /// sizing uses f = floor(t / 2) so any two (n-f)-quorums intersect in a
+  /// decodable set.
+  virtual std::uint32_t max_erasures_any() const = 0;
+  /// Whether find_corrupted can localize a single silent corruption:
+  /// requires distance >= 3 (with distance 2, a data error and a parity
+  /// error are indistinguishable and voting may blame an innocent shard).
+  bool supports_localization() const { return max_erasures_any() >= 2; }
+
+  // --- allocation-free span API (the hot path) -------------------------
+  //
+  // The protocol's per-stripe work — parity generation on every write,
+  // reconstruction on every degraded read — runs through these. They take
+  // borrowed views and write into caller-provided buffers; no Block is
+  // allocated, copied, or returned.
+
+  /// Computes the k parity blocks into parity[0..k) from views of the m
+  /// data blocks, in generator-row order (parity[i] is code-word position
+  /// m + i). All spans must have one common size. Each parity chunk is
+  /// produced by a fused multi-source kernel, so the data blocks stream
+  /// through cache once per chunk rather than once per parity row.
+  void encode_parity(std::span<const ConstByteSpan> data,
+                     std::span<const MutByteSpan> parity) const;
+
+  /// Zero-copy decode fast path: if every data block appears among the
+  /// shards, points out[i] at data block i's bytes and returns true (no
+  /// byte is touched). Returns false otherwise, leaving `out` unspecified.
+  /// `out` must have m entries.
+  bool try_data_views(std::span<const ShardView> shards,
+                      std::span<ConstByteSpan> out) const;
+
+  /// Reconstructs the m data blocks into caller-provided buffers out[0..m)
+  /// from a decodable set of distinct shards. Shard indices must be < n;
+  /// shard blocks and outputs must share one size. When all data shards are
+  /// present this is m block copies; otherwise decode_sources picks the
+  /// rows, the decode matrix for that pattern is fetched from a per-family
+  /// LRU cache (inverted on first sight of the pattern) and applied with
+  /// the fused kernel. Aborts if the available pattern is not decodable —
+  /// gate with decodable() when the pattern is not already known good.
+  /// Output buffers must not alias the shard bytes.
+  void decode_into(std::span<const ShardView> shards,
+                   std::span<const MutByteSpan> out) const;
+
+  /// Convenience: decode shard views into freshly allocated blocks — one
+  /// allocation + copy per data block, rather than the owning-API cost of
+  /// copying every shard into a Shard first.
+  std::vector<Block> decode_blocks(std::span<const ShardView> shards) const;
+
+  // --- owning convenience API ------------------------------------------
+
+  /// encode: m equally sized data blocks -> n blocks. The first m entries of
+  /// the result are copies of the inputs.
+  std::vector<Block> encode(const std::vector<Block>& data) const;
+
+  /// decode: a decodable set of distinct shards from one code word -> the m
+  /// data blocks. Shard indices must be distinct and < n; all blocks must
+  /// have equal size. Shards beyond the chosen decode set are ignored.
+  std::vector<Block> decode(const std::vector<Shard>& shards) const;
+
+  /// modify_{i,j}: new value of parity block j (global index, >= m) given
+  /// that data block i changed from old_data to new_data and the parity's
+  /// old value is old_parity:
+  ///     c'_j = c_j + G[j][i] * (b_i + b'_i)      (all + are XOR in GF(2^8))
+  /// For a family with locality, G[j][i] may be 0 (the parity does not
+  /// cover that data block); the update is then a no-op on the bytes.
+  Block modify(BlockIndex data_index, BlockIndex parity_index,
+               const Block& old_data, const Block& new_data,
+               const Block& old_parity) const;
+
+  /// The "delta" form of modify: given delta = old_data XOR new_data,
+  /// applies the parity update in place. This is the bandwidth optimization
+  /// the paper sketches in §5.2 (send one coded block instead of two).
+  void apply_modify_delta(BlockIndex data_index, BlockIndex parity_index,
+                          const Block& data_delta, Block& parity) const;
+
+  /// Corruption localization: given all n shards of a code word of which AT
+  /// MOST ONE has silently corrupted content (indices are trusted, contents
+  /// are not — the latent-error model a scrub faces), finds the corrupted
+  /// shard by consistency voting: a position i is implicated iff decoding
+  /// from the other n-1 shards re-encodes to a word agreeing everywhere
+  /// except i. Returns nullopt when the word is consistent, when more than
+  /// one error is present (not attributable to one shard), or when the
+  /// family cannot localize at all (supports_localization() false — e.g.
+  /// replication n = m + 1 or single-parity RAID-5, where a data error and
+  /// a parity error are indistinguishable).
+  std::optional<BlockIndex> find_corrupted(
+      const std::vector<Shard>& shards) const;
+
+  // --- structural queries (repair planning) ----------------------------
+
+  /// Selects a decodable source set from `candidates` (preference order is
+  /// the caller's: earlier candidates win). Returns exactly m positions
+  /// whose generator rows are linearly independent, or nullopt when the
+  /// candidates cannot reconstruct the data. Duplicate and out-of-range
+  /// candidates are ignored. The default runs a greedy rank test; MDS
+  /// families override with "first m distinct".
+  virtual std::optional<std::vector<BlockIndex>> decode_sources(
+      std::span<const BlockIndex> candidates) const;
+
+  /// True iff the data is reconstructible from exactly the `alive`
+  /// positions.
+  bool decodable(std::span<const BlockIndex> alive) const;
+
+  /// Minimal known recipe for reconstructing position `lost` from a subset
+  /// of `alive` (which need not exclude `lost`; it is ignored if present).
+  /// The generic implementation solves against a full decode set and drops
+  /// zero coefficients; locality-aware families answer with the lost
+  /// block's group when it is intact (plan.local = true, |sources| < m).
+  /// nullopt when `alive` cannot determine the lost block.
+  virtual std::optional<RepairPlan> repair_plan(
+      BlockIndex lost, std::span<const BlockIndex> alive) const;
+
+  /// Executes a repair plan: block(lost) = sum_i c_i * block(sources[i]),
+  /// one fused multiply-accumulate over the fetched source blocks. The
+  /// shards must cover every plan source (extra shards are ignored) and
+  /// share one block size.
+  Block reconstruct(const RepairPlan& plan,
+                    std::span<const ShardView> sources) const;
+
+  /// Generator-matrix coefficient G[row][col].
+  std::uint8_t coefficient(BlockIndex row, BlockIndex col) const {
+    return generator_.at(row, col);
+  }
+
+  /// Number of decode matrices currently cached (degraded patterns seen).
+  std::size_t cached_inversions() const;
+  /// Decode matrices evicted since construction: the cache is a small LRU
+  /// (kInverseCacheCapacity), so churned failure patterns (chaos campaigns,
+  /// scrubs cycling suspects) recycle entries instead of growing without
+  /// bound. A nonzero rate in steady state means the working set of
+  /// erasure patterns exceeds the cache — expected only under churn.
+  std::uint64_t cached_inversion_evictions() const;
+
+  static constexpr std::size_t kInverseCacheCapacity = 64;
+
+ protected:
+  /// Base of an m-of-n family; requires 1 <= m <= n <= 256. The derived
+  /// constructor must fill generator_ (n x m, first m rows identity).
+  CodeFamily(std::uint32_t m, std::uint32_t n);
+
+  /// Exact any-pattern erasure tolerance of generator_, by enumerating
+  /// erasure patterns of growing weight until one fails to decode. Caps the
+  /// enumeration at ~200k patterns per weight and returns the largest fully
+  /// verified weight — a safe lower bound for very large n. Derived
+  /// constructors call this once and cache the result.
+  std::uint32_t enumerate_erasure_tolerance() const;
+
+  /// The inverse of the generator rows named by `sources` (m independent
+  /// positions), memoized by the row pattern in an LRU cache. Thread-safe;
+  /// repeated degraded reads of one failure pattern skip the Gaussian
+  /// elimination.
+  std::shared_ptr<const Matrix> cached_inverse(
+      std::span<const BlockIndex> sources) const;
+
+  std::uint32_t m_;
+  std::uint32_t n_;
+  Matrix generator_;  ///< n x m, first m rows identity
+
+ private:
+  // Decode-matrix LRU cache, keyed by the chosen row pattern (one byte per
+  // row; n <= 256 keeps every index in a byte). Guarded by a mutex: a
+  // family is shared read-only across coordinator threads, and degraded
+  // decodes are rare enough that the lock never contends with the
+  // all-data fast path (which doesn't touch the cache). lru_ front is the
+  // most recently used entry; index_ points into lru_.
+  mutable std::mutex cache_mu_;
+  mutable std::list<std::pair<std::string, std::shared_ptr<const Matrix>>>
+      lru_;
+  mutable std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, std::shared_ptr<const Matrix>>>::
+          iterator>
+      cache_index_;
+  mutable std::uint64_t cache_evictions_ = 0;
+};
+
+/// Builds the family described by `spec` for an m-of-n group. Aborts when
+/// the shape is inconsistent (LRC requires n == m + l + g, l in [1, m]).
+std::unique_ptr<const CodeFamily> make_code_family(const CodeSpec& spec,
+                                                   std::uint32_t m,
+                                                   std::uint32_t n);
+
+}  // namespace fabec::erasure

@@ -1,16 +1,10 @@
 #include "erasure/codec.h"
 
-#include <algorithm>
-#include <cstring>
-
 #include "gf/gf256.h"
-#include "gf/kernels.h"
 
 namespace fabec::erasure {
 
-Codec::Codec(std::uint32_t m, std::uint32_t n)
-    : m_(m), n_(n), generator_(n, m) {
-  FABEC_CHECK_MSG(m >= 1 && m <= n && n <= 256, "codec requires 1<=m<=n<=256");
+Codec::Codec(std::uint32_t m, std::uint32_t n) : CodeFamily(m, n) {
   // Systematic part.
   for (std::uint32_t i = 0; i < m_; ++i) generator_.at(i, i) = 1;
   const std::uint32_t kparity = n_ - m_;
@@ -31,229 +25,19 @@ Codec::Codec(std::uint32_t m, std::uint32_t n)
       generator_.at(m_ + i, j) = c.at(i, j);
 }
 
-// ---------------------------------------------------------------------
-// Allocation-free span API.
-// ---------------------------------------------------------------------
-
-void Codec::encode_parity(std::span<const ConstByteSpan> data,
-                          std::span<const MutByteSpan> parity) const {
-  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
-  FABEC_CHECK_MSG(parity.size() == k(), "encode requires exactly k parity "
-                                        "buffers");
-  const std::size_t block_size = data[0].size();
-  for (const ConstByteSpan& b : data) FABEC_CHECK(b.size() == block_size);
-  for (const MutByteSpan& p : parity) FABEC_CHECK(p.size() == block_size);
-
-  // The generator is stored row-major with m columns, so row r's parity
-  // coefficients are exactly the coefficient vector mul_add_multi wants.
-  const std::uint8_t* srcs[256];
-  for (std::uint32_t j = 0; j < m_; ++j) srcs[j] = data[j].data();
-  const gf::Kernels& kern = gf::kernels();
-  for (std::uint32_t r = 0; r < k(); ++r)
-    kern.mul_add_multi(generator_.row(m_ + r), srcs, m_, parity[r].data(),
-                       block_size, /*accumulate=*/false);
-}
-
-std::size_t Codec::choose_shards(std::span<const ShardView> shards,
-                                 const ShardView** chosen) const {
-  FABEC_CHECK_MSG(shards.size() >= m_, "decode requires at least m shards");
-  // Pick the first m distinct shard indices, preferring data shards: rows of
-  // the identity part make the inversion (and the common no-failure path)
-  // cheap.
-  bool taken[256] = {};
-  std::size_t num_chosen = 0;
-  for (int parity_pass = 0; parity_pass < 2 && num_chosen < m_;
-       ++parity_pass) {
-    for (const ShardView& s : shards) {
-      if (num_chosen == m_) break;
-      FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
-      if (taken[s.index] || is_parity(s.index) != (parity_pass != 0))
-        continue;
-      taken[s.index] = true;
-      chosen[num_chosen++] = &s;
-    }
-  }
-  FABEC_CHECK_MSG(num_chosen == m_, "decode: fewer than m distinct shards");
-  const std::size_t block_size = chosen[0]->block.size();
-  for (std::size_t i = 0; i < m_; ++i)
-    FABEC_CHECK(chosen[i]->block.size() == block_size);
-  return block_size;
-}
-
-std::shared_ptr<const Matrix> Codec::cached_inverse(
-    const ShardView* const* chosen) const {
-  // n <= 256, so the chosen row pattern packs into one byte per row. The
-  // choose_shards order is deterministic for a given shard set, so equal
-  // failure patterns always map to equal keys.
-  std::string key(m_, '\0');
-  for (std::uint32_t i = 0; i < m_; ++i)
-    key[i] = static_cast<char>(chosen[i]->index);
-
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = inverse_cache_.find(key);
-  if (it != inverse_cache_.end()) return it->second;
-
-  std::vector<std::size_t> rows;
-  rows.reserve(m_);
-  for (std::uint32_t i = 0; i < m_; ++i) rows.push_back(chosen[i]->index);
-  auto inverse = generator_.select_rows(rows).inverted();
-  FABEC_CHECK_MSG(inverse.has_value(),
-                  "MDS violation: selected rows are singular");
-  // Degraded patterns are bounded by real failure combinations, but guard
-  // against pathological churn (e.g. a scrub cycling suspects) anyway.
-  if (inverse_cache_.size() >= 1024) inverse_cache_.clear();
-  auto entry = std::make_shared<const Matrix>(std::move(*inverse));
-  inverse_cache_.emplace(std::move(key), entry);
-  return entry;
-}
-
-std::size_t Codec::cached_inversions() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return inverse_cache_.size();
-}
-
-bool Codec::try_data_views(std::span<const ShardView> shards,
-                           std::span<ConstByteSpan> out) const {
-  FABEC_CHECK_MSG(out.size() == m_, "try_data_views requires m output slots");
+std::optional<std::vector<BlockIndex>> Codec::decode_sources(
+    std::span<const BlockIndex> candidates) const {
+  std::vector<BlockIndex> chosen;
+  chosen.reserve(m());
   bool seen[256] = {};
-  std::size_t found = 0;
-  for (const ShardView& s : shards) {
-    FABEC_CHECK_MSG(s.index < n_, "shard index out of range");
-    if (is_parity(s.index) || seen[s.index]) continue;
-    seen[s.index] = true;
-    out[s.index] = s.block;
-    if (++found == m_) return true;
+  for (const BlockIndex idx : candidates) {
+    if (chosen.size() == m()) break;
+    if (idx >= n() || seen[idx]) continue;
+    seen[idx] = true;
+    chosen.push_back(idx);
   }
-  return false;
-}
-
-void Codec::decode_into(std::span<const ShardView> shards,
-                        std::span<const MutByteSpan> out) const {
-  FABEC_CHECK_MSG(out.size() == m_, "decode requires m output buffers");
-  const ShardView* chosen[256];
-  const std::size_t block_size = choose_shards(shards, chosen);
-  for (const MutByteSpan& o : out) FABEC_CHECK(o.size() == block_size);
-
-  // Fast path: all m data shards present — chosen[] holds exactly the data
-  // blocks, each landing at its own index.
-  if (!is_parity(chosen[m_ - 1]->index)) {
-    for (std::uint32_t i = 0; i < m_; ++i)
-      std::memcpy(out[chosen[i]->index].data(), chosen[i]->block.data(),
-                  block_size);
-    return;
-  }
-
-  const std::shared_ptr<const Matrix> inverse = cached_inverse(chosen);
-  const std::uint8_t* srcs[256];
-  for (std::uint32_t j = 0; j < m_; ++j) srcs[j] = chosen[j]->block.data();
-  const gf::Kernels& kern = gf::kernels();
-  for (std::uint32_t i = 0; i < m_; ++i)
-    kern.mul_add_multi(inverse->row(i), srcs, m_, out[i].data(), block_size,
-                       /*accumulate=*/false);
-}
-
-std::vector<Block> Codec::decode_blocks(
-    std::span<const ShardView> shards) const {
-  FABEC_CHECK_MSG(!shards.empty(), "decode requires at least m shards");
-  const std::size_t block_size = shards[0].block.size();
-  std::vector<Block> data(m_, Block(block_size));
-  MutByteSpan out[256];
-  for (std::uint32_t i = 0; i < m_; ++i) out[i] = MutByteSpan(data[i]);
-  decode_into(shards, std::span<const MutByteSpan>(out, m_));
-  return data;
-}
-
-// ---------------------------------------------------------------------
-// Owning convenience API, layered on the span entry points.
-// ---------------------------------------------------------------------
-
-std::vector<Block> Codec::encode(const std::vector<Block>& data) const {
-  FABEC_CHECK_MSG(data.size() == m_, "encode requires exactly m data blocks");
-  const std::size_t block_size = data[0].size();
-
-  std::vector<Block> out;
-  out.reserve(n_);
-  for (std::uint32_t i = 0; i < m_; ++i) out.push_back(data[i]);
-  for (std::uint32_t r = m_; r < n_; ++r) out.emplace_back(block_size);
-
-  ConstByteSpan views[256];
-  MutByteSpan parity[256];
-  for (std::uint32_t i = 0; i < m_; ++i) views[i] = ConstByteSpan(data[i]);
-  for (std::uint32_t r = 0; r < k(); ++r) parity[r] = MutByteSpan(out[m_ + r]);
-  encode_parity(std::span<const ConstByteSpan>(views, m_),
-                std::span<const MutByteSpan>(parity, k()));
-  return out;
-}
-
-std::vector<Block> Codec::decode(const std::vector<Shard>& shards) const {
-  std::vector<ShardView> views;
-  views.reserve(shards.size());
-  for (const Shard& s : shards) views.push_back(view_of(s));
-  return decode_blocks(views);
-}
-
-std::optional<BlockIndex> Codec::find_corrupted(
-    const std::vector<Shard>& shards) const {
-  FABEC_CHECK_MSG(n_ - m_ >= 2,
-                  "single-error localization needs at least two parities");
-  FABEC_CHECK_MSG(shards.size() == n_, "localization needs all n shards");
-  // Index the shards by position.
-  std::vector<const Block*> by_pos(n_, nullptr);
-  for (const Shard& s : shards) {
-    FABEC_CHECK(s.index < n_ && by_pos[s.index] == nullptr);
-    by_pos[s.index] = &s.block;
-  }
-
-  // Fast path: the word as stored is already consistent.
-  auto word_excluding = [&](BlockIndex suspect) {
-    // Decode from any m shards that avoid `suspect`, then re-encode.
-    std::vector<Shard> trusted;
-    for (BlockIndex i = 0; i < n_ && trusted.size() < m_; ++i)
-      if (i != suspect) trusted.push_back(Shard{i, *by_pos[i]});
-    return encode(decode(trusted));
-  };
-  auto consistent_except = [&](const std::vector<Block>& word,
-                               BlockIndex allowed_mismatch) {
-    for (BlockIndex i = 0; i < n_; ++i)
-      if (i != allowed_mismatch && word[i] != *by_pos[i]) return false;
-    return true;
-  };
-
-  const auto as_stored = word_excluding(n_);  // excludes nothing < n
-  if (consistent_except(as_stored, n_)) return std::nullopt;
-
-  // One position at a time: rebuild the word without it and see whether
-  // everything else agrees. With <= 1 corruption exactly one position can
-  // pass (the corrupted one); report the first that does.
-  for (BlockIndex suspect = 0; suspect < n_; ++suspect) {
-    const auto word = word_excluding(suspect);
-    if (consistent_except(word, suspect) && word[suspect] != *by_pos[suspect])
-      return suspect;
-  }
-  // Inconsistent but not attributable to one shard: more than one error.
-  return std::nullopt;
-}
-
-Block Codec::modify(BlockIndex data_index, BlockIndex parity_index,
-                    const Block& old_data, const Block& new_data,
-                    const Block& old_parity) const {
-  FABEC_CHECK_MSG(data_index < m_, "modify: data index must be < m");
-  FABEC_CHECK_MSG(parity_index >= m_ && parity_index < n_,
-                  "modify: parity index must be in [m, n)");
-  FABEC_CHECK(old_data.size() == new_data.size() &&
-              old_data.size() == old_parity.size());
-  Block delta = old_data;
-  xor_into(delta, new_data);
-  Block parity = old_parity;
-  apply_modify_delta(data_index, parity_index, delta, parity);
-  return parity;
-}
-
-void Codec::apply_modify_delta(BlockIndex data_index, BlockIndex parity_index,
-                               const Block& data_delta, Block& parity) const {
-  FABEC_CHECK(data_delta.size() == parity.size());
-  gf::mul_add_slice(generator_.at(parity_index, data_index), data_delta.data(),
-                    parity.data(), data_delta.size());
+  if (chosen.size() < m()) return std::nullopt;
+  return chosen;
 }
 
 }  // namespace fabec::erasure

@@ -1,4 +1,5 @@
-// The paper's erasure-coding primitives (§2.1, Figure 4):
+// The paper's erasure-coding primitives (§2.1, Figure 4) as the Cauchy
+// Reed–Solomon code family:
 //
 //   encode      — m data blocks -> n blocks (first m are the data blocks
 //                 themselves; the code is systematic, matching the paper's
@@ -17,169 +18,37 @@
 //     setting ("replication as a special case of erasure coding").
 //   * k = 1  -> we substitute the all-ones row, so single-parity schemes are
 //     literal RAID-5 XOR parity.
+//
+// The generic machinery (span-based encode/decode, Modify, repair plans,
+// corruption localization, the decode-matrix LRU cache) lives in the
+// CodeFamily base — see erasure/code_family.h. Codec only contributes the
+// Cauchy generator and the MDS shortcuts (any m distinct shards decode).
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
-#include <string>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
-#include "common/bytes.h"
 #include "common/types.h"
-#include "erasure/matrix.h"
+#include "erasure/code_family.h"
 
 namespace fabec::erasure {
 
-/// Read-only / writable views of one block's bytes. The span-based entry
-/// points below are the hot-path API: callers provide every output buffer,
-/// and the codec never allocates or copies a Block.
-using ConstByteSpan = std::span<const std::uint8_t>;
-using MutByteSpan = std::span<std::uint8_t>;
-
-/// A block tagged with its position in the code word (0..n-1). Positions
-/// 0..m-1 are data blocks, m..n-1 parity blocks.
-struct Shard {
-  BlockIndex index = 0;
-  Block block;
-};
-
-/// View form of Shard: a code-word position plus a borrowed byte range.
-/// The bytes must outlive any codec call the view is passed to.
-struct ShardView {
-  BlockIndex index = 0;
-  ConstByteSpan block;
-};
-
-/// View of a Shard's bytes.
-inline ShardView view_of(const Shard& s) {
-  return ShardView{s.index, ConstByteSpan(s.block)};
-}
-
-class Codec {
+class Codec final : public CodeFamily {
  public:
   /// m-out-of-n codec; requires 1 <= m <= n <= 256.
   Codec(std::uint32_t m, std::uint32_t n);
 
-  std::uint32_t m() const { return m_; }
-  std::uint32_t n() const { return n_; }
-  /// Number of parity blocks k = n - m.
-  std::uint32_t k() const { return n_ - m_; }
+  CodeSpec spec() const override { return CodeSpec{CodeSpec::Family::kRs}; }
+  bool is_mds() const override { return true; }
+  /// MDS: every pattern of up to k erasures is decodable.
+  std::uint32_t max_erasures_any() const override { return k(); }
 
-  bool is_parity(BlockIndex index) const { return index >= m_; }
-
-  // --- allocation-free span API (the hot path) -------------------------
-  //
-  // The protocol's per-stripe work — parity generation on every write,
-  // reconstruction on every degraded read — runs through these. They take
-  // borrowed views and write into caller-provided buffers; no Block is
-  // allocated, copied, or returned.
-
-  /// Computes the k parity blocks into parity[0..k) from views of the m
-  /// data blocks, in generator-row order (parity[i] is code-word position
-  /// m + i). All spans must have one common size. Each parity chunk is
-  /// produced by a fused multi-source kernel, so the data blocks stream
-  /// through cache once per chunk rather than once per parity row.
-  void encode_parity(std::span<const ConstByteSpan> data,
-                     std::span<const MutByteSpan> parity) const;
-
-  /// Zero-copy decode fast path: if every data block appears among the
-  /// shards, points out[i] at data block i's bytes and returns true (no
-  /// byte is touched). Returns false otherwise, leaving `out` unspecified.
-  /// `out` must have m entries.
-  bool try_data_views(std::span<const ShardView> shards,
-                      std::span<ConstByteSpan> out) const;
-
-  /// Reconstructs the m data blocks into caller-provided buffers out[0..m)
-  /// from any >= m distinct shards. Shard indices must be distinct and < n;
-  /// shard blocks and outputs must share one size. When all data shards are
-  /// present this is m block copies; otherwise the decode matrix for the
-  /// shard pattern is fetched from a per-codec cache (inverted on first
-  /// sight of the pattern) and applied with the fused kernel. Output
-  /// buffers must not alias the shard bytes.
-  void decode_into(std::span<const ShardView> shards,
-                   std::span<const MutByteSpan> out) const;
-
-  /// Convenience: decode shard views into freshly allocated blocks — one
-  /// allocation + copy per data block, rather than the owning-API cost of
-  /// copying every shard into a Shard first.
-  std::vector<Block> decode_blocks(std::span<const ShardView> shards) const;
-
-  // --- owning convenience API ------------------------------------------
-
-  /// encode: m equally sized data blocks -> n blocks. The first m entries of
-  /// the result are copies of the inputs.
-  std::vector<Block> encode(const std::vector<Block>& data) const;
-
-  /// decode: any >= m distinct shards from one code word -> the m data
-  /// blocks. Shard indices must be distinct and < n; all blocks must have
-  /// equal size. Extra shards beyond m are ignored.
-  std::vector<Block> decode(const std::vector<Shard>& shards) const;
-
-  /// modify_{i,j}: new value of parity block j (global index, >= m) given
-  /// that data block i changed from old_data to new_data and the parity's
-  /// old value is old_parity:
-  ///     c'_j = c_j + G[j][i] * (b_i + b'_i)      (all + are XOR in GF(2^8))
-  Block modify(BlockIndex data_index, BlockIndex parity_index,
-               const Block& old_data, const Block& new_data,
-               const Block& old_parity) const;
-
-  /// The "delta" form of modify: given delta = old_data XOR new_data,
-  /// applies the parity update in place. This is the bandwidth optimization
-  /// the paper sketches in §5.2 (send one coded block instead of two).
-  void apply_modify_delta(BlockIndex data_index, BlockIndex parity_index,
-                          const Block& data_delta, Block& parity) const;
-
-  /// Corruption localization: given all n shards of a code word of which AT
-  /// MOST ONE has silently corrupted content (indices are trusted, contents
-  /// are not — the latent-error model a scrub faces), finds the corrupted
-  /// shard by consistency voting: a position i is implicated iff decoding
-  /// from the other n-1 shards re-encodes to a word agreeing everywhere
-  /// except i. Requires k = n - m >= 2 (with a single parity, a data error
-  /// and a parity error are indistinguishable).
-  /// Returns: nullopt = all consistent; index = that shard is corrupt.
-  /// Undefined under >= 2 corruptions (may blame an innocent shard), as for
-  /// any single-error decoder.
-  std::optional<BlockIndex> find_corrupted(
-      const std::vector<Shard>& shards) const;
-
-  /// Generator-matrix coefficient G[row][col].
-  std::uint8_t coefficient(BlockIndex row, BlockIndex col) const {
-    return generator_.at(row, col);
-  }
-
-  /// Number of decode matrices currently cached (degraded patterns seen).
-  std::size_t cached_inversions() const;
-
- private:
-  /// Picks m distinct shards (data-first), appending them to chosen[] and
-  /// returning the common block size. Aborts unless m distinct shards with
-  /// equal-sized blocks exist.
-  std::size_t choose_shards(std::span<const ShardView> shards,
-                            const ShardView** chosen) const;
-
-  /// The inverse of the generator rows named by chosen[0..m), memoized by
-  /// the row pattern. Thread-safe; repeated degraded reads of one failure
-  /// pattern skip the Gaussian elimination.
-  std::shared_ptr<const Matrix> cached_inverse(
-      const ShardView* const* chosen) const;
-
-  std::uint32_t m_;
-  std::uint32_t n_;
-  Matrix generator_;  // n x m, first m rows identity
-
-  // Decode-matrix cache, keyed by the chosen row pattern (one byte per
-  // row; n <= 256 keeps every index in a byte). Guarded by a mutex: a
-  // Codec is shared read-only across coordinator threads, and degraded
-  // decodes are rare enough that the lock never contends with the
-  // all-data fast path (which doesn't touch the cache).
-  mutable std::mutex cache_mu_;
-  mutable std::unordered_map<std::string, std::shared_ptr<const Matrix>>
-      inverse_cache_;
+  /// MDS shortcut: the first m distinct candidates always decode — no rank
+  /// test needed (this also keeps the historical data-first selection).
+  std::optional<std::vector<BlockIndex>> decode_sources(
+      std::span<const BlockIndex> candidates) const override;
 };
 
 }  // namespace fabec::erasure

@@ -1,0 +1,95 @@
+#include "erasure/lrc.h"
+
+#include <algorithm>
+
+#include "gf/gf256.h"
+
+namespace fabec::erasure {
+
+LrcCodec::LrcCodec(std::uint32_t m, std::uint32_t l, std::uint32_t g)
+    : CodeFamily(m, m + l + g), l_(l), g_(g), tolerance_(0) {
+  FABEC_CHECK_MSG(l >= 1 && l <= m, "lrc requires 1 <= l <= m");
+  // Systematic part.
+  for (std::uint32_t i = 0; i < m_; ++i) generator_.at(i, i) = 1;
+
+  // Data blocks 0..m-1 split into l contiguous groups, sizes as even as
+  // possible: the first (m mod l) groups take one extra block.
+  group_of_data_.resize(m_);
+  const std::uint32_t base = m_ / l_;
+  const std::uint32_t extra = m_ % l_;
+  std::uint32_t next = 0;
+  for (std::uint32_t grp = 0; grp < l_; ++grp) {
+    const std::uint32_t size = base + (grp < extra ? 1 : 0);
+    for (std::uint32_t i = 0; i < size; ++i) group_of_data_[next++] = grp;
+  }
+  FABEC_CHECK(next == m_);
+
+  // Local parities: row m+grp is the XOR (all-one coefficients) of group
+  // grp's data blocks.
+  for (std::uint32_t j = 0; j < m_; ++j)
+    generator_.at(m_ + group_of_data_[j], j) = 1;
+
+  // Global parities: scaled-Cauchy rows over all data blocks, exactly the
+  // RS construction. Their recoverability interplay with the local rows is
+  // pattern-dependent, so the tolerance below is measured, not assumed.
+  if (g_ > 0) {
+    Matrix c = Matrix::cauchy(g_, m_);
+    for (std::uint32_t i = 0; i < g_; ++i)
+      c.scale_row(i, gf::inv(c.at(i, 0)));
+    for (std::uint32_t i = 0; i < g_; ++i)
+      for (std::uint32_t j = 0; j < m_; ++j)
+        generator_.at(m_ + l_ + i, j) = c.at(i, j);
+  }
+
+  tolerance_ = enumerate_erasure_tolerance();
+}
+
+std::uint32_t LrcCodec::group_of(BlockIndex index) const {
+  FABEC_CHECK_MSG(index < m_ + l_, "group_of: global parities have no group");
+  if (index < m_) return group_of_data_[index];
+  return index - m_;  // local parity i belongs to group i
+}
+
+std::vector<BlockIndex> LrcCodec::group_members(std::uint32_t group) const {
+  FABEC_CHECK(group < l_);
+  std::vector<BlockIndex> members;
+  for (std::uint32_t j = 0; j < m_; ++j)
+    if (group_of_data_[j] == group) members.push_back(j);
+  members.push_back(static_cast<BlockIndex>(m_ + group));
+  return members;
+}
+
+std::uint32_t LrcCodec::max_group_size() const {
+  return m_ / l_ + (m_ % l_ != 0 ? 1 : 0) + 1;  // data share + local parity
+}
+
+std::optional<RepairPlan> LrcCodec::repair_plan(
+    BlockIndex lost, std::span<const BlockIndex> alive) const {
+  FABEC_CHECK_MSG(lost < n_, "repair_plan: lost index out of range");
+  if (lost < m_ + l_) {
+    // Data block or local parity: the group's XOR relation
+    //     parity = XOR of group data
+    // makes any single member the XOR of the others. Usable iff every other
+    // member is alive.
+    bool present[256] = {};
+    for (const BlockIndex idx : alive)
+      if (idx < n_) present[idx] = true;
+    RepairPlan plan;
+    plan.lost = lost;
+    plan.local = true;
+    bool intact = true;
+    for (const BlockIndex member : group_members(group_of(lost))) {
+      if (member == lost) continue;
+      if (!present[member]) {
+        intact = false;
+        break;
+      }
+      plan.sources.push_back(member);
+      plan.coefficients.push_back(1);
+    }
+    if (intact && !plan.sources.empty()) return plan;
+  }
+  return CodeFamily::repair_plan(lost, alive);
+}
+
+}  // namespace fabec::erasure

@@ -1,0 +1,78 @@
+// Azure-style Locally Repairable Code LRC(m, l, g):
+//
+//   n = m + l + g blocks per stripe:
+//     positions 0..m-1          the m data blocks,
+//     positions m..m+l-1        l LOCAL parities — data blocks are split
+//                               into l groups (as evenly as possible, in
+//                               index order) and local parity i is the
+//                               plain XOR of group i's data blocks,
+//     positions m+l..n-1        g GLOBAL parities — scaled-Cauchy rows over
+//                               all m data blocks, as in the RS codec.
+//
+// The point of the construction is repair LOCALITY: any single lost block
+// inside a local group (a data block or the group's own parity) is the XOR
+// of the group's other members — `repair_plan` answers with those
+// ceil(m/l) blocks instead of a full m-block decode set, which is what
+// cuts rebuild traffic and degraded-read fan-in below m (Huang et al.,
+// "Erasure Coding in Windows Azure Storage", ATC'12).
+//
+// The price is the MDS property: decodability is PATTERN-dependent. Any
+// pattern of <= max_erasures_any() erasures decodes (computed exactly by
+// enumeration at construction — g+1 for the shipped shapes), and many
+// larger patterns decode too when their erasures spread across groups;
+// `decodable` / `decode_sources` answer per-pattern by generator rank, so
+// no caller ever assumes "any m suffice". Storage overhead is
+// (m + l + g) / m against a tolerance floor of g + 1 — the trade Figure 2's
+// reliability model prices out (reliability/models.h, Kind::kLrc).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "erasure/code_family.h"
+
+namespace fabec::erasure {
+
+class LrcCodec final : public CodeFamily {
+ public:
+  /// LRC over m data blocks with l local groups and g global parities
+  /// (n = m + l + g). Requires 1 <= l <= m and n <= 256.
+  LrcCodec(std::uint32_t m, std::uint32_t l, std::uint32_t g);
+
+  CodeSpec spec() const override {
+    return CodeSpec{CodeSpec::Family::kLrc, l_, g_};
+  }
+  /// MDS only in the degenerate single-group shapes (where LRC collapses
+  /// to RAID-5/RS); the shipped shapes are deliberately not.
+  bool is_mds() const override { return max_erasures_any() == k(); }
+  std::uint32_t max_erasures_any() const override { return tolerance_; }
+
+  /// Local repair when the lost block's group is intact: the plan names the
+  /// group's other members with all-one coefficients (plan.local = true,
+  /// |sources| = group size - 1 < m). A lost global parity, or a group with
+  /// further damage, falls back to the generic matrix-solve plan.
+  std::optional<RepairPlan> repair_plan(
+      BlockIndex lost, std::span<const BlockIndex> alive) const override;
+
+  // --- locality introspection (repair consumers, tests, benches) --------
+  std::uint32_t local_groups() const { return l_; }
+  std::uint32_t global_parity_count() const { return g_; }
+  /// Group of a data block or local parity. `index` must be < m + l.
+  std::uint32_t group_of(BlockIndex index) const;
+  /// All positions of one group: its data blocks plus its local parity.
+  std::vector<BlockIndex> group_members(std::uint32_t group) const;
+  /// Largest group size including the local parity — the upper bound on
+  /// |sources| of any local plan is this minus one.
+  std::uint32_t max_group_size() const;
+
+ private:
+  std::uint32_t l_;
+  std::uint32_t g_;
+  std::uint32_t tolerance_;
+  std::vector<std::uint8_t> group_of_data_;  ///< size m
+};
+
+}  // namespace fabec::erasure

@@ -22,14 +22,26 @@ namespace fabec::fab {
 struct RebuildReport {
   std::uint64_t stripes_scanned = 0;   ///< stripes in the volume range
   std::uint64_t stripes_served = 0;    ///< of those, held by the brick
-  std::uint64_t stripes_repaired = 0;  ///< recovery write-backs that succeeded
+  std::uint64_t stripes_repaired = 0;  ///< repairs that succeeded
   std::uint64_t stripes_failed = 0;    ///< aborted repairs (retry later)
+  // Plan-driven repair accounting (DESIGN.md §14), deltas of the
+  // coordinator's counters across this rebuild run.
+  std::uint64_t blocks_rebuilt = 0;  ///< single-block plan repairs
+  std::uint64_t rebuild_fallbacks = 0;  ///< fell back to full recovery
+  std::uint64_t source_blocks_fetched = 0;  ///< blocks fetched by plan repairs
 };
 
 /// Rebuilds `replaced` over stripe ids [0, num_stripes). Repairs are
 /// coordinated by `coordinator` (kNoProcess = the replaced brick itself,
 /// which is how a real FAB spreads rebuild work). Runs the simulator until
 /// each repair completes; retries each failed stripe once.
+///
+/// Each stripe is repaired with Coordinator::rebuild_block on the replaced
+/// brick's position — the code family's repair plan decides the fetch set,
+/// so an LRC group fetches only the lost block's local group (< m blocks)
+/// instead of a full decode set, and only the replaced brick is written.
+/// Any wrinkle falls back to the full recovery write-back inside
+/// rebuild_block itself.
 RebuildReport rebuild_brick(core::Cluster& cluster, ProcessId replaced,
                             std::uint64_t num_stripes,
                             ProcessId coordinator = kNoProcess);
@@ -42,6 +54,7 @@ struct ScrubReport {
   std::uint64_t clean = 0;
   std::uint64_t corrupt = 0;        ///< found corrupt (before any repair)
   std::uint64_t repaired = 0;       ///< corrupt stripes healed
+  std::uint64_t locally_repaired = 0;  ///< of those, healed by a block plan
   std::uint64_t inconclusive = 0;   ///< raced a write / member unreachable
   std::vector<StripeId> corrupt_stripes;
 };

@@ -13,6 +13,7 @@ VolumeClientConfig VolumeClientConfig::from_brick_config(
   VolumeClientConfig config;
   config.n = brick.n;
   config.m = brick.m;
+  config.code = brick.code;
   config.total_bricks = brick.total_bricks;
   config.block_size = brick.block_size;
   config.bricks = brick.peers;
@@ -25,7 +26,7 @@ VolumeClient::VolumeClient(VolumeClientConfig config, std::uint64_t seed)
         return config;
       }()),
       group_layout_(config_.total_bricks, config_.n),
-      codec_(config_.m, config_.n),
+      codec_(erasure::make_code_family(config_.code, config_.m, config_.n)),
       layout_(config_.num_blocks, config_.m, config_.layout),
       loop_(seed),
       rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
@@ -54,8 +55,9 @@ VolumeClient::VolumeClient(VolumeClientConfig config, std::uint64_t seed)
         .count();
   });
   coordinator_ = std::make_unique<core::Coordinator>(
-      config_.client_id, quorum::Config{config_.n, config_.m}, &group_layout_,
-      &codec_, &loop_, ts_source_.get(),
+      config_.client_id,
+      quorum::Config{config_.n, config_.m, codec_->max_erasures_any()},
+      &group_layout_, codec_.get(), &loop_, ts_source_.get(),
       [this](ProcessId dest, core::Message msg) {
         mux_->send(dest, std::move(msg));
       },

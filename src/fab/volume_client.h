@@ -37,7 +37,7 @@
 #include "common/types.h"
 #include "core/coordinator.h"
 #include "core/group_layout.h"
-#include "erasure/codec.h"
+#include "erasure/code_family.h"
 #include "fab/layout.h"
 #include "fab/virtual_disk.h"
 #include "runtime/brick_config.h"
@@ -54,6 +54,9 @@ struct VolumeClientConfig {
   /// Quorum layout — must match the bricks' configs.
   std::uint32_t n = 8;
   std::uint32_t m = 5;
+  /// Erasure-code family — must match the bricks' configs (the repair
+  /// plans and the quorum fault budget both derive from it).
+  erasure::CodeSpec code;
   std::uint32_t total_bricks = 0;  ///< 0 = n
   std::size_t block_size = 4096;
   /// Volume geometry (fab/layout.h).
@@ -135,7 +138,7 @@ class VolumeClient {
 
   VolumeClientConfig config_;
   core::GroupLayout group_layout_;
-  erasure::Codec codec_;
+  std::unique_ptr<const erasure::CodeFamily> codec_;
   VolumeLayout layout_;
   runtime::EpollLoop loop_;
   std::unique_ptr<runtime::DatagramMux> mux_;

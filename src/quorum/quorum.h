@@ -33,9 +33,20 @@ bool system_exists(std::uint32_t n, std::uint32_t m, std::uint32_t f);
 struct Config {
   std::uint32_t n = 0;  ///< processes in the group
   std::uint32_t m = 0;  ///< data blocks per stripe (= required intersection)
+  /// Any-pattern erasure tolerance t of the code family (0 = n - m, the MDS
+  /// value). Definition 1's consistency requirement generalizes from "any
+  /// two quorums intersect in >= m processes" to "... in a DECODABLE set":
+  /// threshold quorums of size n - f intersect in >= n - 2f positions, i.e.
+  /// at most 2f erasures, so 2f <= t keeps every intersection decodable. A
+  /// non-MDS family (LRC) must therefore shrink f to floor(t / 2) — its
+  /// price for repair locality is a smaller fault budget per group.
+  std::uint32_t tolerance = 0;
 
-  std::uint32_t f() const { return max_faulty(n, m); }
-  std::uint32_t quorum() const { return quorum_size(n, m); }
+  std::uint32_t f() const {
+    const std::uint32_t t = tolerance == 0 ? n - m : tolerance;
+    return t / 2;
+  }
+  std::uint32_t quorum() const { return n - f(); }
   std::uint32_t parity() const { return n - m; }
 };
 

@@ -65,6 +65,67 @@ double group_mttdl_hours(std::uint32_t group_size,
   return total;
 }
 
+std::vector<double> decodable_census(const erasure::CodeFamily& code) {
+  const std::uint32_t n = code.n();
+  FABEC_CHECK_MSG(n <= 20, "census enumerates 2^n patterns; n is group-sized");
+  std::vector<double> counts(n + 1, 0.0);
+  std::vector<BlockIndex> alive;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    alive.clear();
+    for (std::uint32_t pos = 0; pos < n; ++pos)
+      if ((mask & (1u << pos)) == 0) alive.push_back(pos);
+    const auto failed = n - static_cast<std::uint32_t>(alive.size());
+    if (code.decodable(alive)) counts[failed] += 1.0;
+  }
+  // Trim the all-fatal tail: the chain treats the first zero as absorption.
+  while (!counts.empty() && counts.back() == 0.0) counts.pop_back();
+  FABEC_CHECK(!counts.empty() && counts.front() == 1.0);
+  return counts;
+}
+
+double group_mttdl_hours_patterned(std::uint32_t group_size,
+                                   const std::vector<double>& decodable_counts,
+                                   double lambda, double mu) {
+  FABEC_CHECK(lambda > 0 && mu >= 0);
+  FABEC_CHECK(!decodable_counts.empty() && decodable_counts.front() == 1.0);
+  FABEC_CHECK(decodable_counts.size() <= group_size + 1);
+  const std::uint32_t top =
+      static_cast<std::uint32_t>(decodable_counts.size()) - 1;
+  FABEC_CHECK_MSG(decodable_counts[top] > 0,
+                  "census must be trimmed to its last survivable count");
+  // T_e = expected hours to data loss from e concurrent failures (pattern
+  // decodable). Each failure event in state e survives with probability
+  //   s_e = (e+1)·counts[e+1] / (counts[e]·(group_size-e))
+  // (monotone decodability + uniformity over decodable patterns), giving
+  //   T_e = c_e + α_e·T_{e-1} + β_e·T_{e+1},
+  //   c_e = 1/(λ_e+μ_e), α_e = μ_e/(λ_e+μ_e), β_e = λ_e·s_e/(λ_e+μ_e)
+  // with λ_e = (group_size-e)λ, μ_e = e·μ. Solved by the stable two-sweep
+  // elimination T_e = a_e + b_e·T_{e+1}: every quantity stays positive and
+  // the denominators 1 - α_e·b_{e-1} are bounded away from 0.
+  std::vector<double> a(top + 1), b(top + 1);
+  double b_prev = 0.0, a_prev = 0.0;
+  for (std::uint32_t e = 0; e <= top; ++e) {
+    const double le = (group_size - e) * lambda;
+    const double me = e * mu;
+    const double rate = le + me;
+    const double survive =
+        e == top ? 0.0
+                 : (e + 1) * decodable_counts[e + 1] /
+                       (decodable_counts[e] * (group_size - e));
+    const double c = 1.0 / rate;
+    const double alpha = me / rate;
+    const double beta = le * survive / rate;
+    const double denom = 1.0 - alpha * b_prev;
+    a[e] = (c + alpha * a_prev) / denom;
+    b[e] = beta / denom;
+    a_prev = a[e];
+    b_prev = b[e];
+  }
+  double t = a[top];  // β_top = 0: every further failure is fatal
+  for (std::uint32_t e = top; e-- > 0;) t = a[e] + b[e] * t;
+  return t;
+}
+
 std::string SchemeConfig::label() const {
   switch (kind) {
     case Kind::kStriping:
@@ -72,6 +133,10 @@ std::string SchemeConfig::label() const {
     case Kind::kReplication:
       return std::to_string(replicas) + "-way replication";
     case Kind::kErasureCode:
+      if (code.family == erasure::CodeSpec::Family::kLrc)
+        return "LRC(" + std::to_string(m) + "," +
+               std::to_string(code.local_groups) + "," +
+               std::to_string(code.global_parities) + ")";
       return "E.C.(" + std::to_string(m) + "," + std::to_string(n) + ")";
   }
   return "?";
@@ -96,6 +161,8 @@ std::uint32_t SchemeConfig::failures_to_loss() const {
     case Kind::kReplication:
       return replicas;
     case Kind::kErasureCode:
+      if (code.family == erasure::CodeSpec::Family::kLrc)
+        return erasure::make_code_family(code, m, n)->max_erasures_any() + 1;
       return n - m + 1;
   }
   return 1;
@@ -129,12 +196,22 @@ SystemPoint evaluate(const SchemeConfig& scheme, double logical_tb,
   point.storage_overhead = point.raw_tb / logical_tb;
 
   const double mu = 1.0 / params.brick_repair_hours;
+  const bool patterned =
+      scheme.kind == SchemeConfig::Kind::kErasureCode &&
+      scheme.code.family == erasure::CodeSpec::Family::kLrc;
   const double group_hours =
-      group_mttdl_hours(scheme.group_size(), scheme.failures_to_loss(),
-                        brick.data_loss_rate_per_hour, mu);
-  // One effectively independent placement group per brick (rotated
-  // declustered placement); never fewer than one group.
-  const double groups = std::max(1.0, bricks);
+      patterned
+          ? group_mttdl_hours_patterned(
+                scheme.group_size(),
+                decodable_census(
+                    *erasure::make_code_family(scheme.code, scheme.m,
+                                               scheme.n)),
+                brick.data_loss_rate_per_hour, mu)
+          : group_mttdl_hours(scheme.group_size(), scheme.failures_to_loss(),
+                              brick.data_loss_rate_per_hour, mu);
+  // Effectively independent placement groups (rotated declustered
+  // placement: ~groups_per_brick per brick); never fewer than one group.
+  const double groups = std::max(1.0, bricks * scheme.groups_per_brick);
   point.mttdl_years = group_hours / groups / (24.0 * 365.0);
   return point;
 }

@@ -29,6 +29,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "erasure/code_family.h"
 
 namespace fabec::reliability {
 
@@ -66,18 +69,54 @@ double group_mttdl_hours(std::uint32_t group_size,
                          std::uint32_t failures_to_loss, double lambda,
                          double mu);
 
+/// Census of survivable failure patterns: result[e] = number of e-subsets
+/// of the code's n positions whose simultaneous loss it can decode through
+/// (result[0] = 1). Enumerated exhaustively over all subsets up to the
+/// first fully-fatal count — fine for group-sized n. For MDS codes this is
+/// C(n, e) for e <= n - m; for LRC it depends on which groups the failures
+/// hit, which is exactly what the patterned MTTDL chain consumes.
+std::vector<double> decodable_census(const erasure::CodeFamily& code);
+
+/// Pattern-dependent MTTDL: birth-death chain on the NUMBER of failed
+/// bricks, where a transition into e+1 concurrent failures is immediately
+/// fatal with the probability that the enlarged pattern is undecodable
+/// given the current one was. Decodability is monotone (losing fewer
+/// bricks is never harder), so with patterns uniform among decodable
+/// e-subsets the survival probability of the e -> e+1 transition counts as
+///     s_e = (e+1) * counts[e+1] / (counts[e] * (group_size - e)).
+/// With an MDS census (counts[e] = C(n, e) up to the tolerance) every s_e
+/// is 1 and the chain reduces exactly to group_mttdl_hours with
+/// failures_to_loss = tolerance + 1 — pinned by the unit tests, so the RS
+/// Figure 2/3 curves cannot move.
+double group_mttdl_hours_patterned(std::uint32_t group_size,
+                                   const std::vector<double>& decodable_counts,
+                                   double lambda, double mu);
+
 struct SchemeConfig {
   enum class Kind { kStriping, kReplication, kErasureCode };
   Kind kind = Kind::kErasureCode;
   std::uint32_t replicas = 4;      ///< replication factor (kReplication)
   std::uint32_t m = 5;             ///< data blocks (kErasureCode)
   std::uint32_t n = 8;             ///< total blocks (kErasureCode)
+  /// Erasure family for kErasureCode: plain RS (default) or LRC. An LRC
+  /// point uses the pattern-dependent chain (group_mttdl_hours_patterned
+  /// over its decodable census) — failures-to-loss is not a single count.
+  erasure::CodeSpec code;
   BrickKind brick = BrickKind::kRaid0;
+  /// Effectively independent placement groups per brick for the MTTDL
+  /// division (rotated declustered placement ~= one per brick, the paper's
+  /// assumption). Parameterized because the right multiplier is placement-
+  /// and code-dependent; 1.0 reproduces the historical Figure 2/3 numbers.
+  double groups_per_brick = 1.0;
 
   std::string label() const;
   /// Cross-brick storage overhead (raw / logical), excluding brick
   /// internals.
   double cross_brick_overhead() const;
+  /// Smallest number of concurrent brick failures that CAN lose data: the
+  /// information-theoretic minimum. Exact loss threshold for striping /
+  /// replication / MDS codes; for LRC a lower bound (some larger patterns
+  /// survive), which is why evaluate() uses the patterned chain there.
   std::uint32_t failures_to_loss() const;
   std::uint32_t group_size() const;
 };

@@ -88,6 +88,12 @@ BrickConfigResult parse_brick_config(const std::string& text) {
         return {std::nullopt, at_line(line_no, "bad m")};
       config.m = static_cast<std::uint32_t>(num);
       saw_m = true;
+    } else if (key == "code") {
+      const auto spec = erasure::parse_code_spec(value);
+      if (!spec.has_value())
+        return {std::nullopt,
+                at_line(line_no, "bad code (want `rs` or `lrc:<l>,<g>`)")};
+      config.code = *spec;
     } else if (key == "total_bricks") {
       if (!parse_u64(value, &num) || num == 0 || num > 0xFFFFFFFFull)
         return {std::nullopt, at_line(line_no, "bad total_bricks")};
@@ -154,6 +160,10 @@ BrickConfigResult parse_brick_config(const std::string& text) {
     return {std::nullopt, "n and m are required"};
   if (config.m > config.n)
     return {std::nullopt, "m may not exceed n (need an m-of-n code)"};
+  if (config.code.family == erasure::CodeSpec::Family::kLrc &&
+      config.m + config.code.local_groups + config.code.global_parities !=
+          config.n)
+    return {std::nullopt, "lrc:<l>,<g> requires n == m + l + g"};
   if (config.total_bricks == 0) config.total_bricks = config.n;
   if (config.total_bricks < config.n)
     return {std::nullopt, "total_bricks must be at least n"};
@@ -185,6 +195,7 @@ std::string BrickConfig::to_text() const {
   out << "brick_id = " << brick_id << "\n";
   out << "n = " << n << "\n";
   out << "m = " << m << "\n";
+  out << "code = " << erasure::to_string(code) << "\n";
   out << "total_bricks = " << total_bricks << "\n";
   out << "block_size = " << block_size << "\n";
   out << "listen = " << listen.addr << ":" << listen.port << "\n";

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "erasure/code_family.h"
 #include "runtime/datagram_mux.h"
 
 namespace fabec::runtime {
@@ -34,6 +35,10 @@ struct BrickConfig {
   /// Quorum layout: groups of n bricks, m data blocks per stripe.
   std::uint32_t n = 0;
   std::uint32_t m = 0;
+  /// Erasure-code family: `code = rs` (default) or `code = lrc:<l>,<g>`
+  /// with n == m + l + g. Every brick and client of one cluster must
+  /// agree on this (the repair plans and fault budget derive from it).
+  erasure::CodeSpec code;
   /// Pool size N >= n (group_layout rotation); defaults to n.
   std::uint32_t total_bricks = 0;
   std::size_t block_size = 4096;

@@ -40,7 +40,7 @@ BrickServer::BrickServer(BrickConfig config, std::uint64_t seed,
                          storage::Env* env)
     : config_(std::move(config)),
       layout_(config_.total_bricks, config_.n),
-      codec_(config_.m, config_.n),
+      codec_(erasure::make_code_family(config_.code, config_.m, config_.n)),
       loop_(seed),
       env_(env != nullptr ? *env : storage::Env::real()) {}
 
@@ -71,8 +71,9 @@ bool BrickServer::init(std::string* error) {
   if (!persist_->recover_store(config_.block_size, &store_, error))
     return false;
   replica_ = std::make_unique<core::RegisterReplica>(
-      config_.brick_id, quorum::Config{config_.n, config_.m}, &layout_,
-      &codec_, store_.get());
+      config_.brick_id,
+      quorum::Config{config_.n, config_.m, codec_->max_erasures_any()},
+      &layout_, codec_.get(), store_.get());
   if (!persist_->replay_journals(
           [this](const core::Message& msg) {
             replica_->handle(msg);  // replies (to nobody) discarded

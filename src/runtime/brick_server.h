@@ -38,7 +38,7 @@
 #include "core/group_layout.h"
 #include "core/persistence.h"
 #include "core/replica.h"
-#include "erasure/codec.h"
+#include "erasure/code_family.h"
 #include "runtime/brick_config.h"
 #include "runtime/datagram_mux.h"
 #include "runtime/epoll_loop.h"
@@ -127,7 +127,7 @@ class BrickServer {
 
   BrickConfig config_;
   core::GroupLayout layout_;
-  erasure::Codec codec_;
+  std::unique_ptr<const erasure::CodeFamily> codec_;
   EpollLoop loop_;
   storage::Env& env_;
   std::unique_ptr<core::PersistentState> persist_;

@@ -12,19 +12,19 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig config,
     : config_(config),
       layout_(config.total_bricks == 0 ? config.n : config.total_bricks,
               config.n),
-      codec_(config.m, config.n),
+      codec_(erasure::make_code_family(config.code, config.m, config.n)),
       loop_(seed) {
-  const quorum::Config qc{config_.n, config_.m};
+  const quorum::Config qc{config_.n, config_.m, codec_->max_erasures_any()};
   const std::uint32_t bricks = layout_.total_bricks();
   bricks_.reserve(bricks);
   for (ProcessId p = 0; p < bricks; ++p) {
     auto brick = std::make_unique<Brick>(config_.block_size);
     brick->replica = std::make_unique<core::RegisterReplica>(
-        p, qc, &layout_, &codec_, &brick->store);
+        p, qc, &layout_, codec_.get(), &brick->store);
     brick->ts_source = std::make_unique<TimestampSource>(
         p, [this]() { return loop_.now_ns(); });
     brick->coordinator = std::make_unique<core::Coordinator>(
-        p, qc, &layout_, &codec_, &loop_, brick->ts_source.get(),
+        p, qc, &layout_, codec_.get(), &loop_, brick->ts_source.get(),
         [this, p](ProcessId dest, core::Message msg) {
           send(p, dest, std::move(msg));
         },

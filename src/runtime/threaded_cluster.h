@@ -29,7 +29,7 @@
 #include "core/coordinator.h"
 #include "core/group_layout.h"
 #include "core/replica.h"
-#include "erasure/codec.h"
+#include "erasure/code_family.h"
 #include "runtime/event_loop.h"
 #include "runtime/udp_transport.h"
 #include "storage/brick_store.h"
@@ -39,6 +39,9 @@ namespace fabec::runtime {
 struct ThreadedClusterConfig {
   std::uint32_t n = 8;
   std::uint32_t m = 5;
+  /// Erasure-code family ("rs" or LRC; see erasure::CodeSpec). Non-MDS
+  /// families shrink the fault budget to floor(tolerance / 2).
+  erasure::CodeSpec code;
   std::uint32_t total_bricks = 0;  ///< 0 = n
   std::size_t block_size = 4096;
   /// One-way link delay applied to every message (real nanoseconds).
@@ -134,7 +137,7 @@ class ThreadedCluster {
 
   ThreadedClusterConfig config_;
   core::GroupLayout layout_;
-  erasure::Codec codec_;
+  std::unique_ptr<const erasure::CodeFamily> codec_;
   EventLoop loop_;
   std::unique_ptr<UdpTransport> udp_;
   std::vector<std::unique_ptr<Brick>> bricks_;

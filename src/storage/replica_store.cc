@@ -108,6 +108,23 @@ void ReplicaStore::append(const Timestamp& ts, std::optional<Block> block,
   log_.push_back(LogEntry{ts, std::move(block), crc});
 }
 
+bool ReplicaStore::newest_is_corrupt_at(const Timestamp& ts) const {
+  FABEC_CHECK(!log_.empty());
+  const LogEntry& newest = log_.back();
+  return newest.ts == ts && newest.block.has_value() && !newest.crc_ok();
+}
+
+void ReplicaStore::heal_newest(const Timestamp& ts, Block block,
+                               DiskStats& io) {
+  FABEC_CHECK_MSG(newest_is_corrupt_at(ts),
+                  "heal may only replace a CRC-failed newest entry in place");
+  FABEC_CHECK(block.size() == block_size_);
+  LogEntry& newest = log_.back();
+  newest.crc = crc32(block.data(), block.size());
+  newest.block = std::move(block);
+  ++io.disk_writes;
+}
+
 void ReplicaStore::gc_below(const Timestamp& complete_ts) {
   // Locate the newest entry overall and the newest non-⊥ entry that are
   // older than complete_ts; both survive collection.

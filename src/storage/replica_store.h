@@ -114,6 +114,17 @@ class ReplicaStore {
   /// one disk write for a block, one NVRAM write for ⊥.
   void append(const Timestamp& ts, std::optional<Block> block, DiskStats& io);
 
+  /// True iff the newest log entry sits at exactly `ts`, holds a block, and
+  /// that block fails its CRC — the one state a same-timestamp re-write may
+  /// legally replace. A timestamp names a unique code word, so the incoming
+  /// bytes for `ts` are the very bytes the rotted entry once held, while the
+  /// stored ones certify nothing.
+  bool newest_is_corrupt_at(const Timestamp& ts) const;
+
+  /// Heal: replaces the newest entry's block (CRC recomputed). Requires
+  /// newest_is_corrupt_at(ts) — callers gate on it. One disk write.
+  void heal_newest(const Timestamp& ts, Block block, DiskStats& io);
+
   /// Garbage collection (paper §5.1): called once a write with timestamp
   /// `complete_ts` is known complete on a full quorum. Drops entries older
   /// than `complete_ts` except that — because *this* replica may not have

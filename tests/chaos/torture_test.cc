@@ -83,7 +83,33 @@ TEST_P(TortureSeedTest, DeltaWritePath) {
   expect_clean(cfg, 700 + static_cast<std::uint64_t>(GetParam()));
 }
 
-// 7 scenarios × 10 seeds = 70 campaigns in the pinned tier-1 sweep.
+TEST_P(TortureSeedTest, LrcCodeFamily) {
+  // The full default fault menu over LRC(4,2,2) stripes: every degraded
+  // read and plan-driven repair interleaving must stay linearizable. The
+  // fault budget shrinks to f = 1 automatically (quorum::Config picks it
+  // up from the family's tolerance); the nemesis respects it.
+  CampaignConfig cfg;
+  cfg.m = 4;  // n stays 8 = m + l + g
+  cfg.code.family = erasure::CodeSpec::Family::kLrc;
+  cfg.code.local_groups = 2;
+  cfg.code.global_parities = 2;
+  expect_clean(cfg, 800 + static_cast<std::uint64_t>(GetParam()));
+}
+
+TEST_P(TortureSeedTest, LrcCrashHeavy) {
+  CampaignConfig cfg;
+  cfg.m = 4;
+  cfg.code.family = erasure::CodeSpec::Family::kLrc;
+  cfg.code.local_groups = 2;
+  cfg.code.global_parities = 2;
+  cfg.nemesis.crashes = 8;
+  cfg.nemesis.mid_phase_crashes = 3;
+  cfg.nemesis.partitions = 0;
+  cfg.nemesis.isolations = 0;
+  expect_clean(cfg, 900 + static_cast<std::uint64_t>(GetParam()));
+}
+
+// 9 scenarios × 10 seeds = 90 campaigns in the pinned tier-1 sweep.
 INSTANTIATE_TEST_SUITE_P(Seeds, TortureSeedTest, ::testing::Range(0, 10));
 
 TEST(TortureReplayTest, SameSeedReproducesIdenticalHistoryHash) {

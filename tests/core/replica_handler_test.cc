@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "core/group_layout.h"
 #include "core/replica.h"
+#include "erasure/code_family.h"
 
 namespace fabec::core {
 namespace {
@@ -16,12 +17,12 @@ constexpr std::size_t kB = 32;
 struct Fixture {
   Fixture()
       : layout(kN, kN),
-        codec(kM, kN),
+        codec(erasure::make_code_family({}, kM, kN)),
         rng(1) {
     for (ProcessId p = 0; p < kN; ++p) {
       stores.push_back(std::make_unique<storage::BrickStore>(kB));
       replicas.push_back(std::make_unique<RegisterReplica>(
-          p, quorum::Config{kN, kM}, &layout, &codec, stores.back().get()));
+          p, quorum::Config{kN, kM}, &layout, codec.get(), stores.back().get()));
     }
   }
 
@@ -37,7 +38,7 @@ struct Fixture {
   Timestamp ts(std::int64_t t) { return Timestamp{t, 0}; }
 
   GroupLayout layout;
-  erasure::Codec codec;
+  std::unique_ptr<const erasure::CodeFamily> codec;
   Rng rng;
   std::vector<std::unique_ptr<storage::BrickStore>> stores;
   std::vector<std::unique_ptr<RegisterReplica>> replicas;
@@ -163,7 +164,7 @@ TEST(ReplicaHandlerTest, ModifyOnParityAppliesCodedUpdate) {
   ModifyReq req{0, 1, 0, old_b, new_b, kLowTS, f.ts(10)};
   EXPECT_TRUE(f.handle<ModifyRep>(4, req).status);
   // Expected parity: modify_{0,4} applied to the all-zero parity.
-  const Block expected = f.codec.modify(0, 4, old_b, new_b, zero_block(kB));
+  const Block expected = f.codec->modify(0, 4, old_b, new_b, zero_block(kB));
   const auto read = f.handle<ReadRep>(4, ReadReq{0, 2, {4}});
   EXPECT_EQ(*read.block, expected);
 }
@@ -212,10 +213,10 @@ TEST(ReplicaHandlerTest, MisroutedRequestAnswersStatusFalse) {
   // In a pool, a brick asked about a stripe it does not serve must answer
   // (so quorum counting is unaffected) but with status = false.
   GroupLayout layout(10, 5);
-  erasure::Codec codec(kM, 5);
+  auto codec = erasure::make_code_family({}, kM, 5);
   storage::BrickStore store(kB);
   // Brick 9 does not serve stripe 0 (group = 0..4).
-  RegisterReplica replica(9, quorum::Config{5, kM}, &layout, &codec, &store);
+  RegisterReplica replica(9, quorum::Config{5, kM}, &layout, codec.get(), &store);
   auto reply = replica.handle(ReadReq{0, 1, {0}});
   ASSERT_TRUE(reply.has_value());
   EXPECT_FALSE(std::get<ReadRep>(*reply).status);

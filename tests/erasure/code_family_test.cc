@@ -1,0 +1,418 @@
+// CodeFamily seam tests: spec parsing, the decode-matrix LRU bound, the
+// k < 2 localization guard, and the LRC family differentially checked
+// against brute-force generator-matrix decoding on random erasure patterns.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "erasure/code_family.h"
+#include "erasure/codec.h"
+#include "erasure/lrc.h"
+#include "gf/gf256.h"
+
+namespace fabec::erasure {
+namespace {
+
+Block rand_block(Rng& rng, std::size_t size) {
+  Block b(size);
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+std::vector<Block> rand_data(Rng& rng, std::uint32_t m, std::size_t size) {
+  std::vector<Block> data;
+  data.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) data.push_back(rand_block(rng, size));
+  return data;
+}
+
+// ---------------------------------------------------------------------
+// CodeSpec spelling.
+// ---------------------------------------------------------------------
+
+TEST(CodeSpecTest, RoundTrip) {
+  const auto rs = parse_code_spec("rs");
+  ASSERT_TRUE(rs.has_value());
+  EXPECT_EQ(rs->family, CodeSpec::Family::kRs);
+  EXPECT_EQ(to_string(*rs), "rs");
+
+  const auto lrc = parse_code_spec("lrc:2,2");
+  ASSERT_TRUE(lrc.has_value());
+  EXPECT_EQ(lrc->family, CodeSpec::Family::kLrc);
+  EXPECT_EQ(lrc->local_groups, 2u);
+  EXPECT_EQ(lrc->global_parities, 2u);
+  EXPECT_EQ(to_string(*lrc), "lrc:2,2");
+}
+
+TEST(CodeSpecTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_code_spec("").has_value());
+  EXPECT_FALSE(parse_code_spec("reed-solomon").has_value());
+  EXPECT_FALSE(parse_code_spec("lrc").has_value());
+  EXPECT_FALSE(parse_code_spec("lrc:").has_value());
+  EXPECT_FALSE(parse_code_spec("lrc:2").has_value());
+  EXPECT_FALSE(parse_code_spec("lrc:2,").has_value());
+  EXPECT_FALSE(parse_code_spec("lrc:a,b").has_value());
+  EXPECT_FALSE(parse_code_spec("lrc:2,2,2").has_value());
+  EXPECT_FALSE(parse_code_spec("rs ").has_value());
+}
+
+TEST(CodeSpecTest, FactoryBuildsBothFamilies) {
+  const auto rs = make_code_family(CodeSpec{CodeSpec::Family::kRs}, 5, 8);
+  EXPECT_EQ(rs->name(), "rs");
+  EXPECT_TRUE(rs->is_mds());
+  EXPECT_EQ(rs->max_erasures_any(), 3u);
+
+  const auto lrc =
+      make_code_family(CodeSpec{CodeSpec::Family::kLrc, 2, 2}, 4, 8);
+  EXPECT_EQ(lrc->name(), "lrc:2,2");
+  EXPECT_FALSE(lrc->is_mds());
+  EXPECT_EQ(lrc->m(), 4u);
+  EXPECT_EQ(lrc->n(), 8u);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: k < 2 localization is a nullopt, not an abort.
+// ---------------------------------------------------------------------
+
+TEST(FindCorruptedTest, ReplicationPairReturnsNulloptInsteadOfAborting) {
+  // m = 1, n = 2: replication with a single copy of parity. k = 1 means a
+  // data error and a parity error are indistinguishable — localization must
+  // decline, not abort, even when a corruption is present.
+  Codec codec(1, 2);
+  Rng rng(7);
+  const auto data = rand_data(rng, 1, 64);
+  auto word = codec.encode(data);
+  word[1][3] ^= 0xff;  // corrupt the copy
+  std::vector<Shard> shards;
+  for (BlockIndex i = 0; i < 2; ++i) shards.push_back(Shard{i, word[i]});
+  EXPECT_FALSE(codec.supports_localization());
+  EXPECT_EQ(codec.find_corrupted(shards), std::nullopt);
+}
+
+TEST(FindCorruptedTest, SingleParityReturnsNullopt) {
+  Codec codec(4, 5);  // RAID-5: k = 1
+  Rng rng(8);
+  auto word = codec.encode(rand_data(rng, 4, 32));
+  word[2][0] ^= 0x01;
+  std::vector<Shard> shards;
+  for (BlockIndex i = 0; i < 5; ++i) shards.push_back(Shard{i, word[i]});
+  EXPECT_FALSE(codec.supports_localization());
+  EXPECT_EQ(codec.find_corrupted(shards), std::nullopt);
+}
+
+TEST(FindCorruptedTest, ThreeWayReplicationStillLocalizes) {
+  Codec codec(1, 3);  // k = 2: content voting works for replication too
+  Rng rng(9);
+  auto word = codec.encode(rand_data(rng, 1, 32));
+  word[1][7] ^= 0x40;
+  std::vector<Shard> shards;
+  for (BlockIndex i = 0; i < 3; ++i) shards.push_back(Shard{i, word[i]});
+  EXPECT_TRUE(codec.supports_localization());
+  EXPECT_EQ(codec.find_corrupted(shards), std::optional<BlockIndex>(1));
+}
+
+TEST(FindCorruptedTest, LrcLocalizesWithGlobalParity) {
+  LrcCodec lrc(4, 2, 2);
+  ASSERT_TRUE(lrc.supports_localization());
+  Rng rng(10);
+  auto word = lrc.encode(rand_data(rng, 4, 48));
+  for (BlockIndex corrupt = 0; corrupt < lrc.n(); ++corrupt) {
+    auto tampered = word;
+    tampered[corrupt][5] ^= 0xa5;
+    std::vector<Shard> shards;
+    for (BlockIndex i = 0; i < lrc.n(); ++i)
+      shards.push_back(Shard{i, tampered[i]});
+    EXPECT_EQ(lrc.find_corrupted(shards), std::optional<BlockIndex>(corrupt))
+        << "corrupt position " << static_cast<int>(corrupt);
+  }
+}
+
+TEST(FindCorruptedTest, LrcWithoutGlobalsDeclines) {
+  // LRC(4, 2, 0) has distance 2: a data error and its group parity error
+  // are indistinguishable. Localization must decline.
+  LrcCodec lrc(4, 2, 0);
+  EXPECT_FALSE(lrc.supports_localization());
+  Rng rng(11);
+  auto word = lrc.encode(rand_data(rng, 4, 16));
+  word[0][0] ^= 1;
+  std::vector<Shard> shards;
+  for (BlockIndex i = 0; i < lrc.n(); ++i) shards.push_back(Shard{i, word[i]});
+  EXPECT_EQ(lrc.find_corrupted(shards), std::nullopt);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the decode-matrix cache is a bounded LRU.
+// ---------------------------------------------------------------------
+
+TEST(InverseCacheTest, EvictsBeyondCapacityAndCounts) {
+  Codec codec(4, 12);
+  Rng rng(12);
+  const auto data = rand_data(rng, 4, 16);
+  const auto word = codec.encode(data);
+
+  // Cycle through more degraded patterns than the cache holds: decode from
+  // {p, p+1, p+2, p+3} parity-heavy windows over the 8 parity positions plus
+  // rotating data — every distinct source set is one cache key.
+  std::vector<BlockIndex> all(codec.n());
+  std::iota(all.begin(), all.end(), 0);
+  std::uint64_t patterns = 0;
+  for (std::uint32_t a = 0; a < codec.n(); ++a)
+    for (std::uint32_t b = a + 1; b < codec.n(); ++b)
+      for (std::uint32_t c = b + 1; c < codec.n(); ++c)
+        for (std::uint32_t d = c + 1; d < codec.n(); ++d) {
+          if (d < codec.m()) continue;  // all-data fast path skips the cache
+          std::vector<Shard> shards = {{static_cast<BlockIndex>(a), word[a]},
+                                       {static_cast<BlockIndex>(b), word[b]},
+                                       {static_cast<BlockIndex>(c), word[c]},
+                                       {static_cast<BlockIndex>(d), word[d]}};
+          EXPECT_EQ(codec.decode(shards), data);
+          if (++patterns > 3 * CodeFamily::kInverseCacheCapacity) goto done;
+        }
+done:
+  EXPECT_LE(codec.cached_inversions(), CodeFamily::kInverseCacheCapacity);
+  EXPECT_GT(codec.cached_inversion_evictions(), 0u);
+}
+
+TEST(InverseCacheTest, RepeatedPatternHitsWithoutEviction) {
+  Codec codec(3, 6);
+  Rng rng(13);
+  const auto data = rand_data(rng, 3, 16);
+  const auto word = codec.encode(data);
+  const std::vector<Shard> degraded = {{0, word[0]}, {4, word[4]}, {5, word[5]}};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(codec.decode(degraded), data);
+  EXPECT_EQ(codec.cached_inversions(), 1u);
+  EXPECT_EQ(codec.cached_inversion_evictions(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// LRC construction and tolerance.
+// ---------------------------------------------------------------------
+
+TEST(LrcTest, LocalParityIsGroupXor) {
+  LrcCodec lrc(6, 2, 2);
+  Rng rng(14);
+  const auto data = rand_data(rng, 6, 64);
+  const auto word = lrc.encode(data);
+  for (std::uint32_t grp = 0; grp < lrc.local_groups(); ++grp) {
+    Block expected(64, 0);
+    for (const BlockIndex member : lrc.group_members(grp)) {
+      if (member >= lrc.m()) continue;
+      xor_into(expected, word[member]);
+    }
+    EXPECT_EQ(word[lrc.m() + grp], expected) << "group " << grp;
+  }
+}
+
+TEST(LrcTest, ToleranceIsGlobalsPlusOne) {
+  // The shipped shapes: every pattern of <= g+1 erasures decodes, and some
+  // (g+2)-pattern does not (two erasures in one group with all globals busy
+  // elsewhere). Enumerated exactly at construction.
+  const struct {
+    std::uint32_t m, l, g;
+  } shapes[] = {{4, 2, 2}, {6, 2, 2}, {6, 3, 2}, {8, 2, 2}, {4, 2, 1},
+                {9, 3, 2}, {10, 2, 3}};
+  for (const auto& s : shapes) {
+    LrcCodec lrc(s.m, s.l, s.g);
+    EXPECT_EQ(lrc.max_erasures_any(), s.g + 1)
+        << "lrc(" << s.m << "," << s.l << "," << s.g << ")";
+    EXPECT_FALSE(lrc.is_mds());
+  }
+  // Degenerate: no globals -> the single local parity per group gives
+  // tolerance exactly 1.
+  EXPECT_EQ(LrcCodec(4, 2, 0).max_erasures_any(), 1u);
+}
+
+TEST(LrcTest, DecodesManyPatternsBeyondTolerance) {
+  // Pattern-dependence: LRC(4,2,2) cannot take EVERY 4-erasure pattern
+  // (it is not MDS) but erasures spread across groups often decode.
+  LrcCodec lrc(4, 2, 2);
+  // Lose one data block per group plus both local parities: the two global
+  // parities plus the surviving data still span.
+  const std::vector<BlockIndex> alive = {1, 3, 6, 7};
+  EXPECT_TRUE(lrc.decodable(alive));
+  // Both blocks of group 0 plus its parity and one global: undecodable.
+  const std::vector<BlockIndex> dead_group = {2, 3, 5, 7};
+  EXPECT_FALSE(lrc.decodable(dead_group));
+}
+
+// ---------------------------------------------------------------------
+// Differential: LRC vs. brute-force generator decode, random patterns.
+// ---------------------------------------------------------------------
+
+// Reference decode: solve the generator system with no family smarts (no
+// cache, no locality, plain Gauss over the alive rows).
+std::optional<std::vector<Block>> brute_force_decode(
+    const CodeFamily& code, const std::vector<BlockIndex>& alive,
+    const std::vector<Block>& word) {
+  std::vector<BlockIndex> sorted = alive;
+  std::sort(sorted.begin(), sorted.end());
+  const auto sources = code.decode_sources(sorted);
+  if (!sources) return std::nullopt;
+  std::vector<Shard> shards;
+  for (const BlockIndex idx : *sources) shards.push_back(Shard{idx, word[idx]});
+  return code.decode(shards);
+}
+
+TEST(LrcDifferentialTest, DecodeMatchesRsOnRandomErasures) {
+  // For every random pattern within tolerance, LRC must reproduce exactly
+  // the data an RS code of the same (m, n) reproduces: the original blocks.
+  Rng rng(4242);
+  const struct {
+    std::uint32_t m, l, g;
+  } shapes[] = {{4, 2, 2}, {6, 2, 2}, {6, 3, 2}, {5, 2, 1}};
+  for (const auto& s : shapes) {
+    LrcCodec lrc(s.m, s.l, s.g);
+    Codec rs(s.m, s.m + s.l + s.g);
+    const auto data = rand_data(rng, s.m, 128);
+    const auto lrc_word = lrc.encode(data);
+    const auto rs_word = rs.encode(data);
+    ASSERT_EQ(lrc_word.size(), rs_word.size());
+
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::uint32_t erasures =
+          1 + static_cast<std::uint32_t>(rng.next_u64() % lrc.max_erasures_any());
+      std::vector<BlockIndex> positions(lrc.n());
+      std::iota(positions.begin(), positions.end(), 0);
+      for (std::size_t i = positions.size() - 1; i > 0; --i)
+        std::swap(positions[i], positions[rng.next_u64() % (i + 1)]);
+      const std::vector<BlockIndex> alive(positions.begin() + erasures,
+                                          positions.end());
+      // RS oracle on its own word.
+      const auto rs_decoded = brute_force_decode(rs, alive, rs_word);
+      ASSERT_TRUE(rs_decoded.has_value());
+      EXPECT_EQ(*rs_decoded, data);
+      // LRC within tolerance must match.
+      const auto lrc_decoded = brute_force_decode(lrc, alive, lrc_word);
+      ASSERT_TRUE(lrc_decoded.has_value())
+          << "within-tolerance pattern undecodable";
+      EXPECT_EQ(*lrc_decoded, data);
+    }
+  }
+}
+
+TEST(LrcDifferentialTest, ModifyMatchesFullReencode) {
+  Rng rng(99);
+  LrcCodec lrc(6, 2, 2);
+  auto data = rand_data(rng, 6, 64);
+  const auto word = lrc.encode(data);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto i = static_cast<BlockIndex>(rng.next_u64() % lrc.m());
+    const Block new_block = rand_block(rng, 64);
+    auto new_data = data;
+    new_data[i] = new_block;
+    const auto expected = lrc.encode(new_data);
+    for (BlockIndex p = lrc.m(); p < lrc.n(); ++p) {
+      const Block updated = lrc.modify(i, p, data[i], new_block, word[p]);
+      EXPECT_EQ(updated, expected[p])
+          << "parity " << static_cast<int>(p) << " data "
+          << static_cast<int>(i);
+    }
+  }
+}
+
+TEST(LrcDifferentialTest, RepairPlanReconstructsEveryPosition) {
+  Rng rng(4711);
+  const struct {
+    std::uint32_t m, l, g;
+  } shapes[] = {{4, 2, 2}, {6, 2, 2}, {6, 3, 2}, {5, 2, 1}};
+  for (const auto& s : shapes) {
+    LrcCodec lrc(s.m, s.l, s.g);
+    const auto data = rand_data(rng, s.m, 96);
+    const auto word = lrc.encode(data);
+    for (BlockIndex lost = 0; lost < lrc.n(); ++lost) {
+      // All-others-alive and random further erasures within tolerance.
+      for (int trial = 0; trial < 20; ++trial) {
+        std::vector<BlockIndex> alive;
+        for (BlockIndex i = 0; i < lrc.n(); ++i)
+          if (i != lost) alive.push_back(i);
+        const std::uint32_t extra =
+            trial == 0 ? 0
+                       : static_cast<std::uint32_t>(
+                             rng.next_u64() % lrc.max_erasures_any());
+        for (std::uint32_t e = 0; e < extra && alive.size() > 1; ++e)
+          alive.erase(alive.begin() + rng.next_u64() % alive.size());
+        const auto plan = lrc.repair_plan(lost, alive);
+        if (!plan) continue;  // beyond-tolerance pattern may be unrepairable
+        ASSERT_EQ(plan->sources.size(), plan->coefficients.size());
+        Block rebuilt(96, 0);
+        for (std::size_t i = 0; i < plan->sources.size(); ++i) {
+          const Block& src = word[plan->sources[i]];
+          for (std::size_t b = 0; b < src.size(); ++b)
+            rebuilt[b] ^= gf::mul(plan->coefficients[i], src[b]);
+        }
+        EXPECT_EQ(rebuilt, word[lost])
+            << "lost " << static_cast<int>(lost) << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(LrcTest, SingleLossInsideGroupYieldsLocalPlanSmallerThanM) {
+  // The acceptance-criteria bound: any single lost strip inside a local
+  // group repairs from <= group-size - 1 < m sources.
+  const struct {
+    std::uint32_t m, l, g;
+  } shapes[] = {{4, 2, 2}, {6, 2, 2}, {6, 3, 2}, {8, 2, 2}, {9, 3, 2}};
+  for (const auto& s : shapes) {
+    LrcCodec lrc(s.m, s.l, s.g);
+    std::vector<BlockIndex> everyone(lrc.n());
+    std::iota(everyone.begin(), everyone.end(), 0);
+    for (BlockIndex lost = 0; lost < lrc.m() + lrc.local_groups(); ++lost) {
+      const auto plan = lrc.repair_plan(lost, everyone);
+      ASSERT_TRUE(plan.has_value());
+      EXPECT_TRUE(plan->local);
+      EXPECT_EQ(plan->sources.size(), lrc.max_group_size() - 1);
+      EXPECT_LT(plan->sources.size(), lrc.m());
+      for (const std::uint8_t c : plan->coefficients) EXPECT_EQ(c, 1);
+    }
+    // A lost global parity has no group: generic plan, all-data sources.
+    const auto global_plan =
+        lrc.repair_plan(static_cast<BlockIndex>(lrc.n() - 1), everyone);
+    ASSERT_TRUE(global_plan.has_value());
+    EXPECT_FALSE(global_plan->local);
+  }
+}
+
+TEST(RsRepairPlanTest, MatrixSolvePlanReconstructs) {
+  Rng rng(31);
+  Codec rs(5, 8);
+  const auto data = rand_data(rng, 5, 64);
+  const auto word = rs.encode(data);
+  for (BlockIndex lost = 0; lost < rs.n(); ++lost) {
+    std::vector<BlockIndex> alive;
+    for (BlockIndex i = 0; i < rs.n(); ++i)
+      if (i != lost) alive.push_back(i);
+    const auto plan = rs.repair_plan(lost, alive);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_LE(plan->sources.size(), rs.m());
+    EXPECT_FALSE(plan->local);
+    Block rebuilt(64, 0);
+    for (std::size_t i = 0; i < plan->sources.size(); ++i)
+      for (std::size_t b = 0; b < 64; ++b)
+        rebuilt[b] ^= gf::mul(plan->coefficients[i], word[plan->sources[i]][b]);
+    EXPECT_EQ(rebuilt, word[lost]);
+  }
+  // Beyond tolerance: plan refuses.
+  const std::vector<BlockIndex> too_few = {0, 1, 2, 3};
+  EXPECT_EQ(rs.repair_plan(7, too_few), std::nullopt);
+}
+
+TEST(RepairPlanTest, LostLocalParityWithAllDataIsGroupSized) {
+  // Even the GENERIC matrix-solve plan shrinks to the covered group for a
+  // lost local parity (zero coefficients drop out) — locality falls out of
+  // the algebra, not just the override.
+  LrcCodec lrc(6, 2, 2);
+  std::vector<BlockIndex> data_only;
+  for (BlockIndex i = 0; i < lrc.m(); ++i) data_only.push_back(i);
+  const auto plan = lrc.CodeFamily::repair_plan(lrc.m(), data_only);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->sources.size(), 3u);  // group 0's data blocks
+}
+
+}  // namespace
+}  // namespace fabec::erasure

@@ -107,9 +107,9 @@ TEST(RebuildTest, ExplicitCoordinatorDoesTheWork) {
   Rng rng(6);
   ASSERT_TRUE(cluster.write_stripe(0, 0, random_stripe(rng)));
   cluster.replace_brick(1);
-  const auto before = cluster.coordinator(4).stats().recoveries_started;
+  const auto before = cluster.coordinator(4).stats().block_rebuilds;
   rebuild_brick(cluster, 1, 1, /*coordinator=*/4);
-  EXPECT_GT(cluster.coordinator(4).stats().recoveries_started, before);
+  EXPECT_GT(cluster.coordinator(4).stats().block_rebuilds, before);
   EXPECT_EQ(cluster.store(1).stripes_stored(), 1u);
 }
 

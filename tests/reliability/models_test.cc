@@ -221,5 +221,119 @@ TEST(SystemPointTest, BrickCountMatchesCapacity) {
   EXPECT_NEAR(point.storage_overhead, 1.6, 0.05);
 }
 
+// --- pattern-dependent chain (LRC, DESIGN.md §14) -------------------------
+
+double binomial(std::uint32_t n, std::uint32_t k) {
+  double r = 1.0;
+  for (std::uint32_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(PatternedMttdlTest, MdsCensusMatchesClassicChainExactly) {
+  // RS census: counts[e] = C(n, e) up to the tolerance. Every transition
+  // survives with probability 1 and the patterned chain must reproduce
+  // group_mttdl_hours to the last bit of algebra — this is what pins the
+  // Figure 2/3 RS curves against the refactor.
+  const auto rs = erasure::make_code_family({}, 5, 8);
+  const auto census = decodable_census(*rs);
+  ASSERT_EQ(census.size(), 4u);  // e = 0..3 survivable, 4 fatal
+  for (std::uint32_t e = 0; e < census.size(); ++e)
+    EXPECT_NEAR(census[e], binomial(8, e), 1e-9) << "e=" << e;
+  const double lambda = 2.7333e-5, mu = 1.0 / 24.0;
+  EXPECT_NEAR(group_mttdl_hours_patterned(8, census, lambda, mu),
+              group_mttdl_hours(8, 4, lambda, mu),
+              group_mttdl_hours(8, 4, lambda, mu) * 1e-6);
+}
+
+TEST(PatternedMttdlTest, LrcCensusIsPatternDependent) {
+  erasure::CodeSpec spec;
+  spec.family = erasure::CodeSpec::Family::kLrc;
+  spec.local_groups = 2;
+  spec.global_parities = 2;
+  const auto lrc = erasure::make_code_family(spec, 4, 8);
+  const auto census = decodable_census(*lrc);
+  // Tolerance g + 1 = 3: every pattern of <= 3 failures survives...
+  ASSERT_GE(census.size(), 4u);
+  for (std::uint32_t e = 0; e <= 3; ++e)
+    EXPECT_NEAR(census[e], binomial(8, e), 1e-9) << "e=" << e;
+  // ...and SOME 4-failure patterns survive (k = 4 parities) while others
+  // are fatal — the non-MDS middle ground the single-count model misses.
+  ASSERT_EQ(census.size(), 5u);
+  EXPECT_GT(census[4], 0.0);
+  EXPECT_LT(census[4], binomial(8, 4));
+}
+
+TEST(PatternedMttdlTest, LrcMttdlSitsBetweenTheSingleCountBounds) {
+  // Treating LRC(4,2,2) as "loses data at t+1 = 4 failures" is pessimistic
+  // (some 4-patterns survive); treating it as MDS "loses at n-m+1 = 5" is
+  // optimistic. The patterned chain must land strictly between.
+  erasure::CodeSpec spec;
+  spec.family = erasure::CodeSpec::Family::kLrc;
+  spec.local_groups = 2;
+  spec.global_parities = 2;
+  const auto lrc = erasure::make_code_family(spec, 4, 8);
+  const double lambda = 2.7333e-5, mu = 1.0 / 24.0;
+  const double patterned =
+      group_mttdl_hours_patterned(8, decodable_census(*lrc), lambda, mu);
+  EXPECT_GT(patterned, group_mttdl_hours(8, 4, lambda, mu));
+  EXPECT_LT(patterned, group_mttdl_hours(8, 5, lambda, mu));
+}
+
+TEST(PatternedMttdlTest, EvaluateUsesPatternedChainForLrc) {
+  const ComponentParams params;
+  SchemeConfig rs;
+  rs.kind = SchemeConfig::Kind::kErasureCode;
+  rs.m = 4;
+  rs.n = 8;
+  SchemeConfig lrc = rs;
+  lrc.code.family = erasure::CodeSpec::Family::kLrc;
+  lrc.code.local_groups = 2;
+  lrc.code.global_parities = 2;
+  EXPECT_EQ(lrc.failures_to_loss(), 4u);  // information-theoretic minimum
+  EXPECT_EQ(rs.failures_to_loss(), 5u);
+  const SystemPoint rs_point = evaluate(rs, 100.0, params);
+  const SystemPoint lrc_point = evaluate(lrc, 100.0, params);
+  // Same shape and overhead; LRC gives up MTTDL relative to the MDS code
+  // of equal rate (it buys repair locality, not distance).
+  EXPECT_NEAR(lrc_point.storage_overhead, rs_point.storage_overhead, 1e-9);
+  EXPECT_LT(lrc_point.mttdl_years, rs_point.mttdl_years);
+  EXPECT_GT(lrc_point.mttdl_years, 0.0);
+}
+
+TEST(PatternedMttdlTest, GroupCountParameterScalesTheDivision) {
+  const ComponentParams params;
+  SchemeConfig ec;
+  ec.kind = SchemeConfig::Kind::kErasureCode;
+  const SystemPoint one = evaluate(ec, 100.0, params);
+  SchemeConfig halved = ec;
+  halved.groups_per_brick = 2.0;
+  const SystemPoint two = evaluate(halved, 100.0, params);
+  EXPECT_NEAR(two.mttdl_years, one.mttdl_years / 2.0,
+              one.mttdl_years * 1e-9);
+}
+
+TEST(Figure2PropertyTest, RsCurvePointsPinned) {
+  // Golden values for the Figure 2/3 schemes at 100 logical TB, default
+  // ComponentParams. These numbers predate the patterned-chain refactor;
+  // if one moves, the EXPERIMENTS.md Figure 2/3 section is stale.
+  const ComponentParams params;
+  SchemeConfig ec;
+  ec.kind = SchemeConfig::Kind::kErasureCode;  // E.C.(5,8) on RAID-0 bricks
+  SchemeConfig rep;
+  rep.kind = SchemeConfig::Kind::kReplication;  // 4-way on RAID-0 bricks
+  SchemeConfig str;
+  str.kind = SchemeConfig::Kind::kStriping;
+  str.brick = BrickKind::kReliableRaid5;
+  const SystemPoint ec_pt = evaluate(ec, 100.0, params);
+  const SystemPoint rep_pt = evaluate(rep, 100.0, params);
+  const SystemPoint str_pt = evaluate(str, 100.0, params);
+  EXPECT_NEAR(ec_pt.mttdl_years, 984677.295, 0.5);
+  EXPECT_NEAR(ec_pt.num_bricks, 54.0, 0.5);
+  EXPECT_NEAR(rep_pt.mttdl_years, 27679689.955, 0.5);
+  EXPECT_NEAR(rep_pt.num_bricks, 134.0, 0.5);
+  EXPECT_NEAR(str_pt.mttdl_years, 9.2523, 1e-3);
+  EXPECT_NEAR(str_pt.num_bricks, 37.0, 0.5);
+}
+
 }  // namespace
 }  // namespace fabec::reliability

@@ -50,6 +50,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "core/persistence.h"
+#include "erasure/code_family.h"
 #include "core/snapshot.h"
 #include "fab/layout.h"
 #include "fab/volume_client.h"
@@ -68,6 +69,7 @@ using fabec::Rng;
 struct Flags {
   std::uint32_t bricks = 8;
   std::uint32_t m = 5;
+  fabec::erasure::CodeSpec code;  // rs | lrc:<l>,<g>
   std::uint32_t clients = 4;
   std::uint64_t ops = 4000;
   std::uint64_t lbas = 120;
@@ -100,6 +102,7 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --bricks N            pool size = group size n (default 8)\n"
       "  --m M                 data blocks per stripe (default 5)\n"
+      "  --code SPEC           erasure family: rs | lrc:<l>,<g>\n"
       "  --clients C           concurrent client processes' worth of load "
       "(default 4)\n"
       "  --ops N               total operations across clients (default "
@@ -138,6 +141,14 @@ bool parse_flags(int argc, char** argv, Flags* flags) {
     const char* v = nullptr;
     if (a == "--bricks" && (v = need(i))) flags->bricks = std::atoi(v);
     else if (a == "--m" && (v = need(i))) flags->m = std::atoi(v);
+    else if (a == "--code" && (v = need(i))) {
+      const auto spec = fabec::erasure::parse_code_spec(v);
+      if (!spec.has_value()) {
+        std::fprintf(stderr, "bad --code '%s' (want rs or lrc:<l>,<g>)\n", v);
+        return false;
+      }
+      flags->code = *spec;
+    }
     else if (a == "--clients" && (v = need(i))) flags->clients = std::atoi(v);
     else if (a == "--ops" && (v = need(i))) flags->ops = std::atoll(v);
     else if (a == "--lbas" && (v = need(i))) flags->lbas = std::atoll(v);
@@ -496,6 +507,7 @@ int run_inproc(const Flags& flags,
   fabec::runtime::ThreadedClusterConfig config;
   config.n = flags.bricks;
   config.m = flags.m;
+  config.code = flags.code;
   config.block_size = flags.block_size;
   config.use_udp_transport = true;
   config.coordinator.op_deadline = fabec::sim::milliseconds(flags.deadline_ms);
@@ -619,6 +631,7 @@ int main(int argc, char** argv) {
     config.brick_id = brick.id;
     config.n = flags.bricks;
     config.m = flags.m;
+    config.code = flags.code;
     config.total_bricks = flags.bricks;
     config.block_size = flags.block_size;
     config.listen = {"127.0.0.1", port};
@@ -697,6 +710,7 @@ int main(int argc, char** argv) {
     config.client_id = flags.bricks + c;
     config.n = flags.bricks;
     config.m = flags.m;
+    config.code = flags.code;
     config.total_bricks = flags.bricks;
     config.block_size = flags.block_size;
     config.num_blocks = num_blocks;

@@ -44,6 +44,7 @@ void usage(const char* argv0) {
                "  --start-seed S   first seed of the sweep (default 1)\n"
                "  --replay SEED    run one seed and print its fault schedule\n"
                "  --n N --m M      stripe group shape (default 8, 5)\n"
+               "  --code SPEC      erasure family: rs | lrc:<l>,<g>\n"
                "  --bricks B       brick pool size (default: n)\n"
                "  --stripes S      stripes in the volume (default 4)\n"
                "  --ops K          workload operations (default 100)\n"
@@ -99,6 +100,18 @@ bool parse(int argc, char** argv, Options* opt) {
     else if (a == "--start-seed") ok = next_u64(&opt->start_seed);
     else if (a == "--replay") ok = next_u64(&opt->replay);
     else if (a == "--n") ok = next_u32(&cfg.n);
+    else if (a == "--code") {
+      if (i + 1 >= argc) { ok = false; }
+      else {
+        const auto spec = fabec::erasure::parse_code_spec(argv[++i]);
+        if (spec.has_value()) cfg.code = *spec;
+        else {
+          std::fprintf(stderr, "bad --code '%s' (want rs or lrc:<l>,<g>)\n",
+                       argv[i]);
+          return false;
+        }
+      }
+    }
     else if (a == "--m") ok = next_u32(&cfg.m);
     else if (a == "--bricks") ok = next_u32(&cfg.total_bricks);
     else if (a == "--stripes") {
